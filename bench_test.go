@@ -1,0 +1,510 @@
+// Benchmarks regenerating every figure and experiment of the paper, plus
+// micro-benchmarks of each subsystem. One bench per figure/table per
+// DESIGN.md:
+//
+//	Figure 1 → BenchmarkFigure1StabilityAUROC, BenchmarkFigure1RFMAUROC,
+//	           BenchmarkFigure1Full
+//	Figure 2 → BenchmarkFigure2ExplanationTrace
+//	CV-1     → BenchmarkParamSearchCV
+//	EXT-1    → BenchmarkExplanationQuality
+//	EXT-2/3/4 ablations → BenchmarkAblationAlpha/Window/Policy
+//
+// Run with: go test -bench=. -benchmem
+package stability_test
+
+import (
+	"io"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability"
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/eval"
+	"github.com/gautrais/stability/internal/experiments"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/logreg"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/rfm"
+	"github.com/gautrais/stability/internal/stream"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// benchGen is a dataset configuration small enough to iterate but large
+// enough to exercise the real code paths.
+func benchGen() gen.Config {
+	cfg := gen.NewConfig()
+	cfg.Customers = 240
+	cfg.Segments = 80
+	cfg.ProductsPerSegment = 2
+	return cfg
+}
+
+var benchDataset *gen.Dataset
+
+func sharedDataset(b *testing.B) *gen.Dataset {
+	b.Helper()
+	if benchDataset == nil {
+		ds, err := gen.Generate(benchGen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDataset = ds
+	}
+	return benchDataset
+}
+
+// --- Figure 1 ---
+
+// BenchmarkFigure1StabilityAUROC measures the stability model's half of
+// Figure 1: scoring the whole population at every evaluation window.
+func BenchmarkFigure1StabilityAUROC(b *testing.B) {
+	ds := sharedDataset(b)
+	pop, err := experiments.NewPopulation(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evalKs := []int{5, 6, 7, 8, 9, 10, 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range pop.Histories {
+			wd, err := window.Windowize(h, grid, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			series, err := model.AnalyzeStability(wd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range evalKs {
+				if _, ok := series.StabilityAt(k); !ok {
+					_ = ok
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1RFMAUROC measures the baseline's half of Figure 1: one
+// RFM training + scoring pass at the first post-onset window.
+func BenchmarkFigure1RFMAUROC(b *testing.B) {
+	ds := sharedDataset(b)
+	pop, err := experiments.NewPopulation(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := make([]bool, pop.N())
+	copy(labels, pop.Labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline, err := rfm.Train(grid, 9, pop.Histories, labels, rfm.DefaultTrainOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		scores := make([]float64, pop.N())
+		for j, h := range pop.Histories {
+			scores[j] = baseline.Score(h)
+		}
+		if _, err := eval.AUROC(scores, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Full regenerates the entire figure (both curves, all
+// months, CV folds) per iteration — the end-to-end cost of the headline
+// experiment.
+func BenchmarkFigure1Full(b *testing.B) {
+	cfg := experiments.DefaultFigure1Config()
+	cfg.Gen = benchGen()
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1On(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2 ---
+
+// BenchmarkFigure2ExplanationTrace regenerates the individual-customer
+// trace with full explanations.
+func BenchmarkFigure2ExplanationTrace(b *testing.B) {
+	cfg := experiments.DefaultFigure2Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- CV-1 ---
+
+// BenchmarkParamSearchCV regenerates the cross-validated (α, w) grid search
+// on a reduced grid.
+func BenchmarkParamSearchCV(b *testing.B) {
+	cfg := experiments.DefaultParamSearchConfig()
+	cfg.Gen = benchGen()
+	cfg.Alphas = []float64{1.5, 2, 3}
+	cfg.Spans = []int{1, 2}
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ParamSearchOn(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXT experiments ---
+
+// BenchmarkExplanationQuality regenerates EXT-1.
+func BenchmarkExplanationQuality(b *testing.B) {
+	cfg := experiments.DefaultExplanationQualityConfig()
+	cfg.Gen = benchGen()
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExplanationQualityOn(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAblation(b *testing.B, run func(*gen.Dataset, experiments.AblationConfig) (*experiments.AblationResult, error)) {
+	cfg := experiments.DefaultAblationConfig()
+	cfg.Gen = benchGen()
+	cfg.Alphas = []float64{1.5, 3}
+	cfg.Spans = []int{1, 2}
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlpha regenerates EXT-2.
+func BenchmarkAblationAlpha(b *testing.B) { benchAblation(b, experiments.AlphaAblationOn) }
+
+// BenchmarkAblationWindow regenerates EXT-3.
+func BenchmarkAblationWindow(b *testing.B) { benchAblation(b, experiments.WindowAblationOn) }
+
+// BenchmarkAblationPolicy regenerates EXT-4.
+func BenchmarkAblationPolicy(b *testing.B) { benchAblation(b, experiments.PolicyAblationOn) }
+
+// BenchmarkGatewaySegments regenerates EXT-5.
+func BenchmarkGatewaySegments(b *testing.B) {
+	cfg := experiments.DefaultGatewayConfig()
+	cfg.Gen = benchGen()
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GatewayOn(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFamilyAblation regenerates EXT-6 (post-onset months only, to
+// keep the per-iteration cost reasonable).
+func BenchmarkFamilyAblation(b *testing.B) {
+	cfg := experiments.DefaultFamilyAblationConfig()
+	cfg.Gen = benchGen()
+	cfg.FirstMonth, cfg.LastMonth = 18, 24
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FamilyAblationOn(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeadTime regenerates EXT-7.
+func BenchmarkLeadTime(b *testing.B) {
+	cfg := experiments.DefaultLeadTimeConfig()
+	cfg.Gen = benchGen()
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LeadTimeOn(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorIngest measures streaming throughput: receipts ingested
+// per op across a whole population replay.
+func BenchmarkMonitorIngest(b *testing.B) {
+	ds := sharedDataset(b)
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type event struct {
+		id retail.CustomerID
+		t  int64
+		it retail.Basket
+	}
+	var feed []event
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			feed = append(feed, event{h.Customer, r.Time.UnixNano(), r.Items})
+		}
+		return true
+	})
+	sort.Slice(feed, func(i, j int) bool { return feed[i].t < feed[j].t })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := stream.New(stream.Config{Grid: grid, Model: core.Options{Alpha: 2}, Beta: 0.6, WarmupWindows: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range feed {
+			if _, err := m.Ingest(ev.id, time.Unix(0, ev.t), ev.it); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.CloseThrough(13)
+	}
+	b.ReportMetric(float64(len(feed)), "receipts/op")
+}
+
+// --- micro-benchmarks ---
+
+// BenchmarkTrackerObserve measures the incremental per-window stability
+// update at several repertoire sizes.
+func BenchmarkTrackerObserve(b *testing.B) {
+	for _, size := range []int{10, 50, 200} {
+		b.Run(itoa(size), func(b *testing.B) {
+			items := make([]retail.ItemID, size)
+			for i := range items {
+				items[i] = retail.ItemID(i + 1)
+			}
+			full := retail.NewBasket(items)
+			half := retail.NewBasket(items[:size/2])
+			tr, err := core.NewTracker(core.Options{Alpha: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Observe(full)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					tr.ObserveStability(half)
+				} else {
+					tr.ObserveStability(full)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrackerExplain measures the explanation path (blame lists).
+func BenchmarkTrackerExplain(b *testing.B) {
+	items := make([]retail.ItemID, 100)
+	for i := range items {
+		items[i] = retail.ItemID(i + 1)
+	}
+	full := retail.NewBasket(items)
+	half := retail.NewBasket(items[:50])
+	tr, err := core.NewTracker(core.Options{Alpha: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Observe(full)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			tr.Observe(half)
+		} else {
+			tr.Observe(full)
+		}
+	}
+}
+
+// BenchmarkWindowize measures windowed-database construction.
+func BenchmarkWindowize(b *testing.B) {
+	ds := sharedDataset(b)
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var histories []retail.History
+	ds.Store.Each(func(h retail.History) bool {
+		histories = append(histories, h)
+		return len(histories) < 50
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := histories[i%len(histories)]
+		if _, err := window.Windowize(h, grid, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreIngest measures builder throughput (receipts/op).
+func BenchmarkStoreIngest(b *testing.B) {
+	ds := sharedDataset(b)
+	type row struct {
+		id retail.CustomerID
+		r  retail.Receipt
+	}
+	var rows []row
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			rows = append(rows, row{h.Customer, r})
+		}
+		return len(rows) < 20000
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb := stability.NewStoreBuilder()
+		for _, r := range rows {
+			if err := sb.AddReceipt(r.id, r.r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sb.Build().NumReceipts() != len(rows) {
+			b.Fatal("lost receipts")
+		}
+	}
+}
+
+// BenchmarkStoreSnapshotWrite measures binary encoding throughput.
+func BenchmarkStoreSnapshotWrite(b *testing.B) {
+	ds := sharedDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.Store.WriteBinary(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogregTrain measures the from-scratch LR fit.
+func BenchmarkLogregTrain(b *testing.B) {
+	ds := sharedDataset(b)
+	pop, err := experiments.NewPopulation(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := rfm.Extractor{Grid: grid}
+	X := make([][]float64, pop.N())
+	y := make([]int, pop.N())
+	for i, h := range pop.Histories {
+		X[i] = ex.Extract(h, 9)
+		if pop.Labels[i] {
+			y[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logreg.Train(X, y, logreg.DefaultTrainOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAUROC measures the rank-based AUROC at population scale.
+func BenchmarkAUROC(b *testing.B) {
+	n := 100000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = float64(i%997) / 997
+		labels[i] = i%3 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AUROC(scores, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerator measures synthetic dataset generation.
+func BenchmarkGenerator(b *testing.B) {
+	cfg := benchGen()
+	cfg.Customers = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := gen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFMExtract measures feature extraction.
+func BenchmarkRFMExtract(b *testing.B) {
+	ds := sharedDataset(b)
+	pop, err := experiments.NewPopulation(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := rfm.Extractor{Grid: grid}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Extract(pop.Histories[i%pop.N()], 9)
+	}
+}
+
+func itoa(v int) string {
+	// Tiny helper to avoid strconv import noise in bench names.
+	switch v {
+	case 10:
+		return "repertoire-10"
+	case 50:
+		return "repertoire-50"
+	case 200:
+		return "repertoire-200"
+	}
+	return "repertoire"
+}

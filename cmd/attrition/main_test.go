@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// genTestData writes a small dataset and returns the receipt and label
+// paths.
+func genTestData(t *testing.T) (dataPath, labelsPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "receipts.csv")
+	labelsPath = filepath.Join(dir, "labels.csv")
+	err := cmdGen([]string{
+		"-out", dataPath,
+		"-labels", labelsPath,
+		"-customers", "40",
+		"-seed", "11",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, labelsPath
+}
+
+func TestCmdGenWritesFiles(t *testing.T) {
+	data, labels := genTestData(t)
+	for _, p := range []string{data, labels} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestCmdGenWithCatalog(t *testing.T) {
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "catalog.csv")
+	err := cmdGen([]string{
+		"-out", filepath.Join(dir, "r.csv"),
+		"-catalog", cat,
+		"-customers", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	data, _ := genTestData(t)
+	if err := cmdStats([]string{"-data", data, "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-data", ""}); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := cmdStats([]string{"-data", "/nonexistent/file.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCmdAnalyzeAndExplain(t *testing.T) {
+	data, _ := genTestData(t)
+	if err := cmdAnalyze([]string{"-data", data, "-customer", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-data", data, "-customer", "99999"}); err == nil {
+		t.Fatal("unknown customer accepted")
+	}
+	if err := cmdExplain([]string{"-data", data, "-customer", "1", "-top", "2", "-min-drop", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	// Absurd threshold: no drops is a normal (non-error) outcome.
+	if err := cmdExplain([]string{"-data", data, "-customer", "1", "-min-drop", "0.99"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad alpha must fail.
+	if err := cmdAnalyze([]string{"-data", data, "-customer", "1", "-alpha", "0.5"}); err == nil {
+		t.Fatal("alpha=0.5 accepted")
+	}
+}
+
+func TestCmdEvaluate(t *testing.T) {
+	data, labels := genTestData(t)
+	if err := cmdEvaluate([]string{"-data", data, "-labels", labels}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-data", data, "-labels", "/nonexistent.csv"}); err == nil {
+		t.Fatal("missing labels accepted")
+	}
+}
+
+func TestCmdMonitor(t *testing.T) {
+	data, _ := genTestData(t)
+	if err := cmdMonitor([]string{"-data", data, "-beta", "0.6", "-max-show", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMonitor([]string{"-data", "/nonexistent.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := cmdMonitor([]string{"-data", data, "-beta", "1.5"}); err == nil {
+		t.Fatal("beta=1.5 accepted")
+	}
+}
+
+func TestCmdSegments(t *testing.T) {
+	data, labels := genTestData(t)
+	if err := cmdSegments([]string{"-data", data, "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSegments([]string{"-data", data, "-labels", labels, "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSegments([]string{"-data", "/nonexistent.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := cmdSegments([]string{"-data", data, "-labels", "/nonexistent.csv"}); err == nil {
+		t.Fatal("missing labels accepted")
+	}
+}
+
+func TestLoadStoreFormats(t *testing.T) {
+	data, _ := genTestData(t)
+	st, err := loadStore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumCustomers() != 40 {
+		t.Fatalf("customers = %d", st.NumCustomers())
+	}
+	if _, err := loadStore(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/gautrais/stability"
+)
+
+// cmdMonitor replays a receipt dataset in timestamp order through the
+// streaming monitor and prints every alert, demonstrating the production
+// deployment shape of the model on recorded data.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var (
+		data    = fs.String("data", "", "receipt CSV/JSONL/snapshot path (required)")
+		span    = fs.Int("span", 2, "window span in months")
+		alpha   = fs.Float64("alpha", 2, "significance base α")
+		beta    = fs.Float64("beta", 0.6, "loyalty threshold: alert at stability <= beta")
+		topJ    = fs.Int("top", 3, "blamed products per alert")
+		warmup  = fs.Int("warmup", 4, "windows of history before alerts may fire")
+		maxShow = fs.Int("max-show", 50, "maximum alerts to print (summary always shown)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := loadStore(*data)
+	if err != nil {
+		return err
+	}
+	min, _, ok := st.TimeRange()
+	if !ok {
+		return fmt.Errorf("dataset is empty")
+	}
+	grid, err := stability.NewGrid(min, *span)
+	if err != nil {
+		return err
+	}
+	monitor, err := stability.NewMonitor(stability.MonitorConfig{
+		Grid:          grid,
+		Model:         stability.Options{Alpha: *alpha},
+		Beta:          *beta,
+		TopJ:          *topJ,
+		WarmupWindows: *warmup,
+	})
+	if err != nil {
+		return err
+	}
+
+	type event struct {
+		id stability.CustomerID
+		r  stability.Receipt
+	}
+	var feed []event
+	st.Each(func(h stability.History) bool {
+		for _, r := range h.Receipts {
+			feed = append(feed, event{h.Customer, r})
+		}
+		return true
+	})
+	sort.SliceStable(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
+
+	shown, total := 0, 0
+	emit := func(alerts []stability.Alert) {
+		for _, a := range alerts {
+			total++
+			if shown >= *maxShow {
+				continue
+			}
+			shown++
+			parts := make([]string, 0, len(a.Blame))
+			for _, b := range a.Blame {
+				parts = append(parts, fmt.Sprintf("item %d (share %.2f)", b.Item, b.Share))
+			}
+			fmt.Printf("%s customer %-8d stability %.3f  missing: %s\n",
+				a.End.Format("2006-01"), a.Customer, a.Stability, strings.Join(parts, ", "))
+		}
+	}
+
+	lastK := 0
+	for _, ev := range feed {
+		k := grid.Index(ev.r.Time)
+		if k > lastK {
+			emit(monitor.CloseThrough(k - 1))
+			lastK = k
+		}
+		alerts, err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items)
+		if err != nil {
+			return err
+		}
+		emit(alerts)
+	}
+	emit(monitor.CloseThrough(lastK))
+	fmt.Fprintf(os.Stdout, "\n%d alerts over %d customers (%d shown)\n", total, monitor.Customers(), shown)
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gautrais/stability"
+)
+
+// cmdSegments aggregates the model's explanations over a dataset into the
+// per-segment attrition ranking (gateway products). With -labels, only the
+// defecting cohort is characterized; otherwise the whole population is.
+func cmdSegments(args []string) error {
+	fs := flag.NewFlagSet("segments", flag.ExitOnError)
+	var (
+		data    = fs.String("data", "", "receipt CSV/JSONL/snapshot path (required)")
+		labels  = fs.String("labels", "", "labels CSV: restrict to the defecting cohort (optional)")
+		catalog = fs.String("catalog", "", "catalog CSV for segment names (optional)")
+		span    = fs.Int("span", 2, "window span in months")
+		alpha   = fs.Float64("alpha", 2, "significance base α")
+		minDrop = fs.Float64("min-drop", 0.05, "stability decrease that counts as a drop")
+		topJ    = fs.Int("top-j", 3, "blamed segments aggregated per drop")
+		topN    = fs.Int("top", 20, "segments to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := loadStore(*data)
+	if err != nil {
+		return err
+	}
+	min, max, ok := st.TimeRange()
+	if !ok {
+		return fmt.Errorf("dataset is empty")
+	}
+	grid, err := stability.NewGrid(min, *span)
+	if err != nil {
+		return err
+	}
+	model, err := stability.NewModel(stability.Options{Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+
+	include := func(stability.CustomerID) bool { return true }
+	if *labels != "" {
+		lf, err := os.Open(*labels)
+		if err != nil {
+			return err
+		}
+		recs, err := stability.ReadLabelsCSV(lf)
+		lf.Close()
+		if err != nil {
+			return err
+		}
+		defecting := make(map[stability.CustomerID]bool, len(recs))
+		for _, l := range recs {
+			if l.Cohort == stability.CohortDefecting {
+				defecting[l.Customer] = true
+			}
+		}
+		include = func(id stability.CustomerID) bool { return defecting[id] }
+	}
+	var histories []stability.History
+	st.Each(func(h stability.History) bool {
+		if include(h.Customer) {
+			histories = append(histories, h)
+		}
+		return true
+	})
+	if len(histories) == 0 {
+		return fmt.Errorf("no customers selected")
+	}
+
+	opts := stability.CharacterizeOptions{MinDrop: *minDrop, TopJ: *topJ}
+	rep, err := stability.Characterize(model, histories, grid, grid.Index(max), opts)
+	if err != nil {
+		return err
+	}
+
+	namer := func(id stability.ItemID) string { return fmt.Sprintf("%d", id) }
+	if *catalog != "" {
+		cf, err := os.Open(*catalog)
+		if err != nil {
+			return err
+		}
+		cat, err := stability.ReadCatalogCSV(cf)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		namer = cat.SegmentName
+	}
+	fmt.Printf("gateway segments over %d customers (%d with drops, %d drop events):\n\n",
+		rep.Customers, rep.WithDrops, rep.DropEvents)
+	rep.Table(*topN, namer).Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command datagen generates synthetic retail-transaction datasets in every
+// supported format, for use outside this repository (plotting, other
+// implementations, benchmarks).
+//
+// Usage:
+//
+//	datagen -out DIR [-customers N] [-seed S] [-months M] [-segments K] [-formats csv,jsonl,bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gautrais/stability"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		outDir    = fs.String("out", "dataset", "output directory")
+		customers = fs.Int("customers", 0, "population size (0 = default)")
+		seed      = fs.Int64("seed", 0, "dataset seed (0 = default)")
+		months    = fs.Int("months", 0, "dataset length in months (0 = default)")
+		onset     = fs.Int("onset", 0, "attrition onset month (0 = default/auto)")
+		segments  = fs.Int("segments", 0, "catalog segments (0 = default)")
+		formats   = fs.String("formats", "csv", "comma-separated: csv,jsonl,bin")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := stability.DefaultSampleConfig()
+	if *customers > 0 {
+		cfg.Customers = *customers
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *months > 0 {
+		cfg.Months = *months
+		if *onset == 0 && cfg.OnsetMonth >= cfg.Months {
+			// Shortened horizon: keep the onset at two thirds of it, like
+			// the paper's 18-of-28.
+			cfg.OnsetMonth = cfg.Months * 2 / 3
+			if cfg.OnsetMonth < 1 {
+				cfg.OnsetMonth = 1
+			}
+		}
+	}
+	if *onset > 0 {
+		cfg.OnsetMonth = *onset
+	}
+	if *segments > 0 {
+		cfg.Segments = *segments
+	}
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, fn func(*os.File) error) error {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+		return nil
+	}
+
+	for _, format := range strings.Split(*formats, ",") {
+		switch strings.TrimSpace(format) {
+		case "csv":
+			if err := write("receipts.csv", func(f *os.File) error {
+				return stability.WriteReceiptsCSV(f, ds.Store)
+			}); err != nil {
+				return err
+			}
+		case "jsonl":
+			if err := write("receipts.jsonl", func(f *os.File) error {
+				return stability.WriteReceiptsJSONL(f, ds.Store)
+			}); err != nil {
+				return err
+			}
+		case "bin":
+			if err := write("receipts.stb", func(f *os.File) error {
+				return stability.WriteSnapshot(f, ds.Store)
+			}); err != nil {
+				return err
+			}
+		case "":
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	if err := write("labels.csv", func(f *os.File) error {
+		return stability.WriteLabelsCSV(f, ds.Truth.Labels())
+	}); err != nil {
+		return err
+	}
+	if err := write("catalog.csv", func(f *os.File) error {
+		return stability.WriteCatalogCSV(f, ds.Catalog)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d customers, %d receipts, %d segments, %d months\n",
+		ds.Store.NumCustomers(), ds.Store.NumReceipts(), cfg.Segments, cfg.Months)
+	return nil
+}

@@ -1,0 +1,286 @@
+// Command repro regenerates the paper's figures and this repository's
+// extension experiments on the synthetic substrate.
+//
+// Usage:
+//
+//	repro -experiment all|fig1|fig2|cv|explain-quality|alpha|window|policy \
+//	      [-customers N] [-seed S] [-out DIR]
+//
+// Each experiment prints an ASCII rendering to stdout; with -out, the
+// underlying series are also written as CSV files for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gautrais/stability/internal/experiments"
+	"github.com/gautrais/stability/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all",
+			"fig1|fig2|cv|explain-quality|alpha|window|policy|gateway|families|leadtime|all")
+		customers = fs.Int("customers", 0, "override population size (0 = default)")
+		seed      = fs.Int64("seed", 0, "override dataset seed (0 = default)")
+		outDir    = fs.String("out", "", "directory for CSV exports (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create out dir: %w", err)
+		}
+	}
+
+	runOne := func(name string, fn func() error) error {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if want("fig1") {
+		ran = true
+		if err := runOne("Figure 1: attrition detection AUROC", func() error {
+			cfg := experiments.DefaultFigure1Config()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.Figure1(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				s, r := res.Series()
+				if err := writeSeriesCSV(filepath.Join(*outDir, "figure1.csv"), s, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("fig2") {
+		ran = true
+		if err := runOne("Figure 2: individual stability trace", func() error {
+			cfg := experiments.DefaultFigure2Config()
+			if *seed != 0 {
+				cfg.Scenario.Seed = *seed
+			}
+			res, err := experiments.Figure2(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				x := make([]float64, len(res.Months))
+				for i, m := range res.Months {
+					x[i] = float64(m)
+				}
+				s := report.Series{Name: "stability", X: x, Y: res.Stability}
+				if err := writeSeriesCSV(filepath.Join(*outDir, "figure2.csv"), s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("cv") {
+		ran = true
+		if err := runOne("CV-1: cross-validated parameter search", func() error {
+			cfg := experiments.DefaultParamSearchConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.ParamSearch(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				if err := writeTableCSV(filepath.Join(*outDir, "cv1.csv"), res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("explain-quality") {
+		ran = true
+		if err := runOne("EXT-1: explanation quality", func() error {
+			cfg := experiments.DefaultExplanationQualityConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.ExplanationQuality(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				if err := writeTableCSV(filepath.Join(*outDir, "ext1.csv"), res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	ablations := []struct {
+		flag string
+		name string
+		fn   func(experiments.AblationConfig) (*experiments.AblationResult, error)
+		file string
+	}{
+		{"alpha", "EXT-2: alpha ablation", experiments.AlphaAblation, "ext2.csv"},
+		{"window", "EXT-3: window-span ablation", experiments.WindowAblation, "ext3.csv"},
+		{"policy", "EXT-4: counting-policy ablation", experiments.PolicyAblation, "ext4.csv"},
+	}
+	for _, ab := range ablations {
+		if !want(ab.flag) {
+			continue
+		}
+		ran = true
+		ab := ab
+		if err := runOne(ab.name, func() error {
+			cfg := experiments.DefaultAblationConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := ab.fn(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				if err := writeTableCSV(filepath.Join(*outDir, ab.file), res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("gateway") {
+		ran = true
+		if err := runOne("EXT-5: gateway segments", func() error {
+			cfg := experiments.DefaultGatewayConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.Gateway(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				if err := writeTableCSV(filepath.Join(*outDir, "ext5.csv"), res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("families") {
+		ran = true
+		if err := runOne("EXT-6: RFM family ablation", func() error {
+			cfg := experiments.DefaultFamilyAblationConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.FamilyAblation(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if *outDir != "" {
+				if err := writeTableCSV(filepath.Join(*outDir, "ext6.csv"), res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want("leadtime") {
+		ran = true
+		if err := runOne("EXT-7: detection lead time", func() error {
+			cfg := experiments.DefaultLeadTimeConfig()
+			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			res, err := experiments.LeadTime(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig1|fig2|cv|explain-quality|alpha|window|policy|gateway|families|leadtime|all)", *experiment)
+	}
+	return nil
+}
+
+func applyOverrides(customers *int, customersOverride int, seed *int64, seedOverride int64) {
+	if customersOverride > 0 {
+		*customers = customersOverride
+	}
+	if seedOverride != 0 {
+		*seed = seedOverride
+	}
+}
+
+func writeSeriesCSV(path string, series ...report.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteSeriesCSV(f, series...); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+func writeTableCSV(path string, t *report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.RenderCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}

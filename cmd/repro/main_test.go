@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig2(t *testing.T) {
+	// Figure 2 is scripted and fast; the full default-scale experiments are
+	// covered by the experiments package's own tests.
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "fig2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, "figure2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("figure2.csv is empty")
+	}
+}
+
+func TestRunSmallFig1(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "fig1", "-customers", "150", "-seed", "5", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure1.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunLeadTimeSmall(t *testing.T) {
+	if err := run([]string{"-experiment", "leadtime", "-customers", "150"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	customers, seed := 100, int64(1)
+	applyOverrides(&customers, 0, &seed, 0)
+	if customers != 100 || seed != 1 {
+		t.Fatal("zero overrides must not change defaults")
+	}
+	applyOverrides(&customers, 250, &seed, 9)
+	if customers != 250 || seed != 9 {
+		t.Fatalf("overrides not applied: %d, %d", customers, seed)
+	}
+}

@@ -1,0 +1,83 @@
+package stability
+
+import (
+	"io"
+
+	"github.com/gautrais/stability/internal/eval"
+	"github.com/gautrais/stability/internal/store"
+	"github.com/gautrais/stability/internal/taxonomy"
+)
+
+// Storage types, re-exported.
+type (
+	// Store is an immutable set of customer purchase histories.
+	Store = store.Store
+	// StoreBuilder accumulates receipts into a Store.
+	StoreBuilder = store.Builder
+	// Catalog is the product taxonomy (products → segments → departments).
+	Catalog = taxonomy.Catalog
+	// CatalogBuilder assembles a Catalog.
+	CatalogBuilder = taxonomy.Builder
+	// Segment is a product segment.
+	Segment = taxonomy.Segment
+	// Product is one SKU.
+	Product = taxonomy.Product
+	// ProductID identifies one SKU.
+	ProductID = taxonomy.ProductID
+	// StoreStats summarizes a dataset.
+	StoreStats = store.Stats
+)
+
+// NewStoreBuilder returns an empty transaction-store builder.
+func NewStoreBuilder() *StoreBuilder { return store.NewBuilder() }
+
+// NewCatalogBuilder returns an empty taxonomy builder.
+func NewCatalogBuilder() *CatalogBuilder { return taxonomy.NewBuilder() }
+
+// ReadReceiptsCSV parses the receipt CSV format
+// (customer,timestamp,spend,items with "|"-separated segment ids). With
+// strict=false, malformed rows are skipped and counted in the report.
+func ReadReceiptsCSV(r io.Reader, strict bool) (*Store, store.CSVReport, error) {
+	return store.ReadCSV(r, store.CSVOptions{Strict: strict})
+}
+
+// WriteReceiptsCSV serializes a store in the receipt CSV format.
+func WriteReceiptsCSV(w io.Writer, s *Store) error { return s.WriteCSV(w) }
+
+// ReadReceiptsJSONL parses the JSONL receipt export.
+func ReadReceiptsJSONL(r io.Reader) (*Store, error) { return store.ReadJSONL(r) }
+
+// WriteReceiptsJSONL serializes a store as one JSON object per receipt.
+func WriteReceiptsJSONL(w io.Writer, s *Store) error { return s.WriteJSONL(w) }
+
+// ReadSnapshot parses the compact binary snapshot format.
+func ReadSnapshot(r io.Reader) (*Store, error) { return store.ReadBinary(r) }
+
+// WriteSnapshot serializes a store in the compact binary snapshot format.
+func WriteSnapshot(w io.Writer, s *Store) error { return s.WriteBinary(w) }
+
+// ReadLabelsCSV parses cohort labels (customer,cohort,onset_month).
+func ReadLabelsCSV(r io.Reader) ([]Label, error) { return store.ReadLabelsCSV(r) }
+
+// WriteLabelsCSV serializes cohort labels.
+func WriteLabelsCSV(w io.Writer, labels []Label) error { return store.WriteLabelsCSV(w, labels) }
+
+// ReadCatalogCSV parses a taxonomy catalog export.
+func ReadCatalogCSV(r io.Reader) (*Catalog, error) { return taxonomy.ReadCSV(r) }
+
+// WriteCatalogCSV serializes a taxonomy catalog.
+func WriteCatalogCSV(w io.Writer, c *Catalog) error { return c.WriteCSV(w) }
+
+// AUROC computes the area under the ROC curve of scores against labels
+// (true = positive class, higher scores = more positive).
+func AUROC(scores []float64, labels []bool) (float64, error) {
+	return eval.AUROC(scores, labels)
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint = eval.ROCPoint
+
+// ROC computes the full ROC curve.
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	return eval.ROC(scores, labels)
+}

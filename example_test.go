@@ -1,0 +1,141 @@
+package stability_test
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+// windowGrid builds the timeline used throughout the examples: the paper's
+// May-2012 dataset start with 2-month windows.
+func exampleGrid() stability.Grid {
+	g, err := stability.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), 2)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ExampleTracker walks the significance arithmetic on a two-item history —
+// the numbers match the worked example in the package documentation.
+func ExampleTracker() {
+	tracker, err := stability.NewTracker(stability.Options{Alpha: 2})
+	if err != nil {
+		panic(err)
+	}
+	// Window 0: first sight of both items — no prior history to judge by.
+	r := tracker.Observe(stability.NewBasket([]stability.ItemID{1, 2}))
+	fmt.Printf("window 0: stability %.2f (defined %v)\n", r.Stability, r.Defined)
+	// Window 1: item 2 missing. Both items have S = 2^1, so losing one of
+	// two equally-significant items halves the stability.
+	r = tracker.Observe(stability.NewBasket([]stability.ItemID{1}))
+	fmt.Printf("window 1: stability %.2f, missing item %d\n", r.Stability, r.Missing[0].Item)
+	// Output:
+	// window 0: stability 1.00 (defined false)
+	// window 1: stability 0.50, missing item 2
+}
+
+// ExampleModel_Analyze scores a customer whose habitual item disappears,
+// then reads the explanation off the drop event.
+func ExampleModel_Analyze() {
+	g := exampleGrid()
+	model, err := stability.NewModel(stability.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	h := stability.History{Customer: 7}
+	for k := 0; k < 8; k++ {
+		items := []stability.ItemID{10, 20}
+		if k >= 5 {
+			items = []stability.ItemID{10} // item 20 lost from window 5 on
+		}
+		start, _ := g.Bounds(k)
+		h.Receipts = append(h.Receipts, stability.Receipt{
+			Time:  start.AddDate(0, 0, 3),
+			Items: stability.NewBasket(items),
+		})
+	}
+	series, err := stability.AnalyzeHistory(model, h, g, -1)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range series.Drops(0.05, 1) {
+		fmt.Printf("drop at window %d: %.3f -> %.3f, blame item %d\n",
+			d.GridIndex, d.From, d.To, d.Blame[0].Item)
+	}
+	// Output:
+	// drop at window 5: 1.000 -> 0.500, blame item 20
+}
+
+// ExampleSignificance shows the paper's significance formula directly.
+func ExampleSignificance() {
+	// Bought in 3 of 4 prior windows: S = 2^(3-1) = 4.
+	fmt.Println(stability.Significance(2, 3, 1))
+	// Never bought: S = 0 regardless of misses.
+	fmt.Println(stability.Significance(2, 0, 9))
+	// Output:
+	// 4
+	// 0
+}
+
+// ExampleNewMonitor runs the streaming monitor over a hand-built feed and
+// prints the alert it raises when a habitual product disappears.
+func ExampleNewMonitor() {
+	g := exampleGrid()
+	monitor, err := stability.NewMonitor(stability.MonitorConfig{
+		Grid:  g,
+		Model: stability.DefaultOptions(),
+		Beta:  0.7,
+		TopJ:  2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	full := stability.NewBasket([]stability.ItemID{1, 2, 3})
+	thin := stability.NewBasket([]stability.ItemID{1})
+	for k := 0; k < 4; k++ {
+		start, _ := g.Bounds(k)
+		if _, err := monitor.Ingest(42, start.AddDate(0, 0, 2), full); err != nil {
+			panic(err)
+		}
+	}
+	start, _ := g.Bounds(4)
+	if _, err := monitor.Ingest(42, start.AddDate(0, 0, 2), thin); err != nil {
+		panic(err)
+	}
+	for _, alert := range monitor.CloseThrough(4) {
+		fmt.Printf("customer %d window %d stability %.2f missing %d items\n",
+			alert.Customer, alert.GridIndex, alert.Stability, len(alert.Blame))
+	}
+	// Output:
+	// customer 42 window 4 stability 0.33 missing 2 items
+}
+
+// ExampleMonitor_WriteSnapshot persists a monitor mid-stream and restores
+// it — the pattern a long-running scoring service uses across restarts.
+func ExampleMonitor_WriteSnapshot() {
+	g := exampleGrid()
+	cfg := stability.MonitorConfig{Grid: g, Model: stability.DefaultOptions(), Beta: 0.5}
+	monitor, err := stability.NewMonitor(cfg)
+	if err != nil {
+		panic(err)
+	}
+	start, _ := g.Bounds(0)
+	if _, err := monitor.Ingest(1, start, stability.NewBasket([]stability.ItemID{5})); err != nil {
+		panic(err)
+	}
+
+	var state bytes.Buffer
+	if err := monitor.WriteSnapshot(&state); err != nil {
+		panic(err)
+	}
+	restored, err := stability.ReadMonitorSnapshot(&state, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("customers after restart:", restored.Customers())
+	// Output:
+	// customers after restart: 1
+}

@@ -1,0 +1,90 @@
+// Campaign: the retailer workflow the paper motivates — scan the whole
+// customer base at the latest window, rank customers by stability, and for
+// each at-risk customer list the significant products they stopped buying,
+// producing a targeted win-back list ("target his marketing on significant
+// products that this customer is not buying anymore").
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"github.com/gautrais/stability"
+)
+
+type atRisk struct {
+	id        stability.CustomerID
+	stability float64
+	missing   []string
+}
+
+func main() {
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 400
+	cfg.Seed = 7
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := stability.DefaultOptions()
+	opts.MaxBlame = 3 // keep only the top blamed products per window
+	model, err := stability.NewModel(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := stability.NewGrid(cfg.Start, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastWindow := cfg.Months/2 - 1
+
+	var ranked []atRisk
+	for _, id := range ds.Store.Customers() {
+		h, err := ds.Store.History(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series, err := stability.AnalyzeHistory(model, h, grid, lastWindow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, ok := series.At(lastWindow)
+		if !ok || !p.Defined {
+			continue
+		}
+		entry := atRisk{id: id, stability: p.Stability}
+		for _, b := range p.Missing {
+			entry.missing = append(entry.missing, ds.Catalog.SegmentName(b.Item))
+		}
+		ranked = append(ranked, entry)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].stability < ranked[j].stability })
+
+	fmt.Printf("win-back campaign: %d customers scored at the latest window\n", len(ranked))
+	fmt.Println("top 10 at-risk customers and the products to win them back with:")
+	for i, r := range ranked {
+		if i >= 10 {
+			break
+		}
+		cohort := "?"
+		if t, ok := ds.Truth.ByCustomer[r.id]; ok {
+			cohort = t.Label.Cohort.String()
+		}
+		fmt.Printf("%2d. customer %-5d stability %.3f (truth: %-9s) promote: %s\n",
+			i+1, r.id, r.stability, cohort, strings.Join(r.missing, ", "))
+	}
+
+	// Sanity summary: how many of the bottom decile are true defectors?
+	decile := len(ranked) / 10
+	defectors := 0
+	for _, r := range ranked[:decile] {
+		if t, ok := ds.Truth.ByCustomer[r.id]; ok && t.Label.Cohort == stability.CohortDefecting {
+			defectors++
+		}
+	}
+	fmt.Printf("\nbottom stability decile: %d/%d are ground-truth defectors\n", defectors, decile)
+}

@@ -1,0 +1,83 @@
+// Paramsearch: select the model's α and window span on your own data the
+// way the paper did — by cross-validated AUROC — using only the public API
+// (model, grid, AUROC).
+//
+//	go run ./examples/paramsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gautrais/stability"
+)
+
+func main() {
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 300
+	cfg.Seed = 11
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth labels -> evaluation arrays.
+	ids := ds.Store.Customers()
+	labels := make([]bool, len(ids))
+	for i, id := range ids {
+		t := ds.Truth.ByCustomer[id]
+		labels[i] = t != nil && t.Label.Cohort == stability.CohortDefecting
+	}
+	targetMonth := cfg.OnsetMonth + 2 // detect within two months of onset
+
+	alphas := []float64{1.25, 1.5, 2, 3, 4}
+	spans := []int{1, 2, 3}
+	fmt.Printf("grid search over alpha x window span (objective: AUROC at month %d)\n\n", targetMonth)
+	fmt.Printf("%8s %8s %10s\n", "alpha", "span", "auroc")
+
+	bestAUC, bestAlpha, bestSpan := -1.0, 0.0, 0
+	for _, span := range spans {
+		grid, err := stability.NewGrid(cfg.Start, span)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evaluation window: the one ending at (or just after) the target.
+		k := (targetMonth + span - 1) / span
+		if k < 1 {
+			k = 1
+		}
+		k--
+		for _, alpha := range alphas {
+			model, err := stability.NewModel(stability.Options{Alpha: alpha})
+			if err != nil {
+				log.Fatal(err)
+			}
+			scores := make([]float64, len(ids))
+			for i, id := range ids {
+				h, err := ds.Store.History(id)
+				if err != nil {
+					log.Fatal(err)
+				}
+				series, err := stability.AnalyzeHistory(model, h, grid, k)
+				if err != nil {
+					log.Fatal(err)
+				}
+				s := 1.0
+				if v, ok := series.StabilityAt(k); ok {
+					s = v
+				}
+				scores[i] = 1 - s // higher = more likely defecting
+			}
+			auc, err := stability.AUROC(scores, labels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.2f %8d %10.4f\n", alpha, span, auc)
+			if auc > bestAUC {
+				bestAUC, bestAlpha, bestSpan = auc, alpha, span
+			}
+		}
+	}
+	fmt.Printf("\nselected: alpha=%g span=%d months (AUROC %.4f); the paper selected alpha=2, span=2\n",
+		bestAlpha, bestSpan, bestAUC)
+}

@@ -1,0 +1,84 @@
+// Quickstart: generate a small labelled dataset, run the stability model on
+// one defecting customer, and print the trace with explanations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gautrais/stability"
+)
+
+func main() {
+	// 1. A small synthetic dataset (substitute for real receipt data):
+	//    200 customers over the paper's 28-month timeline, half of whom
+	//    begin partial attrition at month 18.
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 200
+	cfg.Seed = 2024
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d customers, %d receipts\n", ds.Store.NumCustomers(), ds.Store.NumReceipts())
+
+	// 2. The model, configured as published: α = 2, 2-month windows.
+	model, err := stability.NewModel(stability.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := stability.NewGrid(cfg.Start, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Pick the first ground-truth defector and analyze them.
+	defectors := ds.Truth.Defectors()
+	id := defectors[0]
+	history, err := ds.Store.History(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastWindow := cfg.Months/2 - 1
+	series, err := stability.AnalyzeHistory(model, history, grid, lastWindow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncustomer %d (defecting since month %d) — stability per 2-month window:\n",
+		id, ds.Truth.ByCustomer[id].Label.OnsetMonth)
+	for _, p := range series.Points {
+		bar := int(p.Stability * 40)
+		fmt.Printf("  window %2d (ends month %2d)  %.3f  %s\n",
+			p.GridIndex, (p.GridIndex+1)*2, p.Stability, stars(bar))
+	}
+
+	// 4. Explain the drops: which products went missing?
+	fmt.Println("\nstability drops and blamed segments:")
+	for _, d := range series.Drops(0.05, 3) {
+		fmt.Printf("  window %d: %.3f -> %.3f, missing:", d.GridIndex, d.From, d.To)
+		for _, b := range d.Blame {
+			fmt.Printf(" %s(share %.2f)", ds.Catalog.SegmentName(b.Item), b.Share)
+		}
+		fmt.Println()
+	}
+
+	// 5. Threshold detection: which windows look defecting at β = 0.7?
+	flagged := 0
+	for _, det := range stability.Detect(series, 0.7) {
+		if det.Defecting {
+			flagged++
+		}
+	}
+	fmt.Printf("\nwindows flagged as defecting at beta=0.7: %d of %d\n", flagged, series.Len())
+}
+
+func stars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

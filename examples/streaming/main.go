@@ -1,0 +1,103 @@
+// Streaming: monitor a live receipt feed and react to attrition alerts as
+// they fire — the production deployment shape of the stability model. The
+// example replays a generated dataset in timestamp order as if it were a
+// point-of-sale stream, advances the watermark at each window boundary so
+// silent (defecting!) customers still get scored, and prints each alert
+// with the products to win the customer back with.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+func main() {
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 120
+	cfg.Seed = 5
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	grid, err := stability.NewGrid(cfg.Start, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := stability.NewMonitor(stability.MonitorConfig{
+		Grid:          grid,
+		Model:         stability.DefaultOptions(),
+		Beta:          0.6, // alert when stability falls to 0.6 or below
+		TopJ:          3,
+		WarmupWindows: 4, // no alerts until 8 months of history
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Flatten the dataset into one timestamp-ordered feed.
+	type event struct {
+		id stability.CustomerID
+		r  stability.Receipt
+	}
+	var feed []event
+	for _, id := range ds.Store.Customers() {
+		h, err := ds.Store.History(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range h.Receipts {
+			feed = append(feed, event{id, r})
+		}
+	}
+	sort.Slice(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
+	fmt.Printf("replaying %d receipts from %d customers as a live feed\n\n", len(feed), cfg.Customers)
+
+	alertsTotal := 0
+	trueAlerts := 0
+	var watermark time.Time
+	handle := func(alerts []stability.Alert) {
+		for _, a := range alerts {
+			alertsTotal++
+			truth := ds.Truth.ByCustomer[a.Customer]
+			verdict := "loyal?!"
+			if truth != nil && truth.Label.Cohort == stability.CohortDefecting {
+				verdict = "true defector"
+				trueAlerts++
+			}
+			var names []string
+			for _, b := range a.Blame {
+				names = append(names, ds.Catalog.SegmentName(b.Item))
+			}
+			if alertsTotal <= 12 { // print the first few, summarize the rest
+				fmt.Printf("ALERT %s customer %-4d stability %.2f (%s) win-back: %s\n",
+					a.End.Format("2006-01"), a.Customer, a.Stability, verdict, strings.Join(names, ", "))
+			}
+		}
+	}
+
+	for _, ev := range feed {
+		// Advance the watermark at window boundaries: customers silent for
+		// a whole window are scored (their silence is the signal).
+		if !watermark.IsZero() && grid.Index(ev.r.Time) > grid.Index(watermark) {
+			handle(monitor.CloseThrough(grid.Index(ev.r.Time) - 1))
+		}
+		watermark = ev.r.Time
+		alerts, err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handle(alerts)
+	}
+	handle(monitor.CloseThrough(cfg.Months/2 - 1))
+
+	fmt.Printf("\n%d alerts total; %d (%.0f%%) were ground-truth defectors\n",
+		alertsTotal, trueAlerts, 100*float64(trueAlerts)/float64(alertsTotal))
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrackerSnapshot asserts the snapshot reader never panics on
+// corrupt input and that accepted snapshots re-serialize consistently.
+func FuzzReadTrackerSnapshot(f *testing.F) {
+	tr, _ := NewTracker(Options{Alpha: 2})
+	tr.Observe(basket(1, 2, 3))
+	tr.Observe(basket(1))
+	var buf bytes.Buffer
+	if err := tr.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STK1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		restored, err := ReadTrackerSnapshot(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted snapshots must have valid options and re-serialize.
+		if err := restored.Options().Validate(); err != nil {
+			t.Fatalf("restored tracker has invalid options: %v", err)
+		}
+		var out bytes.Buffer
+		if err := restored.WriteSnapshot(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		again, err := ReadTrackerSnapshot(&out)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if again.Windows() != restored.Windows() || again.Seen() != restored.Seen() {
+			t.Fatalf("round trip changed state")
+		}
+	})
+}

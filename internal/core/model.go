@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Model is the configured stability model. It is stateless and safe for
+// concurrent use; per-customer state lives in Trackers created on the fly.
+type Model struct {
+	opts Options
+}
+
+// New validates opts and returns a model.
+func New(opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{opts: opts}, nil
+}
+
+// Options returns the model configuration.
+func (m *Model) Options() Options { return m.opts }
+
+// Point is one window of a customer's stability series, tagged with its
+// grid index so it can be aligned across customers.
+type Point struct {
+	GridIndex int
+	Result
+}
+
+// Series is the stability trajectory of one customer over a window grid.
+type Series struct {
+	Customer retail.CustomerID
+	Grid     window.Grid
+	Points   []Point
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.Points) }
+
+// At returns the point with the given grid index.
+func (s Series) At(gridIndex int) (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	i := gridIndex - s.Points[0].GridIndex
+	if i < 0 || i >= len(s.Points) {
+		return Point{}, false
+	}
+	return s.Points[i], true
+}
+
+// StabilityAt returns the stability value at a grid index.
+func (s Series) StabilityAt(gridIndex int) (float64, bool) {
+	p, ok := s.At(gridIndex)
+	if !ok {
+		return 0, false
+	}
+	return p.Stability, true
+}
+
+// Analyze runs the model over one customer's windowed database and returns
+// the full series with explanations.
+func (m *Model) Analyze(wd window.Windowed) (Series, error) {
+	return m.analyze(wd, true)
+}
+
+// AnalyzeStability runs the model without building explanation lists — the
+// fast path for population-scale evaluation.
+func (m *Model) AnalyzeStability(wd window.Windowed) (Series, error) {
+	return m.analyze(wd, false)
+}
+
+func (m *Model) analyze(wd window.Windowed, explain bool) (Series, error) {
+	t, err := NewTracker(m.opts)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{Customer: wd.Customer, Grid: wd.Grid, Points: make([]Point, 0, len(wd.Windows))}
+	for _, w := range wd.Windows {
+		var res Result
+		if explain {
+			res = t.Observe(w.Items)
+		} else {
+			res = t.ObserveStability(w.Items)
+		}
+		s.Points = append(s.Points, Point{GridIndex: w.Index, Result: res})
+	}
+	return s, nil
+}
+
+// Detection is the β-threshold classification of one window.
+type Detection struct {
+	GridIndex int
+	Stability float64
+	// Defecting is true when stability ≤ β (the paper treats
+	// Stability > β as loyal).
+	Defecting bool
+}
+
+// Detect applies the loyalty threshold β to a series.
+func Detect(s Series, beta float64) []Detection {
+	out := make([]Detection, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = Detection{
+			GridIndex: p.GridIndex,
+			Stability: p.Stability,
+			Defecting: p.Stability <= beta,
+		}
+	}
+	return out
+}
+
+// DropEvent is a window where stability decreased, with the items whose
+// absence explains the decrease (most significant first) — the Figure 2
+// annotation.
+type DropEvent struct {
+	GridIndex int
+	From, To  float64
+	Blame     []Blame
+}
+
+// Drops extracts the windows where stability fell by at least minDrop,
+// keeping the top-j blamed items per event (j ≤ 0 keeps all).
+func (s Series) Drops(minDrop float64, topJ int) []DropEvent {
+	var out []DropEvent
+	for i := 1; i < len(s.Points); i++ {
+		cur, prev := s.Points[i], s.Points[i-1]
+		if !cur.Defined || !prev.Defined {
+			continue
+		}
+		drop := prev.Stability - cur.Stability
+		if drop < minDrop {
+			continue
+		}
+		blame := cur.Missing
+		if topJ > 0 && len(blame) > topJ {
+			blame = blame[:topJ]
+		}
+		out = append(out, DropEvent{
+			GridIndex: cur.GridIndex,
+			From:      prev.Stability,
+			To:        cur.Stability,
+			Blame:     blame,
+		})
+	}
+	return out
+}
+
+// MinStability returns the lowest defined stability in the series and its
+// grid index; ok=false when no point is defined.
+func (s Series) MinStability() (value float64, gridIndex int, ok bool) {
+	value = 2
+	for _, p := range s.Points {
+		if p.Defined && p.Stability < value {
+			value, gridIndex, ok = p.Stability, p.GridIndex, true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return value, gridIndex, true
+}
+
+// String summarizes the series compactly for logs.
+func (s Series) String() string {
+	lo, hi := 0, 0
+	if len(s.Points) > 0 {
+		lo, hi = s.Points[0].GridIndex, s.Points[len(s.Points)-1].GridIndex
+	}
+	return fmt.Sprintf("series(customer=%d windows=[%d,%d])", s.Customer, lo, hi)
+}

@@ -1,0 +1,131 @@
+// Package core implements the paper's contribution: the customer stability
+// model for individual-level attrition detection and explanation.
+//
+// For customer i with windowed database Dwi (package window), and for each
+// item p with c(k) = number of windows before window k containing p and
+// l(k) = number of windows before k not containing p:
+//
+//	significance  S(p,k) = α^(c(k)−l(k))   if c(k) > 0, else 0
+//	stability     Stability_i^k = Σ_{p∈uk} S(p,k) / Σ_{p∈I} S(p,k)
+//
+// Stability is 1 when every previously-significant product shows up in the
+// current window and decreases in proportion to the significance of the
+// products that are missing. The most significant missing product,
+// argmax_{p∉uk} S(p,k), explains the decrease (extended here to the top-j
+// missing set, as the paper notes it can be).
+//
+// Numerical note: every prior window contains or lacks p, so
+// c(k)+l(k) = W(k), the number of counted prior windows, and the exponent
+// is net = c−l = 2c−W. Raw α^net overflows float64 for long histories, so
+// stability is always computed as a max-shifted ratio (exact — numerator
+// and denominator share the shift) and explanations expose the exponent and
+// the log-significance rather than raw powers.
+//
+// Invariance note (a finding of this reproduction): because the stability
+// is a ratio of sums of α^(2c−W) terms, the per-customer factor α^(−W) —
+// the only place l(k) enters — cancels between numerator and denominator.
+// Stability therefore depends on the c-counts alone: it is provably
+// invariant to the prior-window CountPolicy, and so are blame Shares,
+// detections and AUROC. The policy changes only the *absolute* significance
+// scale reported in explanations (Blame.Net, Blame.LogSignificance), never
+// their order. EXT-4 in EXPERIMENTS.md verifies this empirically;
+// TestPolicyInvarianceOfStability verifies it in code.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Significance returns S = α^(c−l) when c > 0, else 0. It returns +Inf on
+// overflow for very long histories; prefer LogSignificance or the Tracker's
+// shifted arithmetic for anything quantitative.
+func Significance(alpha float64, c, l int) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return math.Pow(alpha, float64(c-l))
+}
+
+// LogSignificance returns ln S = (c−l)·ln α and ok=true when c > 0;
+// ok=false (and −Inf) when the item was never bought (S = 0).
+func LogSignificance(alpha float64, c, l int) (logS float64, ok bool) {
+	if c <= 0 {
+		return math.Inf(-1), false
+	}
+	return float64(c-l) * math.Log(alpha), true
+}
+
+// CountPolicy selects which windows count as "prior windows" for c and l.
+type CountPolicy int8
+
+const (
+	// CountFromFirstSeen starts counting at the customer's first non-empty
+	// window: leading empty windows (before the customer ever bought
+	// anything) increment neither c nor l. This is the default; it avoids
+	// pre-penalizing customers whose histories are materialized from a
+	// global origin that precedes their first purchase.
+	CountFromFirstSeen CountPolicy = iota
+	// CountFromOrigin counts every observed window, including leading empty
+	// ones — the literal reading of the formula over a window grid anchored
+	// at the dataset origin.
+	CountFromOrigin
+)
+
+// String names the policy.
+func (p CountPolicy) String() string {
+	switch p {
+	case CountFromFirstSeen:
+		return "first-seen"
+	case CountFromOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseCountPolicy converts a policy name produced by String.
+func ParseCountPolicy(s string) (CountPolicy, error) {
+	switch s {
+	case "first-seen":
+		return CountFromFirstSeen, nil
+	case "origin":
+		return CountFromOrigin, nil
+	}
+	return 0, fmt.Errorf("core: unknown count policy %q", s)
+}
+
+// Options parameterize the model.
+type Options struct {
+	// Alpha is the significance base α. The paper requires α > 1 (so that
+	// items gain significance as they recur) and selects α = 2 by
+	// cross-validation.
+	Alpha float64
+	// Policy selects the prior-window counting convention.
+	Policy CountPolicy
+	// MaxBlame caps the number of missing items reported per window in
+	// explanation results (0 = no cap). Stability itself is unaffected.
+	MaxBlame int
+}
+
+// DefaultOptions returns the paper's published configuration: α = 2,
+// first-seen counting, uncapped explanations.
+func DefaultOptions() Options {
+	return Options{Alpha: 2, Policy: CountFromFirstSeen}
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if !(o.Alpha > 1) || math.IsInf(o.Alpha, 1) || math.IsNaN(o.Alpha) {
+		return fmt.Errorf("core: alpha must be a finite value > 1, got %v", o.Alpha)
+	}
+	switch o.Policy {
+	case CountFromFirstSeen, CountFromOrigin:
+	default:
+		return fmt.Errorf("core: invalid count policy %d", int(o.Policy))
+	}
+	if o.MaxBlame < 0 {
+		return fmt.Errorf("core: MaxBlame must be >= 0, got %d", o.MaxBlame)
+	}
+	return nil
+}

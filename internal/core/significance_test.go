@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignificance(t *testing.T) {
+	tests := []struct {
+		alpha float64
+		c, l  int
+		want  float64
+	}{
+		{2, 0, 0, 0},    // never bought → 0
+		{2, 0, 5, 0},    // never bought, many misses → still 0
+		{2, 1, 0, 2},    // α^1
+		{2, 3, 1, 4},    // α^2
+		{2, 1, 3, 0.25}, // α^-2
+		{2, 2, 2, 1},    // α^0
+		{3, 2, 0, 9},
+		{1.5, 4, 2, 2.25},
+	}
+	for _, tt := range tests {
+		if got := Significance(tt.alpha, tt.c, tt.l); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Significance(%v,%d,%d) = %v, want %v", tt.alpha, tt.c, tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestSignificanceMonotoneInNet(t *testing.T) {
+	// For c > 0 and α > 1, S strictly increases with c−l.
+	prop := func(cRaw, lRaw uint8) bool {
+		c, l := int(cRaw%50)+1, int(lRaw%50)
+		s1 := Significance(2, c, l)
+		s2 := Significance(2, c+1, l)
+		s3 := Significance(2, c, l+1)
+		return s2 > s1 && s3 < s1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSignificance(t *testing.T) {
+	logS, ok := LogSignificance(2, 3, 1)
+	if !ok || math.Abs(logS-2*math.Log(2)) > 1e-12 {
+		t.Fatalf("LogSignificance(2,3,1) = %v, %v", logS, ok)
+	}
+	logS, ok = LogSignificance(2, 0, 4)
+	if ok || !math.IsInf(logS, -1) {
+		t.Fatalf("LogSignificance(2,0,4) = %v, %v, want -Inf,false", logS, ok)
+	}
+}
+
+func TestLogSignificanceConsistentWithSignificance(t *testing.T) {
+	prop := func(cRaw, lRaw uint8) bool {
+		c, l := int(cRaw%20)+1, int(lRaw%20)
+		s := Significance(2, c, l)
+		logS, ok := LogSignificance(2, c, l)
+		if !ok {
+			return false
+		}
+		return math.Abs(math.Log(s)-logS) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := []Options{
+		{Alpha: 2},
+		{Alpha: 1.0001, Policy: CountFromOrigin},
+		{Alpha: 10, MaxBlame: 5},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", o, err)
+		}
+	}
+	bad := []Options{
+		{Alpha: 1}, // paper requires α > 1
+		{Alpha: 0.5},
+		{Alpha: 0},
+		{Alpha: -2},
+		{Alpha: math.NaN()},
+		{Alpha: math.Inf(1)},
+		{Alpha: 2, Policy: CountPolicy(9)},
+		{Alpha: 2, MaxBlame: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", o)
+		}
+	}
+}
+
+func TestDefaultOptionsArePaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.Alpha != 2 {
+		t.Fatalf("default alpha = %v, paper uses 2", o.Alpha)
+	}
+	if o.Policy != CountFromFirstSeen {
+		t.Fatalf("default policy = %v", o.Policy)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountPolicyRoundTrip(t *testing.T) {
+	for _, p := range []CountPolicy{CountFromFirstSeen, CountFromOrigin} {
+		got, err := ParseCountPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseCountPolicy("whatever"); err == nil {
+		t.Error("ParseCountPolicy accepted junk")
+	}
+	if s := CountPolicy(7).String(); s == "" {
+		t.Error("unknown policy String is empty")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// Tracker computes the stability series of one customer incrementally: feed
+// windows in chronological order with Observe and read each window's
+// stability, blame list, and bookkeeping from the returned Result.
+//
+// The tracker stores one counter per distinct item ever seen (c, the number
+// of counted windows containing the item) plus the global counted-window
+// count W; the exponent of the significance of any item is 2c−W (see the
+// package comment). Memory is O(distinct items), time per window is
+// O(distinct items + |uk| log |uk|).
+//
+// Trackers are not safe for concurrent use; analyses shard one tracker per
+// customer.
+type Tracker struct {
+	opts    Options
+	logA    float64
+	counts  map[retail.ItemID]int32
+	windows int32 // W: counted prior windows
+	started bool  // a non-empty window has been counted
+	seq     int   // observations so far (including uncounted leading ones)
+
+	prevStability float64
+	prevDefined   bool
+}
+
+// Blame attributes part of a stability decrease to one missing item.
+type Blame struct {
+	// Item is the missing (or, in Present lists, present) item.
+	Item retail.ItemID
+	// Net is the significance exponent c−l.
+	Net int
+	// LogSignificance is ln S(p,k) = Net·ln α.
+	LogSignificance float64
+	// Share is S(p,k) / Σ_q S(q,k): exactly how much stability the item's
+	// absence from the window costs. Shares of all seen items sum to 1.
+	Share float64
+}
+
+// Result describes one observed window.
+type Result struct {
+	// Seq is the 0-based observation sequence number within the tracker.
+	Seq int
+	// Stability is the paper's Stability_i^k in [0,1]. When Defined is
+	// false (no counted prior history), it is 1 by convention.
+	Stability float64
+	// Defined reports whether the denominator Σ S(p,k) was positive.
+	Defined bool
+	// Drop is max(0, previous stability − this stability); 0 on the first
+	// defined window.
+	Drop float64
+	// Missing lists the seen-but-absent items (c>0, not in the window),
+	// most significant first — the paper's attrition explanation. Capped
+	// at Options.MaxBlame when non-zero.
+	Missing []Blame
+	// NewItems lists items bought for the first time in this window; they
+	// have zero significance and affect nothing yet.
+	NewItems []retail.ItemID
+	// Counted reports whether this window incremented the prior-window
+	// count (false only for leading empty windows under
+	// CountFromFirstSeen).
+	Counted bool
+}
+
+// NewTracker validates opts and returns an empty tracker.
+func NewTracker(opts Options) (*Tracker, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		opts:   opts,
+		logA:   math.Log(opts.Alpha),
+		counts: make(map[retail.ItemID]int32),
+	}, nil
+}
+
+// Options returns the tracker's configuration.
+func (t *Tracker) Options() Options { return t.opts }
+
+// Seen returns the number of distinct items observed so far.
+func (t *Tracker) Seen() int { return len(t.counts) }
+
+// Windows returns W, the number of counted windows so far.
+func (t *Tracker) Windows() int { return int(t.windows) }
+
+// Observe feeds the next window's item set uk (must be a normalized basket)
+// and returns the window's Result. Stability is computed against the state
+// before this window (c and l count windows v < k), then the window is
+// folded into the counts.
+func (t *Tracker) Observe(items retail.Basket) Result {
+	res := t.observe(items, true)
+	return res
+}
+
+// ObserveStability is Observe without building blame and new-item lists —
+// the hot path for population-scale scoring. Results carry empty Missing
+// and NewItems.
+func (t *Tracker) ObserveStability(items retail.Basket) Result {
+	return t.observe(items, false)
+}
+
+func (t *Tracker) observe(items retail.Basket, explain bool) Result {
+	res := Result{Seq: t.seq}
+	t.seq++
+
+	skipCount := false
+	if !t.started {
+		if len(items) == 0 && t.opts.Policy == CountFromFirstSeen {
+			skipCount = true
+		} else {
+			t.started = true
+		}
+	}
+
+	// Stability against prior state. Exponent of item p is 2c−W; shift by
+	// the maximum exponent so the largest term is exactly 1.
+	if len(t.counts) > 0 {
+		var maxC int32
+		for _, c := range t.counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		var num, den float64
+		for p, c := range t.counts {
+			term := math.Exp(float64(2*(c-maxC)) * t.logA)
+			den += term
+			if items.Contains(p) {
+				num += term
+			}
+		}
+		if den > 0 {
+			res.Defined = true
+			res.Stability = num / den
+			if res.Stability > 1 {
+				res.Stability = 1 // guard against rounding
+			}
+			if explain {
+				res.Missing = t.blame(items, maxC, den)
+			}
+		}
+	}
+	if !res.Defined {
+		res.Stability = 1 // convention: no history means trivially stable
+	}
+	if t.prevDefined && res.Defined && res.Stability < t.prevStability {
+		res.Drop = t.prevStability - res.Stability
+	}
+	t.prevStability, t.prevDefined = res.Stability, res.Defined
+
+	// Fold the window in.
+	if explain {
+		for _, p := range items {
+			if _, ok := t.counts[p]; !ok {
+				res.NewItems = append(res.NewItems, p)
+			}
+		}
+	}
+	if !skipCount {
+		res.Counted = true
+		t.windows++
+		for _, p := range items {
+			t.counts[p]++
+		}
+	} else {
+		// Leading empty window under CountFromFirstSeen: nothing recorded.
+		res.Counted = false
+	}
+	return res
+}
+
+// blame builds the sorted missing-item list for the current window.
+func (t *Tracker) blame(items retail.Basket, maxC int32, den float64) []Blame {
+	missing := make([]Blame, 0, 8)
+	for p, c := range t.counts {
+		if items.Contains(p) {
+			continue
+		}
+		net := int(2*c - t.windows)
+		missing = append(missing, Blame{
+			Item:            p,
+			Net:             net,
+			LogSignificance: float64(net) * t.logA,
+			Share:           math.Exp(float64(2*(c-maxC))*t.logA) / den,
+		})
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		if missing[i].Net != missing[j].Net {
+			return missing[i].Net > missing[j].Net
+		}
+		return missing[i].Item < missing[j].Item
+	})
+	if t.opts.MaxBlame > 0 && len(missing) > t.opts.MaxBlame {
+		missing = missing[:t.opts.MaxBlame]
+	}
+	return missing
+}
+
+// SignificanceOf returns the current (post-fold) significance exponent
+// c−l of item p and whether the item has ever been bought. It reflects the
+// state after the last Observe — i.e. the S(p, k+1) numerator exponent for
+// the next window.
+func (t *Tracker) SignificanceOf(p retail.ItemID) (net int, seen bool) {
+	c, ok := t.counts[p]
+	if !ok {
+		return 0, false
+	}
+	return int(2*c - t.windows), true
+}
+
+// Reset returns the tracker to its initial state, keeping options.
+func (t *Tracker) Reset() {
+	t.counts = make(map[retail.ItemID]int32)
+	t.windows = 0
+	t.started = false
+	t.seq = 0
+	t.prevStability = 0
+	t.prevDefined = false
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+const (
+	itemA = retail.ItemID(1)
+	itemB = retail.ItemID(2)
+	itemC = retail.ItemID(3)
+)
+
+func newTestTracker(t *testing.T, opts Options) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func basket(items ...retail.ItemID) retail.Basket {
+	return retail.NewBasket(items)
+}
+
+// TestTrackerHandComputed walks a fully hand-derived example with α = 2:
+//
+//	W0 {A,B}: no prior history → stability 1 (undefined)
+//	W1 {A}:   S(A)=S(B)=2^1   → stability 2/4 = 0.5, B missing
+//	W2 {A,B}: S(A)=2^2 S(B)=2^0 → both present → 1
+//	W3 {}:    S(A)=2^3 S(B)=2^1 → stability 0
+//	W4 {B}:   S(A)=2^2 S(B)=2^0 → stability 1/5 = 0.2
+func TestTrackerHandComputed(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2})
+
+	r0 := tr.Observe(basket(itemA, itemB))
+	if r0.Defined {
+		t.Fatal("W0 should be undefined (no prior history)")
+	}
+	if r0.Stability != 1 {
+		t.Fatalf("W0 stability = %v, want 1 by convention", r0.Stability)
+	}
+	if len(r0.NewItems) != 2 {
+		t.Fatalf("W0 new items = %v", r0.NewItems)
+	}
+	if !r0.Counted {
+		t.Fatal("W0 must be counted")
+	}
+
+	r1 := tr.Observe(basket(itemA))
+	if !r1.Defined {
+		t.Fatal("W1 should be defined")
+	}
+	if math.Abs(r1.Stability-0.5) > 1e-12 {
+		t.Fatalf("W1 stability = %v, want 0.5", r1.Stability)
+	}
+	if len(r1.Missing) != 1 || r1.Missing[0].Item != itemB {
+		t.Fatalf("W1 missing = %+v, want [B]", r1.Missing)
+	}
+	if r1.Missing[0].Net != 1 {
+		t.Fatalf("W1 missing B net = %d, want 1", r1.Missing[0].Net)
+	}
+	if math.Abs(r1.Missing[0].Share-0.5) > 1e-12 {
+		t.Fatalf("W1 missing B share = %v, want 0.5", r1.Missing[0].Share)
+	}
+
+	r2 := tr.Observe(basket(itemA, itemB))
+	if math.Abs(r2.Stability-1) > 1e-12 {
+		t.Fatalf("W2 stability = %v, want 1", r2.Stability)
+	}
+	if len(r2.Missing) != 0 {
+		t.Fatalf("W2 missing = %+v", r2.Missing)
+	}
+	if len(r2.NewItems) != 0 {
+		t.Fatalf("W2 new items = %v", r2.NewItems)
+	}
+
+	r3 := tr.Observe(basket())
+	if math.Abs(r3.Stability-0) > 1e-12 {
+		t.Fatalf("W3 stability = %v, want 0", r3.Stability)
+	}
+	if math.Abs(r3.Drop-1) > 1e-12 {
+		t.Fatalf("W3 drop = %v, want 1", r3.Drop)
+	}
+	// Missing sorted by significance: A (net 3) before B (net 1).
+	if len(r3.Missing) != 2 || r3.Missing[0].Item != itemA || r3.Missing[1].Item != itemB {
+		t.Fatalf("W3 missing = %+v", r3.Missing)
+	}
+	if math.Abs(r3.Missing[0].Share-0.8) > 1e-12 || math.Abs(r3.Missing[1].Share-0.2) > 1e-12 {
+		t.Fatalf("W3 shares = %v, %v, want 0.8, 0.2", r3.Missing[0].Share, r3.Missing[1].Share)
+	}
+
+	r4 := tr.Observe(basket(itemB))
+	if math.Abs(r4.Stability-0.2) > 1e-12 {
+		t.Fatalf("W4 stability = %v, want 0.2", r4.Stability)
+	}
+	if tr.Windows() != 5 || tr.Seen() != 2 {
+		t.Fatalf("tracker state: windows=%d seen=%d", tr.Windows(), tr.Seen())
+	}
+}
+
+func TestTrackerNewItemHasNoEffect(t *testing.T) {
+	// A first-time item has c=0 ⇒ S=0: it must change nothing about the
+	// current window's stability.
+	a := newTestTracker(t, Options{Alpha: 2})
+	b := newTestTracker(t, Options{Alpha: 2})
+	warmup := []retail.Basket{basket(itemA, itemB), basket(itemA), basket(itemA, itemB)}
+	for _, w := range warmup {
+		a.Observe(w)
+		b.Observe(w)
+	}
+	ra := a.Observe(basket(itemA))
+	rb := b.Observe(basket(itemA, itemC)) // C never seen before
+	if math.Abs(ra.Stability-rb.Stability) > 1e-12 {
+		t.Fatalf("new item changed stability: %v vs %v", ra.Stability, rb.Stability)
+	}
+	if len(rb.NewItems) != 1 || rb.NewItems[0] != itemC {
+		t.Fatalf("NewItems = %v", rb.NewItems)
+	}
+}
+
+func TestTrackerLeadingEmptyPolicies(t *testing.T) {
+	// Under CountFromFirstSeen, leading empty windows are not counted;
+	// under CountFromOrigin they are — changing significance exponents.
+	fs := newTestTracker(t, Options{Alpha: 2, Policy: CountFromFirstSeen})
+	or := newTestTracker(t, Options{Alpha: 2, Policy: CountFromOrigin})
+
+	rFS := fs.Observe(basket())
+	rOR := or.Observe(basket())
+	if rFS.Counted {
+		t.Fatal("first-seen: leading empty window counted")
+	}
+	if !rOR.Counted {
+		t.Fatal("origin: leading empty window not counted")
+	}
+
+	fs.Observe(basket(itemA))
+	or.Observe(basket(itemA))
+
+	netFS, seenFS := fs.SignificanceOf(itemA)
+	netOR, seenOR := or.SignificanceOf(itemA)
+	if !seenFS || !seenOR {
+		t.Fatal("item A not seen")
+	}
+	if netFS != 1 { // c=1, W=1 → 2·1−1
+		t.Fatalf("first-seen net = %d, want 1", netFS)
+	}
+	if netOR != 0 { // c=1, W=2 → 2·1−2
+		t.Fatalf("origin net = %d, want 0", netOR)
+	}
+}
+
+func TestTrackerEmptyAfterStartCountsUnderBothPolicies(t *testing.T) {
+	for _, policy := range []CountPolicy{CountFromFirstSeen, CountFromOrigin} {
+		tr := newTestTracker(t, Options{Alpha: 2, Policy: policy})
+		tr.Observe(basket(itemA))
+		r := tr.Observe(basket())
+		if !r.Counted {
+			t.Fatalf("policy %v: post-start empty window not counted", policy)
+		}
+		if tr.Windows() < 2 {
+			t.Fatalf("policy %v: windows = %d", policy, tr.Windows())
+		}
+	}
+}
+
+func TestTrackerSignificanceOfUnknown(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2})
+	if _, seen := tr.SignificanceOf(itemA); seen {
+		t.Fatal("unknown item reported seen")
+	}
+}
+
+func TestTrackerMaxBlame(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2, MaxBlame: 2})
+	tr.Observe(basket(1, 2, 3, 4, 5))
+	r := tr.Observe(basket())
+	if len(r.Missing) != 2 {
+		t.Fatalf("MaxBlame=2 but missing = %d items", len(r.Missing))
+	}
+}
+
+func TestTrackerBlameOrderingAndTieBreak(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2})
+	tr.Observe(basket(1, 2, 3)) // all three: c=1
+	tr.Observe(basket(1))       // item1 c=2; 2,3 c=1
+	r := tr.Observe(basket())
+	if len(r.Missing) != 3 {
+		t.Fatalf("missing = %+v", r.Missing)
+	}
+	if r.Missing[0].Item != 1 {
+		t.Fatalf("most significant missing = %d, want 1", r.Missing[0].Item)
+	}
+	// Items 2 and 3 tie on significance; identifier breaks the tie.
+	if r.Missing[1].Item != 2 || r.Missing[2].Item != 3 {
+		t.Fatalf("tie break order = %d, %d, want 2, 3", r.Missing[1].Item, r.Missing[2].Item)
+	}
+}
+
+func TestTrackerObserveStabilityMatchesObserve(t *testing.T) {
+	full := newTestTracker(t, Options{Alpha: 2})
+	fast := newTestTracker(t, Options{Alpha: 2})
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		items := make([]retail.ItemID, r.Intn(6))
+		for j := range items {
+			items[j] = retail.ItemID(r.Intn(10) + 1)
+		}
+		b := retail.NewBasket(items)
+		rf := full.Observe(b)
+		rq := fast.ObserveStability(b)
+		if math.Abs(rf.Stability-rq.Stability) > 1e-12 || rf.Defined != rq.Defined {
+			t.Fatalf("window %d: full %v/%v fast %v/%v", i, rf.Stability, rf.Defined, rq.Stability, rq.Defined)
+		}
+		if len(rq.Missing) != 0 || len(rq.NewItems) != 0 {
+			t.Fatalf("fast path built explanations")
+		}
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2})
+	tr.Observe(basket(itemA))
+	tr.Observe(basket(itemA))
+	tr.Reset()
+	if tr.Seen() != 0 || tr.Windows() != 0 {
+		t.Fatalf("after reset: seen=%d windows=%d", tr.Seen(), tr.Windows())
+	}
+	r := tr.Observe(basket(itemB))
+	if r.Defined || r.Seq != 0 {
+		t.Fatalf("after reset first observation: %+v", r)
+	}
+}
+
+// --- property-based tests ---
+
+func randomBasket(r *rand.Rand, universe int) retail.Basket {
+	items := make([]retail.ItemID, r.Intn(universe+1))
+	for j := range items {
+		items[j] = retail.ItemID(r.Intn(universe) + 1)
+	}
+	return retail.NewBasket(items)
+}
+
+func TestTrackerStabilityBounds(t *testing.T) {
+	prop := func(seed int64, alphaPick uint8) bool {
+		alphas := []float64{1.1, 1.5, 2, 3, 8}
+		alpha := alphas[int(alphaPick)%len(alphas)]
+		tr, err := NewTracker(Options{Alpha: alpha})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60; i++ {
+			res := tr.Observe(randomBasket(r, 8))
+			if res.Stability < 0 || res.Stability > 1 {
+				return false
+			}
+			if math.IsNaN(res.Stability) || math.IsInf(res.Stability, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerFullBasketIsStable(t *testing.T) {
+	// A window containing every previously-seen item always has
+	// stability exactly 1.
+	prop := func(seed int64) bool {
+		tr, err := NewTracker(Options{Alpha: 2})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		seen := map[retail.ItemID]bool{}
+		for i := 0; i < 30; i++ {
+			b := randomBasket(r, 6)
+			for _, it := range b {
+				seen[it] = true
+			}
+			tr.Observe(b)
+		}
+		all := make([]retail.ItemID, 0, len(seen))
+		for it := range seen {
+			all = append(all, it)
+		}
+		res := tr.Observe(retail.NewBasket(all))
+		if len(seen) == 0 {
+			return res.Stability == 1
+		}
+		return res.Defined && math.Abs(res.Stability-1) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerSupersetNeverLowersStability(t *testing.T) {
+	// Adding items to the final window can only raise (or keep) stability.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		history := make([]retail.Basket, 25)
+		for i := range history {
+			history[i] = randomBasket(r, 6)
+		}
+		u := randomBasket(r, 6)
+		extra := retail.ItemID(r.Intn(6) + 1)
+		v := u.Union(retail.Basket{extra})
+
+		a, _ := NewTracker(Options{Alpha: 2})
+		b, _ := NewTracker(Options{Alpha: 2})
+		for _, h := range history {
+			a.Observe(h)
+			b.Observe(h)
+		}
+		ra := a.Observe(u)
+		rb := b.Observe(v)
+		return rb.Stability >= ra.Stability-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerMissingSharesExplainLoss(t *testing.T) {
+	// The shares of missing items must sum to exactly the stability loss:
+	// Σ_missing share = 1 − stability.
+	prop := func(seed int64) bool {
+		tr, _ := NewTracker(Options{Alpha: 2})
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 40; i++ {
+			res := tr.Observe(randomBasket(r, 7))
+			if !res.Defined {
+				continue
+			}
+			var lost float64
+			for _, m := range res.Missing {
+				if m.Share < 0 {
+					return false
+				}
+				lost += m.Share
+			}
+			if math.Abs(lost-(1-res.Stability)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerLongHistoryNumericallyRobust(t *testing.T) {
+	// 5,000 windows: raw α^net would overflow float64 at α=2 long before
+	// this; the shifted ratio must stay finite and exact.
+	tr := newTestTracker(t, Options{Alpha: 2})
+	for i := 0; i < 5000; i++ {
+		var b retail.Basket
+		switch i % 3 {
+		case 0:
+			b = basket(itemA, itemB)
+		case 1:
+			b = basket(itemA)
+		default:
+			b = basket(itemA, itemC)
+		}
+		res := tr.Observe(b)
+		if math.IsNaN(res.Stability) || math.IsInf(res.Stability, 0) {
+			t.Fatalf("window %d: stability = %v", i, res.Stability)
+		}
+		if res.Stability < 0 || res.Stability > 1 {
+			t.Fatalf("window %d: stability out of range: %v", i, res.Stability)
+		}
+	}
+	// A, present in every window, dominates: a final window missing A must
+	// score near zero; containing only A must score near one.
+	a, _ := NewTracker(Options{Alpha: 2})
+	for i := 0; i < 1000; i++ {
+		a.Observe(basket(itemA))
+	}
+	res := a.Observe(basket(itemA))
+	if math.Abs(res.Stability-1) > 1e-12 {
+		t.Fatalf("stability = %v, want 1", res.Stability)
+	}
+	res = a.Observe(basket())
+	if res.Stability != 0 {
+		t.Fatalf("stability after losing the only item = %v, want 0", res.Stability)
+	}
+}
+
+func TestTrackerDropTracksDecreases(t *testing.T) {
+	tr := newTestTracker(t, Options{Alpha: 2})
+	tr.Observe(basket(itemA, itemB))
+	r1 := tr.Observe(basket(itemA, itemB)) // stability 1
+	if r1.Drop != 0 {
+		t.Fatalf("no-decrease drop = %v", r1.Drop)
+	}
+	r2 := tr.Observe(basket(itemA)) // stability 0.5-ish
+	if r2.Drop <= 0 {
+		t.Fatalf("decrease not recorded: %+v", r2)
+	}
+	r3 := tr.Observe(basket(itemA, itemB)) // recovers
+	if r3.Drop != 0 {
+		t.Fatalf("recovery recorded as drop: %v", r3.Drop)
+	}
+}
+
+// TestPolicyInvarianceOfStability verifies the analytical property
+// documented in the package comment: stability, shares and blame order are
+// identical under both counting policies (the α^(−W) factor cancels in the
+// ratio); only the absolute significance exponents differ.
+func TestPolicyInvarianceOfStability(t *testing.T) {
+	prop := func(seed int64, leadingEmpties uint8) bool {
+		fs, _ := NewTracker(Options{Alpha: 2, Policy: CountFromFirstSeen})
+		or, _ := NewTracker(Options{Alpha: 2, Policy: CountFromOrigin})
+		r := rand.New(rand.NewSource(seed))
+		// Leading empty windows are exactly where the policies diverge.
+		for i := 0; i < int(leadingEmpties%6); i++ {
+			fs.Observe(basket())
+			or.Observe(basket())
+		}
+		divergedNet := false
+		for i := 0; i < 30; i++ {
+			b := randomBasket(r, 6)
+			rf := fs.Observe(b)
+			ro := or.Observe(b)
+			if math.Abs(rf.Stability-ro.Stability) > 1e-12 || rf.Defined != ro.Defined {
+				return false
+			}
+			if len(rf.Missing) != len(ro.Missing) {
+				return false
+			}
+			for j := range rf.Missing {
+				if rf.Missing[j].Item != ro.Missing[j].Item {
+					return false // blame order must match
+				}
+				if math.Abs(rf.Missing[j].Share-ro.Missing[j].Share) > 1e-12 {
+					return false // shares must match
+				}
+				if rf.Missing[j].Net != ro.Missing[j].Net {
+					divergedNet = true // absolute exponents may differ
+				}
+			}
+		}
+		_ = divergedNet
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolicyChangesAbsoluteSignificance pins down the one thing the policy
+// does change: the exponent scale in explanations.
+func TestPolicyChangesAbsoluteSignificance(t *testing.T) {
+	fs := newTestTracker(t, Options{Alpha: 2, Policy: CountFromFirstSeen})
+	or := newTestTracker(t, Options{Alpha: 2, Policy: CountFromOrigin})
+	for i := 0; i < 3; i++ { // three leading empty windows
+		fs.Observe(basket())
+		or.Observe(basket())
+	}
+	fs.Observe(basket(itemA))
+	or.Observe(basket(itemA))
+	netFS, _ := fs.SignificanceOf(itemA)
+	netOR, _ := or.SignificanceOf(itemA)
+	if netFS <= netOR {
+		t.Fatalf("first-seen net %d should exceed origin net %d after leading empties", netFS, netOR)
+	}
+}
+
+func TestNewTrackerRejectsBadOptions(t *testing.T) {
+	if _, err := NewTracker(Options{Alpha: 1}); err == nil {
+		t.Fatal("alpha=1 accepted")
+	}
+	if _, err := NewTracker(Options{Alpha: 0.9}); err == nil {
+		t.Fatal("alpha<1 accepted")
+	}
+}

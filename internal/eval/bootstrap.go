@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point     float64
+	Lo, Hi    float64
+	Level     float64 // e.g. 0.95
+	Resamples int
+}
+
+// String renders the interval compactly.
+func (c CI) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%.0f%%, B=%d)", c.Point, c.Lo, c.Hi, c.Level*100, c.Resamples)
+}
+
+// BootstrapAUROC estimates a percentile-bootstrap confidence interval for
+// the AUROC by resampling customers with replacement, stratified by class
+// (so every resample keeps both classes and the statistic stays defined).
+// Deterministic in seed.
+func BootstrapAUROC(scores []float64, labels []bool, resamples int, level float64, seed int64) (CI, error) {
+	if resamples < 10 {
+		return CI{}, fmt.Errorf("eval: need >= 10 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("eval: level must be in (0,1), got %v", level)
+	}
+	point, err := AUROC(scores, labels)
+	if err != nil {
+		return CI{}, err
+	}
+	var pos, neg []int
+	for i, l := range labels {
+		if l {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	r := stats.NewRand(seed)
+	values := make([]float64, 0, resamples)
+	resScores := make([]float64, len(scores))
+	resLabels := make([]bool, len(labels))
+	for b := 0; b < resamples; b++ {
+		n := 0
+		for range pos {
+			idx := pos[r.Intn(len(pos))]
+			resScores[n], resLabels[n] = scores[idx], true
+			n++
+		}
+		for range neg {
+			idx := neg[r.Intn(len(neg))]
+			resScores[n], resLabels[n] = scores[idx], false
+			n++
+		}
+		v, err := AUROC(resScores[:n], resLabels[:n])
+		if err != nil {
+			return CI{}, err
+		}
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	alpha := (1 - level) / 2
+	lo := values[int(alpha*float64(len(values)))]
+	hiIdx := int((1 - alpha) * float64(len(values)))
+	if hiIdx >= len(values) {
+		hiIdx = len(values) - 1
+	}
+	hi := values[hiIdx]
+	return CI{Point: point, Lo: lo, Hi: hi, Level: level, Resamples: resamples}, nil
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapAUROCBracketsPoint(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 400
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = i%2 == 0
+		if labels[i] {
+			scores[i] = r.NormFloat64() + 1 // separated by ~1σ
+		} else {
+			scores[i] = r.NormFloat64()
+		}
+	}
+	ci, err := BootstrapAUROC(scores, labels, 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("interval [%v,%v] does not bracket point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Hi-ci.Lo <= 0 {
+		t.Fatalf("degenerate interval: %+v", ci)
+	}
+	// 1σ separation → AUROC ≈ Φ(1/√2) ≈ 0.76; the interval should sit in
+	// that neighbourhood and be reasonably tight at n=400.
+	if ci.Point < 0.68 || ci.Point > 0.84 {
+		t.Fatalf("point = %v, want ≈ 0.76", ci.Point)
+	}
+	if ci.Hi-ci.Lo > 0.15 {
+		t.Fatalf("interval too wide: %v", ci.Hi-ci.Lo)
+	}
+	if ci.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBootstrapAUROCDeterministic(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.4, 0.3, 0.2}
+	labels := []bool{true, true, true, false, false, false}
+	a, err := BootstrapAUROC(scores, labels, 50, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapAUROC(scores, labels, 50, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+	c, err := BootstrapAUROC(scores, labels, 50, 0.9, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Log("different seeds coincided (possible on tiny data)")
+	}
+}
+
+func TestBootstrapAUROCValidation(t *testing.T) {
+	scores := []float64{1, 0}
+	labels := []bool{true, false}
+	if _, err := BootstrapAUROC(scores, labels, 5, 0.95, 1); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+	if _, err := BootstrapAUROC(scores, labels, 50, 0, 1); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+	if _, err := BootstrapAUROC(scores, labels, 50, 1, 1); err == nil {
+		t.Fatal("level 1 accepted")
+	}
+	if _, err := BootstrapAUROC([]float64{1, 2}, []bool{true, true}, 50, 0.9, 1); err == nil {
+		t.Fatal("degenerate labels accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// Fold is one train/test split; indices refer to the caller's example
+// ordering.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold produces stratified k-fold splits: each fold preserves the overall
+// positive/negative ratio, as the paper's 5-fold cross-validation protocol
+// requires on an imbalanced churn dataset.
+type KFold struct {
+	K    int
+	Seed int64
+}
+
+// Split partitions n examples with the given labels into K folds. Every
+// index appears in exactly one Test set; Train is the complement. It
+// errors when K < 2 or either class has fewer members than K.
+func (kf KFold) Split(labels []bool) ([]Fold, error) {
+	if kf.K < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs K >= 2, got %d", kf.K)
+	}
+	var pos, neg []int
+	for i, l := range labels {
+		if l {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) < kf.K || len(neg) < kf.K {
+		return nil, fmt.Errorf("eval: stratified %d-fold needs >= %d of each class (have %d pos, %d neg)",
+			kf.K, kf.K, len(pos), len(neg))
+	}
+	r := stats.NewRand(kf.Seed)
+	stats.Shuffle(r, pos)
+	stats.Shuffle(r, neg)
+
+	folds := make([]Fold, kf.K)
+	assign := func(idxs []int) {
+		for i, idx := range idxs {
+			folds[i%kf.K].Test = append(folds[i%kf.K].Test, idx)
+		}
+	}
+	assign(pos)
+	assign(neg)
+	inTest := make([]int, len(labels)) // fold index + 1
+	for f := range folds {
+		for _, idx := range folds[f].Test {
+			inTest[idx] = f + 1
+		}
+	}
+	for f := range folds {
+		for i := range labels {
+			if inTest[i] != f+1 {
+				folds[f].Train = append(folds[f].Train, i)
+			}
+		}
+	}
+	return folds, nil
+}
+
+// CrossValidate runs fn once per fold and returns the per-fold values,
+// their mean, and the standard error. fn typically trains on fold.Train
+// and scores fold.Test, returning an AUROC.
+func CrossValidate(folds []Fold, fn func(f Fold) (float64, error)) (values []float64, mean, stderr float64, err error) {
+	values = make([]float64, 0, len(folds))
+	for i, f := range folds {
+		v, ferr := fn(f)
+		if ferr != nil {
+			return nil, 0, 0, fmt.Errorf("eval: fold %d: %w", i, ferr)
+		}
+		values = append(values, v)
+	}
+	return values, stats.Mean(values), stats.StdErr(values), nil
+}
+
+// GridPoint is one (α, window-span) cell of the paper's parameter search.
+type GridPoint struct {
+	Alpha      float64
+	SpanMonths int
+}
+
+// GridResult records the cross-validated score of one grid point.
+type GridResult struct {
+	GridPoint
+	FoldScores []float64
+	Mean       float64
+	StdErr     float64
+}
+
+// GridSearch evaluates every (α, span) combination with the supplied
+// cross-validated scorer and returns results sorted by descending mean,
+// ties broken toward smaller α then smaller span (prefer the simpler
+// model).
+func GridSearch(alphas []float64, spans []int, score func(GridPoint) ([]float64, error)) ([]GridResult, error) {
+	if len(alphas) == 0 || len(spans) == 0 {
+		return nil, fmt.Errorf("eval: empty grid (%d alphas, %d spans)", len(alphas), len(spans))
+	}
+	var out []GridResult
+	for _, a := range alphas {
+		for _, s := range spans {
+			gp := GridPoint{Alpha: a, SpanMonths: s}
+			foldScores, err := score(gp)
+			if err != nil {
+				return nil, fmt.Errorf("eval: grid point α=%v w=%dmo: %w", a, s, err)
+			}
+			out = append(out, GridResult{
+				GridPoint:  gp,
+				FoldScores: foldScores,
+				Mean:       stats.Mean(foldScores),
+				StdErr:     stats.StdErr(foldScores),
+			})
+		}
+	}
+	sortGrid(out)
+	return out, nil
+}
+
+func sortGrid(rs []GridResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && gridLess(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func gridLess(a, b GridResult) bool {
+	if a.Mean != b.Mean {
+		return a.Mean > b.Mean
+	}
+	if a.Alpha != b.Alpha {
+		return a.Alpha < b.Alpha
+	}
+	return a.SpanMonths < b.SpanMonths
+}

@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func makeLabels(pos, neg int) []bool {
+	labels := make([]bool, pos+neg)
+	for i := 0; i < pos; i++ {
+		labels[i] = true
+	}
+	return labels
+}
+
+func TestKFoldPartition(t *testing.T) {
+	labels := makeLabels(23, 41)
+	kf := KFold{K: 5, Seed: 1}
+	folds, err := kf.Split(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make([]int, len(labels))
+	for _, f := range folds {
+		for _, idx := range f.Test {
+			seen[idx]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d appears in %d test sets", i, n)
+		}
+	}
+	// Train is the exact complement of Test within each fold.
+	for fi, f := range folds {
+		inTest := map[int]bool{}
+		for _, idx := range f.Test {
+			inTest[idx] = true
+		}
+		if len(f.Train)+len(f.Test) != len(labels) {
+			t.Fatalf("fold %d sizes: %d + %d != %d", fi, len(f.Train), len(f.Test), len(labels))
+		}
+		for _, idx := range f.Train {
+			if inTest[idx] {
+				t.Fatalf("fold %d: index %d in both train and test", fi, idx)
+			}
+		}
+	}
+}
+
+func TestKFoldStratification(t *testing.T) {
+	labels := makeLabels(20, 80)
+	kf := KFold{K: 5, Seed: 7}
+	folds, err := kf.Split(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		pos := 0
+		for _, idx := range f.Test {
+			if labels[idx] {
+				pos++
+			}
+		}
+		// Overall rate is 20%; each fold of 20 should hold exactly 4.
+		if pos != 4 {
+			t.Fatalf("fold %d has %d positives, want 4", fi, pos)
+		}
+	}
+}
+
+func TestKFoldDeterministicInSeed(t *testing.T) {
+	labels := makeLabels(10, 10)
+	a, err := (KFold{K: 4, Seed: 3}).Split(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (KFold{K: 4, Seed: 3}).Split(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if fmt.Sprint(a[i].Test) != fmt.Sprint(b[i].Test) {
+			t.Fatalf("fold %d differs across identical seeds", i)
+		}
+	}
+	c, err := (KFold{K: 4, Seed: 4}).Split(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if fmt.Sprint(a[i].Test) != fmt.Sprint(c[i].Test) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical folds")
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := (KFold{K: 1, Seed: 0}).Split(makeLabels(5, 5)); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	if _, err := (KFold{K: 5, Seed: 0}).Split(makeLabels(3, 50)); err == nil {
+		t.Fatal("too few positives accepted")
+	}
+	if _, err := (KFold{K: 5, Seed: 0}).Split(makeLabels(50, 3)); err == nil {
+		t.Fatal("too few negatives accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	folds := []Fold{{Test: []int{0}}, {Test: []int{1}}, {Test: []int{2}}}
+	vals, mean, stderr, err := CrossValidate(folds, func(f Fold) (float64, error) {
+		return float64(f.Test[0]), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || mean != 1 {
+		t.Fatalf("vals=%v mean=%v", vals, mean)
+	}
+	if stderr <= 0 {
+		t.Fatalf("stderr = %v", stderr)
+	}
+	_, _, _, err = CrossValidate(folds, func(f Fold) (float64, error) {
+		if f.Test[0] == 1 {
+			return 0, errors.New("boom")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("fold error swallowed")
+	}
+}
+
+func TestGridSearchRankingAndTieBreak(t *testing.T) {
+	alphas := []float64{2, 3}
+	spans := []int{1, 2}
+	// Score: prefer (3,2) strictly; tie (2,1) and (2,2).
+	results, err := GridSearch(alphas, spans, func(gp GridPoint) ([]float64, error) {
+		switch {
+		case gp.Alpha == 3 && gp.SpanMonths == 2:
+			return []float64{0.9, 0.9}, nil
+		case gp.Alpha == 3:
+			return []float64{0.5, 0.5}, nil
+		default:
+			return []float64{0.7, 0.7}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Alpha != 3 || results[0].SpanMonths != 2 {
+		t.Fatalf("winner = %+v", results[0].GridPoint)
+	}
+	// Tied cells: smaller alpha first, then smaller span.
+	if results[1].Alpha != 2 || results[1].SpanMonths != 1 {
+		t.Fatalf("second = %+v", results[1].GridPoint)
+	}
+	if results[2].Alpha != 2 || results[2].SpanMonths != 2 {
+		t.Fatalf("third = %+v", results[2].GridPoint)
+	}
+	if results[3].Alpha != 3 || results[3].SpanMonths != 1 {
+		t.Fatalf("last = %+v", results[3].GridPoint)
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	if _, err := GridSearch(nil, []int{1}, nil); err == nil {
+		t.Fatal("empty alphas accepted")
+	}
+	if _, err := GridSearch([]float64{2}, nil, nil); err == nil {
+		t.Fatal("empty spans accepted")
+	}
+	_, err := GridSearch([]float64{2}, []int{1}, func(GridPoint) ([]float64, error) {
+		return nil, errors.New("scorer failed")
+	})
+	if err == nil {
+		t.Fatal("scorer error swallowed")
+	}
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LiftPoint is one depth of a lift/gains chart: targeting the top
+// `Fraction` of customers by score captures `Gain` of all positives, a
+// lift of `Lift` over random targeting.
+type LiftPoint struct {
+	Fraction float64 // share of the population targeted (0,1]
+	Gain     float64 // share of positives captured
+	Lift     float64 // Gain / Fraction
+}
+
+// LiftCurve computes the cumulative gains chart at the given depth
+// fractions (e.g. 0.05, 0.1, 0.2 — the deciles retail campaigns use, as in
+// Buckinx & Van den Poel's churn evaluation). Scores are descending-is-
+// positive; ties are broken by original index for determinism.
+func LiftCurve(scores []float64, labels []bool, fractions []float64) ([]LiftPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("eval: no fractions")
+	}
+	pos := 0
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		return nil, ErrDegenerate
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	out := make([]LiftPoint, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("eval: fraction %v outside (0,1]", f)
+		}
+		n := int(f*float64(len(scores)) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		captured := 0
+		for _, i := range idx[:n] {
+			if labels[i] {
+				captured++
+			}
+		}
+		gain := float64(captured) / float64(pos)
+		frac := float64(n) / float64(len(scores))
+		out = append(out, LiftPoint{Fraction: frac, Gain: gain, Lift: gain / frac})
+	}
+	return out, nil
+}
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision-recall curve, one point per distinct
+// score, ordered by increasing recall.
+func PRCurve(scores []float64, labels []bool) ([]PRPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	pos := 0
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		return nil, ErrDegenerate
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if labels[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, PRPoint{
+			Threshold: s,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(pos),
+		})
+	}
+	return out, nil
+}
+
+// AveragePrecision integrates the PR curve by the step rule
+// Σ (Rᵢ − Rᵢ₋₁)·Pᵢ — the AP metric.
+func AveragePrecision(scores []float64, labels []bool) (float64, error) {
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap, nil
+}
+
+// ThresholdAtFPR returns the largest threshold whose false-positive rate
+// does not exceed the target — how a retailer calibrates β to an
+// acceptable false-alarm budget on a loyal population.
+func ThresholdAtFPR(scores []float64, labels []bool, maxFPR float64) (float64, error) {
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	if maxFPR < 0 || maxFPR > 1 {
+		return 0, fmt.Errorf("eval: maxFPR %v outside [0,1]", maxFPR)
+	}
+	best := curve[0].Threshold // +Inf: predict nothing
+	for _, p := range curve[1:] {
+		if p.FPR <= maxFPR {
+			best = p.Threshold
+		} else {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLiftCurvePerfectRanking(t *testing.T) {
+	// 10 customers, 2 positives ranked on top.
+	scores := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	labels := []bool{true, true, false, false, false, false, false, false, false, false}
+	pts, err := LiftCurve(scores, labels, []float64{0.2, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Gain != 1 {
+		t.Fatalf("top-20%% gain = %v, want 1 (both positives captured)", pts[0].Gain)
+	}
+	if math.Abs(pts[0].Lift-5) > 1e-12 {
+		t.Fatalf("top-20%% lift = %v, want 5", pts[0].Lift)
+	}
+	if pts[2].Gain != 1 || math.Abs(pts[2].Lift-1) > 1e-12 {
+		t.Fatalf("full-population point = %+v, want gain 1 lift 1", pts[2])
+	}
+}
+
+func TestLiftCurveRandomRanking(t *testing.T) {
+	// Constant scores: stable sort keeps original order; the first 50%
+	// holds 50% of positives when positives are spread evenly.
+	n := 100
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range labels {
+		labels[i] = i%2 == 0 // alternating, so any prefix is balanced
+	}
+	pts, err := LiftCurve(scores, labels, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[0].Lift-1) > 0.05 {
+		t.Fatalf("random ranking lift = %v, want ~1", pts[0].Lift)
+	}
+}
+
+func TestLiftCurveErrors(t *testing.T) {
+	if _, err := LiftCurve([]float64{1}, []bool{true, false}, []float64{0.5}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LiftCurve([]float64{1, 2}, []bool{true, true}, []float64{0.5}); err == nil {
+		t.Fatal("degenerate labels accepted")
+	}
+	if _, err := LiftCurve([]float64{1, 2}, []bool{true, false}, nil); err == nil {
+		t.Fatal("no fractions accepted")
+	}
+	if _, err := LiftCurve([]float64{1, 2}, []bool{true, false}, []float64{0}); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := LiftCurve([]float64{1, 2}, []bool{true, false}, []float64{1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	// First point: only the 0.9 positive predicted → precision 1, recall 0.5.
+	if curve[0].Precision != 1 || curve[0].Recall != 0.5 {
+		t.Fatalf("first point = %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 || last.Precision != 0.5 {
+		t.Fatalf("last point = %+v", last)
+	}
+	// Recall is monotone non-decreasing.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatalf("recall not monotone at %d", i)
+		}
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Perfect ranking → AP = 1.
+	ap, err := AveragePrecision([]float64{3, 2, 1, 0}, []bool{true, true, false, false})
+	if err != nil || math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("perfect AP = %v, %v", ap, err)
+	}
+	// Hand-computed: labels at ranks 1 and 3 of 4.
+	// P@1 = 1 (R 0→0.5), P@3 = 2/3 (R 0.5→1): AP = 0.5·1 + 0.5·(2/3) = 5/6.
+	ap, err = AveragePrecision([]float64{4, 3, 2, 1}, []bool{true, false, true, false})
+	if err != nil || math.Abs(ap-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", ap)
+	}
+	if _, err := AveragePrecision([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Fatal("degenerate accepted")
+	}
+}
+
+func TestThresholdAtFPR(t *testing.T) {
+	// Scores: negatives at 0.1, 0.2, 0.3, 0.4; positives at 0.5, 0.6.
+	scores := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	labels := []bool{false, false, false, false, true, true}
+	// FPR budget 0: threshold must exclude every negative.
+	th, err := ThresholdAtFPR(scores, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Confuse(scores, labels, th)
+	if c.FP != 0 {
+		t.Fatalf("threshold %v admits %d false positives", th, c.FP)
+	}
+	if c.TP != 2 {
+		t.Fatalf("threshold %v captures %d/2 positives", th, c.TP)
+	}
+	// FPR budget 0.25: one negative allowed.
+	th, err = ThresholdAtFPR(scores, labels, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = Confuse(scores, labels, th)
+	if c.FP > 1 {
+		t.Fatalf("budget 0.25 admitted %d FPs", c.FP)
+	}
+	if _, err := ThresholdAtFPR(scores, labels, -0.1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := ThresholdAtFPR(scores, labels, 1.5); err == nil {
+		t.Fatal("budget > 1 accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package eval provides the evaluation stack behind the paper's
+// experiments: ROC curves and AUROC (the paper's Figure-1 metric),
+// threshold-based confusion metrics, stratified k-fold cross-validation
+// (the paper's parameter-selection protocol), and grid search.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDegenerate is returned when a metric needs both classes and the input
+// has only one.
+var ErrDegenerate = errors.New("eval: need at least one positive and one negative example")
+
+// AUROC computes the area under the ROC curve of scores against binary
+// labels (true = positive class), using the rank statistic
+// U/(n⁺·n⁻) with midranks for ties — the exact trapezoidal area.
+//
+// Higher scores must indicate the positive class. In this repository the
+// positive class is "defecting", so stability values are negated (or
+// 1−stability used) before calling.
+func AUROC(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	n := len(scores)
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, ErrDegenerate
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Midrank assignment.
+	var rankSumPos float64
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		// ranks i+1 .. j+1 share the midrank.
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			if labels[idx[k]] {
+				rankSumPos += mid
+			}
+		}
+		i = j + 1
+	}
+	u := rankSumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	// Threshold classifies score ≥ Threshold as positive.
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC computes the full ROC curve, one point per distinct score plus the
+// (0,0) and (1,1) anchors, ordered by increasing FPR.
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrDegenerate
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	curve := []ROCPoint{{Threshold: math.Inf(1), FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if labels[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: s,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return curve, nil
+}
+
+// TrapezoidAUC integrates a ROC curve by the trapezoid rule. For curves
+// from ROC it equals AUROC up to floating-point error; exposed separately
+// so the equivalence is testable.
+func TrapezoidAUC(curve []ROCPoint) float64 {
+	var auc float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		auc += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return auc
+}
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse thresholds scores (≥ threshold ⇒ positive) against labels.
+func Confuse(scores []float64, labels []bool, threshold float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		predicted := s >= threshold
+		switch {
+		case predicted && labels[i]:
+			c.TP++
+		case predicted && !labels[i]:
+			c.FP++
+		case !predicted && labels[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total, 0 on empty input.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when no positives exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BestF1 sweeps every distinct score as a threshold and returns the
+// threshold maximizing F1 together with the confusion matrix there.
+func BestF1(scores []float64, labels []bool) (threshold float64, best Confusion) {
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	uniq = dedupFloats(uniq)
+	bestF1 := -1.0
+	for _, t := range uniq {
+		c := Confuse(scores, labels, t)
+		if f := c.F1(); f > bestF1 {
+			bestF1, threshold, best = f, t, c
+		}
+	}
+	return threshold, best
+}
+
+func dedupFloats(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUROCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUROC(scores, labels)
+	if err != nil || auc != 1 {
+		t.Fatalf("AUROC = %v, %v, want 1", auc, err)
+	}
+}
+
+func TestAUROCAntiPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, err := AUROC(scores, labels)
+	if err != nil || auc != 0 {
+		t.Fatalf("AUROC = %v, %v, want 0", auc, err)
+	}
+}
+
+func TestAUROCHandComputed(t *testing.T) {
+	// scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+	// Pairs: (0.8,0.6)=1 (0.8,0.2)=1 (0.4,0.6)=0 (0.4,0.2)=1 → 3/4.
+	scores := []float64{0.8, 0.4, 0.6, 0.2}
+	labels := []bool{true, true, false, false}
+	auc, err := AUROC(scores, labels)
+	if err != nil || math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUROC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUROCTies(t *testing.T) {
+	// A tie between a positive and a negative counts 1/2.
+	scores := []float64{0.5, 0.5}
+	labels := []bool{true, false}
+	auc, err := AUROC(scores, labels)
+	if err != nil || math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUROC = %v, want 0.5", auc)
+	}
+	// All-identical scores → 0.5 regardless of labels.
+	scores = []float64{1, 1, 1, 1, 1}
+	labels = []bool{true, false, true, false, false}
+	auc, err = AUROC(scores, labels)
+	if err != nil || math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("constant AUROC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUROCErrors(t *testing.T) {
+	if _, err := AUROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := AUROC([]float64{1, 2}, []bool{true, true}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("one-class err = %v", err)
+	}
+	if _, err := AUROC(nil, nil); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestAUROCInvariantToMonotoneTransform(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40) + 4
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = r.NormFloat64()
+			labels[i] = r.Intn(2) == 0
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		a1, err1 := AUROC(scores, labels)
+		mapped := make([]float64, n)
+		for i, s := range scores {
+			mapped[i] = math.Exp(s) // strictly monotone
+		}
+		a2, err2 := AUROC(mapped, labels)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUROCComplementSymmetry(t *testing.T) {
+	// Negating scores flips AUROC to 1−AUROC.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40) + 4
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = math.Round(r.NormFloat64()*4) / 4 // create ties
+			labels[i] = r.Intn(2) == 0
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		a, err1 := AUROC(scores, labels)
+		neg := make([]float64, n)
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		b, err2 := AUROC(neg, labels)
+		return err1 == nil && err2 == nil && math.Abs(a+b-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROCCurveShape(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.7, 0.3, 0.1}
+	labels := []bool{true, true, false, false, true}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Fatalf("curve must start at (0,0): %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve must end at (1,1): %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatalf("thresholds not descending at %d", i)
+		}
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTrapezoidMatchesRankAUROC(t *testing.T) {
+	// The trapezoid area under the ROC curve equals the rank statistic —
+	// the standard equivalence, which doubles as a cross-check of both
+	// implementations (including tie handling).
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(60) + 4
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = math.Round(r.NormFloat64()*3) / 3 // force ties
+			labels[i] = r.Intn(3) == 0
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		rank, err1 := AUROC(scores, labels)
+		curve, err2 := ROC(scores, labels)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(rank-TrapezoidAUC(curve)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.6, 0.4, 0.2}
+	labels := []bool{true, false, true, false, false}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 2 || c.FP != 1 || c.FN != 0 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if math.Abs(c.Accuracy()-0.8) > 1e-12 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if c.Recall() != 1 {
+		t.Fatalf("recall = %v", c.Recall())
+	}
+	wantF1 := 2 * (2.0 / 3) * 1 / (2.0/3 + 1)
+	if math.Abs(c.F1()-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", c.F1(), wantF1)
+	}
+}
+
+func TestConfusionZeroDivisions(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion metrics must be 0")
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2}
+	labels := []bool{true, true, false, false}
+	threshold, c := BestF1(scores, labels)
+	if c.F1() != 1 {
+		t.Fatalf("best F1 = %v on separable data", c.F1())
+	}
+	if threshold > 0.8 || threshold <= 0.3 {
+		t.Fatalf("threshold = %v, want in (0.3, 0.8]", threshold)
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/report"
+)
+
+// AblationConfig drives the α / window-span / counting-policy ablations
+// (EXT-2, EXT-3, EXT-4 in DESIGN.md). Every variant runs on the same
+// generated dataset so differences are attributable to the model setting
+// alone.
+type AblationConfig struct {
+	Gen gen.Config
+	// Baseline model setting; each ablation varies one dimension.
+	SpanMonths int
+	Alpha      float64
+	Policy     core.CountPolicy
+	// FirstMonth/LastMonth bound the AUROC series.
+	FirstMonth, LastMonth int
+
+	Alphas   []float64
+	Spans    []int
+	Policies []core.CountPolicy
+}
+
+// DefaultAblationConfig returns the DESIGN.md ablation grids.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{
+		Gen:        gen.NewConfig(),
+		SpanMonths: 2,
+		Alpha:      2,
+		Policy:     core.CountFromFirstSeen,
+		FirstMonth: 12,
+		LastMonth:  24,
+		Alphas:     []float64{1.25, 1.5, 2, 3, 4},
+		Spans:      []int{1, 2, 3},
+		Policies:   []core.CountPolicy{core.CountFromFirstSeen, core.CountFromOrigin},
+	}
+}
+
+// AblationSeries is one variant's AUROC-vs-month curve.
+type AblationSeries struct {
+	Name   string
+	Months []int
+	AUROC  []float64
+}
+
+// AblationResult holds every variant of one ablation dimension.
+type AblationResult struct {
+	Title  string
+	Series []AblationSeries
+	Onset  int
+}
+
+// stabilityCurve computes the AUROC series of one model setting.
+func stabilityCurve(pop *Population, ds *gen.Dataset, span int, opts core.Options, firstMonth, lastMonth int) (AblationSeries, error) {
+	grid, err := gridFor(ds, span)
+	if err != nil {
+		return AblationSeries{}, err
+	}
+	evalKs := evalWindows(span, firstMonth, lastMonth)
+	if len(evalKs) == 0 {
+		return AblationSeries{}, fmt.Errorf("experiments: no eval windows for span %d in [%d,%d]", span, firstMonth, lastMonth)
+	}
+	scores, err := stabilityScores(pop, grid, opts, evalKs)
+	if err != nil {
+		return AblationSeries{}, err
+	}
+	var s AblationSeries
+	for ki, k := range evalKs {
+		auc, err := aurocAt(scores[ki], pop.Labels)
+		if err != nil {
+			return AblationSeries{}, err
+		}
+		s.Months = append(s.Months, grid.MonthOfWindowEnd(k))
+		s.AUROC = append(s.AUROC, auc)
+	}
+	return s, nil
+}
+
+// AlphaAblation (EXT-2) varies α with the window span fixed.
+func AlphaAblation(cfg AblationConfig) (*AblationResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return AlphaAblationOn(ds, cfg)
+}
+
+// AlphaAblationOn runs EXT-2 on an existing dataset.
+func AlphaAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "EXT-2: AUROC vs alpha", Onset: cfg.Gen.OnsetMonth}
+	for _, a := range cfg.Alphas {
+		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: a, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: alpha=%g: %w", a, err)
+		}
+		s.Name = fmt.Sprintf("alpha=%g", a)
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// WindowAblation (EXT-3) varies the window span with α fixed.
+func WindowAblation(cfg AblationConfig) (*AblationResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return WindowAblationOn(ds, cfg)
+}
+
+// WindowAblationOn runs EXT-3 on an existing dataset.
+func WindowAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "EXT-3: AUROC vs window span", Onset: cfg.Gen.OnsetMonth}
+	for _, span := range cfg.Spans {
+		s, err := stabilityCurve(pop, ds, span, core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: span=%d: %w", span, err)
+		}
+		s.Name = fmt.Sprintf("w=%dmo", span)
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// PolicyAblation (EXT-4) compares prior-window counting policies on a
+// population with late joiners (join spread of 12 months), where the
+// policies assign different l(k) counts. The expected — and analytically
+// provable — outcome is identical AUROC curves: the α^(−W) factor through
+// which l(k) enters the significance cancels in the stability ratio, so
+// stability is policy-invariant (see the internal/core package comment).
+// This experiment is the empirical verification of that invariance.
+func PolicyAblation(cfg AblationConfig) (*AblationResult, error) {
+	if cfg.Gen.JoinSpreadMonths == 0 {
+		cfg.Gen.JoinSpreadMonths = 12
+	}
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return PolicyAblationOn(ds, cfg)
+}
+
+// PolicyAblationOn runs EXT-4 on an existing dataset.
+func PolicyAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "EXT-4: AUROC vs counting policy", Onset: cfg.Gen.OnsetMonth}
+	for _, p := range cfg.Policies {
+		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: cfg.Alpha, Policy: p}, cfg.FirstMonth, cfg.LastMonth)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy=%s: %w", p, err)
+		}
+		s.Name = fmt.Sprintf("policy=%s", p)
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Chart renders every variant as one chart.
+func (r *AblationResult) Chart() *report.Chart {
+	c := report.NewChart(r.Title, "Number of months", "AUROC")
+	for _, s := range r.Series {
+		x := make([]float64, len(s.Months))
+		for i, m := range s.Months {
+			x[i] = float64(m)
+		}
+		c.Add(report.Series{Name: s.Name, X: x, Y: s.AUROC})
+	}
+	c.AddVLine(float64(r.Onset), "Start of attrition")
+	return c
+}
+
+// Table renders the variants as rows with months as columns when every
+// series shares the same month axis; otherwise (e.g. the window-span
+// ablation, where each span evaluates at different months) it falls back
+// to long form (variant, month, auroc).
+func (r *AblationResult) Table() *report.Table {
+	if len(r.Series) == 0 {
+		return report.NewTable("variant", "month", "auroc")
+	}
+	sameAxis := true
+	for _, s := range r.Series[1:] {
+		if len(s.Months) != len(r.Series[0].Months) {
+			sameAxis = false
+			break
+		}
+		for i, m := range s.Months {
+			if m != r.Series[0].Months[i] {
+				sameAxis = false
+				break
+			}
+		}
+	}
+	if !sameAxis {
+		t := report.NewTable("variant", "month", "auroc")
+		for _, s := range r.Series {
+			for i, m := range s.Months {
+				t.AddRow(s.Name, m, s.AUROC[i])
+			}
+		}
+		return t
+	}
+	headers := []string{"variant"}
+	if len(r.Series) > 0 {
+		for _, m := range r.Series[0].Months {
+			headers = append(headers, fmt.Sprintf("m%d", m))
+		}
+	}
+	t := report.NewTable(headers...)
+	for _, s := range r.Series {
+		cells := make([]any, 0, len(s.AUROC)+1)
+		cells = append(cells, s.Name)
+		for _, v := range s.AUROC {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Render writes the chart and table.
+func (r *AblationResult) Render(w io.Writer) {
+	r.Chart().Render(w)
+	fmt.Fprintln(w)
+	r.Table().Render(w)
+}

@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/gen"
+)
+
+// smallGen returns a fast dataset config that still shows the attrition
+// signal clearly.
+func smallGen() gen.Config {
+	cfg := gen.NewConfig()
+	cfg.Customers = 240
+	cfg.Segments = 80
+	cfg.ProductsPerSegment = 2
+	return cfg
+}
+
+func TestEvalWindows(t *testing.T) {
+	tests := []struct {
+		span, first, last int
+		want              []int
+	}{
+		{2, 12, 24, []int{5, 6, 7, 8, 9, 10, 11}},
+		{1, 3, 5, []int{2, 3, 4}},
+		{3, 12, 24, []int{3, 4, 5, 6, 7}},
+		{2, 13, 24, []int{6, 7, 8, 9, 10, 11}}, // 13 rounds up to 14
+		{2, 25, 24, nil},
+	}
+	for _, tt := range tests {
+		got := evalWindows(tt.span, tt.first, tt.last)
+		if len(got) != len(tt.want) {
+			t.Errorf("evalWindows(%d,%d,%d) = %v, want %v", tt.span, tt.first, tt.last, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("evalWindows(%d,%d,%d) = %v, want %v", tt.span, tt.first, tt.last, got, tt.want)
+				break
+			}
+		}
+	}
+	// Window end-months must land on the months the paper plots.
+	for _, k := range evalWindows(2, 12, 24) {
+		if m := (k + 1) * 2; m < 12 || m > 24 || m%2 != 0 {
+			t.Errorf("window %d ends at month %d", k, m)
+		}
+	}
+}
+
+func TestFigure1ConfigValidation(t *testing.T) {
+	good := DefaultFigure1Config()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := good
+	bad.SpanMonths = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("span 0 accepted")
+	}
+	bad = good
+	bad.FirstMonth, bad.LastMonth = 20, 10
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted month range accepted")
+	}
+	bad = good
+	bad.LastMonth = good.Gen.Months + 10
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-horizon range accepted")
+	}
+	bad = good
+	bad.Folds = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("1 fold accepted")
+	}
+}
+
+// TestFigure1Shape is the headline integration test: the reproduced curve
+// must show the paper's qualitative result — near-chance AUROC before the
+// attrition onset and strong detection after it, for both models.
+func TestFigure1Shape(t *testing.T) {
+	cfg := DefaultFigure1Config()
+	cfg.Gen = smallGen()
+	res, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Months) != 7 { // months 12..24 step 2
+		t.Fatalf("months = %v", res.Months)
+	}
+	if res.Population != cfg.Gen.Customers {
+		t.Fatalf("population = %d", res.Population)
+	}
+
+	for i, m := range res.Months {
+		s, r := res.StabilityAUROC[i], res.RFMAUROC[i]
+		if s < 0 || s > 1 || r < 0 || r > 1 {
+			t.Fatalf("month %d: AUROC out of range: %v, %v", m, s, r)
+		}
+		if m <= res.OnsetMonth {
+			// Pre-onset: no signal exists; allow generous sampling noise.
+			if s < 0.35 || s > 0.65 {
+				t.Errorf("month %d (pre-onset): stability AUROC %v far from 0.5", m, s)
+			}
+		}
+	}
+	// Two months after onset the paper reports 0.79; the synthetic
+	// substrate must at least clear strong-detection territory.
+	atPlus2, ok := res.AUROCAtMonth(res.OnsetMonth + 2)
+	if !ok {
+		t.Fatalf("no point at onset+2 (months=%v)", res.Months)
+	}
+	if atPlus2 < 0.65 {
+		t.Errorf("AUROC at onset+2 = %v, want >= 0.65 (paper: 0.79)", atPlus2)
+	}
+	// Detection keeps improving (or holds) later in the defection.
+	last := res.StabilityAUROC[len(res.StabilityAUROC)-1]
+	if last < atPlus2-0.05 {
+		t.Errorf("late AUROC %v fell below early %v", last, atPlus2)
+	}
+	// The RFM baseline must be in the same league (the paper's claim:
+	// "similar performances").
+	rfmLast := res.RFMAUROC[len(res.RFMAUROC)-1]
+	if rfmLast < 0.7 {
+		t.Errorf("RFM late AUROC %v implausibly low", rfmLast)
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	cfg := DefaultFigure1Config()
+	cfg.Gen = smallGen()
+	res, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "Stability model", "RFM model", "Start of attrition", "month"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFigure2Explanations checks the individual use case end to end: the
+// two scripted losses must be detected at the right months and blamed on
+// the right products — the paper's core "actionable knowledge" claim.
+func TestFigure2Explanations(t *testing.T) {
+	res, err := Figure2(DefaultFigure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Drops) < 2 {
+		t.Fatalf("detected %d drops, want >= 2", len(res.Drops))
+	}
+
+	coffee, ok := res.BlameAt(20)
+	if !ok {
+		t.Fatal("no drop detected near month 20")
+	}
+	if coffee[0] != "coffee" {
+		t.Fatalf("month-20 blame = %v, want coffee first", coffee)
+	}
+
+	dairy, ok := res.BlameAt(22)
+	if !ok {
+		t.Fatal("no drop detected near month 22")
+	}
+	got := map[string]bool{}
+	for _, n := range dairy {
+		got[n] = true
+	}
+	for _, want := range []string{"milk", "sponge", "cheese"} {
+		if !got[want] {
+			t.Errorf("month-22 blame %v missing %q", dairy, want)
+		}
+	}
+
+	// The trace must be loyal (≈1) before the first loss.
+	for i, m := range res.Months {
+		if m < 20 && res.Stability[i] < 0.95 {
+			t.Errorf("month %d stability %v, want ~1 pre-loss", m, res.Stability[i])
+		}
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	res, err := Figure2(DefaultFigure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "coffee", "milk", "ground truth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure2BadConfig(t *testing.T) {
+	cfg := DefaultFigure2Config()
+	cfg.SpanMonths = 0
+	if _, err := Figure2(cfg); err == nil {
+		t.Fatal("span 0 accepted")
+	}
+}
+
+func TestParamSearchRanksPlausibly(t *testing.T) {
+	cfg := DefaultParamSearchConfig()
+	cfg.Gen = smallGen()
+	cfg.Alphas = []float64{1.5, 2, 3}
+	cfg.Spans = []int{1, 2}
+	res, err := ParamSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 6 {
+		t.Fatalf("grid cells = %d", len(res.Results))
+	}
+	// Sorted descending by mean.
+	for i := 1; i < len(res.Results); i++ {
+		if res.Results[i].Mean > res.Results[i-1].Mean {
+			t.Fatalf("grid not sorted at %d", i)
+		}
+	}
+	// Every cell detects far better than chance at the post-onset target
+	// months.
+	for _, g := range res.Results {
+		if g.Mean < 0.6 {
+			t.Errorf("cell α=%v w=%d mean AUROC %v below 0.6", g.Alpha, g.SpanMonths, g.Mean)
+		}
+		if len(g.FoldScores) != cfg.Folds {
+			t.Errorf("cell α=%v w=%d has %d fold scores", g.Alpha, g.SpanMonths, len(g.FoldScores))
+		}
+	}
+	best := res.Best()
+	if best.Alpha == 0 || best.SpanMonths == 0 {
+		t.Fatalf("best = %+v", best)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "selected:") {
+		t.Error("render missing selection line")
+	}
+}
+
+func TestParamSearchValidation(t *testing.T) {
+	cfg := DefaultParamSearchConfig()
+	cfg.Folds = 1
+	if _, err := ParamSearch(cfg); err == nil {
+		t.Fatal("1 fold accepted")
+	}
+	cfg = DefaultParamSearchConfig()
+	cfg.TargetMonths = nil
+	if _, err := ParamSearch(cfg); err == nil {
+		t.Fatal("no target months accepted")
+	}
+}
+
+func TestExplanationQuality(t *testing.T) {
+	cfg := DefaultExplanationQualityConfig()
+	cfg.Gen = smallGen()
+	res, err := ExplanationQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Customers == 0 || res.TrueDrops == 0 {
+		t.Fatalf("nothing scored: %+v", res)
+	}
+	if len(res.Precision) != len(cfg.Js) || len(res.Recall) != len(cfg.Js) {
+		t.Fatalf("metric lengths: %d/%d", len(res.Precision), len(res.Recall))
+	}
+	for i := range cfg.Js {
+		if res.Precision[i] < 0 || res.Precision[i] > 1 || res.Recall[i] < 0 || res.Recall[i] > 1 {
+			t.Fatalf("metrics out of range: %+v", res)
+		}
+	}
+	// Recall must be monotone non-decreasing in j (deeper lists find more).
+	for i := 1; i < len(res.Recall); i++ {
+		if res.Recall[i] < res.Recall[i-1]-1e-12 {
+			t.Fatalf("recall not monotone in j: %v", res.Recall)
+		}
+	}
+	// The model must beat random guessing: blaming j of ~160 segments at
+	// random would land far below these thresholds.
+	if res.Recall[len(res.Recall)-1] < 0.2 {
+		t.Errorf("recall@%d = %v, implausibly low", cfg.Js[len(cfg.Js)-1], res.Recall[len(res.Recall)-1])
+	}
+	if res.Precision[0] < 0.2 {
+		t.Errorf("precision@1 = %v, implausibly low", res.Precision[0])
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "precision@j") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExplanationQualityValidation(t *testing.T) {
+	cfg := DefaultExplanationQualityConfig()
+	cfg.Js = nil
+	if _, err := ExplanationQuality(cfg); err == nil {
+		t.Fatal("no depths accepted")
+	}
+	cfg = DefaultExplanationQualityConfig()
+	cfg.Js = []int{0}
+	if _, err := ExplanationQuality(cfg); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Gen = smallGen()
+	cfg.Alphas = []float64{1.5, 3}
+	cfg.Spans = []int{1, 2}
+
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alpha, err := AlphaAblationOn(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha.Series) != 2 {
+		t.Fatalf("alpha variants = %d", len(alpha.Series))
+	}
+	win, err := WindowAblationOn(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win.Series) != 2 {
+		t.Fatalf("window variants = %d", len(win.Series))
+	}
+	pol, err := PolicyAblationOn(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Series) != 2 {
+		t.Fatalf("policy variants = %d", len(pol.Series))
+	}
+	// Policies only differ in leading-empty handling; on a population that
+	// starts buying immediately, both must show post-onset signal.
+	for _, s := range pol.Series {
+		last := s.AUROC[len(s.AUROC)-1]
+		if last < 0.6 {
+			t.Errorf("policy %s late AUROC = %v", s.Name, last)
+		}
+	}
+	var buf bytes.Buffer
+	alpha.Render(&buf)
+	if !strings.Contains(buf.String(), "alpha=1.5") {
+		t.Error("ablation render missing variant name")
+	}
+}
+
+func TestPopulationFromDataset(t *testing.T) {
+	ds, err := gen.Generate(smallGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.N() != len(pop.Labels) || pop.N() != len(pop.Histories) {
+		t.Fatalf("misaligned population: %d/%d/%d", pop.N(), len(pop.Labels), len(pop.Histories))
+	}
+	defectors := 0
+	for _, l := range pop.Labels {
+		if l {
+			defectors++
+		}
+	}
+	if defectors == 0 || defectors == pop.N() {
+		t.Fatalf("degenerate label distribution: %d of %d", defectors, pop.N())
+	}
+}
+
+func TestStabilityScoresShape(t *testing.T) {
+	ds, err := gen.Generate(smallGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gridFor(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []int{5, 9, 11}
+	scores, err := stabilityScores(pop, grid, core.Options{Alpha: 2}, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(ks) {
+		t.Fatalf("rows = %d", len(scores))
+	}
+	for ki, row := range scores {
+		if len(row) != pop.N() {
+			t.Fatalf("row %d has %d scores", ki, len(row))
+		}
+		for _, s := range row {
+			if s < 0 || s > 1 {
+				t.Fatalf("score %v out of [0,1]", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/report"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// ExplanationQualityConfig drives EXT-1: scoring the model's blamed
+// products against the generator's ground-truth dropped segments — the
+// paper's stated future work ("deepen the study of the characterization of
+// significant products that can explain customer defection"), which only a
+// substrate with known ground truth can evaluate.
+type ExplanationQualityConfig struct {
+	Gen        gen.Config
+	SpanMonths int
+	Alpha      float64
+	Policy     core.CountPolicy
+	// Js lists the blame-list depths to score (precision@j / recall@j).
+	Js []int
+	// WindowSlack accepts a blame within ±WindowSlack windows of the
+	// ground-truth drop window (a drop at the end of a window often
+	// surfaces one window later because the item was already bought early
+	// in its drop window).
+	WindowSlack int
+}
+
+// DefaultExplanationQualityConfig returns the DESIGN.md setting.
+func DefaultExplanationQualityConfig() ExplanationQualityConfig {
+	return ExplanationQualityConfig{
+		Gen:         gen.NewConfig(),
+		SpanMonths:  2,
+		Alpha:       2,
+		Policy:      core.CountFromFirstSeen,
+		Js:          []int{1, 3, 5},
+		WindowSlack: 1,
+	}
+}
+
+// ExplanationQualityResult holds precision/recall per depth.
+type ExplanationQualityResult struct {
+	Cfg ExplanationQualityConfig
+	// Js, Precision, Recall are parallel.
+	Js        []int
+	Precision []float64
+	Recall    []float64
+	// TrueDrops counts scored ground-truth events; Customers counts scored
+	// defectors.
+	TrueDrops int
+	Customers int
+}
+
+// ExplanationQuality runs EXT-1.
+func ExplanationQuality(cfg ExplanationQualityConfig) (*ExplanationQualityResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return ExplanationQualityOn(ds, cfg)
+}
+
+// ExplanationQualityOn runs EXT-1 on an existing dataset.
+//
+// Protocol: for every defector, the model's blame lists are collected at
+// every window. A ground-truth drop (month m, segment s) counts as
+// recalled@j when s appears in the top-j blame of the window containing m
+// or any window within WindowSlack after it. A blamed item (top-j, at any
+// window from onset onward) counts as precise when the customer truly
+// dropped it within WindowSlack windows of the blame.
+func ExplanationQualityOn(ds *gen.Dataset, cfg ExplanationQualityConfig) (*ExplanationQualityResult, error) {
+	if len(cfg.Js) == 0 {
+		return nil, fmt.Errorf("experiments: no blame depths")
+	}
+	maxJ := 0
+	for _, j := range cfg.Js {
+		if j < 1 {
+			return nil, fmt.Errorf("experiments: blame depth %d < 1", j)
+		}
+		if j > maxJ {
+			maxJ = j
+		}
+	}
+	grid, err := gridFor(ds, cfg.SpanMonths)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.New(core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy, MaxBlame: maxJ})
+	if err != nil {
+		return nil, err
+	}
+	lastK := ds.Config.Months/cfg.SpanMonths - 1
+
+	res := &ExplanationQualityResult{Cfg: cfg, Js: cfg.Js}
+	recalled := make([]int, len(cfg.Js))
+	blamedTotal := make([]int, len(cfg.Js))
+	blamedTrue := make([]int, len(cfg.Js))
+
+	for id, truth := range ds.Truth.ByCustomer {
+		if truth.Label.Cohort != retail.CohortDefecting || len(truth.Drops) == 0 {
+			continue
+		}
+		h, err := ds.Store.History(id)
+		if err != nil {
+			continue
+		}
+		wd, err := window.Windowize(h, grid, lastK)
+		if err != nil {
+			return nil, err
+		}
+		series, err := model.Analyze(wd)
+		if err != nil {
+			return nil, err
+		}
+		res.Customers++
+
+		// Blame lists per grid index, truncated per depth on use.
+		blameAt := make(map[int][]core.Blame, len(series.Points))
+		for _, p := range series.Points {
+			if p.Defined && len(p.Missing) > 0 {
+				blameAt[p.GridIndex] = p.Missing
+			}
+		}
+		// Ground truth drop windows. Drift drops are genuine losses too:
+		// blaming them is correct model behaviour, so they count toward
+		// precision (but recall is scored on attrition drops only).
+		dropWindow := make(map[retail.ItemID]int, len(truth.Drops))
+		for _, d := range truth.Drops {
+			start := ds.Config.Start.AddDate(0, d.Month, 0)
+			dropWindow[d.Segment] = grid.Index(start)
+		}
+		driftWindow := make(map[retail.ItemID]int, len(truth.DriftDrops))
+		for _, d := range truth.DriftDrops {
+			start := ds.Config.Start.AddDate(0, d.Month, 0)
+			driftWindow[d.Segment] = grid.Index(start)
+		}
+
+		// Recall: each true drop must be blamed near its window.
+		for _, d := range truth.Drops {
+			res.TrueDrops++
+			k0 := dropWindow[d.Segment]
+			for ji, j := range cfg.Js {
+				found := false
+				for k := k0; k <= k0+cfg.WindowSlack && !found; k++ {
+					blames := blameAt[k]
+					if len(blames) > j {
+						blames = blames[:j]
+					}
+					for _, b := range blames {
+						if b.Item == d.Segment {
+							found = true
+							break
+						}
+					}
+				}
+				if found {
+					recalled[ji]++
+				}
+			}
+		}
+
+		// Precision: blamed items at post-onset windows scored against
+		// truth.
+		onsetK := grid.Index(ds.Config.Start.AddDate(0, truth.Label.OnsetMonth, 0))
+		for k, blames := range blameAt {
+			if k < onsetK {
+				continue
+			}
+			for ji, j := range cfg.Js {
+				top := blames
+				if len(top) > j {
+					top = top[:j]
+				}
+				for _, b := range top {
+					blamedTotal[ji]++
+					if kd, ok := dropWindow[b.Item]; ok && abs(k-kd) <= cfg.WindowSlack {
+						blamedTrue[ji]++
+					} else if kd, ok := driftWindow[b.Item]; ok && abs(k-kd) <= cfg.WindowSlack {
+						blamedTrue[ji]++
+					}
+				}
+			}
+		}
+	}
+	if res.TrueDrops == 0 {
+		return nil, fmt.Errorf("experiments: no ground-truth drops to score")
+	}
+	for ji := range cfg.Js {
+		res.Recall = append(res.Recall, float64(recalled[ji])/float64(res.TrueDrops))
+		p := 0.0
+		if blamedTotal[ji] > 0 {
+			p = float64(blamedTrue[ji]) / float64(blamedTotal[ji])
+		}
+		res.Precision = append(res.Precision, p)
+	}
+	return res, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Table renders precision/recall per depth.
+func (r *ExplanationQualityResult) Table() *report.Table {
+	t := report.NewTable("j", "precision@j", "recall@j")
+	for i, j := range r.Js {
+		t.AddRow(j, r.Precision[i], r.Recall[i])
+	}
+	return t
+}
+
+// Render writes the result.
+func (r *ExplanationQualityResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "EXT-1: explanation quality vs ground truth (%d defectors, %d true drops, slack=%d windows)\n\n",
+		r.Customers, r.TrueDrops, r.Cfg.WindowSlack)
+	r.Table().Render(w)
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/eval"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/report"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/rfm"
+	"github.com/gautrais/stability/internal/segments"
+	"github.com/gautrais/stability/internal/stats"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// --- EXT-5: gateway-segment characterization ---
+
+// GatewayConfig drives EXT-5: aggregating the model's explanations over
+// the defecting cohort to find the segments whose loss opens defection.
+type GatewayConfig struct {
+	Gen        gen.Config
+	SpanMonths int
+	Alpha      float64
+	Seg        segments.Options
+	TopN       int
+}
+
+// DefaultGatewayConfig returns the DESIGN.md setting.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		Gen:        gen.NewConfig(),
+		SpanMonths: 2,
+		Alpha:      2,
+		Seg:        segments.DefaultOptions(),
+		TopN:       15,
+	}
+}
+
+// GatewayResult holds the population-level characterization plus a
+// ground-truth validation: the fraction of first-loss blames that match a
+// true first drop.
+type GatewayResult struct {
+	Cfg    GatewayConfig
+	Report *segments.Report
+	// Names maps segments to catalog names for rendering.
+	Names func(retail.ItemID) string
+	// TruthAgreement is the share of defectors whose model-identified
+	// first-lost segment is among their true first-month drops (±1 window).
+	TruthAgreement float64
+	Scored         int
+}
+
+// Gateway runs EXT-5.
+func Gateway(cfg GatewayConfig) (*GatewayResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return GatewayOn(ds, cfg)
+}
+
+// GatewayOn runs EXT-5 on an existing dataset.
+func GatewayOn(ds *gen.Dataset, cfg GatewayConfig) (*GatewayResult, error) {
+	grid, err := gridFor(ds, cfg.SpanMonths)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.New(core.Options{Alpha: cfg.Alpha})
+	if err != nil {
+		return nil, err
+	}
+	// Defecting cohort only: the question is what defectors lose first.
+	var histories []retail.History
+	var ids []retail.CustomerID
+	for _, id := range ds.Truth.Defectors() {
+		h, err := ds.Store.History(id)
+		if err != nil {
+			continue
+		}
+		histories = append(histories, h)
+		ids = append(ids, id)
+	}
+	through := ds.Config.Months/cfg.SpanMonths - 1
+	rep, err := segments.Characterize(model, histories, grid, through, cfg.Seg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground-truth validation: does the model's first blame match a true
+	// early drop of that customer?
+	agree, scored := 0, 0
+	for i, h := range histories {
+		wd, err := window.Windowize(h, grid, through)
+		if err != nil {
+			return nil, err
+		}
+		series, err := model.Analyze(wd)
+		if err != nil {
+			return nil, err
+		}
+		drops := series.Drops(cfg.Seg.MinDrop, cfg.Seg.TopJ)
+		if len(drops) == 0 {
+			continue
+		}
+		truth := ds.Truth.ByCustomer[ids[i]]
+		if truth == nil || len(truth.Drops) == 0 {
+			continue
+		}
+		scored++
+		firstBlames := drops[0].Blame
+		// True drops within the first blame window ±1.
+		k0 := drops[0].GridIndex
+		matched := false
+		for _, b := range firstBlames {
+			if m, ok := ds.Truth.DroppedBy(ids[i], b.Item); ok {
+				km := grid.Index(ds.Config.Start.AddDate(0, m, 0))
+				if abs(km-k0) <= 1 {
+					matched = true
+					break
+				}
+			}
+		}
+		if matched {
+			agree++
+		}
+	}
+	res := &GatewayResult{Cfg: cfg, Report: rep, Names: ds.Catalog.SegmentName, Scored: scored}
+	if scored > 0 {
+		res.TruthAgreement = float64(agree) / float64(scored)
+	}
+	return res, nil
+}
+
+// Table renders the gateway ranking.
+func (r *GatewayResult) Table() *report.Table { return r.Report.Table(r.Cfg.TopN, r.Names) }
+
+// Render writes the characterization and the ground-truth agreement.
+func (r *GatewayResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "EXT-5: gateway segments (defecting cohort)")
+	fmt.Fprintln(w)
+	r.Report.Render(w, r.Names)
+	fmt.Fprintf(w, "\nground-truth agreement of first blame: %.1f%% of %d scored defectors\n",
+		r.TruthAgreement*100, r.Scored)
+}
+
+// --- EXT-6: RFM family ablation ---
+
+// FamilyAblationConfig drives EXT-6: which of the paper's three predictor
+// families carries the RFM baseline's detection power?
+type FamilyAblationConfig struct {
+	Gen                   gen.Config
+	SpanMonths            int
+	FirstMonth, LastMonth int
+	Folds                 int
+	CVSeed                int64
+}
+
+// DefaultFamilyAblationConfig returns the DESIGN.md setting.
+func DefaultFamilyAblationConfig() FamilyAblationConfig {
+	return FamilyAblationConfig{
+		Gen:        gen.NewConfig(),
+		SpanMonths: 2,
+		FirstMonth: 12,
+		LastMonth:  24,
+		Folds:      5,
+		CVSeed:     77,
+	}
+}
+
+// FamilyAblation runs EXT-6.
+func FamilyAblation(cfg FamilyAblationConfig) (*AblationResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return FamilyAblationOn(ds, cfg)
+}
+
+// FamilyAblationOn runs EXT-6 on an existing dataset.
+func FamilyAblationOn(ds *gen.Dataset, cfg FamilyAblationConfig) (*AblationResult, error) {
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := gridFor(ds, cfg.SpanMonths)
+	if err != nil {
+		return nil, err
+	}
+	evalKs := evalWindows(cfg.SpanMonths, cfg.FirstMonth, cfg.LastMonth)
+	variants := []struct {
+		name     string
+		families []rfm.Family
+	}{
+		{"RFM (all)", nil},
+		{"R only", []rfm.Family{rfm.Recency}},
+		{"F only", []rfm.Family{rfm.Frequency}},
+		{"M only", []rfm.Family{rfm.Monetary}},
+	}
+	res := &AblationResult{Title: "EXT-6: RFM predictor-family ablation", Onset: cfg.Gen.OnsetMonth}
+	for _, v := range variants {
+		topts := rfm.DefaultTrainOptions()
+		topts.Families = v.families
+		var s AblationSeries
+		s.Name = v.name
+		for _, k := range evalKs {
+			scores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, topts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at window %d: %w", v.name, k, err)
+			}
+			auc, err := eval.AUROC(scores, pop.Labels)
+			if err != nil {
+				return nil, err
+			}
+			s.Months = append(s.Months, grid.MonthOfWindowEnd(k))
+			s.AUROC = append(s.AUROC, auc)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// --- EXT-7: detection lead time ---
+
+// LeadTimeConfig drives EXT-7: with β calibrated to a false-alarm budget
+// on the loyal cohort, how soon after (or before) the true onset does the
+// model first flag each defector? This quantifies the paper's claim that
+// the model "is able to identify customers that are likely to defect in
+// the future months".
+type LeadTimeConfig struct {
+	Gen        gen.Config
+	SpanMonths int
+	Alpha      float64
+	// MaxFPR is the accepted false-alarm rate among loyal customers when
+	// calibrating β (per window).
+	MaxFPR float64
+	// CalibrationMonth is the month whose window calibrates β
+	// (pre-onset, so calibration never sees attrition).
+	CalibrationMonth int
+}
+
+// DefaultLeadTimeConfig returns the DESIGN.md setting.
+func DefaultLeadTimeConfig() LeadTimeConfig {
+	g := gen.NewConfig()
+	return LeadTimeConfig{
+		Gen:              g,
+		SpanMonths:       2,
+		Alpha:            2,
+		MaxFPR:           0.05,
+		CalibrationMonth: g.OnsetMonth - 2,
+	}
+}
+
+// LeadTimeResult summarizes detection delays.
+type LeadTimeResult struct {
+	Cfg  LeadTimeConfig
+	Beta float64
+	// Detected counts defectors flagged at least once after onset;
+	// Total counts scored defectors.
+	Detected, Total int
+	// DelayMonths holds per-detected-defector (first-flag month − onset
+	// month); negative = flagged before the recorded onset.
+	DelayMonths []float64
+	Summary     stats.Summary
+	// LoyalFPR is the realized per-window false-alarm rate of loyal
+	// customers over the post-onset windows.
+	LoyalFPR float64
+}
+
+// LeadTime runs EXT-7.
+func LeadTime(cfg LeadTimeConfig) (*LeadTimeResult, error) {
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return LeadTimeOn(ds, cfg)
+}
+
+// LeadTimeOn runs EXT-7 on an existing dataset.
+func LeadTimeOn(ds *gen.Dataset, cfg LeadTimeConfig) (*LeadTimeResult, error) {
+	if cfg.MaxFPR <= 0 || cfg.MaxFPR >= 1 {
+		return nil, fmt.Errorf("experiments: MaxFPR must be in (0,1), got %v", cfg.MaxFPR)
+	}
+	if cfg.CalibrationMonth < cfg.SpanMonths || cfg.CalibrationMonth > cfg.Gen.OnsetMonth {
+		return nil, fmt.Errorf("experiments: CalibrationMonth %d must be pre-onset", cfg.CalibrationMonth)
+	}
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := gridFor(ds, cfg.SpanMonths)
+	if err != nil {
+		return nil, err
+	}
+	lastK := ds.Config.Months/cfg.SpanMonths - 1
+	calibK := cfg.CalibrationMonth/cfg.SpanMonths - 1
+	if calibK < 0 {
+		calibK = 0
+	}
+	evalKs := make([]int, 0, lastK+1)
+	for k := 0; k <= lastK; k++ {
+		evalKs = append(evalKs, k)
+	}
+	opts := core.Options{Alpha: cfg.Alpha}
+	scores, err := stabilityScores(pop, grid, opts, evalKs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrate β on the pre-onset calibration window: the defection score
+	// is 1−stability, and the threshold admits at most MaxFPR of loyal
+	// customers. (Labels at a pre-onset window carry no attrition signal,
+	// so this is equivalent to a loyal-only quantile but keeps the ROC
+	// machinery honest about ties.)
+	loyalScores := make([]float64, 0, pop.N())
+	for i, defecting := range pop.Labels {
+		if !defecting {
+			loyalScores = append(loyalScores, scores[calibK][i])
+		}
+	}
+	sort.Float64s(loyalScores)
+	// Smallest score threshold with ≤ MaxFPR loyal at/above it.
+	idx := int(float64(len(loyalScores)) * (1 - cfg.MaxFPR))
+	if idx >= len(loyalScores) {
+		idx = len(loyalScores) - 1
+	}
+	threshold := loyalScores[idx]
+	beta := 1 - threshold // stability ≤ β ⇔ score ≥ threshold
+
+	res := &LeadTimeResult{Cfg: cfg, Beta: beta}
+	onsetOf := make(map[retail.CustomerID]int, len(ds.Truth.ByCustomer))
+	for id, tr := range ds.Truth.ByCustomer {
+		if tr.Label.Cohort == retail.CohortDefecting {
+			onsetOf[id] = tr.Label.OnsetMonth
+		}
+	}
+	loyalAlarms, loyalWindows := 0, 0
+	firstPostOnsetK := cfg.Gen.OnsetMonth / cfg.SpanMonths
+	for i, id := range pop.IDs {
+		if onset, ok := onsetOf[id]; ok {
+			res.Total++
+			detectedAt := -1
+			for k := calibK + 1; k <= lastK; k++ {
+				if scores[k][i] > threshold || (scores[k][i] == threshold && threshold > 0) {
+					detectedAt = k
+					break
+				}
+			}
+			if detectedAt >= 0 {
+				res.Detected++
+				res.DelayMonths = append(res.DelayMonths,
+					float64(grid.MonthOfWindowEnd(detectedAt)-onset))
+			}
+		} else {
+			for k := firstPostOnsetK; k <= lastK; k++ {
+				loyalWindows++
+				if scores[k][i] > threshold {
+					loyalAlarms++
+				}
+			}
+		}
+	}
+	if loyalWindows > 0 {
+		res.LoyalFPR = float64(loyalAlarms) / float64(loyalWindows)
+	}
+	res.Summary = stats.Summarize(res.DelayMonths)
+	return res, nil
+}
+
+// Render writes the lead-time summary.
+func (r *LeadTimeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "EXT-7: detection lead time (beta=%.3f calibrated at %.0f%% FPR, month %d)\n\n",
+		r.Beta, r.Cfg.MaxFPR*100, r.Cfg.CalibrationMonth)
+	fmt.Fprintf(w, "defectors detected: %d / %d (%.1f%%)\n",
+		r.Detected, r.Total, 100*float64(r.Detected)/float64(max(1, r.Total)))
+	fmt.Fprintf(w, "delay from onset (months): %s\n", r.Summary)
+	fmt.Fprintf(w, "realized loyal false-alarm rate per window: %.3f\n", r.LoyalFPR)
+	t := report.NewTable("quantile", "delay_months")
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		t.AddRow(fmt.Sprintf("p%.0f", q*100), stats.Quantile(r.DelayMonths, q))
+	}
+	fmt.Fprintln(w)
+	t.Render(w)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gautrais/stability/internal/gen"
+)
+
+func TestGatewayExperiment(t *testing.T) {
+	cfg := DefaultGatewayConfig()
+	cfg.Gen = smallGen()
+	res, err := Gateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Customers == 0 || res.Report.DropEvents == 0 {
+		t.Fatalf("nothing characterized: %+v", res.Report)
+	}
+	// Nearly every defector should show at least one drop.
+	if frac := float64(res.Report.WithDrops) / float64(res.Report.Customers); frac < 0.8 {
+		t.Errorf("only %.0f%% of defectors have drop events", frac*100)
+	}
+	// First blame should usually be a true drop.
+	if res.Scored == 0 {
+		t.Fatal("no defectors scored for truth agreement")
+	}
+	if res.TruthAgreement < 0.4 {
+		t.Errorf("truth agreement %.2f implausibly low", res.TruthAgreement)
+	}
+	// Totals are consistent: Σ FirstLoss over segments ≤ customers with
+	// drops × TopJ.
+	totalFirst := 0
+	for _, s := range res.Report.PerSegment {
+		totalFirst += s.FirstLoss
+		if s.AnyLoss > res.Report.WithDrops {
+			t.Fatalf("segment %d AnyLoss %d exceeds customers with drops %d",
+				s.Segment, s.AnyLoss, res.Report.WithDrops)
+		}
+		if s.Blames < s.AnyLoss {
+			t.Fatalf("segment %d blames %d < distinct customers %d", s.Segment, s.Blames, s.AnyLoss)
+		}
+	}
+	if totalFirst > res.Report.WithDrops*cfg.Seg.TopJ {
+		t.Fatalf("ΣFirstLoss %d exceeds %d", totalFirst, res.Report.WithDrops*cfg.Seg.TopJ)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "ground-truth agreement") {
+		t.Error("render missing agreement line")
+	}
+}
+
+func TestFamilyAblation(t *testing.T) {
+	cfg := DefaultFamilyAblationConfig()
+	cfg.Gen = smallGen()
+	cfg.FirstMonth, cfg.LastMonth = 18, 24 // post-onset only: faster
+	res, err := FamilyAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("variants = %d, want 4", len(res.Series))
+	}
+	byName := map[string]AblationSeries{}
+	for _, s := range res.Series {
+		byName[s.Name] = s
+	}
+	all, ok := byName["RFM (all)"]
+	if !ok {
+		t.Fatal("full-RFM variant missing")
+	}
+	last := len(all.AUROC) - 1
+	// The full model should be at least as good as each single family at
+	// the final month (generous tolerance for CV noise).
+	for name, s := range byName {
+		if name == "RFM (all)" {
+			continue
+		}
+		if s.AUROC[last] > all.AUROC[last]+0.08 {
+			t.Errorf("%s (%.3f) beats full RFM (%.3f) by more than noise",
+				name, s.AUROC[last], all.AUROC[last])
+		}
+	}
+	// Every variant's values are valid AUROCs.
+	for _, s := range res.Series {
+		for _, v := range s.AUROC {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s AUROC %v out of range", s.Name, v)
+			}
+		}
+	}
+}
+
+func TestLeadTime(t *testing.T) {
+	cfg := DefaultLeadTimeConfig()
+	cfg.Gen = smallGen()
+	res, err := LeadTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Fatal("no defectors scored")
+	}
+	// At a 5% per-window false-alarm budget, most defectors must be
+	// detected within the horizon.
+	if rate := float64(res.Detected) / float64(res.Total); rate < 0.7 {
+		t.Errorf("detection rate %.2f too low", rate)
+	}
+	// Median delay should be small and positive — detection "in the first
+	// months of the customer defection" (the paper's claim).
+	if res.Summary.Median < 0 || res.Summary.Median > 6 {
+		t.Errorf("median delay %v months outside [0,6]", res.Summary.Median)
+	}
+	// The realized loyal FPR should be in the neighbourhood of the budget
+	// (it is calibrated on one window, realized over several).
+	if res.LoyalFPR > cfg.MaxFPR*4 {
+		t.Errorf("realized FPR %.3f far above budget %.3f", res.LoyalFPR, cfg.MaxFPR)
+	}
+	if res.Beta <= 0 || res.Beta >= 1 {
+		t.Errorf("calibrated beta = %v", res.Beta)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "delay from onset") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestLeadTimeValidation(t *testing.T) {
+	cfg := DefaultLeadTimeConfig()
+	cfg.MaxFPR = 0
+	if _, err := LeadTime(cfg); err == nil {
+		t.Fatal("MaxFPR=0 accepted")
+	}
+	cfg = DefaultLeadTimeConfig()
+	cfg.CalibrationMonth = cfg.Gen.OnsetMonth + 2
+	if _, err := LeadTime(cfg); err == nil {
+		t.Fatal("post-onset calibration accepted")
+	}
+}
+
+func TestGatewaySharedDataset(t *testing.T) {
+	// GatewayOn must work on a dataset generated elsewhere (the cmd/repro
+	// path uses Gateway; ablation-style reuse uses GatewayOn).
+	ds, err := gen.Generate(smallGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.Gen = smallGen()
+	res, err := GatewayOn(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Customers == 0 {
+		t.Fatal("no customers characterized")
+	}
+}

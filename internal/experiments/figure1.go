@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/report"
+	"github.com/gautrais/stability/internal/rfm"
+)
+
+// Figure1Config parameterizes the Figure-1 reproduction: AUROC of attrition
+// detection per month, stability model vs. RFM baseline.
+type Figure1Config struct {
+	Gen gen.Config
+	// SpanMonths is the window length w (paper: 2).
+	SpanMonths int
+	// Alpha is the significance base α (paper: 2).
+	Alpha float64
+	// Policy is the prior-window counting policy.
+	Policy core.CountPolicy
+	// FirstMonth/LastMonth bound the evaluated month axis (paper: 12–24).
+	FirstMonth, LastMonth int
+	// Folds is the cross-validation fold count for the RFM baseline
+	// (paper: 5).
+	Folds int
+	// CVSeed seeds the fold assignment.
+	CVSeed int64
+}
+
+// DefaultFigure1Config returns the paper's experimental setting.
+func DefaultFigure1Config() Figure1Config {
+	return Figure1Config{
+		Gen:        gen.NewConfig(),
+		SpanMonths: 2,
+		Alpha:      2,
+		Policy:     core.CountFromFirstSeen,
+		FirstMonth: 12,
+		LastMonth:  24,
+		Folds:      5,
+		CVSeed:     99,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Figure1Config) Validate() error {
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	if c.SpanMonths < 1 {
+		return fmt.Errorf("experiments: span must be >= 1, got %d", c.SpanMonths)
+	}
+	if c.FirstMonth < c.SpanMonths || c.LastMonth <= c.FirstMonth {
+		return fmt.Errorf("experiments: month range [%d,%d] invalid for span %d", c.FirstMonth, c.LastMonth, c.SpanMonths)
+	}
+	if c.LastMonth > c.Gen.Months {
+		return fmt.Errorf("experiments: LastMonth %d exceeds dataset months %d", c.LastMonth, c.Gen.Months)
+	}
+	if c.Folds < 2 {
+		return fmt.Errorf("experiments: folds must be >= 2, got %d", c.Folds)
+	}
+	return nil
+}
+
+// Figure1Result holds the reproduced curves.
+type Figure1Result struct {
+	Cfg Figure1Config
+	// Months lists the window end-months plotted on the x-axis.
+	Months []int
+	// StabilityAUROC and RFMAUROC are parallel to Months.
+	StabilityAUROC []float64
+	RFMAUROC       []float64
+	// OnsetMonth echoes the configured start of attrition (vertical line in
+	// the paper's figure).
+	OnsetMonth int
+	// Population is the evaluated customer count.
+	Population int
+}
+
+// Figure1 runs the experiment.
+func Figure1(cfg Figure1Config) (*Figure1Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := gen.Generate(cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return Figure1On(ds, cfg)
+}
+
+// Figure1On runs the experiment on an existing dataset (reused by the
+// ablations so every variant sees identical data).
+func Figure1On(ds *gen.Dataset, cfg Figure1Config) (*Figure1Result, error) {
+	pop, err := NewPopulation(ds)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := gridFor(ds, cfg.SpanMonths)
+	if err != nil {
+		return nil, err
+	}
+	evalKs := evalWindows(cfg.SpanMonths, cfg.FirstMonth, cfg.LastMonth)
+	if len(evalKs) == 0 {
+		return nil, fmt.Errorf("experiments: no evaluation windows in [%d,%d] for span %d",
+			cfg.FirstMonth, cfg.LastMonth, cfg.SpanMonths)
+	}
+
+	opts := core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy}
+	stab, err := stabilityScores(pop, grid, opts, evalKs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Figure1Result{Cfg: cfg, OnsetMonth: cfg.Gen.OnsetMonth, Population: pop.N()}
+	for ki, k := range evalKs {
+		month := grid.MonthOfWindowEnd(k)
+		sAUC, err := aurocAt(stab[ki], pop.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stability auroc at month %d: %w", month, err)
+		}
+		rfmScores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, rfm.DefaultTrainOptions())
+		if err != nil {
+			return nil, err
+		}
+		rAUC, err := aurocAt(rfmScores, pop.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rfm auroc at month %d: %w", month, err)
+		}
+		res.Months = append(res.Months, month)
+		res.StabilityAUROC = append(res.StabilityAUROC, sAUC)
+		res.RFMAUROC = append(res.RFMAUROC, rAUC)
+	}
+	return res, nil
+}
+
+// Series converts the result to chart series.
+func (r *Figure1Result) Series() (stability, rfmSeries report.Series) {
+	x := make([]float64, len(r.Months))
+	for i, m := range r.Months {
+		x[i] = float64(m)
+	}
+	return report.Series{Name: "Stability model", X: x, Y: r.StabilityAUROC, Marker: '*'},
+		report.Series{Name: "RFM model", X: x, Y: r.RFMAUROC, Marker: 'o'}
+}
+
+// Chart renders the paper's Figure 1.
+func (r *Figure1Result) Chart() *report.Chart {
+	c := report.NewChart("Figure 1: Performance of the attrition detection",
+		"Number of months", "AUROC")
+	s, rf := r.Series()
+	c.Add(s)
+	c.Add(rf)
+	c.AddVLine(float64(r.OnsetMonth), "Start of attrition")
+	return c
+}
+
+// Table renders the per-month values.
+func (r *Figure1Result) Table() *report.Table {
+	t := report.NewTable("month", "stability_auroc", "rfm_auroc")
+	for i, m := range r.Months {
+		t.AddRow(m, r.StabilityAUROC[i], r.RFMAUROC[i])
+	}
+	return t
+}
+
+// Render writes the chart and table.
+func (r *Figure1Result) Render(w io.Writer) {
+	r.Chart().Render(w)
+	fmt.Fprintln(w)
+	r.Table().Render(w)
+	fmt.Fprintf(w, "\npopulation=%d span=%dmo alpha=%g folds=%d policy=%s\n",
+		r.Population, r.Cfg.SpanMonths, r.Cfg.Alpha, r.Cfg.Folds, r.Cfg.Policy)
+}
+
+// AUROCAtMonth returns the stability-model AUROC at the given end-month.
+func (r *Figure1Result) AUROCAtMonth(month int) (float64, bool) {
+	for i, m := range r.Months {
+		if m == month {
+			return r.StabilityAUROC[i], true
+		}
+	}
+	return 0, false
+}

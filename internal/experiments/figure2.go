@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/report"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Figure2Config parameterizes the individual-explanation use case.
+type Figure2Config struct {
+	Scenario gen.Figure2Config
+	// SpanMonths and Alpha mirror the model setting of the paper (2, 2).
+	SpanMonths int
+	Alpha      float64
+	// MinDrop is the stability decrease that counts as an explainable drop
+	// event.
+	MinDrop float64
+	// TopJ caps the blamed products reported per drop.
+	TopJ int
+	// FirstMonth/LastMonth bound the plotted trace (paper: 12–24).
+	FirstMonth, LastMonth int
+}
+
+// DefaultFigure2Config returns the paper's use case.
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{
+		Scenario:   gen.DefaultFigure2Config(),
+		SpanMonths: 2,
+		Alpha:      2,
+		MinDrop:    0.03,
+		TopJ:       3,
+		FirstMonth: 12,
+		LastMonth:  24,
+	}
+}
+
+// NamedDrop is one detected stability decrease with human-readable blame.
+type NamedDrop struct {
+	// MonthEnd is the end-month of the window where the drop was observed.
+	MonthEnd int
+	From, To float64
+	// Blame lists the most significant missing segments, best first.
+	Blame []string
+	// Shares are the stability cost of each blamed segment's absence.
+	Shares []float64
+}
+
+// Figure2Result is the reproduced stability trace with explanations.
+type Figure2Result struct {
+	Cfg Figure2Config
+	// Months and Stability are the trace (x = window end-month).
+	Months    []int
+	Stability []float64
+	Drops     []NamedDrop
+	// ExpectedDrops echoes the scripted ground truth for comparison.
+	ExpectedDrops []gen.ScriptedDrop
+}
+
+// Figure2 runs the experiment.
+func Figure2(cfg Figure2Config) (*Figure2Result, error) {
+	if cfg.SpanMonths < 1 {
+		return nil, fmt.Errorf("experiments: span must be >= 1, got %d", cfg.SpanMonths)
+	}
+	sc, err := gen.Figure2Scenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := window.NewGrid(sc.Grid.Start, window.Span{Months: cfg.SpanMonths})
+	if err != nil {
+		return nil, err
+	}
+	h, err := sc.Store.History(sc.Customer)
+	if err != nil {
+		return nil, err
+	}
+	lastK := sc.Grid.Months/cfg.SpanMonths - 1
+	wd, err := window.Windowize(h, grid, lastK)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.New(core.Options{Alpha: cfg.Alpha, Policy: core.CountFromFirstSeen})
+	if err != nil {
+		return nil, err
+	}
+	series, err := model.Analyze(wd)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Figure2Result{Cfg: cfg, ExpectedDrops: sc.Drops}
+	for _, p := range series.Points {
+		m := grid.MonthOfWindowEnd(p.GridIndex)
+		if cfg.LastMonth > 0 && (m < cfg.FirstMonth || m > cfg.LastMonth) {
+			continue
+		}
+		res.Months = append(res.Months, m)
+		res.Stability = append(res.Stability, p.Stability)
+	}
+	for _, d := range series.Drops(cfg.MinDrop, cfg.TopJ) {
+		nd := NamedDrop{
+			MonthEnd: grid.MonthOfWindowEnd(d.GridIndex),
+			From:     d.From,
+			To:       d.To,
+		}
+		for _, b := range d.Blame {
+			nd.Blame = append(nd.Blame, sc.Catalog.SegmentName(b.Item))
+			nd.Shares = append(nd.Shares, b.Share)
+		}
+		res.Drops = append(res.Drops, nd)
+	}
+	return res, nil
+}
+
+// Chart renders the paper's Figure 2.
+func (r *Figure2Result) Chart() *report.Chart {
+	c := report.NewChart("Figure 2: Defecting customer stability value example",
+		"Number of months", "Stability value")
+	x := make([]float64, len(r.Months))
+	for i, m := range r.Months {
+		x[i] = float64(m)
+	}
+	c.Add(report.Series{Name: "Stability value", X: x, Y: r.Stability, Marker: '*'})
+	// Annotate the detected decreases with their blamed products — the
+	// paper's "Coffee loss" / "Milk, sponge and cheese loss" arrows.
+	for _, d := range r.Drops {
+		c.AddVLine(float64(d.MonthEnd), fmt.Sprintf("%s loss", strings.Join(d.Blame, ", ")))
+	}
+	return c
+}
+
+// Table renders the detected drop events.
+func (r *Figure2Result) Table() *report.Table {
+	t := report.NewTable("month", "stability_from", "stability_to", "blamed_products")
+	for _, d := range r.Drops {
+		t.AddRow(d.MonthEnd, d.From, d.To, strings.Join(d.Blame, ", "))
+	}
+	return t
+}
+
+// Render writes the chart, the drop table, and the scripted ground truth.
+func (r *Figure2Result) Render(w io.Writer) {
+	r.Chart().Render(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Detected stability drops and blamed products:")
+	r.Table().Render(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scripted ground truth:")
+	for _, d := range r.ExpectedDrops {
+		fmt.Fprintf(w, "  month %d: stopped buying %s\n", d.Month, strings.Join(d.Segments, ", "))
+	}
+}
+
+// BlameAt returns the blamed products of the drop detected at the window
+// whose end-month is closest to (and at least) the given ground-truth
+// month.
+func (r *Figure2Result) BlameAt(month int) ([]string, bool) {
+	best := -1
+	for i, d := range r.Drops {
+		if d.MonthEnd >= month && (best < 0 || d.MonthEnd < r.Drops[best].MonthEnd) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	return r.Drops[best].Blame, true
+}

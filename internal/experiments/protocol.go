@@ -1,0 +1,213 @@
+// Package experiments reproduces every figure and experiment of the paper
+// (and the extension experiments listed in DESIGN.md) on the synthetic
+// substrate. Each experiment is a pure function from a config to a
+// structured result that knows how to render itself as an ASCII chart,
+// a table, and CSV.
+//
+// Evaluation protocol (shared): customers are windowized on a global grid
+// anchored at the dataset start. At evaluation window k, the stability
+// model scores each customer with 1 − Stability_i^k (higher = more likely
+// defecting) and the RFM baseline scores P(defecting) from features
+// extracted up to the end of window k. AUROC is computed against the
+// ground-truth cohort labels. RFM is trained with stratified k-fold
+// cross-validation and scored out-of-fold, so no customer is scored by a
+// model that saw its own label; the stability model has no trainable
+// parameters (α is fixed per experiment), so it scores every customer
+// directly.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/eval"
+	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/rfm"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Population aligns the generated customers with their binary labels
+// (true = defecting) for the evaluation protocol.
+type Population struct {
+	DS        *gen.Dataset
+	IDs       []retail.CustomerID
+	Labels    []bool
+	Histories []retail.History
+}
+
+// NewPopulation indexes a dataset. Customers without a truth record are
+// excluded (none exist in generated datasets; defensive for loaded ones).
+func NewPopulation(ds *gen.Dataset) (*Population, error) {
+	p := &Population{DS: ds}
+	ids := make([]retail.CustomerID, 0, len(ds.Truth.ByCustomer))
+	for id := range ds.Truth.ByCustomer {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h, err := ds.Store.History(id)
+		if err != nil {
+			continue // labelled but never purchased: skip
+		}
+		t := ds.Truth.ByCustomer[id]
+		p.IDs = append(p.IDs, id)
+		p.Labels = append(p.Labels, t.Label.Cohort == retail.CohortDefecting)
+		p.Histories = append(p.Histories, h)
+	}
+	if len(p.IDs) == 0 {
+		return nil, fmt.Errorf("experiments: population is empty")
+	}
+	return p, nil
+}
+
+// N returns the population size.
+func (p *Population) N() int { return len(p.IDs) }
+
+// gridFor builds the evaluation grid for a dataset and span.
+func gridFor(ds *gen.Dataset, spanMonths int) (window.Grid, error) {
+	return window.NewGrid(ds.Config.Start, window.Span{Months: spanMonths})
+}
+
+// evalWindows returns the window indices whose end-months lie in
+// [firstMonth, lastMonth]. End-months are multiples of the span; firstMonth
+// is rounded up to the next multiple.
+func evalWindows(span, firstMonth, lastMonth int) []int {
+	var ks []int
+	for k := 0; ; k++ {
+		end := (k + 1) * span
+		if end > lastMonth {
+			break
+		}
+		if end >= firstMonth {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// stabilityScores computes the per-customer defection scores 1 − stability
+// at every requested window index. Rows are indexed like evalKs; columns
+// align with pop.IDs. Customers with no materialized window at k (no
+// purchase history yet) count as fully stable.
+//
+// Customers are scored in parallel: the model is stateless, per-customer
+// trackers are created inside AnalyzeStability, and each worker writes a
+// disjoint column range, so no synchronization is needed beyond the join.
+func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalKs []int) ([][]float64, error) {
+	model, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	maxK := 0
+	for _, k := range evalKs {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	scores := make([][]float64, len(evalKs))
+	for i := range scores {
+		scores[i] = make([]float64, pop.N())
+	}
+
+	scoreOne := func(ci int, h retail.History) error {
+		// Materialize from window 0 so that the CountPolicy decision about
+		// pre-first-purchase windows is the tracker's, not an artifact of
+		// which windows exist.
+		wd, err := window.WindowizeFrom(h, grid, 0, maxK)
+		if err != nil {
+			return fmt.Errorf("experiments: windowize customer %d: %w", h.Customer, err)
+		}
+		series, err := model.AnalyzeStability(wd)
+		if err != nil {
+			return err
+		}
+		for ki, k := range evalKs {
+			st := 1.0
+			if v, ok := series.StabilityAt(k); ok {
+				st = v
+			}
+			scores[ki][ci] = 1 - st
+		}
+		return nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > pop.N() {
+		workers = pop.N()
+	}
+	if workers <= 1 {
+		for ci, h := range pop.Histories {
+			if err := scoreOne(ci, h); err != nil {
+				return nil, err
+			}
+		}
+		return scores, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	chunk := (pop.N() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > pop.N() {
+			hi = pop.N()
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ci := lo; ci < hi; ci++ {
+				if err := scoreOne(ci, pop.Histories[ci]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return scores, nil
+}
+
+// rfmScoresCV trains the RFM baseline with stratified folds at window k and
+// returns pooled out-of-fold P(defecting) scores aligned with pop.IDs.
+func rfmScoresCV(pop *Population, grid window.Grid, k, folds int, seed int64, topts rfm.TrainOptions) ([]float64, error) {
+	kf := eval.KFold{K: folds, Seed: seed}
+	splits, err := kf.Split(pop.Labels)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, pop.N())
+	for _, f := range splits {
+		trainH := make([]retail.History, len(f.Train))
+		trainY := make([]bool, len(f.Train))
+		for i, idx := range f.Train {
+			trainH[i] = pop.Histories[idx]
+			trainY[i] = pop.Labels[idx]
+		}
+		baseline, err := rfm.Train(grid, k, trainH, trainY, topts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rfm fold train (k=%d): %w", k, err)
+		}
+		for _, idx := range f.Test {
+			scores[idx] = baseline.Score(pop.Histories[idx])
+		}
+	}
+	return scores, nil
+}
+
+// aurocAt computes AUROC of the given scores against the population labels.
+func aurocAt(scores []float64, labels []bool) (float64, error) {
+	return eval.AUROC(scores, labels)
+}

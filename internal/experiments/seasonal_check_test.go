@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestFigure1SeasonalRobustness verifies the detection signal survives a
+// heavily seasonal catalog: seasonal dips hit loyal and defecting
+// customers alike, so post-onset AUROC must stay far above chance.
+func TestFigure1SeasonalRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultFigure1Config()
+	cfg.Gen = smallGen()
+	cfg.Gen.SeasonalFraction = 0.3
+	res, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atPlus4, ok := res.AUROCAtMonth(res.OnsetMonth + 4)
+	if !ok {
+		t.Fatal("no point at onset+4")
+	}
+	if atPlus4 < 0.8 {
+		t.Errorf("seasonal catalog broke detection: AUROC %.3f at onset+4", atPlus4)
+	}
+	for i, m := range res.Months {
+		if m < res.OnsetMonth && (res.StabilityAUROC[i] < 0.3 || res.StabilityAUROC[i] > 0.7) {
+			t.Errorf("pre-onset month %d AUROC %.3f far from chance under seasonality", m, res.StabilityAUROC[i])
+		}
+	}
+	t.Logf("seasonal fig1: months=%v stability=%v", res.Months, res.StabilityAUROC)
+}

@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+	"github.com/gautrais/stability/internal/taxonomy"
+)
+
+// departmentNames and baseSegments seed the synthetic taxonomy with
+// realistic grocery segments. The first entries deliberately include the
+// products Figure 2 of the paper names (coffee, milk, sponge, cheese) so
+// examples and the Figure-2 reproduction read like the paper.
+var departmentNames = []string{
+	"dairy", "beverages", "household", "bakery", "produce",
+	"meat-fish", "frozen", "grocery", "snacks", "hygiene",
+}
+
+var baseSegments = []struct {
+	name string
+	dept string
+}{
+	{"milk", "dairy"}, {"coffee", "beverages"}, {"sponge", "household"}, {"cheese", "dairy"},
+	{"butter", "dairy"}, {"yogurt", "dairy"}, {"cream", "dairy"}, {"eggs", "dairy"},
+	{"tea", "beverages"}, {"orange juice", "beverages"}, {"sparkling water", "beverages"},
+	{"still water", "beverages"}, {"soda", "beverages"}, {"beer", "beverages"}, {"wine", "beverages"},
+	{"dish soap", "household"}, {"laundry detergent", "household"}, {"paper towels", "household"},
+	{"toilet paper", "household"}, {"trash bags", "household"}, {"aluminium foil", "household"},
+	{"baguette", "bakery"}, {"sliced bread", "bakery"}, {"croissants", "bakery"}, {"brioche", "bakery"},
+	{"apples", "produce"}, {"bananas", "produce"}, {"tomatoes", "produce"}, {"lettuce", "produce"},
+	{"potatoes", "produce"}, {"onions", "produce"}, {"carrots", "produce"}, {"lemons", "produce"},
+	{"chicken", "meat-fish"}, {"ground beef", "meat-fish"}, {"ham", "meat-fish"}, {"salmon", "meat-fish"},
+	{"sausages", "meat-fish"}, {"tuna", "meat-fish"},
+	{"frozen pizza", "frozen"}, {"ice cream", "frozen"}, {"frozen vegetables", "frozen"},
+	{"frozen fries", "frozen"},
+	{"pasta", "grocery"}, {"rice", "grocery"}, {"flour", "grocery"}, {"sugar", "grocery"},
+	{"olive oil", "grocery"}, {"vinegar", "grocery"}, {"canned tomatoes", "grocery"},
+	{"cereal", "grocery"}, {"jam", "grocery"}, {"honey", "grocery"}, {"mustard", "grocery"},
+	{"chocolate", "snacks"}, {"cookies", "snacks"}, {"chips", "snacks"}, {"crackers", "snacks"},
+	{"candy", "snacks"}, {"nuts", "snacks"},
+	{"shampoo", "hygiene"}, {"toothpaste", "hygiene"}, {"soap", "hygiene"}, {"deodorant", "hygiene"},
+	{"razor blades", "hygiene"}, {"tissues", "hygiene"},
+}
+
+// buildCatalog synthesizes a catalog with cfg.Segments segments. The first
+// len(baseSegments) use the realistic name bank; any surplus is generated
+// as "<dept> specialty N". Products per segment get lognormal reference
+// prices.
+func buildCatalog(cfg Config, r *stats.Rand) (*taxonomy.Catalog, error) {
+	b := taxonomy.NewBuilder()
+	total := cfg.Segments
+	for i := 0; i < total; i++ {
+		var name, dept string
+		if i < len(baseSegments) {
+			name, dept = baseSegments[i].name, baseSegments[i].dept
+		} else {
+			dept = departmentNames[i%len(departmentNames)]
+			name = fmt.Sprintf("%s specialty %d", dept, i-len(baseSegments)+1)
+		}
+		segID, err := b.AddSegment(name, dept)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < cfg.ProductsPerSegment; p++ {
+			price := r.LogNormal(0.9, 0.5) // median ≈ 2.46 €
+			pname := fmt.Sprintf("%s sku %d", name, p+1)
+			if _, err := b.AddProduct(pname, segID, price); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// segmentPrices returns a per-segment representative price (mean of its
+// SKUs), indexed by ItemID-1, used to synthesize receipt spend.
+func segmentPrices(cat *taxonomy.Catalog) []float64 {
+	prices := make([]float64, cat.NumSegments())
+	counts := make([]int, cat.NumSegments())
+	for pid := 1; pid <= cat.NumProducts(); pid++ {
+		p, err := cat.Product(taxonomy.ProductID(pid))
+		if err != nil {
+			continue
+		}
+		prices[p.Segment-1] += p.Price
+		counts[p.Segment-1]++
+	}
+	for i := range prices {
+		if counts[i] > 0 {
+			prices[i] /= float64(counts[i])
+		} else {
+			prices[i] = 2.5
+		}
+	}
+	return prices
+}
+
+// popularItems returns all segment identifiers ordered 1..N; rank i is
+// sampled with Zipf weight by the callers, so identifier order is
+// popularity order by construction.
+func popularItems(cat *taxonomy.Catalog) []retail.ItemID {
+	out := make([]retail.ItemID, cat.NumSegments())
+	for i := range out {
+		out[i] = retail.ItemID(i + 1)
+	}
+	return out
+}

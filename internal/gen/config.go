@@ -1,0 +1,219 @@
+// Package gen is the synthetic retail-transaction simulator standing in
+// for the paper's proprietary dataset (receipts of 6M customers of a major
+// French retailer, May 2012 – Aug 2014, 4M products in 3,388 segments).
+//
+// The simulator produces exactly the shape the model consumes — (customer,
+// timestamp, basket-of-segments, spend) — with the two labelled cohorts the
+// evaluation needs:
+//
+//   - Loyal customers: a stable core repertoire of segments bought with
+//     per-segment periodicities, noisy trip schedules, impulse purchases
+//     and occasional vacations.
+//   - Defecting customers: identical behaviour until an onset month, then
+//     partial attrition — progressive loss of core segments and decaying
+//     trip frequency, never an abrupt exit (grocery defection is partial,
+//     as the paper stresses).
+//
+// Because the generator knows which segments each defector dropped and
+// when, it also provides the ground truth that the explanation-quality
+// experiment (EXT-1 in DESIGN.md) scores against — something impossible
+// with the real dataset.
+package gen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes dataset generation. NewConfig supplies defaults
+// matching the paper's setting scaled to laptop size; Validate enforces
+// consistency.
+type Config struct {
+	// Seed drives every random choice; equal configs generate identical
+	// datasets.
+	Seed int64
+
+	// Customers is the total number of customers across both cohorts.
+	Customers int
+	// DefectorFraction is the share of customers in the defecting cohort.
+	// The paper's evaluation set pairs loyal customers with loyal-then-
+	// defecting ones; 0.5 mirrors that balanced design.
+	DefectorFraction float64
+
+	// Start is the first day of the dataset (paper: May 2012).
+	Start time.Time
+	// Months is the dataset length in months (paper: 28, May 2012 – Aug
+	// 2014).
+	Months int
+	// JoinSpreadMonths spreads each customer's first shopping day
+	// uniformly over [0, JoinSpreadMonths] months after Start. 0 (the
+	// default, matching the paper's long-lived loyal cohort) makes
+	// everyone active from the first month; positive values create late
+	// joiners, which is what distinguishes the prior-window counting
+	// policies (EXT-4).
+	JoinSpreadMonths int
+
+	// OnsetMonth is the month index (0-based from Start) at which the
+	// defecting cohort begins attrition (paper: month 18).
+	OnsetMonth int
+	// OnsetJitterMonths adds uniform per-customer lag in
+	// [0, OnsetJitterMonths] to the onset, so defection is not perfectly
+	// synchronized.
+	OnsetJitterMonths int
+
+	// Segments is the catalog size at the abstraction level the model uses
+	// (paper: 3,388; default scaled down — the model's behaviour depends on
+	// per-customer repertoires, not catalog breadth).
+	Segments int
+	// ProductsPerSegment controls SKU synthesis under each segment.
+	ProductsPerSegment int
+	// ZipfExponent skews segment popularity (higher = heavier head).
+	ZipfExponent float64
+
+	// CoreSegmentsMin/Max bound each customer's core repertoire size.
+	CoreSegmentsMin, CoreSegmentsMax int
+
+	// TripsPerWeek is the population-mean shopping frequency; individual
+	// rates vary lognormally around it.
+	TripsPerWeek float64
+	// TempoSigma is the month-to-month lognormal noise on each customer's
+	// trip rate (busy periods, holidays). Tempo noise blurs recency and
+	// frequency for everyone, keeping the RFM baseline honest.
+	TempoSigma float64
+	// ImpulseMean is the mean number of non-core segments per trip.
+	ImpulseMean float64
+	// MissProb is the chance a due core segment is skipped on a trip —
+	// behavioural noise that keeps loyal stability below a hard 1.0.
+	MissProb float64
+
+	// VacationsPerYear is the expected number of purchase gaps per year;
+	// VacationDaysMin/Max bound their length. Vacations create false-alarm
+	// pressure for any attrition detector.
+	VacationsPerYear                 float64
+	VacationDaysMin, VacationDaysMax int
+
+	// DropFractionPerMonth is the share of a defector's remaining core
+	// segments dropped at each month boundary after onset.
+	DropFractionPerMonth float64
+	// TripDecayPerMonth multiplies a defector's trip rate at each month
+	// boundary after onset (partial attrition: rate decays, never zeroes).
+	TripDecayPerMonth float64
+
+	// RepertoireDriftPerMonth is the chance, each month, that a
+	// non-defecting customer swaps one core segment for a fresh one —
+	// ordinary taste drift. Drift keeps loyal stability strictly below 1
+	// and AUROC away from a saturated 1.0, like real data does. Defectors
+	// drift too, but only before their onset.
+	RepertoireDriftPerMonth float64
+
+	// SeveritySigma is the lognormal spread of per-defector attrition
+	// severity: each defector's drop fraction and trip decay are scaled by
+	// exp(N(0, SeveritySigma²)). Severity heterogeneity is what keeps
+	// detection imperfect months after onset — mild defectors look like
+	// drifting loyal customers for a long time. 0 disables heterogeneity.
+	SeveritySigma float64
+
+	// SeasonalFraction is the share of catalog segments that are seasonal:
+	// bought only during a 4-month window around a segment-specific peak
+	// month (ice cream in summer, clementines in winter). A loyal customer
+	// whose repertoire includes seasonal segments shows annual stability
+	// dips — a confounder every attrition detector faces on real grocery
+	// data. 0 (default) disables seasonality; the official reproduction
+	// numbers use 0 so they stay comparable with the paper's protocol.
+	SeasonalFraction float64
+	// SeasonLengthMonths is the width of the in-season window.
+	SeasonLengthMonths int
+}
+
+// NewConfig returns the default configuration: the paper's timeline and
+// onset, laptop-scale population and catalog.
+func NewConfig() Config {
+	return Config{
+		Seed:                    1,
+		Customers:               1600,
+		DefectorFraction:        0.5,
+		Start:                   time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC),
+		Months:                  28,
+		OnsetMonth:              18,
+		OnsetJitterMonths:       1,
+		Segments:                160,
+		ProductsPerSegment:      25,
+		ZipfExponent:            0.8,
+		CoreSegmentsMin:         12,
+		CoreSegmentsMax:         28,
+		TripsPerWeek:            1.6,
+		TempoSigma:              0.35,
+		ImpulseMean:             1.8,
+		MissProb:                0.12,
+		VacationsPerYear:        1.2,
+		VacationDaysMin:         7,
+		VacationDaysMax:         21,
+		DropFractionPerMonth:    0.20,
+		TripDecayPerMonth:       0.90,
+		RepertoireDriftPerMonth: 0.18,
+		SeveritySigma:           1.0,
+		SeasonalFraction:        0,
+		SeasonLengthMonths:      4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Customers < 1:
+		return fmt.Errorf("gen: Customers must be >= 1, got %d", c.Customers)
+	case c.DefectorFraction < 0 || c.DefectorFraction > 1:
+		return fmt.Errorf("gen: DefectorFraction must be in [0,1], got %v", c.DefectorFraction)
+	case c.Start.IsZero():
+		return fmt.Errorf("gen: zero Start time")
+	case c.Months < 2:
+		return fmt.Errorf("gen: Months must be >= 2, got %d", c.Months)
+	case c.OnsetMonth < 1 || c.OnsetMonth >= c.Months:
+		return fmt.Errorf("gen: OnsetMonth %d outside (0, Months=%d)", c.OnsetMonth, c.Months)
+	case c.Segments < 4:
+		return fmt.Errorf("gen: Segments must be >= 4, got %d", c.Segments)
+	case c.ProductsPerSegment < 1:
+		return fmt.Errorf("gen: ProductsPerSegment must be >= 1, got %d", c.ProductsPerSegment)
+	case c.ZipfExponent <= 0:
+		return fmt.Errorf("gen: ZipfExponent must be > 0, got %v", c.ZipfExponent)
+	case c.CoreSegmentsMin < 1 || c.CoreSegmentsMax < c.CoreSegmentsMin:
+		return fmt.Errorf("gen: core repertoire bounds [%d,%d] invalid", c.CoreSegmentsMin, c.CoreSegmentsMax)
+	case c.CoreSegmentsMax > c.Segments:
+		return fmt.Errorf("gen: CoreSegmentsMax %d exceeds Segments %d", c.CoreSegmentsMax, c.Segments)
+	case c.TripsPerWeek <= 0:
+		return fmt.Errorf("gen: TripsPerWeek must be > 0, got %v", c.TripsPerWeek)
+	case c.TempoSigma < 0:
+		return fmt.Errorf("gen: TempoSigma must be >= 0, got %v", c.TempoSigma)
+	case c.ImpulseMean < 0:
+		return fmt.Errorf("gen: ImpulseMean must be >= 0, got %v", c.ImpulseMean)
+	case c.MissProb < 0 || c.MissProb >= 1:
+		return fmt.Errorf("gen: MissProb must be in [0,1), got %v", c.MissProb)
+	case c.VacationsPerYear < 0:
+		return fmt.Errorf("gen: VacationsPerYear must be >= 0, got %v", c.VacationsPerYear)
+	case c.VacationsPerYear > 0 && (c.VacationDaysMin < 1 || c.VacationDaysMax < c.VacationDaysMin):
+		return fmt.Errorf("gen: vacation day bounds [%d,%d] invalid", c.VacationDaysMin, c.VacationDaysMax)
+	case c.DropFractionPerMonth <= 0 || c.DropFractionPerMonth > 1:
+		return fmt.Errorf("gen: DropFractionPerMonth must be in (0,1], got %v", c.DropFractionPerMonth)
+	case c.TripDecayPerMonth <= 0 || c.TripDecayPerMonth > 1:
+		return fmt.Errorf("gen: TripDecayPerMonth must be in (0,1], got %v", c.TripDecayPerMonth)
+	case c.OnsetJitterMonths < 0:
+		return fmt.Errorf("gen: OnsetJitterMonths must be >= 0, got %d", c.OnsetJitterMonths)
+	case c.RepertoireDriftPerMonth < 0 || c.RepertoireDriftPerMonth >= 1:
+		return fmt.Errorf("gen: RepertoireDriftPerMonth must be in [0,1), got %v", c.RepertoireDriftPerMonth)
+	case c.SeveritySigma < 0:
+		return fmt.Errorf("gen: SeveritySigma must be >= 0, got %v", c.SeveritySigma)
+	case c.JoinSpreadMonths < 0 || c.JoinSpreadMonths >= c.OnsetMonth:
+		return fmt.Errorf("gen: JoinSpreadMonths must be in [0, OnsetMonth=%d), got %d",
+			c.OnsetMonth, c.JoinSpreadMonths)
+	case c.SeasonalFraction < 0 || c.SeasonalFraction > 1:
+		return fmt.Errorf("gen: SeasonalFraction must be in [0,1], got %v", c.SeasonalFraction)
+	case c.SeasonalFraction > 0 && (c.SeasonLengthMonths < 1 || c.SeasonLengthMonths > 12):
+		return fmt.Errorf("gen: SeasonLengthMonths must be in [1,12], got %d", c.SeasonLengthMonths)
+	}
+	return nil
+}
+
+// End returns the first instant after the dataset (Start + Months).
+func (c Config) End() time.Time {
+	return c.Start.AddDate(0, c.Months, 0)
+}

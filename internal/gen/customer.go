@@ -1,0 +1,368 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// coreItem is one segment of a customer's core repertoire with its
+// replenishment cycle.
+type coreItem struct {
+	seg        retail.ItemID
+	periodDays float64
+	lastBought float64 // days since dataset start; negative = phase offset
+	active     bool
+}
+
+// profile is the behavioural state of one simulated customer.
+type profile struct {
+	id        retail.CustomerID
+	defector  bool
+	onset     int     // month index; -1 for loyal
+	baseRate  float64 // trips per week before decay/tempo modulation
+	decayMult float64 // cumulative post-onset attrition decay
+	tripRate  float64 // effective trips per week this month
+	impulse   float64 // mean impulse segments per trip (current)
+	missProb  float64 // per-trip chance of skipping a due core segment
+	dropFrac  float64 // per-month share of remaining core segments dropped
+	tripDecay float64 // per-month trip-rate multiplier post-onset
+	driftProb float64 // per-month chance of an ordinary repertoire swap
+	core      []coreItem
+	vacations []vacation
+	r         *stats.Rand
+	driftZipf *stats.Zipf // sampler for drift-adopted segments
+	// dropped marks attrition-lost segments: "stopped buying" means gone
+	// for good, so impulse draws and drift adoption must skip them.
+	dropped map[retail.ItemID]bool
+	// seasons maps segment index (ItemID−1) to its peak calendar month, or
+	// −1 for year-round segments. Shared across the population.
+	seasons []int8
+	// seasonLen and start cache the season geometry.
+	seasonLen int
+	start     time.Time
+}
+
+// inSeason reports whether a segment may be bought at the given day
+// offset. Year-round segments always qualify.
+func (p *profile) inSeason(seg retail.ItemID, day float64) bool {
+	if len(p.seasons) == 0 || int(seg)-1 >= len(p.seasons) {
+		return true
+	}
+	peak := p.seasons[seg-1]
+	if peak < 0 {
+		return true
+	}
+	m := (int(p.start.Month()) - 1 + monthOf(p.start, day)) % 12
+	offset := (m - int(peak)%12 + 12) % 12
+	lo := (p.seasonLen - 1) / 2
+	hi := p.seasonLen - 1 - lo
+	return offset <= hi || offset >= 12-lo
+}
+
+type vacation struct {
+	startDay, endDay float64
+}
+
+// newProfile draws a customer's stable parameters.
+func newProfile(cfg Config, id retail.CustomerID, defector bool, zipf *stats.Zipf, r *stats.Rand) *profile {
+	p := &profile{
+		id:        id,
+		defector:  defector,
+		onset:     -1,
+		baseRate:  cfg.TripsPerWeek * r.LogNormal(0, 0.25),
+		decayMult: 1,
+		impulse:   cfg.ImpulseMean * r.LogNormal(0, 0.2),
+		missProb:  cfg.MissProb,
+		r:         r,
+		driftZipf: zipf,
+		dropped:   make(map[retail.ItemID]bool),
+		seasonLen: cfg.SeasonLengthMonths,
+		start:     cfg.Start,
+	}
+	p.tripRate = p.baseRate * r.LogNormal(0, cfg.TempoSigma)
+	// Per-customer taste-drift intensity: most customers drift rarely, a
+	// heavy tail drifts a lot (moves, family changes) and resembles mild
+	// attrition — the overlap real churn data has.
+	p.driftProb = clamp(cfg.RepertoireDriftPerMonth*r.LogNormal(0, 0.8), 0, 0.5)
+	if defector {
+		p.onset = cfg.OnsetMonth + r.IntBetween(0, cfg.OnsetJitterMonths)
+		// Per-defector severity: a lognormal multiplier spreads both how
+		// fast the repertoire erodes and how fast trips decay. Mild
+		// defectors (small multiplier) stay near-indistinguishable from
+		// drifting loyal customers for months.
+		severity := r.LogNormal(0, cfg.SeveritySigma)
+		p.dropFrac = clamp(cfg.DropFractionPerMonth*severity, 0.01, 0.6)
+		decayAmount := (1 - cfg.TripDecayPerMonth) * severity
+		p.tripDecay = clamp(1-decayAmount, 0.65, 1.0)
+	}
+	k := r.IntBetween(cfg.CoreSegmentsMin, cfg.CoreSegmentsMax)
+	ranks := zipf.SampleDistinct(k)
+	sort.Ints(ranks)
+	p.core = make([]coreItem, 0, k)
+	for _, rank := range ranks {
+		// Replenishment period: heavy mass around weekly–biweekly, tail to
+		// monthly-plus. Clamped so every core item recurs inside a 2-month
+		// window with margin.
+		period := 5 + r.Exponential(9)
+		if period > 42 {
+			period = 42
+		}
+		p.core = append(p.core, coreItem{
+			seg:        retail.ItemID(rank + 1),
+			periodDays: period,
+			lastBought: -r.Float64() * period, // random phase
+			active:     true,
+		})
+	}
+	// Vacation plan over the whole horizon.
+	horizonDays := cfg.End().Sub(cfg.Start).Hours() / 24
+	years := horizonDays / 365.25
+	n := r.Poisson(cfg.VacationsPerYear * years)
+	for i := 0; i < n; i++ {
+		start := r.Float64() * horizonDays
+		length := float64(r.IntBetween(cfg.VacationDaysMin, cfg.VacationDaysMax))
+		p.vacations = append(p.vacations, vacation{startDay: start, endDay: start + length})
+	}
+	sort.Slice(p.vacations, func(i, j int) bool { return p.vacations[i].startDay < p.vacations[j].startDay })
+	return p
+}
+
+func (p *profile) onVacation(day float64) bool {
+	for _, v := range p.vacations {
+		if day >= v.startDay && day < v.endDay {
+			return true
+		}
+		if v.startDay > day {
+			break
+		}
+	}
+	return false
+}
+
+// monthOf converts a day offset to a month index given the dataset start.
+func monthOf(start time.Time, day float64) int {
+	t := start.Add(time.Duration(day * 24 * float64(time.Hour)))
+	return (t.Year()-start.Year())*12 + int(t.Month()) - int(start.Month())
+}
+
+// simulate generates the customer's receipts, attrition drop events and
+// drift drop events over the configured horizon.
+func (p *profile) simulate(cfg Config, prices []float64, zipf *stats.Zipf) (receipts []retail.Receipt, drops, driftDrops []DropEvent) {
+	horizonDays := cfg.End().Sub(cfg.Start).Hours() / 24
+
+	curMonth := 0
+	// Late joiners: the customer's first trip happens after their join
+	// offset; everything before is pre-customer silence. Replenishment
+	// phases shift with the join so baskets ramp up naturally instead of
+	// dumping the whole repertoire into the first receipt.
+	joinDay := p.r.Float64() * float64(cfg.JoinSpreadMonths) * 30.44
+	if joinDay > 0 {
+		for i := range p.core {
+			p.core[i].lastBought += joinDay
+		}
+	}
+	day := joinDay + p.r.Exponential(7/p.tripRate)
+	for day < horizonDays {
+		m := monthOf(cfg.Start, day)
+		// Apply month-boundary transitions (possibly several if trips are
+		// sparse): ordinary repertoire drift for everyone pre-onset,
+		// attrition for defectors post-onset.
+		for curMonth < m {
+			curMonth++
+			if p.defector && curMonth >= p.onset {
+				drops = append(drops, p.applyMonthlyAttrition(cfg, curMonth)...)
+			} else if d, ok := p.applyMonthlyDrift(cfg, curMonth); ok {
+				driftDrops = append(driftDrops, d)
+			}
+			// Month-to-month tempo: the same customer shops more some
+			// months than others, independent of loyalty.
+			p.tripRate = p.baseRate * p.decayMult * p.r.LogNormal(0, cfg.TempoSigma)
+		}
+
+		if !p.onVacation(day) {
+			basket, spend := p.basketAt(day, prices, zipf)
+			if len(basket) > 0 {
+				ts := cfg.Start.Add(time.Duration(day * 24 * float64(time.Hour)))
+				// Shift into shopping hours (08:00–20:00) deterministically
+				// from the fractional day so ordering is preserved.
+				receipts = append(receipts, retail.Receipt{Time: ts, Items: basket, Spend: spend})
+			}
+		}
+		gap := p.r.Exponential(7 / p.tripRate)
+		if gap < 0.25 {
+			gap = 0.25 // at most a few trips per day
+		}
+		day += gap
+	}
+	return receipts, drops, driftDrops
+}
+
+// applyMonthlyDrift occasionally swaps one active core segment for a fresh
+// one — ordinary taste drift that keeps even loyal stability below 1.
+func (p *profile) applyMonthlyDrift(cfg Config, month int) (DropEvent, bool) {
+	if !p.r.Bernoulli(p.driftProb) {
+		return DropEvent{}, false
+	}
+	var active []int
+	inCore := make(map[retail.ItemID]bool, len(p.core))
+	for i := range p.core {
+		if p.core[i].active {
+			active = append(active, i)
+		}
+		inCore[p.core[i].seg] = true
+	}
+	if len(active) == 0 {
+		return DropEvent{}, false
+	}
+	idx := active[p.r.Intn(len(active))]
+	dropped := p.core[idx].seg
+	p.core[idx].active = false
+
+	// Adopt a replacement segment not already in the repertoire.
+	monthStart := float64(month) * 30.44
+	for try := 0; try < 8; try++ {
+		seg := retail.ItemID(p.driftZipf.Draw() + 1)
+		if inCore[seg] {
+			continue
+		}
+		period := 5 + p.r.Exponential(9)
+		if period > 42 {
+			period = 42
+		}
+		p.core = append(p.core, coreItem{
+			seg:        seg,
+			periodDays: period,
+			lastBought: monthStart - p.r.Float64()*period,
+			active:     true,
+		})
+		break
+	}
+	return DropEvent{Month: month, Segment: dropped}, true
+}
+
+// applyMonthlyAttrition drops a binomial share of remaining core segments
+// and decays trip/impulse rates. Returns the drop events recorded at this
+// month.
+func (p *profile) applyMonthlyAttrition(cfg Config, month int) []DropEvent {
+	var out []DropEvent
+	remaining := 0
+	for i := range p.core {
+		if p.core[i].active {
+			remaining++
+		}
+	}
+	if remaining > 0 {
+		// The first attrition month is front-loaded: defection typically
+		// starts with a visible break (a competitor opened nearby, a move)
+		// before settling into gradual erosion.
+		frac := p.dropFrac
+		if month == p.onset {
+			frac = clamp(2*frac, 0, 0.7)
+		}
+		toDrop := p.r.Binomial(remaining, frac)
+		// Ensure progress in the first attrition month so every defector
+		// has at least one explainable loss.
+		if toDrop == 0 && month == p.onset {
+			toDrop = 1
+		}
+		for d := 0; d < toDrop; d++ {
+			// Drop the least-popular remaining core segment with higher
+			// probability: peripheral items go first, staples last —
+			// mirrors partial attrition where customers keep buying bread
+			// and milk the longest.
+			idx := p.pickDropIndex()
+			if idx < 0 {
+				break
+			}
+			p.core[idx].active = false
+			p.dropped[p.core[idx].seg] = true
+			out = append(out, DropEvent{Month: month, Segment: p.core[idx].seg})
+		}
+	}
+	// Trip frequency erodes from the month after onset: partial attrition
+	// shifts basket content to a competitor before store visits thin out,
+	// so recency/frequency signals lag basket-content signals. Impulse
+	// buying does not decay — the customer who still walks the aisles still
+	// grabs chocolate — which keeps receipt-level R/F/M signals partially
+	// healthy while the stable repertoire erodes underneath.
+	if month > p.onset {
+		p.decayMult *= p.tripDecay
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// pickDropIndex chooses an active core index, biased toward higher segment
+// identifiers (= less popular by construction).
+func (p *profile) pickDropIndex() int {
+	var weights []float64
+	var idxs []int
+	for i := range p.core {
+		if p.core[i].active {
+			idxs = append(idxs, i)
+			weights = append(weights, math.Sqrt(float64(p.core[i].seg)))
+		}
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	return idxs[p.r.PickWeighted(weights)]
+}
+
+// basketAt assembles the basket of one trip at the given day offset.
+func (p *profile) basketAt(day float64, prices []float64, zipf *stats.Zipf) (retail.Basket, float64) {
+	var items []retail.ItemID
+	var spend float64
+	for i := range p.core {
+		c := &p.core[i]
+		if !c.active {
+			continue
+		}
+		if !p.inSeason(c.seg, day) {
+			continue // out-of-season items stay due; they return with the season
+		}
+		if day-c.lastBought >= c.periodDays {
+			if p.r.Bernoulli(1 - p.missProb) {
+				items = append(items, c.seg)
+				c.lastBought = day
+				spend += priceOf(prices, c.seg) * p.r.LogNormal(0, 0.15)
+			} else {
+				// Missed this trip; slight nudge so it stays due next trip.
+				c.lastBought = day - c.periodDays
+			}
+		}
+	}
+	n := p.r.Poisson(p.impulse)
+	for i := 0; i < n; i++ {
+		seg := retail.ItemID(zipf.Draw() + 1)
+		if p.dropped[seg] {
+			continue // lost segments stay lost, even to impulse
+		}
+		if !p.inSeason(seg, day) {
+			continue
+		}
+		items = append(items, seg)
+		spend += priceOf(prices, seg) * p.r.LogNormal(0, 0.15)
+	}
+	return retail.NewBasket(items), spend
+}
+
+func priceOf(prices []float64, seg retail.ItemID) float64 {
+	if int(seg)-1 < len(prices) {
+		return prices[seg-1]
+	}
+	return 2.5
+}

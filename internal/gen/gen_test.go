@@ -1,0 +1,423 @@
+package gen
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// smallConfig returns a fast configuration for tests.
+func smallConfig() Config {
+	cfg := NewConfig()
+	cfg.Customers = 60
+	cfg.Segments = 80
+	cfg.ProductsPerSegment = 3
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no customers", func(c *Config) { c.Customers = 0 }},
+		{"bad fraction", func(c *Config) { c.DefectorFraction = 1.5 }},
+		{"zero start", func(c *Config) { c.Start = time.Time{} }},
+		{"short", func(c *Config) { c.Months = 1 }},
+		{"onset too early", func(c *Config) { c.OnsetMonth = 0 }},
+		{"onset beyond end", func(c *Config) { c.OnsetMonth = c.Months }},
+		{"few segments", func(c *Config) { c.Segments = 2 }},
+		{"no products", func(c *Config) { c.ProductsPerSegment = 0 }},
+		{"bad zipf", func(c *Config) { c.ZipfExponent = 0 }},
+		{"core bounds", func(c *Config) { c.CoreSegmentsMin = 10; c.CoreSegmentsMax = 5 }},
+		{"core beyond catalog", func(c *Config) { c.CoreSegmentsMax = c.Segments + 1 }},
+		{"no trips", func(c *Config) { c.TripsPerWeek = 0 }},
+		{"neg tempo", func(c *Config) { c.TempoSigma = -1 }},
+		{"neg impulse", func(c *Config) { c.ImpulseMean = -1 }},
+		{"bad miss", func(c *Config) { c.MissProb = 1 }},
+		{"neg vacations", func(c *Config) { c.VacationsPerYear = -1 }},
+		{"vacation bounds", func(c *Config) { c.VacationDaysMin = 10; c.VacationDaysMax = 5 }},
+		{"zero dropfrac", func(c *Config) { c.DropFractionPerMonth = 0 }},
+		{"big dropfrac", func(c *Config) { c.DropFractionPerMonth = 1.5 }},
+		{"zero decay", func(c *Config) { c.TripDecayPerMonth = 0 }},
+		{"neg jitter", func(c *Config) { c.OnsetJitterMonths = -1 }},
+		{"drift out of range", func(c *Config) { c.RepertoireDriftPerMonth = 1 }},
+		{"neg severity", func(c *Config) { c.SeveritySigma = -0.1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := NewConfig()
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("mutation %q accepted", m.name)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.NumReceipts() != b.Store.NumReceipts() {
+		t.Fatalf("receipt counts differ: %d vs %d", a.Store.NumReceipts(), b.Store.NumReceipts())
+	}
+	for _, id := range a.Store.Customers() {
+		ha, _ := a.Store.History(id)
+		hb, err := b.Store.History(id)
+		if err != nil {
+			t.Fatalf("customer %d missing in second run", id)
+		}
+		if len(ha.Receipts) != len(hb.Receipts) {
+			t.Fatalf("customer %d: %d vs %d receipts", id, len(ha.Receipts), len(hb.Receipts))
+		}
+		for i := range ha.Receipts {
+			if !ha.Receipts[i].Time.Equal(hb.Receipts[i].Time) || !ha.Receipts[i].Items.Equal(hb.Receipts[i].Items) {
+				t.Fatalf("customer %d receipt %d differs", id, i)
+			}
+		}
+	}
+	c := cfg
+	c.Seed = cfg.Seed + 1
+	other, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Store.NumReceipts() == a.Store.NumReceipts() {
+		t.Log("warning: different seeds gave identical receipt counts (possible but unlikely)")
+	}
+}
+
+func TestGenerateCohorts(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ds.Truth.Labels()
+	if len(labels) != cfg.Customers {
+		t.Fatalf("labels = %d, want %d", len(labels), cfg.Customers)
+	}
+	defectors, loyal := 0, 0
+	for _, l := range labels {
+		switch l.Cohort {
+		case retail.CohortDefecting:
+			defectors++
+			if l.OnsetMonth < cfg.OnsetMonth || l.OnsetMonth > cfg.OnsetMonth+cfg.OnsetJitterMonths {
+				t.Fatalf("defector onset %d outside [%d,%d]", l.OnsetMonth, cfg.OnsetMonth, cfg.OnsetMonth+cfg.OnsetJitterMonths)
+			}
+		case retail.CohortLoyal:
+			loyal++
+			if l.OnsetMonth != -1 {
+				t.Fatalf("loyal customer has onset %d", l.OnsetMonth)
+			}
+		default:
+			t.Fatalf("unknown cohort in labels")
+		}
+	}
+	want := int(float64(cfg.Customers)*cfg.DefectorFraction + 0.5)
+	if defectors != want {
+		t.Fatalf("defectors = %d, want %d", defectors, want)
+	}
+	if got := ds.Truth.Defectors(); len(got) != defectors {
+		t.Fatalf("Defectors() = %d ids", len(got))
+	}
+}
+
+func TestGenerateDropsAfterOnsetOnly(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, truth := range ds.Truth.ByCustomer {
+		if truth.Label.Cohort == retail.CohortLoyal {
+			if len(truth.Drops) != 0 {
+				t.Fatalf("loyal customer %d has attrition drops", id)
+			}
+			continue
+		}
+		if len(truth.Drops) == 0 {
+			t.Fatalf("defector %d has no drops", id)
+		}
+		for _, d := range truth.Drops {
+			if d.Month < truth.Label.OnsetMonth {
+				t.Fatalf("defector %d dropped segment at month %d before onset %d", id, d.Month, truth.Label.OnsetMonth)
+			}
+			// Dropped segments come from the recorded core repertoire or a
+			// drift-adopted segment; at minimum they must be valid ids.
+			if d.Segment == retail.NoItem {
+				t.Fatalf("defector %d dropped NoItem", id)
+			}
+		}
+	}
+}
+
+func TestGenerateDroppedSegmentsNotBoughtAgain(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, truth := range ds.Truth.ByCustomer {
+		if truth.Label.Cohort != retail.CohortDefecting {
+			continue
+		}
+		h, err := ds.Store.History(id)
+		if err != nil {
+			continue
+		}
+		for _, d := range truth.Drops {
+			cut := cfg.Start.AddDate(0, d.Month, 0)
+			for _, r := range h.Receipts {
+				if r.Time.Before(cut) {
+					continue
+				}
+				if r.Items.Contains(d.Segment) {
+					t.Fatalf("customer %d bought dropped segment %d after month %d", id, d.Segment, d.Month)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDefectorsStillShop(t *testing.T) {
+	// Partial attrition: defectors must keep visiting the store after
+	// onset (unlike contractual churn).
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := cfg.Start.AddDate(0, cfg.OnsetMonth+2, 0)
+	still := 0
+	total := 0
+	for _, id := range ds.Truth.Defectors() {
+		h, err := ds.Store.History(id)
+		if err != nil {
+			continue
+		}
+		total++
+		for _, r := range h.Receipts {
+			if r.Time.After(onset) {
+				still++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no defectors")
+	}
+	if frac := float64(still) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.0f%% of defectors still shop after onset+2mo", frac*100)
+	}
+}
+
+func TestGroundTruthDroppedBy(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ds.Truth.Defectors() {
+		truth := ds.Truth.ByCustomer[id]
+		if len(truth.Drops) == 0 {
+			continue
+		}
+		d := truth.Drops[0]
+		month, ok := ds.Truth.DroppedBy(id, d.Segment)
+		if !ok || month != d.Month {
+			t.Fatalf("DroppedBy(%d, %d) = %d, %v", id, d.Segment, month, ok)
+		}
+		if _, ok := ds.Truth.DroppedBy(id, retail.ItemID(60000)); ok {
+			t.Fatal("DroppedBy found a never-dropped segment")
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no drops to test")
+	}
+	if _, ok := ds.Truth.DroppedBy(999999, 1); ok {
+		t.Fatal("DroppedBy found unknown customer")
+	}
+}
+
+func TestGenerateCatalogShape(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Catalog.NumSegments() != cfg.Segments {
+		t.Fatalf("segments = %d, want %d", ds.Catalog.NumSegments(), cfg.Segments)
+	}
+	if ds.Catalog.NumProducts() != cfg.Segments*cfg.ProductsPerSegment {
+		t.Fatalf("products = %d", ds.Catalog.NumProducts())
+	}
+	// Figure-2 segments must exist by name.
+	for _, name := range []string{"coffee", "milk", "sponge", "cheese"} {
+		if _, err := ds.Catalog.SegmentByName(name); err != nil {
+			t.Fatalf("catalog missing %q: %v", name, err)
+		}
+	}
+	// All receipt items must be valid segment ids.
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			for _, it := range r.Items {
+				if int(it) < 1 || int(it) > cfg.Segments {
+					t.Errorf("customer %d bought invalid segment %d", h.Customer, it)
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestGenerateTimeRangeWithinHorizon(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := ds.Store.TimeRange()
+	if !ok {
+		t.Fatal("empty store")
+	}
+	if min.Before(cfg.Start) {
+		t.Fatalf("receipt before dataset start: %v", min)
+	}
+	if !max.Before(cfg.End()) {
+		t.Fatalf("receipt at/after dataset end: %v vs %v", max, cfg.End())
+	}
+}
+
+func TestGenerateLateJoiners(t *testing.T) {
+	cfg := smallConfig()
+	cfg.JoinSpreadMonths = 10
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := 0, 0
+	cut := cfg.Start.AddDate(0, 3, 0)
+	ds.Store.Each(func(h retail.History) bool {
+		first, _, ok := h.Span()
+		if !ok {
+			return true
+		}
+		if first.Before(cut) {
+			early++
+		} else {
+			late++
+		}
+		return true
+	})
+	if late == 0 {
+		t.Fatal("join spread produced no late joiners")
+	}
+	if early == 0 {
+		t.Fatal("join spread produced no early joiners")
+	}
+	// Without spread, everyone joins in the first weeks.
+	cfg2 := smallConfig()
+	ds2, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2.Store.Each(func(h retail.History) bool {
+		first, _, ok := h.Span()
+		if ok && !first.Before(cut) {
+			t.Errorf("customer %d joined at %v with zero spread", h.Customer, first)
+			return false
+		}
+		return true
+	})
+	// Validation: spread must stay below the onset.
+	bad := smallConfig()
+	bad.JoinSpreadMonths = bad.OnsetMonth
+	if err := bad.Validate(); err == nil {
+		t.Fatal("join spread >= onset accepted")
+	}
+}
+
+func TestGenerateSeasonality(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SeasonalFraction = 0.5
+	cfg.SeasonLengthMonths = 4
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the season table the generator used (same fork order) to
+	// verify the constraint directly.
+	root := stats.NewRand(cfg.Seed)
+	root.Fork() // catalog fork
+	seasons := buildSeasons(cfg, root.Fork())
+	seasonal := 0
+	for _, s := range seasons {
+		if s >= 0 {
+			seasonal++
+		}
+	}
+	if seasonal == 0 || seasonal == cfg.Segments {
+		t.Fatalf("seasonal segments = %d of %d", seasonal, cfg.Segments)
+	}
+	// No receipt may contain an out-of-season segment.
+	violations := 0
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			m := (int(cfg.Start.Month()) - 1 + monthsBetween(cfg.Start, r.Time)) % 12
+			for _, it := range r.Items {
+				peak := seasons[it-1]
+				if peak < 0 {
+					continue
+				}
+				offset := (m - int(peak) + 12) % 12
+				lo := (cfg.SeasonLengthMonths - 1) / 2
+				hi := cfg.SeasonLengthMonths - 1 - lo
+				if !(offset <= hi || offset >= 12-lo) {
+					violations++
+				}
+			}
+		}
+		return true
+	})
+	if violations > 0 {
+		t.Fatalf("%d out-of-season purchases", violations)
+	}
+	// Validation bounds.
+	bad := cfg
+	bad.SeasonalFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SeasonalFraction > 1 accepted")
+	}
+	bad = cfg
+	bad.SeasonLengthMonths = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SeasonLengthMonths 0 accepted")
+	}
+}
+
+func monthsBetween(a, b time.Time) int {
+	return (b.Year()-a.Year())*12 + int(b.Month()) - int(a.Month())
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Customers = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

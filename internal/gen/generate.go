@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+	"github.com/gautrais/stability/internal/store"
+	"github.com/gautrais/stability/internal/taxonomy"
+)
+
+// DropEvent records one ground-truth segment loss of a defecting customer.
+type DropEvent struct {
+	// Month is the month index (from dataset start) at whose beginning the
+	// segment stopped being bought.
+	Month int
+	// Segment is the lost segment.
+	Segment retail.ItemID
+}
+
+// CustomerTruth is the generator's ground truth for one customer.
+type CustomerTruth struct {
+	Label retail.Label
+	// Core lists the customer's core repertoire (active at generation
+	// time zero), ascending.
+	Core []retail.ItemID
+	// Drops lists attrition segment losses in chronological order (empty
+	// for loyal customers).
+	Drops []DropEvent
+	// DriftDrops lists ordinary taste-drift losses (any cohort). They are
+	// genuine losses the model may legitimately blame, but they are not
+	// attrition.
+	DriftDrops []DropEvent
+}
+
+// GroundTruth indexes per-customer truth records.
+type GroundTruth struct {
+	ByCustomer map[retail.CustomerID]*CustomerTruth
+}
+
+// Labels returns every label sorted by customer identifier.
+func (g *GroundTruth) Labels() []retail.Label {
+	out := make([]retail.Label, 0, len(g.ByCustomer))
+	for _, t := range g.ByCustomer {
+		out = append(out, t.Label)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Customer < out[j].Customer })
+	return out
+}
+
+// Defectors returns the identifiers of the defecting cohort, ascending.
+func (g *GroundTruth) Defectors() []retail.CustomerID {
+	var out []retail.CustomerID
+	for id, t := range g.ByCustomer {
+		if t.Label.Cohort == retail.CohortDefecting {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DroppedBy returns the month at which the customer dropped the given
+// segment, or ok=false if they never did.
+func (g *GroundTruth) DroppedBy(id retail.CustomerID, seg retail.ItemID) (month int, ok bool) {
+	t, found := g.ByCustomer[id]
+	if !found {
+		return 0, false
+	}
+	for _, d := range t.Drops {
+		if d.Segment == seg {
+			return d.Month, true
+		}
+	}
+	return 0, false
+}
+
+// buildSeasons assigns each segment a peak calendar month (0–11) or −1
+// for non-seasonal segments. A SeasonalFraction of segments is seasonal.
+func buildSeasons(cfg Config, r *stats.Rand) []int8 {
+	seasons := make([]int8, cfg.Segments)
+	for i := range seasons {
+		seasons[i] = -1
+		if cfg.SeasonalFraction > 0 && r.Bernoulli(cfg.SeasonalFraction) {
+			seasons[i] = int8(r.Intn(12))
+		}
+	}
+	return seasons
+}
+
+// Dataset bundles everything one generation run produces.
+type Dataset struct {
+	Config  Config
+	Store   *store.Store
+	Catalog *taxonomy.Catalog
+	Truth   *GroundTruth
+}
+
+// Generate synthesizes a full dataset. It is deterministic in cfg.Seed.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRand(cfg.Seed)
+	catRand := root.Fork()
+	cat, err := buildCatalog(cfg, catRand)
+	if err != nil {
+		return nil, fmt.Errorf("gen: catalog: %w", err)
+	}
+	prices := segmentPrices(cat)
+	seasons := buildSeasons(cfg, root.Fork())
+
+	nDefect := int(float64(cfg.Customers)*cfg.DefectorFraction + 0.5)
+	truth := &GroundTruth{ByCustomer: make(map[retail.CustomerID]*CustomerTruth, cfg.Customers)}
+	sb := store.NewBuilder()
+
+	popRand := root.Fork()
+	for i := 0; i < cfg.Customers; i++ {
+		id := retail.CustomerID(i + 1)
+		defector := i < nDefect
+		custRand := popRand.Fork()
+		zipf := stats.NewZipf(custRand, cfg.Segments, cfg.ZipfExponent)
+		p := newProfile(cfg, id, defector, zipf, custRand)
+		p.seasons = seasons
+		receipts, drops, driftDrops := p.simulate(cfg, prices, zipf)
+		for _, r := range receipts {
+			if err := sb.AddReceipt(id, r); err != nil {
+				return nil, fmt.Errorf("gen: customer %d: %w", id, err)
+			}
+		}
+		ct := &CustomerTruth{
+			Label:      retail.Label{Customer: id, Cohort: retail.CohortLoyal, OnsetMonth: -1},
+			Core:       make([]retail.ItemID, 0, len(p.core)),
+			Drops:      drops,
+			DriftDrops: driftDrops,
+		}
+		for _, c := range p.core {
+			ct.Core = append(ct.Core, c.seg)
+		}
+		sort.Slice(ct.Core, func(a, b int) bool { return ct.Core[a] < ct.Core[b] })
+		if defector {
+			ct.Label.Cohort = retail.CohortDefecting
+			ct.Label.OnsetMonth = p.onset
+		}
+		truth.ByCustomer[id] = ct
+	}
+	return &Dataset{Config: cfg, Store: sb.Build(), Catalog: cat, Truth: truth}, nil
+}

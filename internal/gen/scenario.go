@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+	"github.com/gautrais/stability/internal/store"
+	"github.com/gautrais/stability/internal/taxonomy"
+)
+
+// ScriptedDrop names segments a scripted customer stops buying at the
+// start of a month.
+type ScriptedDrop struct {
+	Month    int
+	Segments []string
+}
+
+// Scenario is a scripted single-customer dataset used to reproduce the
+// paper's Figure 2 use case.
+type Scenario struct {
+	Store    *store.Store
+	Catalog  *taxonomy.Catalog
+	Customer retail.CustomerID
+	Drops    []ScriptedDrop
+	Grid     GridSpec
+}
+
+// GridSpec records the timeline the scenario was generated on.
+type GridSpec struct {
+	Start  time.Time
+	Months int
+}
+
+// Figure2Config parameterizes the scripted use case. The defaults replay
+// the paper's narrative exactly: a loyal customer on the May-2012 timeline
+// who stops buying coffee at month 20 and milk, sponge and cheese at
+// month 22.
+type Figure2Config struct {
+	Seed   int64
+	Start  time.Time
+	Months int
+	// Repertoire lists the core segments the customer buys regularly. It
+	// must include every segment named in Drops.
+	Repertoire []string
+	// PeriodDays is the replenishment cycle shared by repertoire items.
+	PeriodDays float64
+	// TripEveryDays is the (mean) gap between store visits.
+	TripEveryDays float64
+	// Drops scripts the losses.
+	Drops []ScriptedDrop
+}
+
+// DefaultFigure2Config returns the paper's use case. Drops are scripted at
+// months 18 and 20 — the customer starts defecting exactly at the cohort
+// onset (month 18, the paper's "start of attrition") — so that on the
+// 2-month window grid the first fully-missing windows end at months 20 and
+// 22, where the paper's figure shows the two stability decreases
+// ("decrease in month 20 … stopped buying coffee during this window";
+// "in month 22 … milk, sponge and cheese").
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{
+		Seed:   7,
+		Start:  time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC),
+		Months: 28,
+		Repertoire: []string{
+			"coffee", "milk", "sponge", "cheese",
+			"butter", "yogurt", "baguette", "pasta",
+			"apples", "bananas", "toilet paper", "eggs",
+		},
+		PeriodDays:    9,
+		TripEveryDays: 3.5,
+		Drops: []ScriptedDrop{
+			{Month: 18, Segments: []string{"coffee"}},
+			{Month: 20, Segments: []string{"milk", "sponge", "cheese"}},
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Figure2Config) Validate() error {
+	if c.Start.IsZero() {
+		return fmt.Errorf("gen: figure2: zero start")
+	}
+	if c.Months < 2 {
+		return fmt.Errorf("gen: figure2: months must be >= 2, got %d", c.Months)
+	}
+	if len(c.Repertoire) == 0 {
+		return fmt.Errorf("gen: figure2: empty repertoire")
+	}
+	if c.PeriodDays <= 0 || c.TripEveryDays <= 0 {
+		return fmt.Errorf("gen: figure2: periods must be positive")
+	}
+	have := make(map[string]bool, len(c.Repertoire))
+	for _, s := range c.Repertoire {
+		have[s] = true
+	}
+	for _, d := range c.Drops {
+		if d.Month < 1 || d.Month >= c.Months {
+			return fmt.Errorf("gen: figure2: drop month %d outside (0,%d)", d.Month, c.Months)
+		}
+		for _, s := range d.Segments {
+			if !have[s] {
+				return fmt.Errorf("gen: figure2: drop references %q not in repertoire", s)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure2Scenario builds the scripted dataset.
+func Figure2Scenario(cfg Figure2Config) (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// A small named catalog covering the repertoire.
+	catCfg := NewConfig()
+	catCfg.Segments = len(baseSegments)
+	catCfg.ProductsPerSegment = 3
+	r := stats.NewRand(cfg.Seed)
+	cat, err := buildCatalog(catCfg, r.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("gen: figure2 catalog: %w", err)
+	}
+	repertoire, err := cat.AbstractNames(cfg.Repertoire)
+	if err != nil {
+		return nil, fmt.Errorf("gen: figure2 repertoire: %w", err)
+	}
+	dropAt := make(map[retail.ItemID]int) // segment -> month it is lost
+	for _, d := range cfg.Drops {
+		for _, name := range d.Segments {
+			seg, err := cat.SegmentByName(name)
+			if err != nil {
+				return nil, err
+			}
+			dropAt[seg.ID] = d.Month
+		}
+	}
+
+	const id = retail.CustomerID(42)
+	sb := store.NewBuilder()
+	horizonDays := cfg.Start.AddDate(0, cfg.Months, 0).Sub(cfg.Start).Hours() / 24
+	last := make(map[retail.ItemID]float64, len(repertoire))
+	for i, seg := range repertoire {
+		// Stagger phases so baskets differ trip to trip.
+		last[seg] = -cfg.PeriodDays * float64(i%3) / 3
+	}
+	day := 0.5
+	for day < horizonDays {
+		month := monthOf(cfg.Start, day)
+		var items []retail.ItemID
+		var spend float64
+		for _, seg := range repertoire {
+			if m, dropped := dropAt[seg]; dropped && month >= m {
+				continue // lost segment: never bought again
+			}
+			if day-last[seg] >= cfg.PeriodDays {
+				items = append(items, seg)
+				last[seg] = day
+				spend += 2.5 * r.LogNormal(0, 0.1)
+			}
+		}
+		if len(items) > 0 {
+			ts := cfg.Start.Add(time.Duration(day * 24 * float64(time.Hour)))
+			if err := sb.AddReceipt(id, retail.Receipt{Time: ts, Items: retail.NewBasket(items), Spend: spend}); err != nil {
+				return nil, err
+			}
+		}
+		day += cfg.TripEveryDays * (0.9 + 0.2*r.Float64())
+	}
+	return &Scenario{
+		Store:    sb.Build(),
+		Catalog:  cat,
+		Customer: id,
+		Drops:    cfg.Drops,
+		Grid:     GridSpec{Start: cfg.Start, Months: cfg.Months},
+	}, nil
+}

@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+func TestFigure2ConfigValidation(t *testing.T) {
+	if err := DefaultFigure2Config().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Figure2Config)
+	}{
+		{"zero start", func(c *Figure2Config) { c.Start = time.Time{} }},
+		{"short", func(c *Figure2Config) { c.Months = 1 }},
+		{"empty repertoire", func(c *Figure2Config) { c.Repertoire = nil }},
+		{"bad period", func(c *Figure2Config) { c.PeriodDays = 0 }},
+		{"bad trip gap", func(c *Figure2Config) { c.TripEveryDays = -1 }},
+		{"drop month out of range", func(c *Figure2Config) { c.Drops[0].Month = 99 }},
+		{"drop not in repertoire", func(c *Figure2Config) { c.Drops[0].Segments = []string{"caviar"} }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultFigure2Config()
+			// Deep-copy the drops so mutations do not leak across cases.
+			drops := make([]ScriptedDrop, len(cfg.Drops))
+			for i, d := range cfg.Drops {
+				drops[i] = ScriptedDrop{Month: d.Month, Segments: append([]string{}, d.Segments...)}
+			}
+			cfg.Drops = drops
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("mutation %q accepted", m.name)
+			}
+		})
+	}
+}
+
+func TestFigure2ScenarioShape(t *testing.T) {
+	cfg := DefaultFigure2Config()
+	sc, err := Figure2Scenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Store.NumCustomers() != 1 {
+		t.Fatalf("customers = %d", sc.Store.NumCustomers())
+	}
+	h, err := sc.Store.History(sc.Customer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Receipts) < 100 {
+		t.Fatalf("only %d receipts over 28 months", len(h.Receipts))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropped segments vanish exactly at their scripted months.
+	for _, d := range sc.Drops {
+		cut := cfg.Start.AddDate(0, d.Month, 0)
+		for _, name := range d.Segments {
+			seg, err := sc.Catalog.SegmentByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boughtBefore, boughtAfter := false, false
+			for _, r := range h.Receipts {
+				if r.Items.Contains(seg.ID) {
+					if r.Time.Before(cut) {
+						boughtBefore = true
+					} else {
+						boughtAfter = true
+					}
+				}
+			}
+			if !boughtBefore {
+				t.Errorf("%s never bought before its drop month", name)
+			}
+			if boughtAfter {
+				t.Errorf("%s bought after its drop month %d", name, d.Month)
+			}
+		}
+	}
+
+	// Non-dropped repertoire items persist to the end.
+	lastQuarter := cfg.Start.AddDate(0, cfg.Months-3, 0)
+	butter, err := sc.Catalog.SegmentByName("butter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := false
+	for _, r := range h.Receipts {
+		if r.Time.After(lastQuarter) && r.Items.Contains(butter.ID) {
+			persisted = true
+			break
+		}
+	}
+	if !persisted {
+		t.Error("butter (never dropped) missing from the last quarter")
+	}
+}
+
+func TestFigure2ScenarioDeterministic(t *testing.T) {
+	a, err := Figure2Scenario(DefaultFigure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure2Scenario(DefaultFigure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := a.Store.History(a.Customer)
+	hb, _ := b.Store.History(b.Customer)
+	if len(ha.Receipts) != len(hb.Receipts) {
+		t.Fatalf("receipts differ: %d vs %d", len(ha.Receipts), len(hb.Receipts))
+	}
+	for i := range ha.Receipts {
+		if !ha.Receipts[i].Time.Equal(hb.Receipts[i].Time) {
+			t.Fatalf("receipt %d time differs", i)
+		}
+	}
+}
+
+func TestMonthOf(t *testing.T) {
+	start := time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC)
+	tests := []struct {
+		day  float64
+		want int
+	}{
+		{0, 0},
+		{30, 0},   // May 31
+		{31, 1},   // June 1
+		{61, 2},   // July 1
+		{365, 12}, // next May
+	}
+	for _, tt := range tests {
+		if got := monthOf(start, tt.day); got != tt.want {
+			t.Errorf("monthOf(%v) = %d, want %d", tt.day, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentPricesPositive(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := segmentPrices(ds.Catalog)
+	if len(prices) != ds.Catalog.NumSegments() {
+		t.Fatalf("prices = %d entries", len(prices))
+	}
+	for i, p := range prices {
+		if p <= 0 {
+			t.Fatalf("segment %d price = %v", i+1, p)
+		}
+	}
+	if priceOf(prices, retail.ItemID(len(prices)+5)) != 2.5 {
+		t.Fatal("out-of-range price fallback broken")
+	}
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAxpyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Axpy(1, []float64{1}, []float64{1, 2})
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{2, -4}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != -2 {
+		t.Fatalf("Scale = %v", x)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	if NormInf(x) != 4 {
+		t.Fatalf("NormInf = %v", NormInf(x))
+	}
+	if Norm2(nil) != 0 || NormInf(nil) != 0 {
+		t.Fatal("norms of empty vector != 0")
+	}
+}
+
+func TestCloneAndZeros(t *testing.T) {
+	x := []float64{1, 2}
+	c := Clone(x)
+	c[0] = 9
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+	z := Zeros(3)
+	if len(z) != 3 || z[0] != 0 || z[2] != 0 {
+		t.Fatalf("Zeros = %v", z)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatalf("At/Set broken: %+v", m)
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 7 // views alias storage
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows = %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("FromRows(nil) = %+v, %v", empty, err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	m.MulVec([]float64{1, 1}, dst)
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestMulTVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	m.MulTVec([]float64{1, 1}, dst)
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("MulTVec = %v", dst)
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	assertPanics(t, func() { m.MulVec(make([]float64, 2), make([]float64, 2)) })
+	assertPanics(t, func() { m.MulVec(make([]float64, 3), make([]float64, 3)) })
+	assertPanics(t, func() { m.MulTVec(make([]float64, 3), make([]float64, 3)) })
+	assertPanics(t, func() { NewMatrix(-1, 2) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestMulVecMulTVecAdjoint(t *testing.T) {
+	// ⟨Mx, y⟩ == ⟨x, Mᵀy⟩ — the defining adjoint property.
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	x := []float64{1, -1, 2}
+	y := []float64{3, 0.5}
+	mx := make([]float64, 2)
+	m.MulVec(x, mx)
+	mty := make([]float64, 3)
+	m.MulTVec(y, mty)
+	if math.Abs(Dot(mx, y)-Dot(x, mty)) > 1e-12 {
+		t.Fatalf("adjoint violated: %v vs %v", Dot(mx, y), Dot(x, mty))
+	}
+}

@@ -1,0 +1,279 @@
+package logreg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(1000); got != 1 {
+		t.Fatalf("Sigmoid(1000) = %v, want 1", got)
+	}
+	if got := Sigmoid(-1000); got != 0 && got > 1e-300 {
+		t.Fatalf("Sigmoid(-1000) = %v, want ~0", got)
+	}
+	// Symmetry: σ(z) + σ(−z) = 1.
+	prop := func(z float64) bool {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		return math.Abs(Sigmoid(z)+Sigmoid(-z)-1) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	prev := Sigmoid(-10)
+	for z := -9.5; z <= 10; z += 0.5 {
+		cur := Sigmoid(z)
+		if cur <= prev {
+			t.Fatalf("not monotone at z=%v", z)
+		}
+		prev = cur
+	}
+}
+
+func TestSoftplusStable(t *testing.T) {
+	// softplus(z) ≈ z for huge z, ≈ 0 for very negative z, never NaN/Inf
+	// at the extremes our loss sees.
+	if got := softplus(1e4); got != 1e4 {
+		t.Fatalf("softplus(1e4) = %v", got)
+	}
+	if got := softplus(-1e4); got != math.Exp(-1e4) {
+		t.Fatalf("softplus(-1e4) = %v", got)
+	}
+	if math.Abs(softplus(0)-math.Ln2) > 1e-12 {
+		t.Fatalf("softplus(0) = %v, want ln 2", softplus(0))
+	}
+}
+
+// separableData builds a linearly separable problem: y = 1 iff x0 > 0.
+func separableData(n int, seed int64) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		x0 := r.NormFloat64()
+		X[i] = []float64{x0, r.NormFloat64()}
+		if x0 > 0 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	X, y := separableData(400, 1)
+	clf, err := Train(X, y, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if clf.Predict(X[i], 0.5) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.97 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+	// The informative feature must dominate the noise feature.
+	if math.Abs(clf.Weights[0]) < 2*math.Abs(clf.Weights[1]) {
+		t.Fatalf("weights %v: informative feature not dominant", clf.Weights)
+	}
+}
+
+func TestTrainWithoutStandardize(t *testing.T) {
+	X, y := separableData(300, 2)
+	opts := DefaultTrainOptions()
+	opts.Standardize = false
+	clf, err := Train(X, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Std != nil {
+		t.Fatal("standardizer attached despite Standardize=false")
+	}
+	correct := 0
+	for i := range X {
+		if clf.Predict(X[i], 0.5) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestTrainScaleInvarianceViaStandardizer(t *testing.T) {
+	// Badly scaled features (x1000) should not hurt when standardizing.
+	X, y := separableData(300, 3)
+	for i := range X {
+		X[i][0] *= 1000
+	}
+	clf, err := Train(X, y, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if clf.Predict(X[i], 0.5) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("accuracy %v with scaled features", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultTrainOptions()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty: %v", err)
+	}
+	X := [][]float64{{1}, {2}}
+	if _, err := Train(X, []int{1}, DefaultTrainOptions()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train(X, []int{1, 1}, DefaultTrainOptions()); !errors.Is(err, ErrOneClass) {
+		t.Fatalf("one class: %v", err)
+	}
+	if _, err := Train(X, []int{0, 0}, DefaultTrainOptions()); !errors.Is(err, ErrOneClass) {
+		t.Fatalf("one class: %v", err)
+	}
+	if _, err := Train(X, []int{0, 2}, DefaultTrainOptions()); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+	bad := DefaultTrainOptions()
+	bad.L2 = -1
+	if _, err := Train(X, []int{0, 1}, bad); err == nil {
+		t.Fatal("negative L2 accepted")
+	}
+	bad = DefaultTrainOptions()
+	bad.MaxIter = 0
+	if _, err := Train(X, []int{0, 1}, bad); err == nil {
+		t.Fatal("zero MaxIter accepted")
+	}
+	bad = DefaultTrainOptions()
+	bad.Tol = 0
+	if _, err := Train(X, []int{0, 1}, bad); err == nil {
+		t.Fatal("zero Tol accepted")
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	X, y := separableData(300, 4)
+	weak := DefaultTrainOptions()
+	weak.L2 = 1e-6
+	strong := DefaultTrainOptions()
+	strong.L2 = 10
+	a, err := Train(X, y, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(X, y, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normInf(b.Weights) >= normInf(a.Weights) {
+		t.Fatalf("strong L2 weights %v not smaller than weak %v", b.Weights, a.Weights)
+	}
+}
+
+func normInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	X, y := separableData(200, 5)
+	clf, err := Train(X, y, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range clf.ScoreAll(X) {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestScorePanicsOnDimensionMismatch(t *testing.T) {
+	X, y := separableData(50, 6)
+	clf, _ := Train(X, y, DefaultTrainOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	clf.Score([]float64{1, 2, 3})
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	X, y := separableData(200, 7)
+	clf, err := Train(X, y, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial loss at w=0 is ln 2; training must improve on it.
+	if clf.FinalLoss >= math.Ln2 {
+		t.Fatalf("final loss %v did not beat ln 2", clf.FinalLoss)
+	}
+	if clf.Iters == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestFitStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitStandardizer(X)
+	if s.Mean[0] != 3 || s.Mean[1] != 10 || s.Mean[2] != 7 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Column 1 is constant: Std substituted with 1.
+	if s.Std[1] != 1 {
+		t.Fatalf("constant column std = %v, want 1", s.Std[1])
+	}
+	z := s.Transform([]float64{3, 10, 7})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("transform of mean row = %v, want zeros", z)
+		}
+	}
+	// Inverse round trip.
+	x := []float64{4.2, 10, 6.1}
+	back := s.Inverse(s.Transform(x))
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-12 {
+			t.Fatalf("inverse round trip %v -> %v", x, back)
+		}
+	}
+	// In-place variant matches.
+	cp := []float64{4.2, 10, 6.1}
+	s.TransformInPlace(cp)
+	want := s.Transform([]float64{4.2, 10, 6.1})
+	for i := range cp {
+		if cp[i] != want[i] {
+			t.Fatalf("TransformInPlace mismatch: %v vs %v", cp, want)
+		}
+	}
+}
+
+func TestFitStandardizerEmpty(t *testing.T) {
+	s := FitStandardizer(nil)
+	if len(s.Mean) != 0 {
+		t.Fatalf("empty fit = %+v", s)
+	}
+}

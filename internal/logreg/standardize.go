@@ -1,0 +1,67 @@
+package logreg
+
+import (
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// Standardizer centers and scales features to zero mean and unit variance,
+// fit on a training set. Constant features (zero variance) pass through
+// centered but unscaled so they cannot blow up.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64 // 1 substituted for zero-variance features
+}
+
+// FitStandardizer computes per-column mean and standard deviation of X.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	d := len(X[0])
+	acc := make([]stats.Online, d)
+	for _, row := range X {
+		for j, v := range row {
+			acc[j].Add(v)
+		}
+	}
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := range acc {
+		s.Mean[j] = acc[j].Mean()
+		sd := acc[j].Std()
+		if sd == 0 {
+			sd = 1
+		}
+		s.Std[j] = sd
+	}
+	return s
+}
+
+// Transform returns the standardized copy of x.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s.transformOne(i, v)
+	}
+	return out
+}
+
+// TransformInPlace standardizes x in place.
+func (s *Standardizer) TransformInPlace(x []float64) {
+	for i, v := range x {
+		x[i] = s.transformOne(i, v)
+	}
+}
+
+// Inverse undoes the transform (for reporting learned weights in original
+// units).
+func (s *Standardizer) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v*s.Std[i] + s.Mean[i]
+	}
+	return out
+}
+
+func (s *Standardizer) transformOne(i int, v float64) float64 {
+	return (v - s.Mean[i]) / s.Std[i]
+}

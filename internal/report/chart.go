@@ -1,0 +1,249 @@
+// Package report renders experiment results: ASCII line charts that mirror
+// the paper's figures in a terminal, plus CSV and markdown emitters for the
+// same series so results can be re-plotted externally.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	// X and Y are parallel; NaN Y values are skipped.
+	X, Y []float64
+	// Marker is the rune plotted for this series ('*', 'o', ...).
+	Marker rune
+}
+
+// Chart is a fixed-canvas ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 18)
+	YMin   float64
+	YMax   float64
+	series []Series
+	vlines []VLine
+}
+
+// VLine is a vertical annotation line (e.g. "start of attrition").
+type VLine struct {
+	X     float64
+	Label string
+}
+
+// NewChart returns a chart with default geometry and a [0,1] y-range —
+// the range of both stability and AUROC.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 18, YMin: 0, YMax: 1}
+}
+
+// Add appends a series. Markers default to a per-series rotation.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []rune{'*', 'o', '+', 'x', '#'}
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// AddVLine appends a vertical annotation.
+func (c *Chart) AddVLine(x float64, label string) {
+	c.vlines = append(c.vlines, VLine{X: x, Label: label})
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax, ok := c.xRange()
+	if !ok {
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := c.YMin, c.YMax
+	if ymax <= ymin {
+		ymin, ymax = autoYRange(c.series)
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	colOf := func(x float64) int {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	rowOf := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, v := range c.vlines {
+		col := colOf(v.X)
+		for row := 0; row < height; row++ {
+			grid[row][col] = '|'
+		}
+	}
+	for _, s := range c.series {
+		prevCol, prevRow := -1, -1
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) {
+				prevCol = -1
+				continue
+			}
+			col, row := colOf(s.X[i]), rowOf(s.Y[i])
+			if prevCol >= 0 {
+				drawLine(grid, prevCol, prevRow, col, row, '.')
+			}
+			grid[row][col] = s.Marker
+			prevCol, prevRow = col, row
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for row := 0; row < height; row++ {
+		yval := ymax - (ymax-ymin)*float64(row)/float64(height-1)
+		fmt.Fprintf(w, "%6.2f |%s\n", yval, string(grid[row]))
+	}
+	fmt.Fprintf(w, "       +%s\n", strings.Repeat("-", width))
+	// X tick line: min, mid, max.
+	mid := (xmin + xmax) / 2
+	ticks := fmt.Sprintf("%-*s%-*s%s",
+		width/2, fmt.Sprintf("%.6g", xmin),
+		width/2-len(fmt.Sprintf("%.6g", mid))/2, fmt.Sprintf("%.6g", mid),
+		fmt.Sprintf("%.6g", xmax))
+	fmt.Fprintf(w, "        %s\n", ticks)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "        x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(w, "        %c %s\n", s.Marker, s.Name)
+	}
+	for _, v := range c.vlines {
+		fmt.Fprintf(w, "        | %s (x=%.6g)\n", v.Label, v.X)
+	}
+}
+
+func (c *Chart) xRange() (xmin, xmax float64, ok bool) {
+	first := true
+	for _, s := range c.series {
+		for _, x := range s.X {
+			if first {
+				xmin, xmax, first = x, x, false
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	for _, v := range c.vlines {
+		if first {
+			xmin, xmax, first = v.X, v.X, false
+		} else {
+			if v.X < xmin {
+				xmin = v.X
+			}
+			if v.X > xmax {
+				xmax = v.X
+			}
+		}
+	}
+	return xmin, xmax, !first
+}
+
+func autoYRange(series []Series) (ymin, ymax float64) {
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	return ymin - pad, ymax + pad
+}
+
+// drawLine rasterizes a connecting segment with Bresenham, leaving endpoint
+// cells to the marker pass.
+func drawLine(grid [][]rune, x0, y0, x1, y1 int, ch rune) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if x == x1 && y == y1 {
+			break
+		}
+		if (x != x0 || y != y0) && grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

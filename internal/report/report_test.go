@@ -1,0 +1,190 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := NewChart("Test chart", "months", "auroc")
+	c.Add(Series{Name: "model", X: []float64{12, 14, 16}, Y: []float64{0.5, 0.7, 0.9}, Marker: '*'})
+	c.Add(Series{Name: "baseline", X: []float64{12, 14, 16}, Y: []float64{0.5, 0.6, 0.8}})
+	c.AddVLine(14, "onset")
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+
+	for _, want := range []string{"Test chart", "model", "baseline", "onset", "months", "auroc", "*", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered chart missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < c.Height+3 {
+		t.Fatalf("chart has %d lines, want at least %d", len(lines), c.Height+3)
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	c := NewChart("Empty", "x", "y")
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestChartSkipsNaN(t *testing.T) {
+	c := NewChart("NaN", "x", "y")
+	c.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.5, math.NaN(), 0.7}})
+	var buf bytes.Buffer
+	c.Render(&buf) // must not panic
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartAutoYRange(t *testing.T) {
+	c := NewChart("Auto", "x", "y")
+	c.YMin, c.YMax = 0, 0 // force auto-range
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 15}})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "15") {
+		t.Errorf("auto range missing max label: %s", buf.String())
+	}
+}
+
+func TestChartDefaultMarkersRotate(t *testing.T) {
+	c := NewChart("Markers", "x", "y")
+	for i := 0; i < 3; i++ {
+		c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.2, 0.8}})
+	}
+	markers := map[rune]bool{}
+	for _, s := range c.series {
+		markers[s.Marker] = true
+	}
+	if len(markers) != 3 {
+		t.Fatalf("markers not distinct: %v", markers)
+	}
+}
+
+func TestChartTinyGeometryClamped(t *testing.T) {
+	c := NewChart("Tiny", "x", "y")
+	c.Width, c.Height = 1, 1
+	c.Add(Series{Name: "s", X: []float64{0, 10}, Y: []float64{0, 1}})
+	var buf bytes.Buffer
+	c.Render(&buf) // must not panic
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := NewChart("One", "x", "y")
+	c.Add(Series{Name: "s", X: []float64{5}, Y: []float64{0.5}})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value", "note")
+	tb.AddRow("alpha", 2.0, "paper default")
+	tb.AddRow("windows", 14, "2-month span")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"name", "alpha", "paper default", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every line has the value column at the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(0.123456789)
+	tb.AddRow(float32(2.5))
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "0.1235") {
+		t.Errorf("float not rounded to 4 significant digits: %s", buf.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	tb.RenderMarkdown(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "| a | b |") {
+		t.Fatalf("markdown header: %q", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("markdown separator missing: %q", out)
+	}
+	if !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("markdown row missing: %q", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 3) // comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf,
+		Series{Name: "s1", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+		Series{Name: "s2", X: []float64{1}, Y: []float64{0.9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[3] != "s2,1,0.9" {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestWriteSeriesCSVRaggedYTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 { // header + 1 row only
+		t.Fatalf("ragged series rows = %d", len(lines)-1)
+	}
+}

@@ -1,0 +1,282 @@
+package rfm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+func testGrid(t *testing.T) window.Grid {
+	t.Helper()
+	g, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func receipt(g window.Grid, dayOffset int, spend float64) retail.Receipt {
+	return retail.Receipt{
+		Time:  g.Origin().AddDate(0, 0, dayOffset).Add(12 * time.Hour),
+		Items: retail.NewBasket([]retail.ItemID{1}),
+		Spend: spend,
+	}
+}
+
+func TestFeatureNamesMatchDimensions(t *testing.T) {
+	if len(FeatureNames) != NumFeatures {
+		t.Fatalf("FeatureNames %d != NumFeatures %d", len(FeatureNames), NumFeatures)
+	}
+	e := Extractor{Grid: testGrid(t)}
+	x := e.Extract(retail.History{Customer: 1}, 3)
+	if len(x) != NumFeatures {
+		t.Fatalf("vector length %d != %d", len(x), NumFeatures)
+	}
+}
+
+func TestExtractEmptyHistory(t *testing.T) {
+	e := Extractor{Grid: testGrid(t)}
+	x := e.Extract(retail.History{Customer: 1}, 2)
+	// Recency = days from origin to end of window 2 (6 months).
+	if x[0] <= 0 {
+		t.Fatalf("recency = %v, want > 0", x[0])
+	}
+	if x[3] != 0 || x[7] != 0 {
+		t.Fatalf("frequency/monetary of empty history: f=%v m=%v", x[3], x[7])
+	}
+	if math.Abs(x[1]-math.Log1p(x[0])) > 1e-12 {
+		t.Fatalf("log recency inconsistent: %v vs log1p(%v)", x[1], x[0])
+	}
+}
+
+func TestExtractBasic(t *testing.T) {
+	g := testGrid(t)
+	e := Extractor{Grid: g}
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receipt(g, 0, 10),
+		receipt(g, 10, 20),
+		receipt(g, 70, 30), // window 1
+	}}
+	x := e.Extract(h, 1)
+	if x[3] != 3 { // frequency_total
+		t.Fatalf("frequency_total = %v", x[3])
+	}
+	if x[4] != 1 { // frequency_recent: only the day-70 receipt in window 1
+		t.Fatalf("frequency_recent = %v", x[4])
+	}
+	if x[7] != 60 { // monetary_total
+		t.Fatalf("monetary_total = %v", x[7])
+	}
+	if x[8] != 20 { // monetary_mean
+		t.Fatalf("monetary_mean = %v", x[8])
+	}
+	if x[9] != 30 { // monetary_recent
+		t.Fatalf("monetary_recent = %v", x[9])
+	}
+	// interpurchase_mean of gaps 10 and 60 days = 35.
+	if math.Abs(x[6]-35) > 1e-9 {
+		t.Fatalf("interpurchase_mean = %v, want 35", x[6])
+	}
+	// Recency: end of window 1 is 2012-09-01; last receipt day 70 (2012-07-10).
+	_, end := g.Bounds(1)
+	wantRecency := end.Sub(h.Receipts[2].Time).Hours() / 24
+	if math.Abs(x[0]-wantRecency) > 1e-9 {
+		t.Fatalf("recency = %v, want %v", x[0], wantRecency)
+	}
+}
+
+func TestExtractNoFutureLeakage(t *testing.T) {
+	g := testGrid(t)
+	e := Extractor{Grid: g}
+	base := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receipt(g, 0, 10),
+		receipt(g, 30, 10),
+	}}
+	withFuture := retail.History{Customer: 1, Receipts: append(
+		append([]retail.Receipt{}, base.Receipts...),
+		receipt(g, 200, 999), // far beyond the as-of window
+	)}
+	a := e.Extract(base, 1)
+	b := e.Extract(withFuture, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %s leaked the future: %v vs %v", FeatureNames[i], a[i], b[i])
+		}
+	}
+}
+
+func TestExtractSingleReceipt(t *testing.T) {
+	g := testGrid(t)
+	e := Extractor{Grid: g}
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{receipt(g, 5, 12)}}
+	x := e.Extract(h, 0)
+	if x[3] != 1 || x[7] != 12 {
+		t.Fatalf("single receipt features: f=%v m=%v", x[3], x[7])
+	}
+	// Degenerate gap uses span from first receipt to window end; must be
+	// finite and non-negative.
+	if x[6] < 0 || math.IsNaN(x[6]) {
+		t.Fatalf("interpurchase fallback = %v", x[6])
+	}
+}
+
+// synthPopulation builds loyal customers (steady receipts all through) and
+// defectors (receipts stop early) for baseline training.
+func synthPopulation(g window.Grid, n int) ([]retail.History, []bool) {
+	histories := make([]retail.History, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		defecting := i%2 == 0
+		h := retail.History{Customer: retail.CustomerID(i + 1)}
+		limit := 360 // ~6 windows of 2 months
+		if defecting {
+			limit = 200 + (i % 40) // stops during window 3-4
+		}
+		for day := i % 7; day < limit; day += 6 + i%3 {
+			h.Receipts = append(h.Receipts, receipt(g, day, 10+float64(i%5)))
+		}
+		histories[i] = h
+		labels[i] = defecting
+	}
+	return histories, labels
+}
+
+func TestTrainAndScoreSeparatesCohorts(t *testing.T) {
+	g := testGrid(t)
+	histories, labels := synthPopulation(g, 120)
+	b, err := Train(g, 5, histories, labels, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defMean, loyMean float64
+	var nd, nl int
+	for i, h := range histories {
+		s := b.Score(h)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of range", s)
+		}
+		if labels[i] {
+			defMean += s
+			nd++
+		} else {
+			loyMean += s
+			nl++
+		}
+	}
+	defMean /= float64(nd)
+	loyMean /= float64(nl)
+	if defMean <= loyMean+0.2 {
+		t.Fatalf("defector mean score %v not well above loyal %v", defMean, loyMean)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	tests := map[Family]string{
+		Recency: "recency", Frequency: "frequency", Monetary: "monetary", Family(9): "unknown",
+	}
+	for f, want := range tests {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestFamilyColumnsPartition(t *testing.T) {
+	// The three families must partition the full column set.
+	all := FamilyColumns(AllFamilies)
+	if len(all) != NumFeatures {
+		t.Fatalf("all families cover %d of %d columns", len(all), NumFeatures)
+	}
+	seen := map[int]bool{}
+	for _, f := range AllFamilies {
+		for _, c := range FamilyColumns([]Family{f}) {
+			if seen[c] {
+				t.Fatalf("column %d in two families", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != NumFeatures {
+		t.Fatalf("families cover %d of %d columns", len(seen), NumFeatures)
+	}
+	// Family names match column prefixes/markers.
+	for _, c := range FamilyColumns([]Family{Recency}) {
+		if FeatureNames[c] == "" {
+			t.Fatal("unnamed column")
+		}
+	}
+}
+
+func TestExtractorFamilyRestriction(t *testing.T) {
+	g := testGrid(t)
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receipt(g, 0, 10), receipt(g, 10, 20), receipt(g, 70, 30),
+	}}
+	full := Extractor{Grid: g}
+	mOnly := Extractor{Grid: g, Families: []Family{Monetary}}
+	xFull := full.Extract(h, 1)
+	xM := mOnly.Extract(h, 1)
+	if len(xM) != 4 {
+		t.Fatalf("monetary-only vector has %d columns", len(xM))
+	}
+	// Monetary columns are 7..10 of the full vector.
+	for i, c := range FamilyColumns([]Family{Monetary}) {
+		if xM[i] != xFull[c] {
+			t.Fatalf("restricted column %d = %v, full[%d] = %v", i, xM[i], c, xFull[c])
+		}
+	}
+	names := mOnly.Names()
+	if len(names) != 4 || names[0] != "monetary_total" {
+		t.Fatalf("Names() = %v", names)
+	}
+	if n := (Extractor{Grid: g}).Names(); len(n) != NumFeatures {
+		t.Fatalf("full Names() = %d entries", len(n))
+	}
+}
+
+func TestTrainWithFamilyRestriction(t *testing.T) {
+	g := testGrid(t)
+	histories, labels := synthPopulation(g, 80)
+	opts := DefaultTrainOptions()
+	opts.Families = []Family{Recency}
+	b, err := Train(g, 5, histories, labels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recency features alone still separate stopped-vs-steady synthetic
+	// cohorts (defectors' last receipt is months old).
+	var defMean, loyMean float64
+	var nd, nl int
+	for i, h := range histories {
+		s := b.Score(h)
+		if labels[i] {
+			defMean += s
+			nd++
+		} else {
+			loyMean += s
+			nl++
+		}
+	}
+	if defMean/float64(nd) <= loyMean/float64(nl) {
+		t.Fatalf("recency-only baseline failed to separate: %v vs %v",
+			defMean/float64(nd), loyMean/float64(nl))
+	}
+	if len(b.Clf.Weights) != 3 {
+		t.Fatalf("recency-only model has %d weights", len(b.Clf.Weights))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := testGrid(t)
+	histories, labels := synthPopulation(g, 10)
+	if _, err := Train(g, 5, histories, labels[:5], DefaultTrainOptions()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	allLoyal := make([]bool, len(histories))
+	if _, err := Train(g, 5, histories, allLoyal, DefaultTrainOptions()); err == nil {
+		t.Fatal("single-class training accepted")
+	}
+}

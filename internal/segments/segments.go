@@ -1,0 +1,180 @@
+// Package segments deepens "the characterization of significant products
+// that can explain customer defection" — the future work the paper's
+// conclusion announces. It aggregates the model's per-customer
+// explanations across a population into per-segment attrition statistics:
+// which segments are lost first when defection starts (gateway segments),
+// which appear in explanations at all, and how much stability their loss
+// costs — the input a retailer needs to decide which categories to defend.
+package segments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/report"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Options tune the aggregation.
+type Options struct {
+	// MinDrop is the stability decrease for a window to count as a drop
+	// event.
+	MinDrop float64
+	// TopJ caps how many blamed segments per drop event are aggregated.
+	TopJ int
+}
+
+// DefaultOptions returns the aggregation used by the EXT-5 experiment.
+func DefaultOptions() Options { return Options{MinDrop: 0.05, TopJ: 3} }
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.MinDrop < 0 || o.MinDrop > 1 {
+		return fmt.Errorf("segments: MinDrop must be in [0,1], got %v", o.MinDrop)
+	}
+	if o.TopJ < 1 {
+		return fmt.Errorf("segments: TopJ must be >= 1, got %d", o.TopJ)
+	}
+	return nil
+}
+
+// Stats aggregates one segment's role in the population's attrition.
+type Stats struct {
+	Segment retail.ItemID
+	// FirstLoss counts customers whose *first* drop event blamed this
+	// segment (within the top-j) — the gateway-product signal.
+	FirstLoss int
+	// AnyLoss counts customers with any drop event blaming this segment.
+	AnyLoss int
+	// Blames counts drop events blaming this segment (a customer can
+	// contribute several).
+	Blames int
+	// ShareSum accumulates the stability share lost to this segment
+	// across its blames; MeanShare = ShareSum / Blames.
+	ShareSum float64
+}
+
+// MeanShare returns the mean stability cost per blame.
+func (s Stats) MeanShare() float64 {
+	if s.Blames == 0 {
+		return 0
+	}
+	return s.ShareSum / float64(s.Blames)
+}
+
+// Report is the population-level characterization.
+type Report struct {
+	Options    Options
+	Customers  int // customers analyzed
+	WithDrops  int // customers with at least one drop event
+	DropEvents int
+	// PerSegment is sorted by FirstLoss desc, then AnyLoss desc, then
+	// segment id.
+	PerSegment []Stats
+}
+
+// Characterize runs the model over every history and aggregates blame. The
+// analysis windows run from each customer's first purchase through window
+// `through`.
+func Characterize(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("segments: nil model")
+	}
+	rep := &Report{Options: opts}
+	acc := make(map[retail.ItemID]*Stats)
+	get := func(id retail.ItemID) *Stats {
+		s, ok := acc[id]
+		if !ok {
+			s = &Stats{Segment: id}
+			acc[id] = s
+		}
+		return s
+	}
+	for _, h := range histories {
+		wd, err := window.Windowize(h, grid, through)
+		if err != nil {
+			return nil, err
+		}
+		series, err := model.Analyze(wd)
+		if err != nil {
+			return nil, err
+		}
+		rep.Customers++
+		drops := series.Drops(opts.MinDrop, opts.TopJ)
+		if len(drops) == 0 {
+			continue
+		}
+		rep.WithDrops++
+		rep.DropEvents += len(drops)
+		for di, d := range drops {
+			for _, b := range d.Blame {
+				s := get(b.Item)
+				s.Blames++
+				s.ShareSum += b.Share
+				if di == 0 {
+					s.FirstLoss++
+				}
+			}
+		}
+		// AnyLoss: distinct customers per segment.
+		seen := map[retail.ItemID]bool{}
+		for _, d := range drops {
+			for _, b := range d.Blame {
+				if !seen[b.Item] {
+					seen[b.Item] = true
+					get(b.Item).AnyLoss++
+				}
+			}
+		}
+	}
+	rep.PerSegment = make([]Stats, 0, len(acc))
+	for _, s := range acc {
+		rep.PerSegment = append(rep.PerSegment, *s)
+	}
+	sort.Slice(rep.PerSegment, func(i, j int) bool {
+		a, b := rep.PerSegment[i], rep.PerSegment[j]
+		if a.FirstLoss != b.FirstLoss {
+			return a.FirstLoss > b.FirstLoss
+		}
+		if a.AnyLoss != b.AnyLoss {
+			return a.AnyLoss > b.AnyLoss
+		}
+		return a.Segment < b.Segment
+	})
+	return rep, nil
+}
+
+// Top returns the n leading segments (fewer if the report is shorter).
+func (r *Report) Top(n int) []Stats {
+	if n > len(r.PerSegment) {
+		n = len(r.PerSegment)
+	}
+	return r.PerSegment[:n]
+}
+
+// Table renders the top-n segments with a naming function (pass
+// catalog.SegmentName, or nil for raw identifiers).
+func (r *Report) Table(n int, name func(retail.ItemID) string) *report.Table {
+	t := report.NewTable("segment", "first_loss", "any_loss", "blames", "mean_share")
+	for _, s := range r.Top(n) {
+		label := fmt.Sprintf("%d", s.Segment)
+		if name != nil {
+			label = name(s.Segment)
+		}
+		t.AddRow(label, s.FirstLoss, s.AnyLoss, s.Blames, s.MeanShare())
+	}
+	return t
+}
+
+// Render writes the headline and the top-20 table.
+func (r *Report) Render(w io.Writer, name func(retail.ItemID) string) {
+	fmt.Fprintf(w, "segment characterization: %d customers, %d with drops, %d drop events\n\n",
+		r.Customers, r.WithDrops, r.DropEvents)
+	r.Table(20, name).Render(w)
+}

@@ -1,0 +1,201 @@
+package segments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+func testGrid(t *testing.T) window.Grid {
+	t.Helper()
+	g, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// erodingHistory builds a customer who buys `items` every window, then
+// loses them one by one in the given order starting at window lossStart.
+func erodingHistory(g window.Grid, id retail.CustomerID, items []retail.ItemID, lossOrder []retail.ItemID, lossStart, totalWindows int) retail.History {
+	h := retail.History{Customer: id}
+	lost := map[retail.ItemID]bool{}
+	for k := 0; k < totalWindows; k++ {
+		if k >= lossStart && k-lossStart < len(lossOrder) {
+			lost[lossOrder[k-lossStart]] = true
+		}
+		var basket []retail.ItemID
+		for _, it := range items {
+			if !lost[it] {
+				basket = append(basket, it)
+			}
+		}
+		start, _ := g.Bounds(k)
+		h.Receipts = append(h.Receipts, retail.Receipt{
+			Time:  start.AddDate(0, 0, 2),
+			Items: retail.NewBasket(basket),
+		})
+	}
+	return h
+}
+
+func TestCharacterizeGatewaySegments(t *testing.T) {
+	g := testGrid(t)
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []retail.ItemID{1, 2, 3, 4, 5}
+	// Everyone loses segment 5 first, then 4.
+	var histories []retail.History
+	for i := 0; i < 10; i++ {
+		histories = append(histories, erodingHistory(g, retail.CustomerID(i+1),
+			items, []retail.ItemID{5, 4}, 8, 14))
+	}
+	// Plus stable customers contributing no drops.
+	for i := 10; i < 15; i++ {
+		histories = append(histories, erodingHistory(g, retail.CustomerID(i+1),
+			items, nil, 0, 14))
+	}
+	rep, err := Characterize(model, histories, g, 13, Options{MinDrop: 0.05, TopJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Customers != 15 {
+		t.Fatalf("customers = %d", rep.Customers)
+	}
+	if rep.WithDrops != 10 {
+		t.Fatalf("withDrops = %d", rep.WithDrops)
+	}
+	if len(rep.PerSegment) == 0 {
+		t.Fatal("no segments aggregated")
+	}
+	top := rep.PerSegment[0]
+	if top.Segment != 5 {
+		t.Fatalf("gateway segment = %d, want 5", top.Segment)
+	}
+	if top.FirstLoss != 10 {
+		t.Fatalf("segment 5 FirstLoss = %d, want 10", top.FirstLoss)
+	}
+	// Segment 4 is lost second: blamed but never first.
+	var s4 *Stats
+	for i := range rep.PerSegment {
+		if rep.PerSegment[i].Segment == 4 {
+			s4 = &rep.PerSegment[i]
+		}
+	}
+	if s4 == nil {
+		t.Fatal("segment 4 absent from report")
+	}
+	if s4.FirstLoss != 0 {
+		t.Fatalf("segment 4 FirstLoss = %d, want 0", s4.FirstLoss)
+	}
+	if s4.AnyLoss != 10 {
+		t.Fatalf("segment 4 AnyLoss = %d, want 10", s4.AnyLoss)
+	}
+	// Shares are meaningful.
+	if top.MeanShare() <= 0 || top.MeanShare() > 1 {
+		t.Fatalf("mean share = %v", top.MeanShare())
+	}
+}
+
+func TestCharacterizeAnyLossCountsDistinctCustomers(t *testing.T) {
+	g := testGrid(t)
+	model, _ := core.New(core.Options{Alpha: 2})
+	// One customer loses 3, recovers it, loses it again: AnyLoss must be 1
+	// even though Blames >= 2.
+	h := retail.History{Customer: 1}
+	pattern := [][]retail.ItemID{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3},
+		{1, 2}, // lose 3
+		{1, 2, 3},
+		{1, 2}, // lose 3 again
+		{1, 2, 3},
+	}
+	for k, items := range pattern {
+		start, _ := g.Bounds(k)
+		h.Receipts = append(h.Receipts, retail.Receipt{
+			Time:  start.AddDate(0, 0, 1),
+			Items: retail.NewBasket(items),
+		})
+	}
+	rep, err := Characterize(model, []retail.History{h}, g, len(pattern)-1, Options{MinDrop: 0.01, TopJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s3 *Stats
+	for i := range rep.PerSegment {
+		if rep.PerSegment[i].Segment == 3 {
+			s3 = &rep.PerSegment[i]
+		}
+	}
+	if s3 == nil {
+		t.Fatal("segment 3 absent")
+	}
+	if s3.AnyLoss != 1 {
+		t.Fatalf("AnyLoss = %d, want 1 (distinct customers)", s3.AnyLoss)
+	}
+	if s3.Blames < 2 {
+		t.Fatalf("Blames = %d, want >= 2", s3.Blames)
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	g := testGrid(t)
+	model, _ := core.New(core.Options{Alpha: 2})
+	if _, err := Characterize(model, nil, g, 5, Options{MinDrop: -1, TopJ: 1}); err == nil {
+		t.Fatal("negative MinDrop accepted")
+	}
+	if _, err := Characterize(model, nil, g, 5, Options{MinDrop: 0.1, TopJ: 0}); err == nil {
+		t.Fatal("TopJ=0 accepted")
+	}
+	if _, err := Characterize(nil, nil, g, 5, DefaultOptions()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	rep, err := Characterize(model, nil, g, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Customers != 0 || len(rep.PerSegment) != 0 {
+		t.Fatalf("empty population report: %+v", rep)
+	}
+}
+
+func TestReportTopAndRender(t *testing.T) {
+	g := testGrid(t)
+	model, _ := core.New(core.Options{Alpha: 2})
+	items := []retail.ItemID{1, 2, 3}
+	histories := []retail.History{
+		erodingHistory(g, 1, items, []retail.ItemID{3}, 6, 10),
+	}
+	rep, err := Characterize(model, histories, g, 9, Options{MinDrop: 0.05, TopJ: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Top(100); len(got) != len(rep.PerSegment) {
+		t.Fatalf("Top(100) = %d entries", len(got))
+	}
+	if got := rep.Top(1); len(got) != 1 {
+		t.Fatalf("Top(1) = %d entries", len(got))
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf, func(id retail.ItemID) string { return "seg-" + string(rune('0'+id)) })
+	out := buf.String()
+	if !strings.Contains(out, "seg-3") {
+		t.Fatalf("render missing named segment: %s", out)
+	}
+	if !strings.Contains(out, "drop events") {
+		t.Fatal("render missing headline")
+	}
+	// Nil namer renders raw ids.
+	var buf2 bytes.Buffer
+	rep.Render(&buf2, nil)
+	if !strings.Contains(buf2.String(), "3") {
+		t.Fatal("nil-namer render missing id")
+	}
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps a seeded source with the random variates the synthetic
+// generator needs. It is deterministic for a given seed and NOT safe for
+// concurrent use (callers shard one Rand per goroutine).
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic generator from the current
+// stream. Forked generators let subsystems (catalog, each customer, ...)
+// draw reproducibly regardless of how much randomness their siblings
+// consume.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Int63())
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exponential draws an exponentially distributed value with the given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// LogNormal draws exp(N(mu, sigma²)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Poisson draws a Poisson-distributed count with mean lambda. It uses
+// Knuth's product method for small lambda and a normal approximation with
+// continuity correction above 30, which is ample for basket-size scale
+// parameters.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial draws the number of successes in n Bernoulli(p) trials.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// n is small everywhere we use this (repertoire sizes), so direct
+	// simulation is both exact and fast enough.
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// FloatBetween returns a uniform float in [lo, hi).
+func (r *Rand) FloatBetween(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, modelling the heavy-tailed popularity of retail segments.
+type Zipf struct {
+	cum []float64 // cumulative normalized weights
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Draw returns one rank.
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// SampleDistinct draws k distinct ranks (k ≤ n) by rejection, falling back
+// to a full shuffle when k is a large share of n.
+func (z *Zipf) SampleDistinct(k int) []int {
+	n := len(z.cum)
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k > n/2 {
+		perm := z.r.Perm(n)
+		return perm[:k]
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := z.Draw()
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](r *Rand, xs []T) {
+	r.Rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// PickWeighted returns an index drawn with probability proportional to
+// weights[i]. Zero or negative total weight falls back to uniform.
+func (r *Rand) PickWeighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	u := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w > 0 {
+			acc += w
+			if u < acc {
+				return i
+			}
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(1)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	// Forks must not share state with each other.
+	v1, v2 := f1.Float64(), f2.Float64()
+	if v1 == v2 {
+		t.Fatal("sibling forks produced identical first draws")
+	}
+	// Forking is deterministic given the parent stream position.
+	r2 := NewRand(1)
+	g1 := r2.Fork()
+	if g1.Float64() != v1 {
+		t.Fatal("fork not reproducible from same parent state")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRand(7)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) = true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) = false")
+	}
+	n := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			n++
+		}
+	}
+	got := float64(n) / trials
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(11)
+	if r.Exponential(0) != 0 || r.Exponential(-1) != 0 {
+		t.Fatal("non-positive mean should return 0")
+	}
+	var o Online
+	for i := 0; i < 50000; i++ {
+		o.Add(r.Exponential(5))
+	}
+	if math.Abs(o.Mean()-5) > 0.15 {
+		t.Fatalf("Exponential(5) mean %v", o.Mean())
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRand(13)
+	for _, lambda := range []float64{0.5, 3, 12, 50} { // spans both algorithms
+		var o Online
+		for i := 0; i < 30000; i++ {
+			o.Add(float64(r.Poisson(lambda)))
+		}
+		if math.Abs(o.Mean()-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean %v", lambda, o.Mean())
+		}
+		if math.Abs(o.Var()-lambda) > 0.12*lambda+0.1 {
+			t.Errorf("Poisson(%v) var %v", lambda, o.Var())
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-2) != 0 {
+		t.Error("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	r := NewRand(17)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0, .) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(., 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(10, 1) != 10")
+	}
+	var o Online
+	for i := 0; i < 20000; i++ {
+		k := r.Binomial(20, 0.25)
+		if k < 0 || k > 20 {
+			t.Fatalf("Binomial out of range: %d", k)
+		}
+		o.Add(float64(k))
+	}
+	if math.Abs(o.Mean()-5) > 0.1 {
+		t.Fatalf("Binomial(20,0.25) mean %v", o.Mean())
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := NewRand(19)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntBetween(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Errorf("IntBetween never produced %d", v)
+		}
+	}
+	if r.IntBetween(5, 5) != 5 || r.IntBetween(7, 3) != 7 {
+		t.Error("degenerate bounds mishandled")
+	}
+}
+
+func TestFloatBetween(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 1000; i++ {
+		v := r.FloatBetween(1.5, 2.5)
+		if v < 1.5 || v >= 2.5 {
+			t.Fatalf("FloatBetween out of range: %v", v)
+		}
+	}
+	if r.FloatBetween(2, 2) != 2 {
+		t.Error("degenerate range should return lo")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(29)
+	z := NewZipf(r, 100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should be drawn far more often than rank 50.
+	if counts[0] <= counts[50]*5 {
+		t.Fatalf("no popularity skew: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Theoretical ratio between rank 0 and rank 9 is 10 (s=1).
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("rank0/rank9 ratio %v, want near 10", ratio)
+	}
+}
+
+func TestZipfSampleDistinct(t *testing.T) {
+	r := NewRand(31)
+	z := NewZipf(r, 50, 0.8)
+	for _, k := range []int{1, 5, 20, 26, 49, 50, 60} {
+		got := z.SampleDistinct(k)
+		wantLen := k
+		if k > 50 {
+			wantLen = 50
+		}
+		if len(got) != wantLen {
+			t.Fatalf("SampleDistinct(%d) returned %d items", k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 50 {
+				t.Fatalf("SampleDistinct out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleDistinct(%d) returned duplicate %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	r := NewRand(37)
+	z := NewZipf(r, 0, 1) // clamped to 1 rank
+	if z.N() != 1 {
+		t.Fatalf("N = %d, want 1", z.N())
+	}
+	if z.Draw() != 0 {
+		t.Fatal("single-rank Zipf must draw 0")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRand(41)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	orig := append([]int(nil), xs...)
+	Shuffle(r, xs)
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 55 {
+		t.Fatal("shuffle lost elements")
+	}
+	same := true
+	for i := range xs {
+		if xs[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("shuffle produced identity permutation (astronomically unlikely)")
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := NewRand(43)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.PickWeighted([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("weight-7 frequency %v, want ~0.7", frac)
+	}
+	// Zero/negative weights fall back to uniform without panicking.
+	idx := r.PickWeighted([]float64{0, 0})
+	if idx < 0 || idx > 1 {
+		t.Fatalf("fallback index %d", idx)
+	}
+	idx = r.PickWeighted([]float64{-1, 3})
+	if idx < 0 || idx > 1 {
+		t.Fatalf("negative-weight index %d", idx)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRand(47)
+	var below, above int
+	for i := 0; i < 20000; i++ {
+		if r.LogNormal(1.0, 0.5) < math.E {
+			below++
+		} else {
+			above++
+		}
+	}
+	// Median of LogNormal(mu, sigma) is e^mu.
+	frac := float64(below) / 20000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("median split %v, want ~0.5", frac)
+	}
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	// Unbiased sample variance of this classic dataset is 32/7.
+	if !almostEqual(s.Var, 32.0/7, 1e-12) {
+		t.Fatalf("Var = %v, want %v", s.Var, 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological floats
+			}
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		batch := Mean(xs)
+		if o.N() != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return o.Mean() == 0
+		}
+		return almostEqual(o.Mean(), batch, 1e-6*(1+math.Abs(batch)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineVariance(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if !almostEqual(o.Var(), 32.0/7, 1e-12) {
+		t.Fatalf("Var = %v, want %v", o.Var(), 32.0/7)
+	}
+	if !almostEqual(o.Std(), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("Std = %v", o.Std())
+	}
+}
+
+func TestOnlineFewObservations(t *testing.T) {
+	var o Online
+	if o.Var() != 0 || o.Std() != 0 {
+		t.Fatal("zero-observation variance should be 0")
+	}
+	o.Add(42)
+	if o.Var() != 0 {
+		t.Fatal("one-observation variance should be 0")
+	}
+	if o.Mean() != 42 {
+		t.Fatalf("Mean = %v", o.Mean())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var whole Online
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var a, b Online
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d", split, a.N())
+		}
+		if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+			t.Fatalf("split %d: Mean = %v, want %v", split, a.Mean(), whole.Mean())
+		}
+		if !almostEqual(a.Var(), whole.Var(), 1e-9) {
+			t.Fatalf("split %d: Var = %v, want %v", split, a.Var(), whole.Var())
+		}
+	}
+}
+
+func TestMeanAndStdErr(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean([1 2 3]) != 2")
+	}
+	if StdErr([]float64{5}) != 0 {
+		t.Fatal("StdErr of singleton != 0")
+	}
+	// StdErr of {1,2,3}: std = 1, n = 3.
+	if !almostEqual(StdErr([]float64{1, 2, 3}), 1/math.Sqrt(3), 1e-12) {
+		t.Fatalf("StdErr = %v", StdErr([]float64{1, 2, 3}))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4} // unsorted on purpose
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-0.5, 1}, {1.5, 4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -3 clamps to bin 0, 42 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0, 1.9, -3
+		t.Fatalf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99, 42
+		t.Fatalf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if !almostEqual(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEqual(h.Fraction(0), 3.0/7, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total() {
+		t.Fatalf("counts sum %d != total %d", sum, h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 1, 0) }, "zero bins")
+	assertPanics(t, func() { NewHistogram(1, 1, 3) }, "empty range")
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty histogram fraction != 0")
+	}
+}
+
+func assertPanics(t *testing.T, fn func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

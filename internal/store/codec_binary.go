@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// Binary snapshot format (little-endian, varint-heavy):
+//
+//	magic "STB1" (4 bytes)
+//	uvarint customerCount
+//	per customer:
+//	  uvarint customerID
+//	  uvarint receiptCount
+//	  per receipt:
+//	    varint  deltaUnixSeconds (delta from previous receipt; first is
+//	            delta from the Unix epoch)
+//	    uint64  spend bits (IEEE 754)
+//	    uvarint itemCount
+//	    uvarint item deltas (delta-encoded ascending ItemIDs, first from 0)
+//
+// Delta encoding exploits chronological receipt order and sorted baskets;
+// on the synthetic datasets it is ~4x smaller than CSV.
+var binaryMagic = [4]byte{'S', 'T', 'B', '1'}
+
+// WriteBinary serializes the store snapshot.
+func (s *Store) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("store: write magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.histories))); err != nil {
+		return fmt.Errorf("store: write count: %w", err)
+	}
+	for _, h := range s.histories {
+		if err := putUvarint(uint64(h.Customer)); err != nil {
+			return fmt.Errorf("store: write customer: %w", err)
+		}
+		if err := putUvarint(uint64(len(h.Receipts))); err != nil {
+			return fmt.Errorf("store: write receipt count: %w", err)
+		}
+		prev := int64(0)
+		for _, r := range h.Receipts {
+			ts := r.Time.Unix()
+			if err := putVarint(ts - prev); err != nil {
+				return fmt.Errorf("store: write time: %w", err)
+			}
+			prev = ts
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(r.Spend))
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return fmt.Errorf("store: write spend: %w", err)
+			}
+			if err := putUvarint(uint64(len(r.Items))); err != nil {
+				return fmt.Errorf("store: write item count: %w", err)
+			}
+			prevItem := uint64(0)
+			for _, it := range r.Items {
+				if err := putUvarint(uint64(it) - prevItem); err != nil {
+					return fmt.Errorf("store: write item: %w", err)
+				}
+				prevItem = uint64(it)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a snapshot produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("store: bad magic %q (not a STB1 snapshot)", magic[:])
+	}
+	customers, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: read customer count: %w", err)
+	}
+	const maxCustomers = 1 << 34
+	if customers > maxCustomers {
+		return nil, fmt.Errorf("store: implausible customer count %d", customers)
+	}
+	b := NewBuilder()
+	var spendBuf [8]byte
+	for c := uint64(0); c < customers; c++ {
+		cust, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: read customer id: %w", err)
+		}
+		receipts, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: read receipt count: %w", err)
+		}
+		prev := int64(0)
+		for i := uint64(0); i < receipts; i++ {
+			dt, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: read time delta: %w", err)
+			}
+			prev += dt
+			if _, err := io.ReadFull(br, spendBuf[:]); err != nil {
+				return nil, fmt.Errorf("store: read spend: %w", err)
+			}
+			spend := math.Float64frombits(binary.LittleEndian.Uint64(spendBuf[:]))
+			itemCount, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: read item count: %w", err)
+			}
+			const maxItems = 1 << 20
+			if itemCount > maxItems {
+				return nil, fmt.Errorf("store: implausible basket size %d", itemCount)
+			}
+			items := make(retail.Basket, itemCount)
+			prevItem := uint64(0)
+			for j := range items {
+				d, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("store: read item: %w", err)
+				}
+				prevItem += d
+				if prevItem == 0 || prevItem > math.MaxUint32 {
+					return nil, fmt.Errorf("store: item id %d out of range", prevItem)
+				}
+				items[j] = retail.ItemID(prevItem)
+			}
+			rec := retail.Receipt{Time: time.Unix(prev, 0).UTC(), Items: items, Spend: spend}
+			if err := b.AddReceipt(retail.CustomerID(cust), rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}

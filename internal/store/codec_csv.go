@@ -1,0 +1,188 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// CSV receipt format, one row per receipt:
+//
+//	customer,timestamp(RFC3339),spend,items
+//
+// where items is a "|"-separated list of segment identifiers. A header row
+// "customer,timestamp,spend,items" is written and tolerated on read.
+const csvHeader = "customer,timestamp,spend,items"
+
+// WriteCSV serializes every receipt in customer order.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(strings.Split(csvHeader, ",")); err != nil {
+		return fmt.Errorf("store: write csv header: %w", err)
+	}
+	var sb strings.Builder
+	for _, h := range s.histories {
+		for _, r := range h.Receipts {
+			sb.Reset()
+			for i, it := range r.Items {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				sb.WriteString(strconv.FormatUint(uint64(it), 10))
+			}
+			rec := []string{
+				strconv.FormatUint(uint64(h.Customer), 10),
+				r.Time.UTC().Format(time.RFC3339),
+				strconv.FormatFloat(r.Spend, 'f', 2, 64),
+				sb.String(),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("store: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVOptions tunes ReadCSV.
+type CSVOptions struct {
+	// Strict aborts on the first malformed row. When false, malformed rows
+	// are skipped and counted.
+	Strict bool
+}
+
+// CSVReport describes what ReadCSV consumed.
+type CSVReport struct {
+	Rows    int // data rows seen (excluding header)
+	Skipped int // malformed rows skipped (Strict=false only)
+}
+
+// ReadCSV parses the receipt CSV format into a fresh Store.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Store, CSVReport, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	b := NewBuilder()
+	var rep CSVReport
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if opts.Strict {
+				return nil, rep, fmt.Errorf("store: csv parse: %w", err)
+			}
+			rep.Skipped++
+			continue
+		}
+		line++
+		if line == 1 && len(rec) > 0 && rec[0] == "customer" {
+			continue // header
+		}
+		rep.Rows++
+		if err := addCSVRow(b, rec); err != nil {
+			if opts.Strict {
+				return nil, rep, fmt.Errorf("store: line %d: %w", line, err)
+			}
+			rep.Rows--
+			rep.Skipped++
+		}
+	}
+	return b.Build(), rep, nil
+}
+
+func addCSVRow(b *Builder, rec []string) error {
+	if len(rec) != 4 {
+		return fmt.Errorf("want 4 fields, got %d", len(rec))
+	}
+	cust, err := strconv.ParseUint(rec[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad customer %q: %w", rec[0], err)
+	}
+	ts, err := time.Parse(time.RFC3339, rec[1])
+	if err != nil {
+		return fmt.Errorf("bad timestamp %q: %w", rec[1], err)
+	}
+	spend, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad spend %q: %w", rec[2], err)
+	}
+	var items []retail.ItemID
+	if rec[3] != "" {
+		for _, f := range strings.Split(rec[3], "|") {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad item %q: %w", f, err)
+			}
+			if v == 0 {
+				return fmt.Errorf("item id 0 is reserved")
+			}
+			items = append(items, retail.ItemID(v))
+		}
+	}
+	return b.Add(retail.CustomerID(cust), ts, items, spend)
+}
+
+// WriteLabelsCSV serializes ground-truth labels as
+// "customer,cohort,onset_month" rows with a header.
+func WriteLabelsCSV(w io.Writer, labels []retail.Label) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"customer", "cohort", "onset_month"}); err != nil {
+		return fmt.Errorf("store: write labels header: %w", err)
+	}
+	for _, l := range labels {
+		rec := []string{
+			strconv.FormatUint(uint64(l.Customer), 10),
+			l.Cohort.String(),
+			strconv.Itoa(l.OnsetMonth),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("store: write label row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadLabelsCSV parses the label CSV format.
+func ReadLabelsCSV(r io.Reader) ([]retail.Label, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	var out []retail.Label
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: labels csv parse: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == "customer" {
+			continue
+		}
+		cust, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: labels line %d: bad customer %q: %w", line, rec[0], err)
+		}
+		cohort, err := retail.ParseCohort(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("store: labels line %d: %w", line, err)
+		}
+		onset, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("store: labels line %d: bad onset %q: %w", line, rec[2], err)
+		}
+		out = append(out, retail.Label{Customer: retail.CustomerID(cust), Cohort: cohort, OnsetMonth: onset})
+	}
+	return out, nil
+}

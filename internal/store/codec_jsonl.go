@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// jsonReceipt is the JSONL wire form of one receipt.
+type jsonReceipt struct {
+	Customer uint64    `json:"customer"`
+	Time     time.Time `json:"time"`
+	Spend    float64   `json:"spend"`
+	Items    []uint32  `json:"items"`
+}
+
+// WriteJSONL serializes every receipt as one JSON object per line.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, h := range s.histories {
+		for _, r := range h.Receipts {
+			items := make([]uint32, len(r.Items))
+			for i, it := range r.Items {
+				items[i] = uint32(it)
+			}
+			jr := jsonReceipt{Customer: uint64(h.Customer), Time: r.Time.UTC(), Spend: r.Spend, Items: items}
+			if err := enc.Encode(&jr); err != nil {
+				return fmt.Errorf("store: jsonl encode: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses the JSONL receipt format into a fresh Store. Blank lines
+// are ignored; any malformed line is an error (JSONL is our own export
+// format, so corruption should fail loudly).
+func ReadJSONL(r io.Reader) (*Store, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jr jsonReceipt
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			return nil, fmt.Errorf("store: jsonl line %d: %w", line, err)
+		}
+		items := make([]retail.ItemID, len(jr.Items))
+		for i, it := range jr.Items {
+			if it == 0 {
+				return nil, fmt.Errorf("store: jsonl line %d: item id 0 is reserved", line)
+			}
+			items[i] = retail.ItemID(it)
+		}
+		if err := b.Add(retail.CustomerID(jr.Customer), jr.Time, items, jr.Spend); err != nil {
+			return nil, fmt.Errorf("store: jsonl line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: jsonl scan: %w", err)
+	}
+	return b.Build(), nil
+}

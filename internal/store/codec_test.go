@@ -1,0 +1,271 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// randomStore builds a pseudo-random store for round-trip properties.
+func randomStore(seed int64) *Store {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	customers := r.Intn(5) + 1
+	for c := 0; c < customers; c++ {
+		id := retail.CustomerID(r.Intn(1000) + 1)
+		receipts := r.Intn(8)
+		for i := 0; i < receipts; i++ {
+			items := make([]retail.ItemID, r.Intn(6))
+			for j := range items {
+				items[j] = retail.ItemID(r.Intn(50) + 1)
+			}
+			ts := day(r.Intn(400)).Add(time.Duration(r.Intn(86400)) * time.Second)
+			spend := float64(r.Intn(10000)) / 100
+			if err := b.Add(id, ts, items, spend); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func storesEqual(a, b *Store) bool {
+	if a.NumCustomers() != b.NumCustomers() || a.NumReceipts() != b.NumReceipts() {
+		return false
+	}
+	for _, id := range a.Customers() {
+		ha, err := a.History(id)
+		if err != nil {
+			return false
+		}
+		hb, err := b.History(id)
+		if err != nil {
+			return false
+		}
+		if len(ha.Receipts) != len(hb.Receipts) {
+			return false
+		}
+		for i := range ha.Receipts {
+			ra, rb := ha.Receipts[i], hb.Receipts[i]
+			if !ra.Time.Equal(rb.Time) || ra.Spend != rb.Spend || !ra.Items.Equal(rb.Items) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		orig := randomStore(seed)
+		var buf bytes.Buffer
+		if err := orig.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, rep, err := ReadCSV(&buf, CSVOptions{Strict: true})
+		if err != nil || rep.Skipped != 0 {
+			return false
+		}
+		// CSV stores spend with 2 decimals, which our generator respects.
+		return storesEqual(orig, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONLRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		orig := randomStore(seed)
+		var buf bytes.Buffer
+		if err := orig.WriteJSONL(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSONL(&buf)
+		if err != nil {
+			return false
+		}
+		return storesEqual(orig, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		orig := randomStore(seed)
+		var buf bytes.Buffer
+		if err := orig.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return storesEqual(orig, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	s := randomStore(7)
+	var csvBuf, binBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumReceipts() > 0 && binBuf.Len() >= csvBuf.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than CSV (%d bytes)", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+func TestReadCSVHeaderAndEmptyItems(t *testing.T) {
+	in := "customer,timestamp,spend,items\n" +
+		"7,2012-05-01T10:00:00Z,3.50,1|2|3\n" +
+		"7,2012-05-02T10:00:00Z,0.00,\n"
+	s, rep, err := ReadCSV(strings.NewReader(in), CSVOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	h, err := s.History(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Receipts) != 2 {
+		t.Fatalf("receipts = %d", len(h.Receipts))
+	}
+	if len(h.Receipts[1].Items) != 0 {
+		t.Fatalf("empty-items row produced basket %v", h.Receipts[1].Items)
+	}
+}
+
+func TestReadCSVMalformedRows(t *testing.T) {
+	bad := []string{
+		"x,2012-05-01T10:00:00Z,1.0,1",   // bad customer
+		"1,yesterday,1.0,1",              // bad time
+		"1,2012-05-01T10:00:00Z,lots,1",  // bad spend
+		"1,2012-05-01T10:00:00Z,1.0,one", // bad item
+		"1,2012-05-01T10:00:00Z,1.0,0",   // reserved item id
+		"1,2012-05-01T10:00:00Z,1.0",     // short row
+		"1,2012-05-01T10:00:00Z,-5,1",    // negative spend
+	}
+	for _, row := range bad {
+		t.Run(row, func(t *testing.T) {
+			// Strict: error.
+			if _, _, err := ReadCSV(strings.NewReader(row+"\n"), CSVOptions{Strict: true}); err == nil {
+				t.Fatalf("strict mode accepted %q", row)
+			}
+			// Lenient: skipped, not fatal.
+			s, rep, err := ReadCSV(strings.NewReader(row+"\n"), CSVOptions{})
+			if err != nil {
+				t.Fatalf("lenient mode errored on %q: %v", row, err)
+			}
+			if rep.Skipped != 1 || s.NumReceipts() != 0 {
+				t.Fatalf("lenient mode: report %+v, receipts %d", rep, s.NumReceipts())
+			}
+		})
+	}
+}
+
+func TestReadCSVLenientKeepsGoodRows(t *testing.T) {
+	in := "1,2012-05-01T10:00:00Z,1.00,1\n" +
+		"garbage,row,here,zz\n" +
+		"2,2012-05-02T10:00:00Z,2.00,2\n"
+	s, rep, err := ReadCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 2 || rep.Skipped != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if s.NumReceipts() != 2 {
+		t.Fatalf("receipts = %d", s.NumReceipts())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"customer":1,"time":"2012-05-01T00:00:00Z","spend":1,"items":[0]}` + "\n")); err == nil {
+		t.Fatal("reserved item id accepted")
+	}
+	// Blank lines are fine.
+	s, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumReceipts() != 0 {
+		t.Fatal("blank input produced receipts")
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("JUNKJUNKJUNK")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream: write a valid store and cut it short.
+	s := randomStore(3)
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 10 {
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+			t.Fatal("truncated stream accepted")
+		}
+	}
+}
+
+func TestLabelsCSVRoundTrip(t *testing.T) {
+	labels := []retail.Label{
+		{Customer: 1, Cohort: retail.CohortLoyal, OnsetMonth: -1},
+		{Customer: 2, Cohort: retail.CohortDefecting, OnsetMonth: 18},
+		{Customer: 3, Cohort: retail.CohortUnknown, OnsetMonth: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteLabelsCSV(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabelsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("round trip lost labels: %d vs %d", len(got), len(labels))
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label %d: %+v vs %+v", i, got[i], labels[i])
+		}
+	}
+}
+
+func TestReadLabelsCSVErrors(t *testing.T) {
+	bad := []string{
+		"x,loyal,-1\n",
+		"1,sorta,-1\n",
+		"1,loyal,soon\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadLabelsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the lenient CSV reader never panics or errors on
+// arbitrary input, and that whatever it accepts re-serializes cleanly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("customer,timestamp,spend,items\n7,2012-05-01T10:00:00Z,3.50,1|2|3\n")
+	f.Add("7,2012-05-01T10:00:00Z,3.50,\n")
+	f.Add("x,y,z\n")
+	f.Add("")
+	f.Add("7,2012-05-01T10:00:00Z,-1,1\n")
+	f.Add("\"quoted,comma\",2012-05-01T10:00:00Z,1,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, _, err := ReadCSV(strings.NewReader(input), CSVOptions{Strict: false})
+		if err != nil {
+			// Lenient mode only errors on reader failures, which a string
+			// reader cannot produce — anything else is a bug.
+			t.Fatalf("lenient ReadCSV errored: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		again, rep, err := ReadCSV(&buf, CSVOptions{Strict: true})
+		if err != nil || rep.Skipped != 0 {
+			t.Fatalf("round trip of accepted data failed: %v (%+v)", err, rep)
+		}
+		if again.NumReceipts() != s.NumReceipts() {
+			t.Fatalf("round trip changed receipt count: %d vs %d", again.NumReceipts(), s.NumReceipts())
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary reader never panics on corrupt
+// snapshots — it must fail with an error instead.
+func FuzzReadBinary(f *testing.F) {
+	valid := randomStore(5)
+	var buf bytes.Buffer
+	if err := valid.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STB1"))
+	f.Add([]byte{})
+	f.Add([]byte("STB1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		s, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted input must re-serialize and round-trip.
+		var out bytes.Buffer
+		if err := s.WriteBinary(&out); err != nil {
+			t.Fatalf("re-serialize accepted snapshot: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if again.NumReceipts() != s.NumReceipts() {
+			t.Fatalf("round trip changed receipts")
+		}
+	})
+}
+
+// FuzzReadJSONL asserts the JSONL reader never panics.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"customer":1,"time":"2012-05-01T00:00:00Z","spend":1,"items":[1,2]}` + "\n")
+	f.Add("{}\n")
+	f.Add("\n\n")
+	f.Add("not json\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ReadJSONL(strings.NewReader(input))
+	})
+}

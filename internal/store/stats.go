@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stats"
+)
+
+// Stats summarizes a store's contents, mirroring the dataset description in
+// the paper's experiments section (customer count, receipt count, time
+// span, item dictionary size, basket-size distribution).
+type Stats struct {
+	Customers        int
+	Receipts         int
+	DistinctItems    int
+	First, Last      time.Time
+	BasketSize       stats.Summary
+	ReceiptsPerCust  stats.Summary
+	SpendPerReceipt  stats.Summary
+	TopItems         []ItemCount // most frequently bought items, descending
+	MonthlyActiveCnt []int       // active customers per month since First
+}
+
+// ItemCount pairs an item with the number of receipts containing it.
+type ItemCount struct {
+	Item  retail.ItemID
+	Count int
+}
+
+// Summarize computes dataset statistics. topN limits the TopItems list.
+func (s *Store) Summarize(topN int) Stats {
+	var (
+		basketSizes []float64
+		perCust     []float64
+		spends      []float64
+		itemCounts  = make(map[retail.ItemID]int)
+	)
+	st := Stats{Customers: len(s.histories), Receipts: s.receipts, First: s.minTime, Last: s.maxTime}
+	months := 0
+	if s.receipts > 0 {
+		months = monthsBetween(s.minTime, s.maxTime) + 1
+	}
+	active := make([]map[retail.CustomerID]bool, months)
+	for i := range active {
+		active[i] = make(map[retail.CustomerID]bool)
+	}
+	for _, h := range s.histories {
+		perCust = append(perCust, float64(len(h.Receipts)))
+		for _, r := range h.Receipts {
+			basketSizes = append(basketSizes, float64(len(r.Items)))
+			spends = append(spends, r.Spend)
+			for _, it := range r.Items {
+				itemCounts[it]++
+			}
+			if months > 0 {
+				m := monthsBetween(s.minTime, r.Time)
+				if m >= 0 && m < months {
+					active[m][h.Customer] = true
+				}
+			}
+		}
+	}
+	st.DistinctItems = len(itemCounts)
+	st.BasketSize = stats.Summarize(basketSizes)
+	st.ReceiptsPerCust = stats.Summarize(perCust)
+	st.SpendPerReceipt = stats.Summarize(spends)
+	st.TopItems = make([]ItemCount, 0, len(itemCounts))
+	for it, c := range itemCounts {
+		st.TopItems = append(st.TopItems, ItemCount{Item: it, Count: c})
+	}
+	sort.Slice(st.TopItems, func(i, j int) bool {
+		if st.TopItems[i].Count != st.TopItems[j].Count {
+			return st.TopItems[i].Count > st.TopItems[j].Count
+		}
+		return st.TopItems[i].Item < st.TopItems[j].Item
+	})
+	if topN > 0 && len(st.TopItems) > topN {
+		st.TopItems = st.TopItems[:topN]
+	}
+	st.MonthlyActiveCnt = make([]int, months)
+	for i, m := range active {
+		st.MonthlyActiveCnt[i] = len(m)
+	}
+	return st
+}
+
+// monthsBetween counts whole calendar months from a to b (0 when a and b
+// fall in the same month).
+func monthsBetween(a, b time.Time) int {
+	ay, am := a.Year(), int(a.Month())
+	by, bm := b.Year(), int(b.Month())
+	return (by-ay)*12 + bm - am
+}
+
+// Render writes a human-readable report.
+func (st Stats) Render(w io.Writer) {
+	fmt.Fprintf(w, "customers:       %d\n", st.Customers)
+	fmt.Fprintf(w, "receipts:        %d\n", st.Receipts)
+	fmt.Fprintf(w, "distinct items:  %d\n", st.DistinctItems)
+	if !st.First.IsZero() {
+		fmt.Fprintf(w, "time span:       %s .. %s (%d months)\n",
+			st.First.Format("2006-01-02"), st.Last.Format("2006-01-02"), len(st.MonthlyActiveCnt))
+	}
+	fmt.Fprintf(w, "basket size:     %s\n", st.BasketSize)
+	fmt.Fprintf(w, "receipts/cust:   %s\n", st.ReceiptsPerCust)
+	fmt.Fprintf(w, "spend/receipt:   %s\n", st.SpendPerReceipt)
+	if len(st.TopItems) > 0 {
+		fmt.Fprintf(w, "top items:      ")
+		for _, ic := range st.TopItems {
+			fmt.Fprintf(w, " %d(%d)", ic.Item, ic.Count)
+		}
+		fmt.Fprintln(w)
+	}
+}

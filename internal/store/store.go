@@ -1,0 +1,194 @@
+// Package store implements the transaction store that feeds the stability
+// model: an in-memory, read-optimized collection of per-customer purchase
+// histories with time-range scans, summary statistics, and CSV / JSONL /
+// binary codecs. It plays the role of the receipt database the paper's
+// retailer provided.
+//
+// Ingest goes through a Builder which tolerates out-of-order arrival and
+// duplicate receipt timestamps (both occur in real point-of-sale feeds);
+// Build sorts each history once and freezes the result. A built Store is
+// immutable and safe for concurrent readers.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// Store is an immutable set of customer purchase histories.
+type Store struct {
+	histories []retail.History // sorted by CustomerID
+	index     map[retail.CustomerID]int
+	minTime   time.Time
+	maxTime   time.Time
+	receipts  int
+}
+
+// ErrNoCustomer is returned when a customer is absent from the store.
+var ErrNoCustomer = errors.New("store: customer not found")
+
+// NumCustomers returns the number of customers.
+func (s *Store) NumCustomers() int { return len(s.histories) }
+
+// NumReceipts returns the total number of receipts.
+func (s *Store) NumReceipts() int { return s.receipts }
+
+// TimeRange returns the timestamps of the earliest and latest receipts.
+// ok is false for an empty store.
+func (s *Store) TimeRange() (min, max time.Time, ok bool) {
+	if s.receipts == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return s.minTime, s.maxTime, true
+}
+
+// History returns the purchase history of one customer. The returned
+// history shares the store's backing arrays and must not be mutated.
+func (s *Store) History(id retail.CustomerID) (retail.History, error) {
+	i, ok := s.index[id]
+	if !ok {
+		return retail.History{}, fmt.Errorf("%w: %d", ErrNoCustomer, id)
+	}
+	return s.histories[i], nil
+}
+
+// Customers returns all customer identifiers in ascending order.
+func (s *Store) Customers() []retail.CustomerID {
+	out := make([]retail.CustomerID, len(s.histories))
+	for i, h := range s.histories {
+		out[i] = h.Customer
+	}
+	return out
+}
+
+// Each calls fn for every history in customer order. fn must not mutate the
+// history. Iteration stops early if fn returns false.
+func (s *Store) Each(fn func(h retail.History) bool) {
+	for _, h := range s.histories {
+		if !fn(h) {
+			return
+		}
+	}
+}
+
+// Scan returns the receipts of one customer within [from, to). The returned
+// slice aliases the store and must not be mutated.
+func (s *Store) Scan(id retail.CustomerID, from, to time.Time) ([]retail.Receipt, error) {
+	h, err := s.History(id)
+	if err != nil {
+		return nil, err
+	}
+	rs := h.Receipts
+	lo := sort.Search(len(rs), func(i int) bool { return !rs[i].Time.Before(from) })
+	hi := sort.Search(len(rs), func(i int) bool { return !rs[i].Time.Before(to) })
+	return rs[lo:hi], nil
+}
+
+// Subset returns a new store containing only the listed customers. Unknown
+// identifiers are skipped. The subset shares receipt storage with s.
+func (s *Store) Subset(ids []retail.CustomerID) *Store {
+	b := NewBuilder()
+	for _, id := range ids {
+		if i, ok := s.index[id]; ok {
+			h := s.histories[i]
+			b.addHistory(h)
+		}
+	}
+	return b.Build()
+}
+
+// Builder accumulates receipts and produces an immutable Store. The zero
+// value is not usable; call NewBuilder. Builders are not safe for
+// concurrent use (shard per goroutine and merge).
+type Builder struct {
+	byCustomer map[retail.CustomerID]*retail.History
+}
+
+// NewBuilder returns an empty store builder.
+func NewBuilder() *Builder {
+	return &Builder{byCustomer: make(map[retail.CustomerID]*retail.History)}
+}
+
+// Add appends one receipt. Items are normalized; out-of-order timestamps
+// are fine (Build sorts). Empty baskets are legal (e.g., returns-only
+// visits) but contribute nothing to the model.
+func (b *Builder) Add(id retail.CustomerID, t time.Time, items []retail.ItemID, spend float64) error {
+	if spend < 0 {
+		return fmt.Errorf("store: customer %d: negative spend %v", id, spend)
+	}
+	h, ok := b.byCustomer[id]
+	if !ok {
+		h = &retail.History{Customer: id}
+		b.byCustomer[id] = h
+	}
+	h.Receipts = append(h.Receipts, retail.Receipt{Time: t, Items: retail.NewBasket(items), Spend: spend})
+	return nil
+}
+
+// AddReceipt appends an already-normalized receipt, avoiding the basket
+// copy. The receipt's basket must be normalized (NewBasket output).
+func (b *Builder) AddReceipt(id retail.CustomerID, r retail.Receipt) error {
+	if r.Spend < 0 {
+		return fmt.Errorf("store: customer %d: negative spend %v", id, r.Spend)
+	}
+	if !r.Items.IsNormalized() {
+		return fmt.Errorf("store: customer %d: basket not normalized", id)
+	}
+	h, ok := b.byCustomer[id]
+	if !ok {
+		h = &retail.History{Customer: id}
+		b.byCustomer[id] = h
+	}
+	h.Receipts = append(h.Receipts, r)
+	return nil
+}
+
+func (b *Builder) addHistory(h retail.History) {
+	cp := retail.History{Customer: h.Customer, Receipts: h.Receipts}
+	b.byCustomer[h.Customer] = &cp
+}
+
+// Merge folds another builder's contents into b.
+func (b *Builder) Merge(other *Builder) {
+	for id, h := range other.byCustomer {
+		mine, ok := b.byCustomer[id]
+		if !ok {
+			b.byCustomer[id] = h
+			continue
+		}
+		mine.Receipts = append(mine.Receipts, h.Receipts...)
+	}
+}
+
+// Build sorts every history chronologically and freezes the store. The
+// builder may keep being used; subsequent Builds include later additions.
+func (b *Builder) Build() *Store {
+	s := &Store{
+		histories: make([]retail.History, 0, len(b.byCustomer)),
+		index:     make(map[retail.CustomerID]int, len(b.byCustomer)),
+	}
+	for _, h := range b.byCustomer {
+		cp := retail.History{Customer: h.Customer, Receipts: make([]retail.Receipt, len(h.Receipts))}
+		copy(cp.Receipts, h.Receipts)
+		cp.Sort()
+		s.histories = append(s.histories, cp)
+	}
+	sort.Slice(s.histories, func(i, j int) bool { return s.histories[i].Customer < s.histories[j].Customer })
+	for i, h := range s.histories {
+		s.index[h.Customer] = i
+		s.receipts += len(h.Receipts)
+		if first, last, ok := h.Span(); ok {
+			if s.minTime.IsZero() || first.Before(s.minTime) {
+				s.minTime = first
+			}
+			if s.maxTime.IsZero() || last.After(s.maxTime) {
+				s.maxTime = last
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+func day(n int) time.Time {
+	return time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func buildTestStore(t *testing.T) *Store {
+	t.Helper()
+	b := NewBuilder()
+	// Out-of-order insertion on purpose.
+	must(t, b.Add(2, day(10), []retail.ItemID{3, 1}, 7.5))
+	must(t, b.Add(1, day(5), []retail.ItemID{1, 2}, 10))
+	must(t, b.Add(1, day(1), []retail.ItemID{2, 2, 1}, 5))
+	must(t, b.Add(2, day(3), []retail.ItemID{4}, 2))
+	must(t, b.Add(1, day(9), nil, 0))
+	return b.Build()
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSortsAndIndexes(t *testing.T) {
+	s := buildTestStore(t)
+	if s.NumCustomers() != 2 {
+		t.Fatalf("NumCustomers = %d", s.NumCustomers())
+	}
+	if s.NumReceipts() != 5 {
+		t.Fatalf("NumReceipts = %d", s.NumReceipts())
+	}
+	h, err := s.History(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Receipts) != 3 {
+		t.Fatalf("customer 1 receipts = %d", len(h.Receipts))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("built history invalid: %v", err)
+	}
+	if !h.Receipts[0].Time.Equal(day(1)) || !h.Receipts[2].Time.Equal(day(9)) {
+		t.Fatalf("history not sorted: %v, %v", h.Receipts[0].Time, h.Receipts[2].Time)
+	}
+	// Baskets normalized on Add.
+	if !h.Receipts[0].Items.Equal(retail.Basket{1, 2}) {
+		t.Fatalf("basket not normalized: %v", h.Receipts[0].Items)
+	}
+}
+
+func TestHistoryNotFound(t *testing.T) {
+	s := buildTestStore(t)
+	_, err := s.History(42)
+	if !errors.Is(err, ErrNoCustomer) {
+		t.Fatalf("err = %v, want ErrNoCustomer", err)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	s := buildTestStore(t)
+	min, max, ok := s.TimeRange()
+	if !ok || !min.Equal(day(1)) || !max.Equal(day(10)) {
+		t.Fatalf("TimeRange = %v..%v, %v", min, max, ok)
+	}
+	empty := NewBuilder().Build()
+	if _, _, ok := empty.TimeRange(); ok {
+		t.Fatal("empty store reported a time range")
+	}
+}
+
+func TestCustomersSorted(t *testing.T) {
+	s := buildTestStore(t)
+	ids := s.Customers()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("Customers = %v", ids)
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	s := buildTestStore(t)
+	n := 0
+	s.Each(func(h retail.History) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("Each visited %d histories after early stop", n)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := buildTestStore(t)
+	// Customer 1 has receipts at days 1, 5, 9.
+	tests := []struct {
+		from, to int
+		want     int
+	}{
+		{0, 100, 3},
+		{1, 9, 2},  // [day1, day9) excludes day 9
+		{1, 10, 3}, // includes day 9
+		{2, 5, 0},
+		{5, 6, 1},
+		{50, 60, 0},
+	}
+	for _, tt := range tests {
+		got, err := s.Scan(1, day(tt.from), day(tt.to))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != tt.want {
+			t.Errorf("Scan [%d,%d) = %d receipts, want %d", tt.from, tt.to, len(got), tt.want)
+		}
+	}
+	if _, err := s.Scan(42, day(0), day(1)); err == nil {
+		t.Fatal("Scan unknown customer accepted")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := buildTestStore(t)
+	sub := s.Subset([]retail.CustomerID{2, 99})
+	if sub.NumCustomers() != 1 {
+		t.Fatalf("subset customers = %d", sub.NumCustomers())
+	}
+	if sub.NumReceipts() != 2 {
+		t.Fatalf("subset receipts = %d", sub.NumReceipts())
+	}
+	if _, err := sub.History(1); err == nil {
+		t.Fatal("subset includes excluded customer")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add(1, day(0), nil, -5); err == nil {
+		t.Fatal("negative spend accepted")
+	}
+	if err := b.AddReceipt(1, retail.Receipt{Time: day(0), Items: retail.Basket{2, 1}}); err == nil {
+		t.Fatal("denormalized AddReceipt accepted")
+	}
+	if err := b.AddReceipt(1, retail.Receipt{Time: day(0), Items: retail.Basket{1, 2}, Spend: -1}); err == nil {
+		t.Fatal("negative-spend AddReceipt accepted")
+	}
+}
+
+func TestBuilderMerge(t *testing.T) {
+	a := NewBuilder()
+	must(t, a.Add(1, day(0), []retail.ItemID{1}, 1))
+	b := NewBuilder()
+	must(t, b.Add(1, day(1), []retail.ItemID{2}, 2))
+	must(t, b.Add(2, day(2), []retail.ItemID{3}, 3))
+	a.Merge(b)
+	s := a.Build()
+	if s.NumCustomers() != 2 || s.NumReceipts() != 3 {
+		t.Fatalf("merged store: %d customers, %d receipts", s.NumCustomers(), s.NumReceipts())
+	}
+	h, _ := s.History(1)
+	if len(h.Receipts) != 2 {
+		t.Fatalf("customer 1 merged receipts = %d", len(h.Receipts))
+	}
+}
+
+func TestBuildIsRepeatableAndIsolated(t *testing.T) {
+	b := NewBuilder()
+	must(t, b.Add(1, day(0), []retail.ItemID{1}, 1))
+	s1 := b.Build()
+	must(t, b.Add(1, day(1), []retail.ItemID{2}, 2))
+	s2 := b.Build()
+	if s1.NumReceipts() != 1 {
+		t.Fatalf("first snapshot changed after later Add: %d receipts", s1.NumReceipts())
+	}
+	if s2.NumReceipts() != 2 {
+		t.Fatalf("second snapshot = %d receipts", s2.NumReceipts())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := buildTestStore(t)
+	st := s.Summarize(2)
+	if st.Customers != 2 || st.Receipts != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.DistinctItems != 4 {
+		t.Fatalf("DistinctItems = %d, want 4", st.DistinctItems)
+	}
+	if len(st.TopItems) != 2 {
+		t.Fatalf("TopItems = %v", st.TopItems)
+	}
+	// Item 1 appears in 3 receipts, more than any other.
+	if st.TopItems[0].Item != 1 || st.TopItems[0].Count != 3 {
+		t.Fatalf("TopItems[0] = %+v", st.TopItems[0])
+	}
+	if len(st.MonthlyActiveCnt) != 1 || st.MonthlyActiveCnt[0] != 2 {
+		t.Fatalf("MonthlyActiveCnt = %v", st.MonthlyActiveCnt)
+	}
+}
+
+func TestMonthsBetween(t *testing.T) {
+	tests := []struct {
+		a, b time.Time
+		want int
+	}{
+		{day(0), day(0), 0},
+		{day(0), day(30), 0}, // May 1 .. May 31
+		{day(0), day(31), 1}, // June 1
+		{day(0), day(365), 12},
+	}
+	for _, tt := range tests {
+		if got := monthsBetween(tt.a, tt.b); got != tt.want {
+			t.Errorf("monthsBetween(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// Monitor snapshot format:
+//
+//	magic "SMN1" (4 bytes)
+//	int64   grid origin (unix seconds, UTC month start)
+//	uvarint grid span months
+//	uvarint customer count
+//	per customer (ascending id):
+//	  uvarint customer id
+//	  varint  openK
+//	  varint  lastScoredK
+//	  byte    flags (bit0 lastDefined, bit1 scored)
+//	  float64 lastStability
+//	  uvarint pending item count, then uvarint item deltas
+//	  tracker snapshot (embedded, self-delimiting via its own counts)
+//
+// A restored monitor resumes exactly where the snapshot left off: the
+// equivalence is property-tested.
+var monitorMagic = [4]byte{'S', 'M', 'N', '1'}
+
+// WriteSnapshot persists every tracked customer's state.
+func (m *Monitor) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(monitorMagic[:]); err != nil {
+		return fmt.Errorf("stream: write magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:8], uint64(m.cfg.Grid.Origin().Unix()))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	if err := putU(uint64(m.cfg.Grid.Span().Months)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(m.states))); err != nil {
+		return err
+	}
+	ids := make([]retail.CustomerID, 0, len(m.states))
+	for id := range m.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := m.states[id]
+		if err := putU(uint64(id)); err != nil {
+			return err
+		}
+		if err := putI(int64(st.openK)); err != nil {
+			return err
+		}
+		if err := putI(int64(st.lastScoredK)); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if st.lastDefined {
+			flags |= 1
+		}
+		if st.scored {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(st.lastStability))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+		if err := putU(uint64(len(st.pending))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for _, it := range st.pending {
+			if err := putU(uint64(it) - prev); err != nil {
+				return err
+			}
+			prev = uint64(it)
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := st.tracker.WriteSnapshot(w); err != nil {
+			return fmt.Errorf("stream: customer %d tracker: %w", id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMonitorSnapshot restores a monitor persisted by WriteSnapshot. The
+// supplied config provides the operational knobs (β, TopJ, warm-up,
+// hooks); its grid must match the snapshot's grid, and its model options
+// are validated against each restored tracker's.
+func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: read magic: %w", err)
+	}
+	if magic != monitorMagic {
+		return nil, fmt.Errorf("stream: bad magic %q (not a SMN1 snapshot)", magic[:])
+	}
+	var f8 [8]byte
+	if _, err := io.ReadFull(br, f8[:]); err != nil {
+		return nil, fmt.Errorf("stream: read origin: %w", err)
+	}
+	origin := int64(binary.LittleEndian.Uint64(f8[:]))
+	span, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: read span: %w", err)
+	}
+	if cfg.Grid.Origin().Unix() != origin || uint64(cfg.Grid.Span().Months) != span {
+		return nil, fmt.Errorf("stream: snapshot grid (origin %d, span %dmo) does not match config grid (origin %d, span %dmo)",
+			origin, span, cfg.Grid.Origin().Unix(), cfg.Grid.Span().Months)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: read customer count: %w", err)
+	}
+	const maxCustomers = 1 << 34
+	if count > maxCustomers {
+		return nil, fmt.Errorf("stream: implausible customer count %d", count)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: read customer id: %w", err)
+		}
+		openK, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: read openK: %w", err)
+		}
+		lastScoredK, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: read lastScoredK: %w", err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("stream: read flags: %w", err)
+		}
+		if _, err := io.ReadFull(br, f8[:]); err != nil {
+			return nil, fmt.Errorf("stream: read lastStability: %w", err)
+		}
+		pendingCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: read pending count: %w", err)
+		}
+		const maxItems = 1 << 20
+		if pendingCount > maxItems {
+			return nil, fmt.Errorf("stream: implausible pending size %d", pendingCount)
+		}
+		pending := make(retail.Basket, pendingCount)
+		prev := uint64(0)
+		for j := range pending {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("stream: read pending item: %w", err)
+			}
+			prev += d
+			if prev == 0 || prev > math.MaxUint32 {
+				return nil, fmt.Errorf("stream: pending item %d out of range", prev)
+			}
+			pending[j] = retail.ItemID(prev)
+		}
+		tracker, err := core.ReadTrackerSnapshot(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: customer %d tracker: %w", id, err)
+		}
+		if tracker.Options() != cfg.Model {
+			return nil, fmt.Errorf("stream: customer %d tracker options %+v do not match config %+v",
+				id, tracker.Options(), cfg.Model)
+		}
+		m.states[retail.CustomerID(id)] = &custState{
+			tracker:       tracker,
+			openK:         int(openK),
+			pending:       pending,
+			lastStability: math.Float64frombits(binary.LittleEndian.Uint64(f8[:])),
+			lastDefined:   flags&1 != 0,
+			lastScoredK:   int(lastScoredK),
+			scored:        flags&2 != 0,
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,241 @@
+// Package stream provides online attrition monitoring: receipts are
+// ingested one at a time (the shape of a live point-of-sale feed), windows
+// roll over automatically on the configured grid, and an Alert is emitted
+// whenever a customer's stability falls to or below the loyalty threshold
+// β — with the blamed products attached, so each alert is immediately
+// actionable.
+//
+// The monitor produces byte-identical stability values to the batch
+// pipeline (window.Windowize + core.Model.Analyze); the equivalence is
+// property-tested. A window is scored when it closes, i.e. when a later
+// receipt (or an explicit CloseThrough) proves no more purchases can fall
+// inside it. Windows with no purchases at all are scored as empty — absence
+// is the signal attrition lives in.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Grid is the window grid receipts are bucketed on.
+	Grid window.Grid
+	// Model configures the stability model (α, policy, blame cap).
+	Model core.Options
+	// Beta is the loyalty threshold: a scored window with
+	// stability ≤ Beta raises an alert (the paper's detection rule:
+	// stability > β ⇒ loyal).
+	Beta float64
+	// TopJ caps the blamed products attached to each alert (0 = all).
+	TopJ int
+	// AlertOnUndefined controls whether windows with no prior history
+	// (stability = 1 by convention, Defined = false) can alert. Default
+	// false: a brand-new customer is not defecting.
+	AlertOnUndefined bool
+	// WarmupWindows suppresses alerts until the customer has at least this
+	// many counted windows of history. Early windows score against a thin
+	// significance profile and alert noisily (cold start); 3–4 windows of
+	// warm-up removes most of that noise. 0 disables warm-up.
+	WarmupWindows int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Beta < 0 || c.Beta >= 1 {
+		return fmt.Errorf("stream: beta must be in [0,1), got %v", c.Beta)
+	}
+	if c.TopJ < 0 {
+		return fmt.Errorf("stream: TopJ must be >= 0, got %d", c.TopJ)
+	}
+	if c.WarmupWindows < 0 {
+		return fmt.Errorf("stream: WarmupWindows must be >= 0, got %d", c.WarmupWindows)
+	}
+	if c.Grid.Span().Months < 1 {
+		return errors.New("stream: zero-value grid")
+	}
+	return nil
+}
+
+// Alert is one detection event.
+type Alert struct {
+	Customer  retail.CustomerID
+	GridIndex int
+	// Start/End bound the scored window.
+	Start, End time.Time
+	Stability  float64
+	// Drop is the decrease vs. the customer's previous scored window.
+	Drop float64
+	// Blame lists the most significant missing products.
+	Blame []core.Blame
+}
+
+// Scored is one closed window's result (alerting or not), for callers that
+// want the full stream rather than alerts only.
+type Scored struct {
+	Customer  retail.CustomerID
+	GridIndex int
+	Result    core.Result
+}
+
+// ErrStale is returned when a receipt arrives for a window that has
+// already been closed for its customer.
+var ErrStale = errors.New("stream: receipt for an already-closed window")
+
+type custState struct {
+	tracker *core.Tracker
+	openK   int // grid index of the open (accumulating) window
+	pending retail.Basket
+	// lastStability/lastDefined feed Alert.Drop; scored reports whether
+	// any window has been scored yet.
+	lastStability float64
+	lastDefined   bool
+	lastScoredK   int
+	scored        bool
+}
+
+// Monitor ingests receipts and emits alerts. Not safe for concurrent use;
+// shard by customer for parallel feeds.
+type Monitor struct {
+	cfg    Config
+	states map[retail.CustomerID]*custState
+	// scoredHook, when set, receives every closed window (used by tests
+	// and by callers that want full traces).
+	scoredHook func(Scored)
+}
+
+// New validates cfg and returns an empty monitor.
+func New(cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg, states: make(map[retail.CustomerID]*custState)}, nil
+}
+
+// OnScored registers a hook receiving every closed window in scoring
+// order. Pass nil to remove.
+func (m *Monitor) OnScored(fn func(Scored)) { m.scoredHook = fn }
+
+// Customers returns the number of customers currently tracked.
+func (m *Monitor) Customers() int { return len(m.states) }
+
+// Ingest feeds one receipt. Receipts must arrive in non-decreasing window
+// order per customer (receipts within the same window may arrive in any
+// order). Closing earlier windows may emit alerts, which are returned.
+func (m *Monitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket) ([]Alert, error) {
+	if !items.IsNormalized() {
+		items = retail.NewBasket(items)
+	}
+	k := m.cfg.Grid.Index(t)
+	st, ok := m.states[id]
+	if !ok {
+		tr, err := core.NewTracker(m.cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		st = &custState{tracker: tr, openK: k, lastScoredK: k - 1}
+		m.states[id] = st
+	}
+	if k < st.openK {
+		return nil, fmt.Errorf("%w: customer %d window %d (open is %d)", ErrStale, id, k, st.openK)
+	}
+	var alerts []Alert
+	if k > st.openK {
+		alerts = m.closeThrough(id, st, k-1)
+	}
+	st.pending = st.pending.Union(items)
+	return alerts, nil
+}
+
+// closeThrough scores the open window and any empty windows up to and
+// including k, leaving a fresh open window at k+1.
+func (m *Monitor) closeThrough(id retail.CustomerID, st *custState, k int) []Alert {
+	var alerts []Alert
+	for st.openK <= k {
+		res := st.tracker.Observe(st.pending)
+		st.pending = nil
+		if m.scoredHook != nil {
+			m.scoredHook(Scored{Customer: id, GridIndex: st.openK, Result: res})
+		}
+		if a, ok := m.toAlert(id, st, res); ok {
+			alerts = append(alerts, a)
+		}
+		st.lastStability, st.lastDefined = res.Stability, res.Defined
+		st.lastScoredK = st.openK
+		st.scored = true
+		st.openK++
+	}
+	return alerts
+}
+
+func (m *Monitor) toAlert(id retail.CustomerID, st *custState, res core.Result) (Alert, bool) {
+	if !res.Defined && !m.cfg.AlertOnUndefined {
+		return Alert{}, false
+	}
+	// tracker.Windows() already includes the just-scored window; warm-up
+	// requires that many windows *before* the scored one.
+	if st.tracker.Windows()-1 < m.cfg.WarmupWindows {
+		return Alert{}, false
+	}
+	if res.Stability > m.cfg.Beta {
+		return Alert{}, false
+	}
+	start, end := m.cfg.Grid.Bounds(st.openK)
+	blame := res.Missing
+	if m.cfg.TopJ > 0 && len(blame) > m.cfg.TopJ {
+		blame = blame[:m.cfg.TopJ]
+	}
+	drop := 0.0
+	if st.lastDefined && res.Defined && res.Stability < st.lastStability {
+		drop = st.lastStability - res.Stability
+	}
+	return Alert{
+		Customer:  id,
+		GridIndex: st.openK,
+		Start:     start,
+		End:       end,
+		Stability: res.Stability,
+		Drop:      drop,
+		Blame:     blame,
+	}, true
+}
+
+// CloseThrough force-closes every tracked customer's windows through grid
+// index k (inclusive), scoring them (empty where no purchases arrived) and
+// returning any alerts, ordered by customer id. Use at end-of-feed, or
+// periodically with the feed's watermark so silent customers — the
+// defecting ones — still get scored.
+func (m *Monitor) CloseThrough(k int) []Alert {
+	ids := make([]retail.CustomerID, 0, len(m.states))
+	for id, st := range m.states {
+		if st.openK <= k {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var alerts []Alert
+	for _, id := range ids {
+		alerts = append(alerts, m.closeThrough(id, m.states[id], k)...)
+	}
+	return alerts
+}
+
+// Stability returns the last scored stability of a customer, with ok=false
+// when the customer is unknown or no window has been scored yet.
+func (m *Monitor) Stability(id retail.CustomerID) (value float64, gridIndex int, ok bool) {
+	st, found := m.states[id]
+	if !found || !st.scored {
+		return 0, 0, false
+	}
+	return st.lastStability, st.lastScoredK, true
+}

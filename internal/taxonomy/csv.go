@@ -1,0 +1,104 @@
+package taxonomy
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// WriteCSV serializes the catalog as two concatenated CSV sections:
+//
+//	segment,<id>,<name>,<department>
+//	product,<id>,<name>,<segment-id>,<price>
+//
+// Rows appear in identifier order so the file round-trips identically.
+func (c *Catalog) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, s := range c.segments {
+		rec := []string{"segment", strconv.FormatUint(uint64(s.ID), 10), s.Name, s.Department}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("taxonomy: write segment row: %w", err)
+		}
+	}
+	for _, p := range c.products {
+		rec := []string{"product", strconv.FormatUint(uint64(p.ID), 10), p.Name,
+			strconv.FormatUint(uint64(p.Segment), 10), strconv.FormatFloat(p.Price, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("taxonomy: write product row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a catalog produced by WriteCSV. Identifiers in the file
+// must be dense and in order (the format WriteCSV produces); the function
+// validates this so that corrupted files fail loudly instead of silently
+// renumbering.
+func ReadCSV(r io.Reader) (*Catalog, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	b := NewBuilder()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("taxonomy: csv parse: %w", err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "segment":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("taxonomy: line %d: segment row needs 4 fields, got %d", line, len(rec))
+			}
+			want, err := strconv.ParseUint(rec[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: bad segment id %q: %w", line, rec[1], err)
+			}
+			id, err := b.AddSegment(rec[2], rec[3])
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: %w", line, err)
+			}
+			if uint64(id) != want {
+				return nil, fmt.Errorf("taxonomy: line %d: segment %q expected id %d, assigned %d (file not dense/ordered)",
+					line, rec[2], want, id)
+			}
+		case "product":
+			if len(rec) != 5 {
+				return nil, fmt.Errorf("taxonomy: line %d: product row needs 5 fields, got %d", line, len(rec))
+			}
+			want, err := strconv.ParseUint(rec[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: bad product id %q: %w", line, rec[1], err)
+			}
+			seg, err := strconv.ParseUint(rec[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: bad segment ref %q: %w", line, rec[3], err)
+			}
+			price, err := strconv.ParseFloat(rec[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: bad price %q: %w", line, rec[4], err)
+			}
+			id, err := b.AddProduct(rec[2], retail.ItemID(seg), price)
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: %w", line, err)
+			}
+			if uint64(id) != want {
+				return nil, fmt.Errorf("taxonomy: line %d: product %q expected id %d, assigned %d (file not dense/ordered)",
+					line, rec[2], want, id)
+			}
+		default:
+			return nil, fmt.Errorf("taxonomy: line %d: unknown row kind %q", line, rec[0])
+		}
+	}
+	return b.Build(), nil
+}

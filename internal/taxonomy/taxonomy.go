@@ -1,0 +1,263 @@
+// Package taxonomy implements the product hierarchy the paper's dataset
+// ships with: individual products (4 million in the paper) are abstracted
+// into segments (3,388 in the paper), which are grouped into departments.
+// The stability model runs at the segment level; this package provides the
+// dictionary-encoded catalog, name interning, and basket abstraction from
+// product level to segment level.
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// ProductID identifies one product (SKU). 0 is reserved.
+type ProductID uint32
+
+// Segment is one product segment — the abstraction level the model uses.
+type Segment struct {
+	ID         retail.ItemID
+	Name       string
+	Department string
+}
+
+// Product is one SKU belonging to a segment.
+type Product struct {
+	ID      ProductID
+	Name    string
+	Segment retail.ItemID
+	// Price is a reference unit price used by the synthetic generator and
+	// the RFM monetary features.
+	Price float64
+}
+
+// Catalog is the immutable product taxonomy. Build one with a Builder or
+// load one with ReadCSV. All lookups are safe for concurrent use once
+// built.
+type Catalog struct {
+	segments []Segment // index = ItemID-1
+	products []Product // index = ProductID-1
+
+	segByName  map[string]retail.ItemID
+	prodByName map[string]ProductID
+	byDept     map[string][]retail.ItemID
+}
+
+// ErrNotFound is returned when a name or identifier is absent.
+var ErrNotFound = errors.New("taxonomy: not found")
+
+// NumSegments returns the number of segments in the catalog.
+func (c *Catalog) NumSegments() int { return len(c.segments) }
+
+// NumProducts returns the number of products in the catalog.
+func (c *Catalog) NumProducts() int { return len(c.products) }
+
+// Segment returns the segment with the given identifier.
+func (c *Catalog) Segment(id retail.ItemID) (Segment, error) {
+	if id == retail.NoItem || int(id) > len(c.segments) {
+		return Segment{}, fmt.Errorf("%w: segment id %d", ErrNotFound, id)
+	}
+	return c.segments[id-1], nil
+}
+
+// SegmentName returns the segment's name, or "segment-N" if the identifier
+// is unknown (useful for rendering partially-labelled data).
+func (c *Catalog) SegmentName(id retail.ItemID) string {
+	if s, err := c.Segment(id); err == nil {
+		return s.Name
+	}
+	return fmt.Sprintf("segment-%d", id)
+}
+
+// SegmentByName resolves a segment name.
+func (c *Catalog) SegmentByName(name string) (Segment, error) {
+	id, ok := c.segByName[canon(name)]
+	if !ok {
+		return Segment{}, fmt.Errorf("%w: segment %q", ErrNotFound, name)
+	}
+	return c.segments[id-1], nil
+}
+
+// Product returns the product with the given identifier.
+func (c *Catalog) Product(id ProductID) (Product, error) {
+	if id == 0 || int(id) > len(c.products) {
+		return Product{}, fmt.Errorf("%w: product id %d", ErrNotFound, id)
+	}
+	return c.products[id-1], nil
+}
+
+// ProductByName resolves a product name.
+func (c *Catalog) ProductByName(name string) (Product, error) {
+	id, ok := c.prodByName[canon(name)]
+	if !ok {
+		return Product{}, fmt.Errorf("%w: product %q", ErrNotFound, name)
+	}
+	return c.products[id-1], nil
+}
+
+// SegmentOf returns the segment a product belongs to.
+func (c *Catalog) SegmentOf(p ProductID) (retail.ItemID, error) {
+	prod, err := c.Product(p)
+	if err != nil {
+		return retail.NoItem, err
+	}
+	return prod.Segment, nil
+}
+
+// Departments lists the distinct department names, sorted.
+func (c *Catalog) Departments() []string {
+	out := make([]string, 0, len(c.byDept))
+	for d := range c.byDept {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SegmentsIn returns the segment identifiers in a department, sorted.
+func (c *Catalog) SegmentsIn(dept string) []retail.ItemID {
+	ids := c.byDept[canon(dept)]
+	out := make([]retail.ItemID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Segments returns a copy of all segments ordered by identifier.
+func (c *Catalog) Segments() []Segment {
+	out := make([]Segment, len(c.segments))
+	copy(out, c.segments)
+	return out
+}
+
+// Abstract maps a basket of products to the normalized basket of their
+// segments — the abstraction step the paper applies before running the
+// model. Unknown products yield an error.
+func (c *Catalog) Abstract(products []ProductID) (retail.Basket, error) {
+	items := make([]retail.ItemID, 0, len(products))
+	for _, p := range products {
+		seg, err := c.SegmentOf(p)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, seg)
+	}
+	return retail.NewBasket(items), nil
+}
+
+// AbstractNames maps segment names to a normalized basket, for tests,
+// examples and CLI input.
+func (c *Catalog) AbstractNames(names []string) (retail.Basket, error) {
+	items := make([]retail.ItemID, 0, len(names))
+	for _, n := range names {
+		s, err := c.SegmentByName(n)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, s.ID)
+	}
+	return retail.NewBasket(items), nil
+}
+
+// BasketNames renders a basket as sorted segment names.
+func (c *Catalog) BasketNames(b retail.Basket) []string {
+	out := make([]string, 0, len(b))
+	for _, id := range b {
+		out = append(out, c.SegmentName(id))
+	}
+	return out
+}
+
+func canon(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Builder assembles a Catalog incrementally. It interns names: adding the
+// same segment or product twice returns the original identifier. Builders
+// are safe for concurrent use.
+type Builder struct {
+	mu         sync.Mutex
+	segments   []Segment
+	products   []Product
+	segByName  map[string]retail.ItemID
+	prodByName map[string]ProductID
+}
+
+// NewBuilder returns an empty catalog builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		segByName:  make(map[string]retail.ItemID),
+		prodByName: make(map[string]ProductID),
+	}
+}
+
+// AddSegment interns a segment by name and returns its identifier. The
+// department of the first registration wins; registering the same name with
+// a different department is an error.
+func (b *Builder) AddSegment(name, department string) (retail.ItemID, error) {
+	key := canon(name)
+	if key == "" {
+		return retail.NoItem, errors.New("taxonomy: empty segment name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id, ok := b.segByName[key]; ok {
+		if b.segments[id-1].Department != canon(department) && department != "" {
+			return retail.NoItem, fmt.Errorf("taxonomy: segment %q re-registered with department %q (was %q)",
+				name, department, b.segments[id-1].Department)
+		}
+		return id, nil
+	}
+	id := retail.ItemID(len(b.segments) + 1)
+	b.segments = append(b.segments, Segment{ID: id, Name: strings.TrimSpace(name), Department: canon(department)})
+	b.segByName[key] = id
+	return id, nil
+}
+
+// AddProduct interns a product under an existing segment identifier.
+func (b *Builder) AddProduct(name string, segment retail.ItemID, price float64) (ProductID, error) {
+	key := canon(name)
+	if key == "" {
+		return 0, errors.New("taxonomy: empty product name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if segment == retail.NoItem || int(segment) > len(b.segments) {
+		return 0, fmt.Errorf("taxonomy: product %q references unknown segment %d", name, segment)
+	}
+	if id, ok := b.prodByName[key]; ok {
+		return id, nil
+	}
+	id := ProductID(len(b.products) + 1)
+	b.products = append(b.products, Product{ID: id, Name: strings.TrimSpace(name), Segment: segment, Price: price})
+	b.prodByName[key] = id
+	return id, nil
+}
+
+// Build freezes the builder into an immutable Catalog. The builder remains
+// usable; Build may be called repeatedly.
+func (b *Builder) Build() *Catalog {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := &Catalog{
+		segments:   make([]Segment, len(b.segments)),
+		products:   make([]Product, len(b.products)),
+		segByName:  make(map[string]retail.ItemID, len(b.segByName)),
+		prodByName: make(map[string]ProductID, len(b.prodByName)),
+		byDept:     make(map[string][]retail.ItemID),
+	}
+	copy(c.segments, b.segments)
+	copy(c.products, b.products)
+	for k, v := range b.segByName {
+		c.segByName[k] = v
+	}
+	for k, v := range b.prodByName {
+		c.prodByName[k] = v
+	}
+	for _, s := range c.segments {
+		c.byDept[s.Department] = append(c.byDept[s.Department], s.ID)
+	}
+	return c
+}

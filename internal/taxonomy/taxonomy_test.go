@@ -1,0 +1,266 @@
+package taxonomy
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+func buildTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	b := NewBuilder()
+	dairy, err := b.AddSegment("Milk", "dairy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bev, err := b.AddSegment("Coffee", "beverages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddProduct("whole milk 1L", dairy, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddProduct("arabica beans", bev, 6.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddProduct("espresso pods", bev, 4.2); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestBuilderAssignsDenseIDs(t *testing.T) {
+	c := buildTestCatalog(t)
+	if c.NumSegments() != 2 {
+		t.Fatalf("NumSegments = %d", c.NumSegments())
+	}
+	if c.NumProducts() != 3 {
+		t.Fatalf("NumProducts = %d", c.NumProducts())
+	}
+	s, err := c.Segment(1)
+	if err != nil || s.Name != "Milk" {
+		t.Fatalf("Segment(1) = %+v, %v", s, err)
+	}
+	p, err := c.Product(2)
+	if err != nil || p.Name != "arabica beans" || p.Segment != 2 {
+		t.Fatalf("Product(2) = %+v, %v", p, err)
+	}
+}
+
+func TestBuilderInterning(t *testing.T) {
+	b := NewBuilder()
+	id1, err := b.AddSegment("milk", "dairy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same name (case/space-insensitive) returns the same id.
+	id2, err := b.AddSegment("  MILK ", "dairy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("interning failed: %d vs %d", id1, id2)
+	}
+	// Conflicting department errors.
+	if _, err := b.AddSegment("milk", "frozen"); err == nil {
+		t.Fatal("conflicting department accepted")
+	}
+	// Same department (or empty) is fine.
+	if _, err := b.AddSegment("milk", ""); err != nil {
+		t.Fatalf("empty-department re-registration rejected: %v", err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.AddSegment("", "x"); err == nil {
+		t.Fatal("empty segment name accepted")
+	}
+	if _, err := b.AddProduct("", 1, 1); err == nil {
+		t.Fatal("empty product name accepted")
+	}
+	if _, err := b.AddProduct("thing", 99, 1); err == nil {
+		t.Fatal("product with unknown segment accepted")
+	}
+	if _, err := b.AddProduct("thing", retail.NoItem, 1); err == nil {
+		t.Fatal("product with NoItem segment accepted")
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	c := buildTestCatalog(t)
+
+	s, err := c.SegmentByName("coffee")
+	if err != nil || s.ID != 2 {
+		t.Fatalf("SegmentByName = %+v, %v", s, err)
+	}
+	if _, err := c.SegmentByName("tea"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing segment error = %v", err)
+	}
+
+	p, err := c.ProductByName("ESPRESSO PODS")
+	if err != nil || p.ID != 3 {
+		t.Fatalf("ProductByName = %+v, %v", p, err)
+	}
+	if _, err := c.ProductByName("nothing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing product error = %v", err)
+	}
+
+	seg, err := c.SegmentOf(3)
+	if err != nil || seg != 2 {
+		t.Fatalf("SegmentOf(3) = %d, %v", seg, err)
+	}
+	if _, err := c.SegmentOf(0); err == nil {
+		t.Fatal("SegmentOf(0) accepted")
+	}
+	if _, err := c.Segment(0); err == nil {
+		t.Fatal("Segment(0) accepted")
+	}
+	if _, err := c.Segment(5); err == nil {
+		t.Fatal("Segment(5) accepted")
+	}
+}
+
+func TestSegmentNameFallback(t *testing.T) {
+	c := buildTestCatalog(t)
+	if got := c.SegmentName(1); got != "Milk" {
+		t.Fatalf("SegmentName(1) = %q", got)
+	}
+	if got := c.SegmentName(99); got != "segment-99" {
+		t.Fatalf("SegmentName(99) = %q", got)
+	}
+}
+
+func TestDepartments(t *testing.T) {
+	c := buildTestCatalog(t)
+	depts := c.Departments()
+	if len(depts) != 2 || depts[0] != "beverages" || depts[1] != "dairy" {
+		t.Fatalf("Departments = %v", depts)
+	}
+	ids := c.SegmentsIn("dairy")
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("SegmentsIn(dairy) = %v", ids)
+	}
+	if got := c.SegmentsIn("nope"); len(got) != 0 {
+		t.Fatalf("SegmentsIn(nope) = %v", got)
+	}
+}
+
+func TestAbstract(t *testing.T) {
+	c := buildTestCatalog(t)
+	// Products 2 and 3 are both coffee; 1 is milk.
+	b, err := c.Abstract([]ProductID{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(retail.Basket{1, 2}) {
+		t.Fatalf("Abstract = %v, want [1 2]", b)
+	}
+	if _, err := c.Abstract([]ProductID{42}); err == nil {
+		t.Fatal("Abstract with unknown product accepted")
+	}
+}
+
+func TestAbstractNames(t *testing.T) {
+	c := buildTestCatalog(t)
+	b, err := c.AbstractNames([]string{"coffee", "milk", "coffee"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(retail.Basket{1, 2}) {
+		t.Fatalf("AbstractNames = %v", b)
+	}
+	if _, err := c.AbstractNames([]string{"tea"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	names := c.BasketNames(b)
+	if len(names) != 2 || names[0] != "Milk" || names[1] != "Coffee" {
+		t.Fatalf("BasketNames = %v", names)
+	}
+}
+
+func TestSegmentsCopy(t *testing.T) {
+	c := buildTestCatalog(t)
+	segs := c.Segments()
+	segs[0].Name = "tampered"
+	if c.SegmentName(1) == "tampered" {
+		t.Fatal("Segments() exposes internal storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := buildTestCatalog(t)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSegments() != c.NumSegments() || got.NumProducts() != c.NumProducts() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			got.NumSegments(), got.NumProducts(), c.NumSegments(), c.NumProducts())
+	}
+	for id := retail.ItemID(1); int(id) <= c.NumSegments(); id++ {
+		a, _ := c.Segment(id)
+		b, _ := got.Segment(id)
+		if a != b {
+			t.Fatalf("segment %d mismatch: %+v vs %+v", id, a, b)
+		}
+	}
+	for id := ProductID(1); int(id) <= c.NumProducts(); id++ {
+		a, _ := c.Product(id)
+		b, _ := got.Product(id)
+		if a != b {
+			t.Fatalf("product %d mismatch: %+v vs %+v", id, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown kind", "monster,1,x,y\n"},
+		{"short segment row", "segment,1,milk\n"},
+		{"bad segment id", "segment,abc,milk,dairy\n"},
+		{"non-dense ids", "segment,5,milk,dairy\n"},
+		{"short product row", "segment,1,milk,dairy\nproduct,1,sku\n"},
+		{"bad product price", "segment,1,milk,dairy\nproduct,1,sku,1,cheap\n"},
+		{"bad product segment ref", "segment,1,milk,dairy\nproduct,1,sku,9,1.0\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestConcurrentBuilder(t *testing.T) {
+	b := NewBuilder()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 100 && err == nil; i++ {
+				_, err = b.AddSegment("shared-segment", "dept")
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Build().NumSegments(); got != 1 {
+		t.Fatalf("concurrent interning produced %d segments, want 1", got)
+	}
+}

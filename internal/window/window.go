@@ -1,0 +1,213 @@
+// Package window implements the windowed-database construction from the
+// paper: a customer's chronological receipt list Di is cut into consecutive
+// non-overlapping windows of span w, and each window k carries
+// uk — the set of all products bought during the window — delimited by
+// [tBk, tEk).
+//
+// The grid is global: windows are anchored at a shared origin and measured
+// in calendar months (the unit of the paper's experiments; the x-axis of
+// both figures is "number of months"). A global grid makes window index k
+// comparable across customers, which the population-level evaluation
+// (AUROC at window k) requires. For the paper's cohort of long-lived loyal
+// customers the global and per-customer views coincide.
+package window
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// Span is a window length in whole calendar months. The paper's selected
+// span is two months.
+type Span struct {
+	Months int
+}
+
+// Validate reports an error for non-positive spans.
+func (s Span) Validate() error {
+	if s.Months < 1 {
+		return fmt.Errorf("window: span must be >= 1 month, got %d", s.Months)
+	}
+	return nil
+}
+
+// String renders the span, e.g. "2mo".
+func (s Span) String() string { return fmt.Sprintf("%dmo", s.Months) }
+
+// Grid anchors span-sized windows at an origin timestamp. Window k covers
+// [Origin + k·Span, Origin + (k+1)·Span) in calendar months. The origin is
+// truncated to the first instant of its month in UTC so month arithmetic is
+// exact.
+type Grid struct {
+	origin time.Time
+	span   Span
+}
+
+// NewGrid builds a grid from an origin time and a span.
+func NewGrid(origin time.Time, span Span) (Grid, error) {
+	if err := span.Validate(); err != nil {
+		return Grid{}, err
+	}
+	if origin.IsZero() {
+		return Grid{}, errors.New("window: zero origin")
+	}
+	o := time.Date(origin.Year(), origin.Month(), 1, 0, 0, 0, 0, time.UTC)
+	return Grid{origin: o, span: span}, nil
+}
+
+// Origin returns the grid origin (first instant of the origin month, UTC).
+func (g Grid) Origin() time.Time { return g.origin }
+
+// Span returns the window span.
+func (g Grid) Span() Span { return g.span }
+
+// MonthIndex returns the number of whole calendar months between the origin
+// and t (negative if t precedes the origin month).
+func (g Grid) MonthIndex(t time.Time) int {
+	t = t.UTC()
+	return (t.Year()-g.origin.Year())*12 + int(t.Month()) - int(g.origin.Month())
+}
+
+// Index returns the window index containing t. Times before the origin get
+// negative indices (floor division).
+func (g Grid) Index(t time.Time) int {
+	m := g.MonthIndex(t)
+	if m >= 0 {
+		return m / g.span.Months
+	}
+	return -((-m-1)/g.span.Months + 1)
+}
+
+// Bounds returns the half-open time interval [start, end) of window k.
+func (g Grid) Bounds(k int) (start, end time.Time) {
+	start = g.origin.AddDate(0, k*g.span.Months, 0)
+	end = g.origin.AddDate(0, (k+1)*g.span.Months, 0)
+	return start, end
+}
+
+// MonthOfWindowEnd returns the month index (since origin) at which window k
+// ends — the x-coordinate the paper plots window-k results at.
+func (g Grid) MonthOfWindowEnd(k int) int { return (k + 1) * g.span.Months }
+
+// Window is one entry (tBk, tEk, uk) of the windowed database.
+type Window struct {
+	Index int
+	Start time.Time
+	End   time.Time
+	// Items is uk: the union of every basket bought in the window
+	// (normalized). Empty when the customer made no purchase.
+	Items retail.Basket
+	// Receipts counts the store visits inside the window.
+	Receipts int
+	// Spend is the summed monetary value inside the window.
+	Spend float64
+}
+
+// Windowed is the windowed database Dwi of one customer: a dense,
+// chronologically ordered run of windows. Windows with no purchases are
+// present with empty item sets — emptiness is signal (it is how attrition
+// manifests), so the representation never elides them.
+type Windowed struct {
+	Customer retail.CustomerID
+	Grid     Grid
+	// FirstIndex is the grid index of Windows[0].
+	FirstIndex int
+	Windows    []Window
+}
+
+// Len returns the number of windows.
+func (wd Windowed) Len() int { return len(wd.Windows) }
+
+// At returns the window with grid index k, or ok=false when k is outside
+// the materialized range.
+func (wd Windowed) At(k int) (Window, bool) {
+	i := k - wd.FirstIndex
+	if i < 0 || i >= len(wd.Windows) {
+		return Window{}, false
+	}
+	return wd.Windows[i], true
+}
+
+// LastIndex returns the grid index of the final window (FirstIndex-1 when
+// empty).
+func (wd Windowed) LastIndex() int { return wd.FirstIndex + len(wd.Windows) - 1 }
+
+// Windowize cuts a history into the windowed database over grid g,
+// materializing every window from the first receipt's window through
+// window `through` (inclusive). Passing through < first window index
+// materializes exactly the receipts' range. An empty history yields an
+// empty Windowed.
+//
+// The history must be chronologically sorted (store.Builder guarantees
+// this); out-of-order input returns an error rather than silently
+// mis-binning.
+func Windowize(h retail.History, g Grid, through int) (Windowed, error) {
+	from := 0
+	if len(h.Receipts) > 0 {
+		from = g.Index(h.Receipts[0].Time)
+	}
+	return WindowizeFrom(h, g, from, through)
+}
+
+// WindowizeFrom is Windowize with an explicit starting window: windows from
+// `from` through `through` are materialized (extended as needed to cover
+// every receipt). Leading windows before the customer's first purchase are
+// empty; whether they count as prior windows is the model's CountPolicy
+// decision, not the windowing engine's.
+func WindowizeFrom(h retail.History, g Grid, from, through int) (Windowed, error) {
+	wd := Windowed{Customer: h.Customer, Grid: g}
+	if len(h.Receipts) == 0 {
+		return wd, nil
+	}
+	first := g.Index(h.Receipts[0].Time)
+	if from < first {
+		first = from
+	}
+	last := g.Index(h.Receipts[len(h.Receipts)-1].Time)
+	if through > last {
+		last = through
+	}
+	wd.FirstIndex = first
+	wd.Windows = make([]Window, last-first+1)
+	for i := range wd.Windows {
+		k := first + i
+		start, end := g.Bounds(k)
+		wd.Windows[i] = Window{Index: k, Start: start, End: end}
+	}
+	var prev time.Time
+	for ri, r := range h.Receipts {
+		if ri > 0 && r.Time.Before(prev) {
+			return Windowed{}, fmt.Errorf("window: customer %d: receipts out of order at %d", h.Customer, ri)
+		}
+		prev = r.Time
+		k := g.Index(r.Time)
+		w := &wd.Windows[k-first]
+		w.Items = w.Items.Union(r.Items)
+		w.Receipts++
+		w.Spend += r.Spend
+	}
+	return wd, nil
+}
+
+// Slice returns a shallow copy of wd restricted to grid indices
+// [from, to] (inclusive), clamped to the materialized range.
+func (wd Windowed) Slice(from, to int) Windowed {
+	if from < wd.FirstIndex {
+		from = wd.FirstIndex
+	}
+	if to > wd.LastIndex() {
+		to = wd.LastIndex()
+	}
+	if to < from {
+		return Windowed{Customer: wd.Customer, Grid: wd.Grid, FirstIndex: from}
+	}
+	return Windowed{
+		Customer:   wd.Customer,
+		Grid:       wd.Grid,
+		FirstIndex: from,
+		Windows:    wd.Windows[from-wd.FirstIndex : to-wd.FirstIndex+1],
+	}
+}

@@ -1,0 +1,372 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+func mayGrid(t *testing.T, months int) Grid {
+	t.Helper()
+	g, err := NewGrid(time.Date(2012, time.May, 15, 13, 0, 0, 0, time.UTC), Span{Months: months})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(time.Time{}, Span{Months: 2}); err == nil {
+		t.Fatal("zero origin accepted")
+	}
+	if _, err := NewGrid(time.Now(), Span{Months: 0}); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	if _, err := NewGrid(time.Now(), Span{Months: -1}); err == nil {
+		t.Fatal("negative span accepted")
+	}
+}
+
+func TestGridOriginTruncatedToMonth(t *testing.T) {
+	g := mayGrid(t, 2)
+	want := time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC)
+	if !g.Origin().Equal(want) {
+		t.Fatalf("Origin = %v, want %v", g.Origin(), want)
+	}
+}
+
+func TestMonthIndex(t *testing.T) {
+	g := mayGrid(t, 2)
+	tests := []struct {
+		t    time.Time
+		want int
+	}{
+		{time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), 0},
+		{time.Date(2012, time.May, 31, 23, 59, 0, 0, time.UTC), 0},
+		{time.Date(2012, time.June, 1, 0, 0, 0, 0, time.UTC), 1},
+		{time.Date(2013, time.May, 1, 0, 0, 0, 0, time.UTC), 12},
+		{time.Date(2014, time.August, 31, 0, 0, 0, 0, time.UTC), 27},
+		{time.Date(2012, time.April, 30, 0, 0, 0, 0, time.UTC), -1},
+		{time.Date(2011, time.May, 1, 0, 0, 0, 0, time.UTC), -12},
+	}
+	for _, tt := range tests {
+		if got := g.MonthIndex(tt.t); got != tt.want {
+			t.Errorf("MonthIndex(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIndexAndBounds(t *testing.T) {
+	g := mayGrid(t, 2)
+	tests := []struct {
+		t    time.Time
+		want int
+	}{
+		{time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), 0},
+		{time.Date(2012, time.June, 30, 0, 0, 0, 0, time.UTC), 0},
+		{time.Date(2012, time.July, 1, 0, 0, 0, 0, time.UTC), 1},
+		{time.Date(2013, time.May, 2, 0, 0, 0, 0, time.UTC), 6},
+		{time.Date(2012, time.April, 30, 0, 0, 0, 0, time.UTC), -1},
+		{time.Date(2012, time.February, 1, 0, 0, 0, 0, time.UTC), -2},
+		{time.Date(2011, time.May, 1, 0, 0, 0, 0, time.UTC), -6},
+	}
+	for _, tt := range tests {
+		if got := g.Index(tt.t); got != tt.want {
+			t.Errorf("Index(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIndexBoundsConsistency(t *testing.T) {
+	// For every grid and time, Bounds(Index(t)) must contain t.
+	prop := func(spanSeed, daySeed uint32) bool {
+		span := int(spanSeed%5) + 1
+		g, err := NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), Span{Months: span})
+		if err != nil {
+			return false
+		}
+		// Cover times before the origin as well (negative window indices).
+		days := int(daySeed%3000) - 800
+		ts := g.Origin().AddDate(0, 0, days).Add(7 * time.Hour)
+		k := g.Index(ts)
+		start, end := g.Bounds(k)
+		return !ts.Before(start) && ts.Before(end)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsAdjacency(t *testing.T) {
+	g := mayGrid(t, 3)
+	for k := -4; k < 8; k++ {
+		_, endK := g.Bounds(k)
+		startNext, _ := g.Bounds(k + 1)
+		if !endK.Equal(startNext) {
+			t.Fatalf("window %d end %v != window %d start %v", k, endK, k+1, startNext)
+		}
+	}
+}
+
+func TestMonthOfWindowEnd(t *testing.T) {
+	g := mayGrid(t, 2)
+	for k, want := range map[int]int{0: 2, 5: 12, 8: 18, 11: 24} {
+		if got := g.MonthOfWindowEnd(k); got != want {
+			t.Errorf("MonthOfWindowEnd(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func receiptAt(g Grid, dayOffset int, items ...retail.ItemID) retail.Receipt {
+	return retail.Receipt{
+		Time:  g.Origin().AddDate(0, 0, dayOffset).Add(10 * time.Hour),
+		Items: retail.NewBasket(items),
+		Spend: float64(len(items)),
+	}
+}
+
+func TestWindowizeBasic(t *testing.T) {
+	g := mayGrid(t, 2)
+	h := retail.History{Customer: 9, Receipts: []retail.Receipt{
+		receiptAt(g, 0, 1, 2),
+		receiptAt(g, 10, 2, 3),
+		receiptAt(g, 70, 4), // window 1
+		// nothing in window 2
+		receiptAt(g, 200, 5), // window 3
+	}}
+	wd, err := Windowize(h, g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.FirstIndex != 0 || wd.Len() != 4 {
+		t.Fatalf("FirstIndex=%d Len=%d", wd.FirstIndex, wd.Len())
+	}
+	w0, _ := wd.At(0)
+	if !w0.Items.Equal(retail.Basket{1, 2, 3}) {
+		t.Fatalf("u0 = %v, want union [1 2 3]", w0.Items)
+	}
+	if w0.Receipts != 2 || w0.Spend != 4 {
+		t.Fatalf("w0 receipts=%d spend=%v", w0.Receipts, w0.Spend)
+	}
+	w2, _ := wd.At(2)
+	if len(w2.Items) != 0 || w2.Receipts != 0 {
+		t.Fatalf("empty window materialized wrong: %+v", w2)
+	}
+	w3, _ := wd.At(3)
+	if !w3.Items.Equal(retail.Basket{5}) {
+		t.Fatalf("u3 = %v", w3.Items)
+	}
+	if _, ok := wd.At(4); ok {
+		t.Fatal("At(4) should be out of range")
+	}
+	if _, ok := wd.At(-1); ok {
+		t.Fatal("At(-1) should be out of range")
+	}
+}
+
+func TestWindowizeThroughExtends(t *testing.T) {
+	g := mayGrid(t, 2)
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{receiptAt(g, 0, 1)}}
+	wd, err := Windowize(h, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Len() != 6 || wd.LastIndex() != 5 {
+		t.Fatalf("Len=%d LastIndex=%d", wd.Len(), wd.LastIndex())
+	}
+	for k := 1; k <= 5; k++ {
+		w, ok := wd.At(k)
+		if !ok || len(w.Items) != 0 {
+			t.Fatalf("trailing window %d: %+v, %v", k, w, ok)
+		}
+	}
+	// through below the history's own end is a no-op.
+	wd2, err := Windowize(h, g, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", wd2.Len())
+	}
+}
+
+func TestWindowizeEmptyHistory(t *testing.T) {
+	g := mayGrid(t, 2)
+	wd, err := Windowize(retail.History{Customer: 1}, g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Len() != 0 {
+		t.Fatalf("empty history produced %d windows", wd.Len())
+	}
+}
+
+func TestWindowizeOutOfOrder(t *testing.T) {
+	g := mayGrid(t, 2)
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receiptAt(g, 10, 1),
+		receiptAt(g, 5, 2),
+	}}
+	if _, err := Windowize(h, g, -1); err == nil {
+		t.Fatal("out-of-order receipts accepted")
+	}
+}
+
+func TestWindowizePartitionProperty(t *testing.T) {
+	// Windowing must partition receipts: every receipt lands in exactly the
+	// window containing its timestamp, unions preserve all items, and
+	// windows are dense and chronological.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		span := r.Intn(3) + 1
+		g, err := NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), Span{Months: span})
+		if err != nil {
+			return false
+		}
+		n := r.Intn(40) + 1
+		offsets := make([]int, n)
+		for i := range offsets {
+			offsets[i] = r.Intn(800)
+		}
+		// Sort offsets to build a valid chronological history.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
+				offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
+			}
+		}
+		h := retail.History{Customer: 5}
+		itemUniverse := map[retail.ItemID]bool{}
+		for _, off := range offsets {
+			items := []retail.ItemID{retail.ItemID(r.Intn(10) + 1), retail.ItemID(r.Intn(10) + 1)}
+			for _, it := range items {
+				itemUniverse[it] = true
+			}
+			h.Receipts = append(h.Receipts, receiptAt(g, off, items...))
+		}
+		wd, err := Windowize(h, g, -1)
+		if err != nil {
+			return false
+		}
+		// Dense indices and matching bounds.
+		totalReceipts := 0
+		seen := map[retail.ItemID]bool{}
+		for i, w := range wd.Windows {
+			if w.Index != wd.FirstIndex+i {
+				return false
+			}
+			start, end := g.Bounds(w.Index)
+			if !w.Start.Equal(start) || !w.End.Equal(end) {
+				return false
+			}
+			totalReceipts += w.Receipts
+			for _, it := range w.Items {
+				seen[it] = true
+			}
+			if !w.Items.IsNormalized() {
+				return false
+			}
+		}
+		if totalReceipts != len(h.Receipts) {
+			return false
+		}
+		if len(seen) != len(itemUniverse) {
+			return false
+		}
+		// Each receipt's window must contain its items.
+		for _, rec := range h.Receipts {
+			w, ok := wd.At(g.Index(rec.Time))
+			if !ok {
+				return false
+			}
+			for _, it := range rec.Items {
+				if !w.Items.Contains(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowizeFromLeadingEmpties(t *testing.T) {
+	g := mayGrid(t, 2)
+	// First receipt in window 3; materialize from window 0.
+	h := retail.History{Customer: 2, Receipts: []retail.Receipt{receiptAt(g, 200, 7)}}
+	wd, err := WindowizeFrom(h, g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.FirstIndex != 0 || wd.LastIndex() != 5 {
+		t.Fatalf("range = [%d,%d], want [0,5]", wd.FirstIndex, wd.LastIndex())
+	}
+	for k := 0; k < 3; k++ {
+		w, ok := wd.At(k)
+		if !ok || len(w.Items) != 0 || w.Receipts != 0 {
+			t.Fatalf("leading window %d not empty: %+v", k, w)
+		}
+	}
+	w3, _ := wd.At(3)
+	if !w3.Items.Equal(retail.Basket{7}) {
+		t.Fatalf("window 3 = %v", w3.Items)
+	}
+	// from beyond the first receipt must not truncate the receipts' range.
+	wd2, err := WindowizeFrom(h, g, 10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wd2.At(3); !ok {
+		t.Fatal("receipt window lost when from > first receipt window")
+	}
+	// Empty history: no windows regardless of range.
+	wd3, err := WindowizeFrom(retail.History{Customer: 3}, g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd3.Len() != 0 {
+		t.Fatalf("empty history materialized %d windows", wd3.Len())
+	}
+}
+
+func TestSlice(t *testing.T) {
+	g := mayGrid(t, 1)
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receiptAt(g, 0, 1),
+		receiptAt(g, 35, 2),
+		receiptAt(g, 65, 3),
+		receiptAt(g, 100, 4),
+	}}
+	wd, err := Windowize(h, g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wd.Slice(1, 2)
+	if s.FirstIndex != 1 || s.Len() != 2 {
+		t.Fatalf("Slice(1,2): first=%d len=%d", s.FirstIndex, s.Len())
+	}
+	w, ok := s.At(2)
+	if !ok || !w.Items.Equal(retail.Basket{3}) {
+		t.Fatalf("sliced At(2) = %+v, %v", w, ok)
+	}
+	// Clamping.
+	s2 := wd.Slice(-5, 100)
+	if s2.Len() != wd.Len() {
+		t.Fatalf("clamped slice len %d != %d", s2.Len(), wd.Len())
+	}
+	// Empty result.
+	s3 := wd.Slice(3, 1)
+	if s3.Len() != 0 {
+		t.Fatalf("inverted slice len = %d", s3.Len())
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	if got := (Span{Months: 2}).String(); got != "2mo" {
+		t.Fatalf("String = %q", got)
+	}
+}

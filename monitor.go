@@ -1,0 +1,62 @@
+package stability
+
+import (
+	"io"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/segments"
+	"github.com/gautrais/stability/internal/stream"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Streaming monitoring types, re-exported. The monitor ingests receipts
+// one at a time, rolls windows over automatically, and emits alerts with
+// blamed products whenever a customer's stability crosses the loyalty
+// threshold β. It is equivalent (property-tested) to the batch pipeline.
+type (
+	// MonitorConfig parameterizes a Monitor.
+	MonitorConfig = stream.Config
+	// Monitor is the online attrition monitor.
+	Monitor = stream.Monitor
+	// Alert is one detection event with blamed products.
+	Alert = stream.Alert
+	// ScoredWindow is one closed window's result.
+	ScoredWindow = stream.Scored
+)
+
+// NewMonitor validates cfg and returns an empty monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return stream.New(cfg) }
+
+// ReadMonitorSnapshot restores a monitor persisted with
+// Monitor.WriteSnapshot. cfg supplies the operational knobs (β, TopJ,
+// warm-up); its grid and model options must match the snapshot's.
+func ReadMonitorSnapshot(r io.Reader, cfg MonitorConfig) (*Monitor, error) {
+	return stream.ReadMonitorSnapshot(r, cfg)
+}
+
+// ReadTrackerSnapshot restores a single customer's tracker persisted with
+// Tracker.WriteSnapshot.
+func ReadTrackerSnapshot(r io.Reader) (*Tracker, error) {
+	return core.ReadTrackerSnapshot(r)
+}
+
+// Segment-characterization types, re-exported (the paper's future work:
+// which products' losses explain defection, population-wide).
+type (
+	// SegmentStats aggregates one segment's role in population attrition.
+	SegmentStats = segments.Stats
+	// SegmentReport is the population-level characterization.
+	SegmentReport = segments.Report
+	// CharacterizeOptions tune the aggregation.
+	CharacterizeOptions = segments.Options
+)
+
+// DefaultCharacterizeOptions returns the standard aggregation setting.
+func DefaultCharacterizeOptions() CharacterizeOptions { return segments.DefaultOptions() }
+
+// Characterize aggregates the model's explanations over a population into
+// per-segment attrition statistics (gateway products).
+func Characterize(model *core.Model, histories []retail.History, grid window.Grid, through int, opts CharacterizeOptions) (*SegmentReport, error) {
+	return segments.Characterize(model, histories, grid, through, opts)
+}

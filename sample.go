@@ -1,0 +1,42 @@
+package stability
+
+import (
+	"github.com/gautrais/stability/internal/gen"
+)
+
+// Synthetic-data types, re-exported for examples, tests and downstream
+// experimentation. The generator substitutes for the paper's proprietary
+// dataset; see DESIGN.md for the substitution rationale.
+type (
+	// SampleConfig parameterizes synthetic dataset generation.
+	SampleConfig = gen.Config
+	// SampleDataset bundles a generated store, catalog and ground truth.
+	SampleDataset = gen.Dataset
+	// GroundTruth indexes per-customer cohort labels and drop events.
+	GroundTruth = gen.GroundTruth
+	// CustomerTruth is one customer's ground-truth record.
+	CustomerTruth = gen.CustomerTruth
+	// SampleDropEvent is a ground-truth segment loss.
+	SampleDropEvent = gen.DropEvent
+	// Scenario is a scripted single-customer dataset (the paper's
+	// Figure-2 use case).
+	Scenario = gen.Scenario
+	// ScenarioConfig parameterizes the scripted use case.
+	ScenarioConfig = gen.Figure2Config
+)
+
+// DefaultSampleConfig returns the default synthetic-dataset configuration:
+// the paper's 28-month timeline with attrition onset at month 18, at
+// laptop scale.
+func DefaultSampleConfig() SampleConfig { return gen.NewConfig() }
+
+// GenerateSample synthesizes a labelled retail dataset. Deterministic in
+// cfg.Seed.
+func GenerateSample(cfg SampleConfig) (*SampleDataset, error) { return gen.Generate(cfg) }
+
+// DefaultScenarioConfig returns the paper's Figure-2 use case: a loyal
+// customer who stops buying coffee, then milk, sponge and cheese.
+func DefaultScenarioConfig() ScenarioConfig { return gen.DefaultFigure2Config() }
+
+// GenerateScenario builds the scripted single-customer dataset.
+func GenerateScenario(cfg ScenarioConfig) (*Scenario, error) { return gen.Figure2Scenario(cfg) }

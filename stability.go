@@ -1,0 +1,146 @@
+// Package stability is the public API of this repository: a from-scratch
+// Go implementation of the customer-stability model for individual-level
+// attrition detection and explanation in grocery retail, reproducing
+//
+//	Gautrais, Cellier, Guyet, Quiniou, Termier.
+//	"Understanding Customer Attrition at an Individual Level:
+//	 a New Model in Grocery Retail Context." EDBT 2016.
+//
+// The model scores each customer and time window with a stability value in
+// [0,1]: 1 when every product the customer habitually buys showed up in the
+// window, lower in proportion to the significance of the products that went
+// missing. Unlike population-level churn scores (RFM), every decrease is
+// attributable to concrete products — actionable knowledge for win-back
+// campaigns.
+//
+// # Quick start
+//
+//	opts := stability.DefaultOptions()        // α = 2, as published
+//	model, _ := stability.NewModel(opts)
+//	grid, _ := stability.NewGrid(datasetStart, 2) // 2-month windows
+//	series, _ := stability.AnalyzeHistory(model, history, grid, lastWindow)
+//	for _, drop := range series.Drops(0.05, 3) {
+//	    // drop.Blame lists the products whose absence explains the drop
+//	}
+//
+// The heavy lifting lives in internal packages (core model, windowing
+// engine, transaction store, taxonomy, RFM baseline, evaluation stack,
+// synthetic data generator); this package re-exports the stable surface.
+package stability
+
+import (
+	"time"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// Core model types, re-exported.
+type (
+	// Options parameterize the model (α, counting policy, blame cap).
+	Options = core.Options
+	// Model is the configured, stateless stability model.
+	Model = core.Model
+	// Tracker computes one customer's stability incrementally.
+	Tracker = core.Tracker
+	// Series is a customer's stability trajectory.
+	Series = core.Series
+	// Point is one window of a Series.
+	Point = core.Point
+	// Result describes one observed window.
+	Result = core.Result
+	// Blame attributes a stability decrease to a missing product.
+	Blame = core.Blame
+	// DropEvent is a detected stability decrease with blamed products.
+	DropEvent = core.DropEvent
+	// Detection is a β-thresholded loyal/defecting call.
+	Detection = core.Detection
+	// CountPolicy selects the prior-window counting convention.
+	CountPolicy = core.CountPolicy
+)
+
+// Counting policies.
+const (
+	CountFromFirstSeen = core.CountFromFirstSeen
+	CountFromOrigin    = core.CountFromOrigin
+)
+
+// Domain types, re-exported.
+type (
+	// ItemID identifies a product segment.
+	ItemID = retail.ItemID
+	// CustomerID identifies a customer.
+	CustomerID = retail.CustomerID
+	// Basket is a normalized set of items in one receipt.
+	Basket = retail.Basket
+	// Receipt is one timestamped store visit.
+	Receipt = retail.Receipt
+	// History is a customer's chronological receipt list.
+	History = retail.History
+	// Label is a ground-truth cohort record.
+	Label = retail.Label
+	// Cohort classifies a customer (loyal / defecting / unknown).
+	Cohort = retail.Cohort
+)
+
+// Cohort values.
+const (
+	CohortUnknown   = retail.CohortUnknown
+	CohortLoyal     = retail.CohortLoyal
+	CohortDefecting = retail.CohortDefecting
+)
+
+// Windowing types, re-exported.
+type (
+	// Grid anchors span-sized windows at an origin.
+	Grid = window.Grid
+	// Span is a window length in calendar months.
+	Span = window.Span
+	// Window is one (tB, tE, uk) entry of a windowed database.
+	Window = window.Window
+	// Windowed is a customer's windowed database Dwi.
+	Windowed = window.Windowed
+)
+
+// DefaultOptions returns the paper's published configuration (α = 2).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewModel validates opts and builds a model.
+func NewModel(opts Options) (*Model, error) { return core.New(opts) }
+
+// NewTracker builds an incremental per-customer tracker.
+func NewTracker(opts Options) (*Tracker, error) { return core.NewTracker(opts) }
+
+// NewGrid anchors a window grid of the given span (in calendar months) at
+// origin.
+func NewGrid(origin time.Time, spanMonths int) (Grid, error) {
+	return window.NewGrid(origin, window.Span{Months: spanMonths})
+}
+
+// Windowize cuts a history into its windowed database over grid g,
+// materializing windows through index `through` (pass -1 for exactly the
+// history's own range).
+func Windowize(h History, g Grid, through int) (Windowed, error) {
+	return window.Windowize(h, g, through)
+}
+
+// AnalyzeHistory windowizes a history and runs the model over it, returning
+// the stability series with explanations.
+func AnalyzeHistory(m *Model, h History, g Grid, through int) (Series, error) {
+	wd, err := window.Windowize(h, g, through)
+	if err != nil {
+		return Series{}, err
+	}
+	return m.Analyze(wd)
+}
+
+// Detect applies the loyalty threshold β to a series: stability ≤ β means
+// defecting at that window.
+func Detect(s Series, beta float64) []Detection { return core.Detect(s, beta) }
+
+// NewBasket normalizes raw item identifiers into a Basket.
+func NewBasket(items []ItemID) Basket { return retail.NewBasket(items) }
+
+// Significance returns the paper's S = α^(c−l) for c > 0, else 0.
+func Significance(alpha float64, c, l int) float64 { return core.Significance(alpha, c, l) }

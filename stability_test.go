@@ -1,0 +1,338 @@
+package stability_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+func mustModel(t *testing.T) *stability.Model {
+	t.Helper()
+	m, err := stability.NewModel(stability.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustGrid(t *testing.T, span int) stability.Grid {
+	t.Helper()
+	g, err := stability.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeAnalyzeHistory(t *testing.T) {
+	g := mustGrid(t, 2)
+	m := mustModel(t)
+	h := stability.History{Customer: 1}
+	for k := 0; k < 8; k++ {
+		start, _ := g.Bounds(k)
+		items := []stability.ItemID{1, 2}
+		if k >= 5 {
+			items = []stability.ItemID{1} // item 2 lost at window 5
+		}
+		h.Receipts = append(h.Receipts, stability.Receipt{
+			Time:  start.AddDate(0, 0, 2),
+			Items: stability.NewBasket(items),
+			Spend: 5,
+		})
+	}
+	s, err := stability.AnalyzeHistory(m, h, g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("series length = %d", s.Len())
+	}
+	v, ok := s.StabilityAt(4)
+	if !ok || math.Abs(v-1) > 1e-12 {
+		t.Fatalf("window 4 stability = %v", v)
+	}
+	v5, _ := s.StabilityAt(5)
+	if v5 >= 1 {
+		t.Fatalf("window 5 stability = %v, want < 1", v5)
+	}
+	drops := s.Drops(0.01, 1)
+	if len(drops) == 0 || drops[0].Blame[0].Item != 2 {
+		t.Fatalf("drops = %+v, want item 2 blamed", drops)
+	}
+	dets := stability.Detect(s, 0.9)
+	if len(dets) != 8 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+}
+
+func TestFacadeTracker(t *testing.T) {
+	tr, err := stability.NewTracker(stability.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe(stability.NewBasket([]stability.ItemID{1, 2}))
+	res := tr.Observe(stability.NewBasket([]stability.ItemID{1}))
+	if math.Abs(res.Stability-0.5) > 1e-12 {
+		t.Fatalf("stability = %v, want 0.5", res.Stability)
+	}
+}
+
+func TestFacadeSignificance(t *testing.T) {
+	if got := stability.Significance(2, 3, 1); got != 4 {
+		t.Fatalf("Significance = %v", got)
+	}
+}
+
+func TestFacadeSampleRoundTrip(t *testing.T) {
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 40
+	cfg.Segments = 70
+	cfg.ProductsPerSegment = 2
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Receipts CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := stability.WriteReceiptsCSV(&buf, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := stability.ReadReceiptsCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 0 || got.NumReceipts() != ds.Store.NumReceipts() {
+		t.Fatalf("round trip: %+v, %d vs %d receipts", rep, got.NumReceipts(), ds.Store.NumReceipts())
+	}
+
+	// Snapshot round trip.
+	buf.Reset()
+	if err := stability.WriteSnapshot(&buf, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := stability.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumReceipts() != ds.Store.NumReceipts() {
+		t.Fatal("snapshot round trip lost receipts")
+	}
+
+	// JSONL round trip.
+	buf.Reset()
+	if err := stability.WriteReceiptsJSONL(&buf, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := stability.ReadReceiptsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jl.NumReceipts() != ds.Store.NumReceipts() {
+		t.Fatal("jsonl round trip lost receipts")
+	}
+
+	// Labels round trip.
+	buf.Reset()
+	if err := stability.WriteLabelsCSV(&buf, ds.Truth.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := stability.ReadLabelsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != cfg.Customers {
+		t.Fatalf("labels = %d", len(labels))
+	}
+
+	// Catalog round trip.
+	buf.Reset()
+	if err := stability.WriteCatalogCSV(&buf, ds.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := stability.ReadCatalogCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumSegments() != ds.Catalog.NumSegments() {
+		t.Fatal("catalog round trip lost segments")
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	sc, err := stability.GenerateScenario(stability.DefaultScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustModel(t)
+	g := mustGrid(t, 2)
+	h, err := sc.Store.History(sc.Customer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stability.AnalyzeHistory(m, h, g, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coffee is blamed at the window ending month 20 (grid index 9).
+	p, ok := s.At(9)
+	if !ok || len(p.Missing) == 0 {
+		t.Fatalf("no blame at window 9: %+v", p)
+	}
+	coffee, err := sc.Catalog.SegmentByName("coffee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Missing[0].Item != coffee.ID {
+		t.Fatalf("window 9 blame = %v, want coffee (%d)", p.Missing[0].Item, coffee.ID)
+	}
+}
+
+func TestFacadeAUROC(t *testing.T) {
+	auc, err := stability.AUROC([]float64{0.9, 0.1}, []bool{true, false})
+	if err != nil || auc != 1 {
+		t.Fatalf("AUROC = %v, %v", auc, err)
+	}
+	curve, err := stability.ROC([]float64{0.9, 0.1}, []bool{true, false})
+	if err != nil || len(curve) < 2 {
+		t.Fatalf("ROC = %v, %v", curve, err)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	sb := stability.NewStoreBuilder()
+	if err := sb.Add(1, time.Date(2012, 5, 1, 0, 0, 0, 0, time.UTC), []stability.ItemID{1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Build().NumReceipts() != 1 {
+		t.Fatal("builder lost receipt")
+	}
+	cb := stability.NewCatalogBuilder()
+	seg, err := cb.AddSegment("milk", "dairy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.AddProduct("milk 1L", seg, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Build().NumSegments() != 1 {
+		t.Fatal("catalog builder lost segment")
+	}
+}
+
+func TestFacadeWindowize(t *testing.T) {
+	g := mustGrid(t, 2)
+	h := stability.History{Customer: 1, Receipts: []stability.Receipt{
+		{Time: g.Origin().AddDate(0, 0, 3), Items: stability.NewBasket([]stability.ItemID{1})},
+	}}
+	wd, err := stability.Windowize(h, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Len() != 5 {
+		t.Fatalf("windows = %d, want 5", wd.Len())
+	}
+}
+
+func TestFacadeTrackerSnapshot(t *testing.T) {
+	tr, err := stability.NewTracker(stability.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe(stability.NewBasket([]stability.ItemID{1, 2}))
+	var buf bytes.Buffer
+	if err := tr.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := stability.ReadTrackerSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seen() != 2 {
+		t.Fatalf("restored Seen = %d", restored.Seen())
+	}
+}
+
+func TestFacadeCharacterize(t *testing.T) {
+	g := mustGrid(t, 1)
+	m := mustModel(t)
+	h := stability.History{Customer: 1}
+	for k := 0; k < 8; k++ {
+		items := []stability.ItemID{1, 2, 3}
+		if k >= 5 {
+			items = []stability.ItemID{1, 2}
+		}
+		start, _ := g.Bounds(k)
+		h.Receipts = append(h.Receipts, stability.Receipt{
+			Time:  start.AddDate(0, 0, 1),
+			Items: stability.NewBasket(items),
+		})
+	}
+	rep, err := stability.Characterize(m, []stability.History{h}, g, 7, stability.DefaultCharacterizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WithDrops != 1 || len(rep.PerSegment) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.PerSegment[0].Segment != 3 {
+		t.Fatalf("gateway segment = %d, want 3", rep.PerSegment[0].Segment)
+	}
+}
+
+// TestEndToEndPipeline is the full public-API integration test: generate →
+// persist → reload → analyze → evaluate, asserting the attrition signal
+// survives the round trip.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := stability.DefaultSampleConfig()
+	cfg.Customers = 150
+	cfg.Segments = 80
+	cfg.ProductsPerSegment = 2
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := stability.WriteSnapshot(&buf, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	st, err := stability.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := mustModel(t)
+	g := mustGrid(t, 2)
+	evalK := (cfg.OnsetMonth+4)/2 - 1 // window ending onset+4
+
+	var scores []float64
+	var labels []bool
+	for _, id := range st.Customers() {
+		h, err := st.History(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := stability.AnalyzeHistory(m, h, g, evalK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := 1.0
+		if sv, ok := s.StabilityAt(evalK); ok {
+			v = sv
+		}
+		scores = append(scores, 1-v)
+		truth := ds.Truth.ByCustomer[id]
+		labels = append(labels, truth != nil && truth.Label.Cohort == stability.CohortDefecting)
+	}
+	auc, err := stability.AUROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Fatalf("end-to-end AUROC at onset+4 = %v, want >= 0.75", auc)
+	}
+}
