@@ -1,0 +1,25 @@
+# Tier-1 verification and repo tooling. `make verify` is the gate every
+# change must pass; it is exactly what CI and the roadmap call tier-1.
+
+GO ?= go
+
+.PHONY: verify build test lint race bench
+
+verify: build test ## tier-1: go build ./... && go test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint: ## gofmt cleanliness + go vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+race: ## race-detector pass over the concurrent packages
+	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream
+
+bench: ## full benchmark suite (population sweep included)
+	$(GO) test -run '^$$' -bench . -benchmem .

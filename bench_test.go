@@ -13,6 +13,7 @@
 package stability_test
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"github.com/gautrais/stability/internal/experiments"
 	"github.com/gautrais/stability/internal/gen"
 	"github.com/gautrais/stability/internal/logreg"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/rfm"
 	"github.com/gautrais/stability/internal/stream"
@@ -305,6 +307,71 @@ func BenchmarkMonitorIngest(b *testing.B) {
 		m.CloseThrough(13)
 	}
 	b.ReportMetric(float64(len(feed)), "receipts/op")
+}
+
+// --- population engine ---
+
+// BenchmarkPopulationAnalyze measures sharded population scoring
+// (stability-only hot path) across worker counts. On multi-core hardware
+// throughput should scale near-linearly until the pool saturates the
+// cores; the 1-worker case is the sequential baseline.
+func BenchmarkPopulationAnalyze(b *testing.B) {
+	ds := sharedDataset(b)
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := stability.NewModel(stability.Options{Alpha: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var histories []retail.History
+	ds.Store.Each(func(h retail.History) bool {
+		histories = append(histories, h)
+		return true
+	})
+	through := ds.Config.Months/2 - 1
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(len(histories)), "customers/op")
+			for i := 0; i < b.N; i++ {
+				if _, err := population.AnalyzeStability(model, histories, grid, through,
+					population.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPopulationAnalyzeExplain is the same sweep on the full
+// explanation path (blame lists built for every window).
+func BenchmarkPopulationAnalyzeExplain(b *testing.B) {
+	ds := sharedDataset(b)
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := stability.NewModel(stability.Options{Alpha: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var histories []retail.History
+	ds.Store.Each(func(h retail.History) bool {
+		histories = append(histories, h)
+		return true
+	})
+	through := ds.Config.Months/2 - 1
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := stability.AnalyzePopulation(model, histories, grid, through,
+					stability.PopulationOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- micro-benchmarks ---

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/gautrais/stability"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 )
 
@@ -142,10 +143,11 @@ func cmdExplain(args []string) error {
 func cmdEvaluate(args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	var (
-		data   = fs.String("data", "", "receipt CSV path (required)")
-		labels = fs.String("labels", "", "labels CSV path (required)")
-		span   = fs.Int("span", 2, "window span in months")
-		alpha  = fs.Float64("alpha", 2, "significance base α")
+		data    = fs.String("data", "", "receipt CSV path (required)")
+		labels  = fs.String("labels", "", "labels CSV path (required)")
+		span    = fs.Int("span", 2, "window span in months")
+		alpha   = fs.Float64("alpha", 2, "significance base α")
+		workers = fs.Int("workers", 0, "scoring worker pool size (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,12 +184,13 @@ func cmdEvaluate(args []string) error {
 		return err
 	}
 
-	// Score every labelled customer at every window.
-	type row struct {
-		scores []float64
-		isDef  []bool
-	}
-	perWindow := make([]row, lastK+1)
+	// Score every labelled customer at every window on the population
+	// engine; the per-window fold below runs in input (id) order, so the
+	// table is identical at every worker count.
+	var (
+		histories []stability.History
+		cohorts   []stability.Cohort
+	)
 	ids := st.Customers()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
@@ -199,17 +202,29 @@ func cmdEvaluate(args []string) error {
 		if err != nil {
 			return err
 		}
-		series, err := stability.AnalyzeHistory(model, h, grid, lastK)
-		if err != nil {
-			return err
-		}
+		histories = append(histories, h)
+		cohorts = append(cohorts, cohort)
+	}
+	// Stability-only engine path: the AUROC fold below never reads blame
+	// or new-item lists, so skip building them.
+	allSeries, err := population.AnalyzeStability(model, histories, grid, lastK,
+		population.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	type row struct {
+		scores []float64
+		isDef  []bool
+	}
+	perWindow := make([]row, lastK+1)
+	for i, series := range allSeries {
 		for k := 0; k <= lastK; k++ {
 			s := 1.0
 			if v, ok := series.StabilityAt(k); ok {
 				s = v
 			}
 			perWindow[k].scores = append(perWindow[k].scores, 1-s)
-			perWindow[k].isDef = append(perWindow[k].isDef, cohort == stability.CohortDefecting)
+			perWindow[k].isDef = append(perWindow[k].isDef, cohorts[i] == stability.CohortDefecting)
 		}
 	}
 

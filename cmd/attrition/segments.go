@@ -22,6 +22,7 @@ func cmdSegments(args []string) error {
 		minDrop = fs.Float64("min-drop", 0.05, "stability decrease that counts as a drop")
 		topJ    = fs.Int("top-j", 3, "blamed segments aggregated per drop")
 		topN    = fs.Int("top", 20, "segments to print")
+		workers = fs.Int("workers", 0, "analysis worker pool size (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +74,7 @@ func cmdSegments(args []string) error {
 		return fmt.Errorf("no customers selected")
 	}
 
-	opts := stability.CharacterizeOptions{MinDrop: *minDrop, TopJ: *topJ}
+	opts := stability.CharacterizeOptions{MinDrop: *minDrop, TopJ: *topJ, Workers: *workers}
 	rep, err := stability.Characterize(model, histories, grid, grid.Index(max), opts)
 	if err != nil {
 		return err

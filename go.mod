@@ -1,0 +1,3 @@
+module github.com/gautrais/stability
+
+go 1.22

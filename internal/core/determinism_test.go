@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// determinismWindows builds a deterministic feed of large, varying baskets —
+// enough distinct items that a randomized summation order would show up in
+// the last ULP of the stability ratio.
+func determinismWindows() []retail.Basket {
+	rng := rand.New(rand.NewSource(99))
+	windows := make([]retail.Basket, 40)
+	for k := range windows {
+		items := make([]retail.ItemID, 0, 160)
+		for p := 1; p <= 200; p++ {
+			if rng.Float64() < 0.7 {
+				items = append(items, retail.ItemID(p))
+			}
+		}
+		windows[k] = retail.NewBasket(items)
+	}
+	return windows
+}
+
+// TestTrackerReplayBitDeterministic replays the same feed through two
+// trackers and requires bit-identical stabilities and blame shares. The
+// tracker iterates its counters in canonical (ascending item) order, so
+// the non-associative float sums cannot vary run to run the way
+// randomized map iteration would.
+func TestTrackerReplayBitDeterministic(t *testing.T) {
+	feed := determinismWindows()
+	a, err := NewTracker(Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTracker(Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range feed {
+		ra, rb := a.Observe(w), b.Observe(w)
+		if ra.Stability != rb.Stability {
+			t.Fatalf("window %d: stability %v != %v", k, ra.Stability, rb.Stability)
+		}
+		if len(ra.Missing) != len(rb.Missing) {
+			t.Fatalf("window %d: blame lengths differ", k)
+		}
+		for i := range ra.Missing {
+			if ra.Missing[i] != rb.Missing[i] {
+				t.Fatalf("window %d blame %d: %+v != %+v", k, i, ra.Missing[i], rb.Missing[i])
+			}
+		}
+	}
+}
+
+// TestTrackerRestoreBitDeterministic snapshots a tracker mid-stream,
+// restores it, and requires the restored tracker to produce bit-identical
+// results to the live one for the rest of the feed — the canonical
+// iteration order survives the snapshot round-trip.
+func TestTrackerRestoreBitDeterministic(t *testing.T) {
+	feed := determinismWindows()
+	live, err := NewTracker(Options{Alpha: 2, MaxBlame: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(feed) / 2
+	for _, w := range feed[:cut] {
+		live.Observe(w)
+	}
+	var buf bytes.Buffer
+	if err := live.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadTrackerSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range feed[cut:] {
+		rl, rr := live.Observe(w), restored.Observe(w)
+		if rl.Stability != rr.Stability {
+			t.Fatalf("window %d: live %v != restored %v", cut+k, rl.Stability, rr.Stability)
+		}
+		for i := range rl.Missing {
+			if rl.Missing[i] != rr.Missing[i] {
+				t.Fatalf("window %d blame %d: live %+v != restored %+v", cut+k, i, rl.Missing[i], rr.Missing[i])
+			}
+		}
+	}
+}

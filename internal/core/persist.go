@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 
 	"github.com/gautrais/stability/internal/retail"
 )
@@ -80,13 +79,10 @@ func (t *Tracker) WriteSnapshot(w io.Writer) error {
 	if err := putU(uint64(len(t.counts))); err != nil {
 		return err
 	}
-	ids := make([]retail.ItemID, 0, len(t.counts))
-	for id := range t.counts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// t.order is maintained in ascending id order — exactly the snapshot's
+	// wire order.
 	prev := uint64(0)
-	for _, id := range ids {
+	for _, id := range t.order {
 		if err := putU(uint64(id) - prev); err != nil {
 			return err
 		}
@@ -176,6 +172,11 @@ func ReadTrackerSnapshot(r io.Reader) (*Tracker, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: read item id: %w", err)
 		}
+		if d == 0 && i > 0 {
+			// Ids are strictly ascending on the wire; a zero delta would
+			// duplicate an entry in the canonical order.
+			return nil, fmt.Errorf("core: duplicate item id %d in snapshot", prev)
+		}
 		prev += d
 		if prev == 0 || prev > math.MaxUint32 {
 			return nil, fmt.Errorf("core: item id %d out of range", prev)
@@ -188,6 +189,10 @@ func ReadTrackerSnapshot(r io.Reader) (*Tracker, error) {
 			return nil, fmt.Errorf("core: item %d count %d inconsistent with %d windows", prev, c, windows)
 		}
 		t.counts[retail.ItemID(prev)] = int32(c)
+		t.order = append(t.order, retail.ItemID(prev)) // wire order is ascending
+		if int32(c) > t.maxCount {
+			t.maxCount = int32(c)
+		}
 	}
 	return t, nil
 }

@@ -20,12 +20,14 @@ import (
 // Trackers are not safe for concurrent use; analyses shard one tracker per
 // customer.
 type Tracker struct {
-	opts    Options
-	logA    float64
-	counts  map[retail.ItemID]int32
-	windows int32 // W: counted prior windows
-	started bool  // a non-empty window has been counted
-	seq     int   // observations so far (including uncounted leading ones)
+	opts     Options
+	logA     float64
+	counts   map[retail.ItemID]int32
+	order    []retail.ItemID // ascending item id: the canonical iteration order
+	maxCount int32           // running max of counts; counts only grow, so never recomputed
+	windows  int32           // W: counted prior windows
+	started  bool            // a non-empty window has been counted
+	seq      int             // observations so far (including uncounted leading ones)
 
 	prevStability float64
 	prevDefined   bool
@@ -120,16 +122,15 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 	}
 
 	// Stability against prior state. Exponent of item p is 2c−W; shift by
-	// the maximum exponent so the largest term is exactly 1.
+	// the maximum exponent so the largest term is exactly 1. Iterating in
+	// canonical (ascending item) order — never Go's randomized map order —
+	// keeps the non-associative float sums bit-identical across runs,
+	// restores and worker counts.
 	if len(t.counts) > 0 {
-		var maxC int32
-		for _, c := range t.counts {
-			if c > maxC {
-				maxC = c
-			}
-		}
+		maxC := t.maxCount
 		var num, den float64
-		for p, c := range t.counts {
+		for _, p := range t.order {
+			c := t.counts[p]
 			term := math.Exp(float64(2*(c-maxC)) * t.logA)
 			den += term
 			if items.Contains(p) {
@@ -167,7 +168,14 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 		res.Counted = true
 		t.windows++
 		for _, p := range items {
-			t.counts[p]++
+			c := t.counts[p] + 1
+			t.counts[p] = c
+			if c == 1 {
+				t.insert(p)
+			}
+			if c > t.maxCount {
+				t.maxCount = c
+			}
 		}
 	} else {
 		// Leading empty window under CountFromFirstSeen: nothing recorded.
@@ -176,10 +184,20 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 	return res
 }
 
+// insert adds a first-seen item to the canonical order (baskets are
+// normalized, so p is new and appears once per window).
+func (t *Tracker) insert(p retail.ItemID) {
+	i := sort.Search(len(t.order), func(i int) bool { return t.order[i] >= p })
+	t.order = append(t.order, 0)
+	copy(t.order[i+1:], t.order[i:])
+	t.order[i] = p
+}
+
 // blame builds the sorted missing-item list for the current window.
 func (t *Tracker) blame(items retail.Basket, maxC int32, den float64) []Blame {
 	missing := make([]Blame, 0, 8)
-	for p, c := range t.counts {
+	for _, p := range t.order {
+		c := t.counts[p]
 		if items.Contains(p) {
 			continue
 		}
@@ -218,6 +236,8 @@ func (t *Tracker) SignificanceOf(p retail.ItemID) (net int, seen bool) {
 // Reset returns the tracker to its initial state, keeping options.
 func (t *Tracker) Reset() {
 	t.counts = make(map[retail.ItemID]int32)
+	t.order = nil
+	t.maxCount = 0
 	t.windows = 0
 	t.started = false
 	t.seq = 0

@@ -8,12 +8,12 @@ import (
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/eval"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/rfm"
 	"github.com/gautrais/stability/internal/segments"
 	"github.com/gautrais/stability/internal/stats"
-	"github.com/gautrais/stability/internal/window"
 )
 
 // --- EXT-5: gateway-segment characterization ---
@@ -90,18 +90,15 @@ func GatewayOn(ds *gen.Dataset, cfg GatewayConfig) (*GatewayResult, error) {
 	}
 
 	// Ground-truth validation: does the model's first blame match a true
-	// early drop of that customer?
+	// early drop of that customer? Per-customer analyses ride the
+	// population engine; the agreement tally folds in input order.
+	popSeries, err := population.Analyze(model, histories, grid, through, population.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
 	agree, scored := 0, 0
-	for i, h := range histories {
-		wd, err := window.Windowize(h, grid, through)
-		if err != nil {
-			return nil, err
-		}
-		series, err := model.Analyze(wd)
-		if err != nil {
-			return nil, err
-		}
-		drops := series.Drops(cfg.Seg.MinDrop, cfg.Seg.TopJ)
+	for i := range histories {
+		drops := popSeries[i].Drops(cfg.Seg.MinDrop, cfg.Seg.TopJ)
 		if len(drops) == 0 {
 			continue
 		}

@@ -18,13 +18,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/eval"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/rfm"
 	"github.com/gautrais/stability/internal/window"
@@ -94,9 +93,9 @@ func evalWindows(span, firstMonth, lastMonth int) []int {
 // align with pop.IDs. Customers with no materialized window at k (no
 // purchase history yet) count as fully stable.
 //
-// Customers are scored in parallel: the model is stateless, per-customer
-// trackers are created inside AnalyzeStability, and each worker writes a
-// disjoint column range, so no synchronization is needed beyond the join.
+// Customers are scored on the population engine: the model is stateless
+// and per-customer trackers are created inside AnalyzeStability, so each
+// customer is an independent unit of work.
 func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalKs []int) ([][]float64, error) {
 	model, err := core.New(opts)
 	if err != nil {
@@ -108,74 +107,38 @@ func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalK
 			maxK = k
 		}
 	}
-	scores := make([][]float64, len(evalKs))
-	for i := range scores {
-		scores[i] = make([]float64, pop.N())
-	}
-
-	scoreOne := func(ci int, h retail.History) error {
+	cols, err := population.Map(pop.N(), population.DefaultOptions(), func(ci int) ([]float64, error) {
+		h := pop.Histories[ci]
 		// Materialize from window 0 so that the CountPolicy decision about
 		// pre-first-purchase windows is the tracker's, not an artifact of
 		// which windows exist.
 		wd, err := window.WindowizeFrom(h, grid, 0, maxK)
 		if err != nil {
-			return fmt.Errorf("experiments: windowize customer %d: %w", h.Customer, err)
+			return nil, fmt.Errorf("experiments: windowize customer %d: %w", h.Customer, err)
 		}
 		series, err := model.AnalyzeStability(wd)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		col := make([]float64, len(evalKs))
 		for ki, k := range evalKs {
 			st := 1.0
 			if v, ok := series.StabilityAt(k); ok {
 				st = v
 			}
-			scores[ki][ci] = 1 - st
+			col[ki] = 1 - st
 		}
-		return nil
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > pop.N() {
-		workers = pop.N()
-	}
-	if workers <= 1 {
-		for ci, h := range pop.Histories {
-			if err := scoreOne(ci, h); err != nil {
-				return nil, err
-			}
+	scores := make([][]float64, len(evalKs))
+	for ki := range scores {
+		scores[ki] = make([]float64, pop.N())
+		for ci := range cols {
+			scores[ki][ci] = cols[ci][ki]
 		}
-		return scores, nil
-	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	chunk := (pop.N() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > pop.N() {
-			hi = pop.N()
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for ci := lo; ci < hi; ci++ {
-				if err := scoreOne(ci, pop.Histories[ci]); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return scores, nil
 }
@@ -200,8 +163,12 @@ func rfmScoresCV(pop *Population, grid window.Grid, k, folds int, seed int64, to
 		if err != nil {
 			return nil, fmt.Errorf("experiments: rfm fold train (k=%d): %w", k, err)
 		}
-		for _, idx := range f.Test {
-			scores[idx] = baseline.Score(pop.Histories[idx])
+		testH := make([]retail.History, len(f.Test))
+		for i, idx := range f.Test {
+			testH[i] = pop.Histories[idx]
+		}
+		for i, s := range baseline.ScoreAll(testH, 0) {
+			scores[f.Test[i]] = s
 		}
 	}
 	return scores, nil

@@ -1,0 +1,174 @@
+// Package population is the sharded population-scoring engine: it fans
+// per-customer work across a bounded pool of goroutines with deterministic,
+// input-ordered results and first-error (lowest input index) propagation.
+//
+// The paper scores attrition per customer, so population analyses are
+// embarrassingly parallel: the model is stateless, each customer gets a
+// private tracker, and results are independent. What needs care is the
+// contract around the parallelism — callers must get exactly the answer the
+// sequential loop would produce, in the same order, with the same error,
+// regardless of worker count. The primitives here guarantee that:
+//
+//   - Map fans fn over input indices and returns results in input order.
+//   - On error, the error reported is the one from the LOWEST failing input
+//     index — not whichever goroutine lost the race — so error behaviour is
+//     reproducible across runs and worker counts.
+//   - MapReduce folds the ordered results sequentially, so any aggregation
+//     (histogram, top-k, report) is bit-identical to a sequential pass.
+//
+// Analyze / AnalyzeStability build the standard per-customer pipeline
+// (Windowize + Model.Analyze) on top of Map; any other population analysis
+// can ride Map/MapReduce directly.
+package population
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+var errNilModel = errors.New("population: nil model")
+
+// Options tune the engine.
+type Options struct {
+	// Workers is the goroutine pool size; <= 0 means GOMAXPROCS. The pool
+	// is additionally capped at the number of inputs.
+	Workers int
+}
+
+// DefaultOptions returns the hardware-sized configuration.
+func DefaultOptions() Options { return Options{} }
+
+// workers resolves the effective pool size for n inputs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every index in [0, n) across the worker pool and
+// returns the results in input order. When any fn call fails, Map returns
+// the error of the lowest failing index and remaining work is abandoned;
+// indices below the reported one are guaranteed to have been attempted, so
+// the (index, error) pair is deterministic across runs and worker counts.
+func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	workers := opts.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	// Interleaved sharding: worker w owns indices w, w+W, w+2W, … Combined
+	// with the stop watermark below, this guarantees that every index below
+	// the final minimum failing index is attempted, which is what makes the
+	// reported error deterministic.
+	var (
+		stop     atomic.Int64 // lowest failing index so far
+		mu       sync.Mutex
+		firstIdx = math.MaxInt
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	stop.Store(math.MaxInt64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if int64(i) >= stop.Load() {
+					return // a lower index already failed; our remaining indices only grow
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					for {
+						cur := stop.Load()
+						if int64(i) >= cur || stop.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+				out[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MapReduce maps fn over [0, n) in parallel, then folds the results into
+// acc sequentially in input order. Because the reduce step is ordered and
+// single-threaded, any aggregation produces exactly the sequential-loop
+// result at every worker count.
+func MapReduce[T, R any](n int, opts Options, acc R, fn func(i int) (T, error), reduce func(acc R, v T, i int) R) (R, error) {
+	vals, err := Map(n, opts, fn)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	for i, v := range vals {
+		acc = reduce(acc, v, i)
+	}
+	return acc, nil
+}
+
+// Analyze runs the model with full explanations over every history:
+// windowize on grid through window `through`, then Model.Analyze. Results
+// align with the input histories.
+func Analyze(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options) ([]core.Series, error) {
+	return analyze(model, histories, grid, through, opts, true)
+}
+
+// AnalyzeStability is Analyze without blame or new-item lists — the hot
+// path for population-scale scoring.
+func AnalyzeStability(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options) ([]core.Series, error) {
+	return analyze(model, histories, grid, through, opts, false)
+}
+
+func analyze(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options, explain bool) ([]core.Series, error) {
+	if model == nil {
+		return nil, errNilModel
+	}
+	return Map(len(histories), opts, func(i int) (core.Series, error) {
+		wd, err := window.Windowize(histories[i], grid, through)
+		if err != nil {
+			return core.Series{}, err
+		}
+		if explain {
+			return model.Analyze(wd)
+		}
+		return model.AnalyzeStability(wd)
+	})
+}

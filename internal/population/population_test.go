@@ -1,0 +1,307 @@
+package population
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+// workerSweep is the set of pool sizes every determinism test runs at.
+var workerSweep = []int{0, 1, 2, 3, 8}
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range workerSweep {
+		got, err := Map(100, Options{Workers: w}, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingleton(t *testing.T) {
+	got, err := Map(0, Options{Workers: 8}, func(i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("empty: got (%v, %v), want (nil, nil)", got, err)
+	}
+
+	got, err = Map(1, Options{Workers: 8}, func(i int) (int, error) { return 41 + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 41 {
+		t.Fatalf("singleton: got %v", got)
+	}
+}
+
+// TestMapFirstErrorDeterministic plants several failing indices and checks
+// that every worker count reports the error of the LOWEST failing index,
+// even when a later failure is reached first (the mid-shard case: the
+// higher index fails instantly while the lower one is still being
+// computed).
+func TestMapFirstErrorDeterministic(t *testing.T) {
+	fail := map[int]bool{13: true, 14: true, 77: true, 99: true}
+	for _, w := range workerSweep {
+		_, err := Map(100, Options{Workers: w}, func(i int) (int, error) {
+			if fail[i] {
+				if i == 13 {
+					time.Sleep(2 * time.Millisecond) // let index 77/99 fail first
+				}
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", w)
+		}
+		if got, want := err.Error(), "boom at 13"; got != want {
+			t.Fatalf("workers=%d: error %q, want %q", w, got, want)
+		}
+	}
+}
+
+// TestMapErrorSentinel checks errors.Is survives the pool.
+func TestMapErrorSentinel(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map(10, Options{Workers: 4}, func(i int) (int, error) {
+		if i == 5 {
+			return 0, fmt.Errorf("wrap: %w", sentinel)
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap sentinel", err)
+	}
+}
+
+func TestMapReduceMatchesSequential(t *testing.T) {
+	n := 257
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i * 3
+	}
+	for _, w := range workerSweep {
+		got, err := MapReduce(n, Options{Workers: w}, 0,
+			func(i int) (int, error) { return i * 3, nil },
+			func(acc, v, _ int) int { return acc + v })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: sum %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestMapReduceErrorZeroValue(t *testing.T) {
+	got, err := MapReduce(10, Options{Workers: 4}, 42,
+		func(i int) (int, error) { return 0, errors.New("x") },
+		func(acc, v, _ int) int { return acc + v })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got != 0 {
+		t.Fatalf("got %d on error, want zero value", got)
+	}
+}
+
+// syntheticHistories builds a deterministic mini-population with varied
+// repertoires and gaps so stability values are non-trivial.
+func syntheticHistories(tb testing.TB, n int) ([]retail.History, window.Grid) {
+	tb.Helper()
+	origin := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	grid, err := window.NewGrid(origin, window.Span{Months: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	histories := make([]retail.History, n)
+	for c := 0; c < n; c++ {
+		h := retail.History{Customer: retail.CustomerID(c + 1)}
+		nItems := 3 + rng.Intn(8)
+		for m := 0; m < 24; m++ {
+			if rng.Float64() < 0.15 {
+				continue // skipped month
+			}
+			items := make([]retail.ItemID, 0, nItems)
+			for p := 0; p < nItems; p++ {
+				if rng.Float64() < 0.8 {
+					items = append(items, retail.ItemID(100*(c%5)+p+1))
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			h.Receipts = append(h.Receipts, retail.Receipt{
+				Time:  origin.AddDate(0, m, 1+rng.Intn(20)),
+				Items: retail.NewBasket(items),
+				Spend: 10 + 5*float64(len(items)),
+			})
+		}
+		histories[c] = h
+	}
+	return histories, grid
+}
+
+// TestAnalyzeDeterministicAcrossWorkers is the tentpole contract: the
+// population engine's output is identical (down to every float bit and
+// blame ordering) for Workers=1 and Workers=8.
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	histories, grid := syntheticHistories(t, 60)
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(model, histories, grid, 11, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(histories) {
+		t.Fatalf("got %d series, want %d", len(base), len(histories))
+	}
+	for _, w := range workerSweep[1:] {
+		got, err := Analyze(model, histories, grid, 11, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: series differ from sequential baseline", w)
+		}
+	}
+	// The stability-only path must agree on the values too.
+	fast, err := AnalyzeStability(model, histories, grid, 11, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if len(base[i].Points) != len(fast[i].Points) {
+			t.Fatalf("customer %d: point count mismatch", i)
+		}
+		for k := range base[i].Points {
+			if base[i].Points[k].Stability != fast[i].Points[k].Stability {
+				t.Fatalf("customer %d window %d: stability %v != %v",
+					i, k, base[i].Points[k].Stability, fast[i].Points[k].Stability)
+			}
+		}
+	}
+}
+
+// TestAnalyzeSeriesAlignment checks results land at their input index, not
+// at a completion-order index.
+func TestAnalyzeSeriesAlignment(t *testing.T) {
+	histories, grid := syntheticHistories(t, 40)
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Analyze(model, histories, grid, 11, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range series {
+		if s.Customer != histories[i].Customer {
+			t.Fatalf("series[%d] is customer %d, want %d", i, s.Customer, histories[i].Customer)
+		}
+	}
+}
+
+func TestAnalyzeEmptyAndSingleton(t *testing.T) {
+	histories, grid := syntheticHistories(t, 1)
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Analyze(model, nil, grid, 11, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series != nil {
+		t.Fatalf("empty population: got %v, want nil", series)
+	}
+	series, err = Analyze(model, histories, grid, 11, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Customer != histories[0].Customer {
+		t.Fatalf("singleton population: got %+v", series)
+	}
+}
+
+func TestAnalyzeNilModel(t *testing.T) {
+	histories, grid := syntheticHistories(t, 2)
+	if _, err := Analyze(nil, histories, grid, 11, Options{}); err == nil {
+		t.Fatal("expected nil-model error")
+	}
+	if _, err := AnalyzeStability(nil, histories, grid, 11, Options{}); err == nil {
+		t.Fatal("expected nil-model error")
+	}
+}
+
+// TestAnalyzeWindowizeErrorPropagates plants an unsorted history mid-shard
+// and checks the windowize failure surfaces no matter the worker count.
+func TestAnalyzeWindowizeErrorPropagates(t *testing.T) {
+	histories, grid := syntheticHistories(t, 20)
+	// Corrupt one history: receipts out of chronological order.
+	bad := histories[11]
+	if len(bad.Receipts) < 2 {
+		t.Fatal("test history too short")
+	}
+	bad.Receipts[0], bad.Receipts[1] = bad.Receipts[1], bad.Receipts[0]
+	histories[11] = bad
+	model, err := core.New(core.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first error
+	for _, w := range workerSweep {
+		_, err := Analyze(model, histories, grid, 11, Options{Workers: w})
+		if err == nil {
+			t.Fatalf("workers=%d: expected windowize error", w)
+		}
+		if first == nil {
+			first = err
+		} else if err.Error() != first.Error() {
+			t.Fatalf("workers=%d: error %q differs from %q", w, err, first)
+		}
+	}
+}
+
+func TestOptionsWorkerResolution(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		n    int
+		want int
+	}{
+		{Options{Workers: 4}, 100, 4},
+		{Options{Workers: 4}, 2, 2},  // capped at inputs
+		{Options{Workers: -1}, 0, 1}, // floor of 1
+		{Options{Workers: 16}, 16, 16},
+	}
+	for _, c := range cases {
+		if got := c.opt.workers(c.n); got != c.want {
+			t.Errorf("workers(%d) with %+v = %d, want %d", c.n, c.opt, got, c.want)
+		}
+	}
+	if got := (Options{}).workers(1 << 20); got < 1 {
+		t.Errorf("default workers = %d, want >= 1", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/gautrais/stability/internal/logreg"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/window"
 )
@@ -233,6 +234,10 @@ type TrainOptions struct {
 	// Families restricts the predictors to the listed families (nil = all
 	// three, the paper's setting).
 	Families []Family
+	// Workers sizes the feature-extraction worker pool; <= 0 means
+	// GOMAXPROCS. Extraction is per-customer and order-preserving, so the
+	// design matrix is identical at every worker count.
+	Workers int
 }
 
 // DefaultTrainOptions mirrors logreg defaults with the full RFM predictor
@@ -248,10 +253,13 @@ func Train(grid window.Grid, asOf int, histories []retail.History, defecting []b
 		return nil, fmt.Errorf("rfm: %d histories but %d labels", len(histories), len(defecting))
 	}
 	ex := Extractor{Grid: grid, Families: opts.Families}
-	X := make([][]float64, len(histories))
+	X, err := population.Map(len(histories), population.Options{Workers: opts.Workers},
+		func(i int) ([]float64, error) { return ex.Extract(histories[i], asOf), nil })
+	if err != nil {
+		return nil, err
+	}
 	y := make([]int, len(histories))
-	for i, h := range histories {
-		X[i] = ex.Extract(h, asOf)
+	for i := range histories {
 		if defecting[i] {
 			y[i] = 1
 		}
@@ -267,4 +275,17 @@ func Train(grid window.Grid, asOf int, histories []retail.History, defecting []b
 // window.
 func (b *Baseline) Score(h retail.History) float64 {
 	return b.Clf.Score(b.Extractor.Extract(h, b.AsOf))
+}
+
+// ScoreAll scores every history on the population engine, returning
+// P(defecting) aligned with the input. The trained classifier is read-only,
+// so scoring shards freely; workers <= 0 means GOMAXPROCS.
+func (b *Baseline) ScoreAll(histories []retail.History, workers int) []float64 {
+	// fn never fails, so Map cannot return an error here.
+	scores, err := population.Map(len(histories), population.Options{Workers: workers},
+		func(i int) (float64, error) { return b.Score(histories[i]), nil })
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return scores
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/window"
@@ -25,6 +26,9 @@ type Options struct {
 	MinDrop float64
 	// TopJ caps how many blamed segments per drop event are aggregated.
 	TopJ int
+	// Workers sizes the analysis worker pool; <= 0 means GOMAXPROCS. The
+	// aggregate is identical at every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the aggregation used by the EXT-5 experiment.
@@ -79,6 +83,10 @@ type Report struct {
 // Characterize runs the model over every history and aggregates blame. The
 // analysis windows run from each customer's first purchase through window
 // `through`.
+//
+// The per-customer analyses are sharded across opts.Workers goroutines; the
+// blame aggregation folds the results sequentially in input order, so the
+// report is identical to a sequential pass at every worker count.
 func Characterize(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -96,42 +104,53 @@ func Characterize(model *core.Model, histories []retail.History, grid window.Gri
 		}
 		return s
 	}
-	for _, h := range histories {
-		wd, err := window.Windowize(h, grid, through)
-		if err != nil {
-			return nil, err
-		}
-		series, err := model.Analyze(wd)
-		if err != nil {
-			return nil, err
-		}
-		rep.Customers++
-		drops := series.Drops(opts.MinDrop, opts.TopJ)
-		if len(drops) == 0 {
-			continue
-		}
-		rep.WithDrops++
-		rep.DropEvents += len(drops)
-		for di, d := range drops {
-			for _, b := range d.Blame {
-				s := get(b.Item)
-				s.Blames++
-				s.ShareSum += b.Share
-				if di == 0 {
-					s.FirstLoss++
+	// Map: score one customer and extract their drop events (the only part
+	// of the series the aggregation consumes). Reduce: ordered sequential
+	// fold, identical to the sequential loop.
+	popOpts := population.Options{Workers: opts.Workers}
+	_, err := population.MapReduce(len(histories), popOpts, rep,
+		func(i int) ([]core.DropEvent, error) {
+			wd, err := window.Windowize(histories[i], grid, through)
+			if err != nil {
+				return nil, err
+			}
+			series, err := model.Analyze(wd)
+			if err != nil {
+				return nil, err
+			}
+			return series.Drops(opts.MinDrop, opts.TopJ), nil
+		},
+		func(rep *Report, drops []core.DropEvent, _ int) *Report {
+			rep.Customers++
+			if len(drops) == 0 {
+				return rep
+			}
+			rep.WithDrops++
+			rep.DropEvents += len(drops)
+			for di, d := range drops {
+				for _, b := range d.Blame {
+					s := get(b.Item)
+					s.Blames++
+					s.ShareSum += b.Share
+					if di == 0 {
+						s.FirstLoss++
+					}
 				}
 			}
-		}
-		// AnyLoss: distinct customers per segment.
-		seen := map[retail.ItemID]bool{}
-		for _, d := range drops {
-			for _, b := range d.Blame {
-				if !seen[b.Item] {
-					seen[b.Item] = true
-					get(b.Item).AnyLoss++
+			// AnyLoss: distinct customers per segment.
+			seen := map[retail.ItemID]bool{}
+			for _, d := range drops {
+				for _, b := range d.Blame {
+					if !seen[b.Item] {
+						seen[b.Item] = true
+						get(b.Item).AnyLoss++
+					}
 				}
 			}
-		}
+			return rep
+		})
+	if err != nil {
+		return nil, err
 	}
 	rep.PerSegment = make([]Stats, 0, len(acc))
 	for _, s := range acc {

@@ -23,15 +23,31 @@
 //	    // drop.Blame lists the products whose absence explains the drop
 //	}
 //
+// # Population scoring
+//
+// Scoring one customer at a time does not scale to retailer-sized
+// populations. AnalyzePopulation shards the per-customer work across a
+// worker pool while keeping results input-ordered and errors
+// deterministic, so it is a drop-in replacement for the sequential loop:
+//
+//	series, _ := stability.AnalyzePopulation(model, histories, grid, lastWindow,
+//	    stability.PopulationOptions{Workers: 8}) // 0 = GOMAXPROCS
+//	for i, s := range series {
+//	    // series[i] is histories[i]'s trajectory, identical at any worker count
+//	    _ = s
+//	}
+//
 // The heavy lifting lives in internal packages (core model, windowing
-// engine, transaction store, taxonomy, RFM baseline, evaluation stack,
-// synthetic data generator); this package re-exports the stable surface.
+// engine, population engine, transaction store, taxonomy, RFM baseline,
+// evaluation stack, synthetic data generator); this package re-exports the
+// stable surface.
 package stability
 
 import (
 	"time"
 
 	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/window"
 )
@@ -133,6 +149,18 @@ func AnalyzeHistory(m *Model, h History, g Grid, through int) (Series, error) {
 		return Series{}, err
 	}
 	return m.Analyze(wd)
+}
+
+// PopulationOptions tune population-scale analysis.
+type PopulationOptions = population.Options
+
+// AnalyzePopulation runs AnalyzeHistory over every history on the sharded
+// population engine: per-customer work fans across opts.Workers goroutines
+// (0 = GOMAXPROCS), results align with the input histories, and the first
+// error — by input position, not goroutine timing — aborts the run. Output
+// is identical to a sequential AnalyzeHistory loop at every worker count.
+func AnalyzePopulation(m *Model, histories []History, g Grid, through int, opts PopulationOptions) ([]Series, error) {
+	return population.Analyze(m, histories, g, through, opts)
 }
 
 // Detect applies the loyalty threshold β to a series: stability ≤ β means
