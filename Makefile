@@ -1,9 +1,13 @@
 # Tier-1 verification and repo tooling. `make verify` is the gate every
 # change must pass; it is exactly what CI and the roadmap call tier-1.
+# `make ci` chains the same targets the GitHub workflow runs, in the same
+# order, so a local pass and a CI pass cannot drift.
 
 GO ?= go
 
-.PHONY: verify build test lint race bench
+.PHONY: verify build test lint race bench bench-smoke ci
+
+ci: verify lint race bench-smoke ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -21,5 +25,8 @@ lint: ## gofmt cleanliness + go vet
 race: ## race-detector pass over the concurrent packages
 	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream
 
-bench: ## full benchmark suite (population sweep included)
+bench: ## full benchmark suite (population + shard sweeps included)
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+bench-smoke: ## one iteration of every benchmark, so benches can't bit-rot
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

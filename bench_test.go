@@ -273,13 +273,17 @@ func BenchmarkLeadTime(b *testing.B) {
 }
 
 // BenchmarkMonitorIngest measures streaming throughput: receipts ingested
-// per op across a whole population replay.
+// per op across a whole population replay. The "single" case is the
+// sequential Monitor baseline; the shards-N cases sweep the sharded engine
+// (hash fan-out, one goroutine per shard). On a 1-CPU container the sweep is
+// flat — judge scaling on multi-core hosts.
 func BenchmarkMonitorIngest(b *testing.B) {
 	ds := sharedDataset(b)
 	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
+	cfg := stream.Config{Grid: grid, Model: core.Options{Alpha: 2}, Beta: 0.6, WarmupWindows: 3}
 	type event struct {
 		id retail.CustomerID
 		t  int64
@@ -293,20 +297,44 @@ func BenchmarkMonitorIngest(b *testing.B) {
 		return true
 	})
 	sort.Slice(feed, func(i, j int) bool { return feed[i].t < feed[j].t })
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m, err := stream.New(stream.Config{Grid: grid, Model: core.Options{Alpha: 2}, Beta: 0.6, WarmupWindows: 3})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, ev := range feed {
-			if _, err := m.Ingest(ev.id, time.Unix(0, ev.t), ev.it); err != nil {
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportMetric(float64(len(feed)), "receipts/op")
+		for i := 0; i < b.N; i++ {
+			m, err := stream.New(cfg)
+			if err != nil {
 				b.Fatal(err)
 			}
+			for _, ev := range feed {
+				if _, err := m.Ingest(ev.id, time.Unix(0, ev.t), ev.it); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.CloseThrough(13)
 		}
-		m.CloseThrough(13)
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(len(feed)), "receipts/op")
+			for i := 0; i < b.N; i++ {
+				m, err := stream.NewSharded(cfg, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ev := range feed {
+					if err := m.Ingest(ev.id, time.Unix(0, ev.t), ev.it); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := m.CloseThrough(13); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	b.ReportMetric(float64(len(feed)), "receipts/op")
 }
 
 // --- population engine ---

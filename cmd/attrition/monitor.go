@@ -11,8 +11,10 @@ import (
 )
 
 // cmdMonitor replays a receipt dataset in timestamp order through the
-// streaming monitor and prints every alert, demonstrating the production
-// deployment shape of the model on recorded data.
+// sharded streaming monitor and prints every alert, demonstrating the
+// production deployment shape of the model on recorded data. Alerts are
+// collected at each window boundary (the feed's watermark), so output is
+// deterministic for any -shards value.
 func cmdMonitor(args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
 	var (
@@ -22,6 +24,7 @@ func cmdMonitor(args []string) error {
 		beta    = fs.Float64("beta", 0.6, "loyalty threshold: alert at stability <= beta")
 		topJ    = fs.Int("top", 3, "blamed products per alert")
 		warmup  = fs.Int("warmup", 4, "windows of history before alerts may fire")
+		shards  = fs.Int("shards", 0, "ingestion shards (customer-hash partitions); 0 = GOMAXPROCS")
 		maxShow = fs.Int("max-show", 50, "maximum alerts to print (summary always shown)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -39,13 +42,13 @@ func cmdMonitor(args []string) error {
 	if err != nil {
 		return err
 	}
-	monitor, err := stability.NewMonitor(stability.MonitorConfig{
+	monitor, err := stability.NewShardedMonitor(stability.MonitorConfig{
 		Grid:          grid,
 		Model:         stability.Options{Alpha: *alpha},
 		Beta:          *beta,
 		TopJ:          *topJ,
 		WarmupWindows: *warmup,
-	})
+	}, stability.MonitorOptions{Shards: *shards})
 	if err != nil {
 		return err
 	}
@@ -84,16 +87,28 @@ func cmdMonitor(args []string) error {
 	for _, ev := range feed {
 		k := grid.Index(ev.r.Time)
 		if k > lastK {
-			emit(monitor.CloseThrough(k - 1))
+			alerts, err := monitor.CloseThrough(k - 1)
+			if err != nil {
+				return fmt.Errorf("close through window %d: %w", k-1, err)
+			}
+			emit(alerts)
 			lastK = k
 		}
-		alerts, err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items)
-		if err != nil {
-			return err
+		if err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items); err != nil {
+			return fmt.Errorf("ingest customer %d: %w", ev.id, err)
 		}
-		emit(alerts)
 	}
-	emit(monitor.CloseThrough(lastK))
-	fmt.Fprintf(os.Stdout, "\n%d alerts over %d customers (%d shown)\n", total, monitor.Customers(), shown)
+	alerts, err := monitor.CloseThrough(lastK)
+	if err != nil {
+		return fmt.Errorf("close through window %d: %w", lastK, err)
+	}
+	emit(alerts)
+	final, err := monitor.Close()
+	if err != nil {
+		return fmt.Errorf("monitor close: %w", err)
+	}
+	emit(final)
+	fmt.Fprintf(os.Stdout, "\n%d alerts over %d customers (%d shards, %d shown)\n",
+		total, monitor.Customers(), monitor.Shards(), shown)
 	return nil
 }

@@ -113,6 +113,53 @@ func ExampleNewMonitor() {
 	// customer 42 window 4 stability 0.33 missing 2 items
 }
 
+// ExampleNewShardedMonitor runs the same feed through the parallel
+// ingestion engine: receipts fan out across customer-hash shards, and the
+// CloseThrough barrier returns the alerts in a deterministic (window,
+// customer) order — identical for any shard count.
+func ExampleNewShardedMonitor() {
+	g := exampleGrid()
+	monitor, err := stability.NewShardedMonitor(stability.MonitorConfig{
+		Grid:  g,
+		Model: stability.DefaultOptions(),
+		Beta:  0.7,
+		TopJ:  2,
+	}, stability.MonitorOptions{Shards: 4}) // 0 = one shard per core
+	if err != nil {
+		panic(err)
+	}
+	full := stability.NewBasket([]stability.ItemID{1, 2, 3})
+	thin := stability.NewBasket([]stability.ItemID{1})
+	for _, id := range []stability.CustomerID{7, 42} {
+		for k := 0; k < 4; k++ {
+			start, _ := g.Bounds(k)
+			if err := monitor.Ingest(id, start.AddDate(0, 0, 2), full); err != nil {
+				panic(err)
+			}
+		}
+	}
+	start, _ := g.Bounds(4)
+	if err := monitor.Ingest(42, start.AddDate(0, 0, 2), thin); err != nil {
+		panic(err)
+	}
+	if err := monitor.Ingest(7, start.AddDate(0, 0, 2), full); err != nil {
+		panic(err)
+	}
+	alerts, err := monitor.CloseThrough(4)
+	if err != nil {
+		panic(err)
+	}
+	for _, alert := range alerts {
+		fmt.Printf("customer %d window %d stability %.2f missing %d items\n",
+			alert.Customer, alert.GridIndex, alert.Stability, len(alert.Blame))
+	}
+	if _, err := monitor.Close(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// customer 42 window 4 stability 0.33 missing 2 items
+}
+
 // ExampleMonitor_WriteSnapshot persists a monitor mid-stream and restores
 // it — the pattern a long-running scoring service uses across restarts.
 func ExampleMonitor_WriteSnapshot() {

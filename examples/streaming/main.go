@@ -1,9 +1,12 @@
 // Streaming: monitor a live receipt feed and react to attrition alerts as
 // they fire — the production deployment shape of the stability model. The
 // example replays a generated dataset in timestamp order as if it were a
-// point-of-sale stream, advances the watermark at each window boundary so
-// silent (defecting!) customers still get scored, and prints each alert
-// with the products to win the customer back with.
+// point-of-sale stream through the sharded monitor (receipts fan out across
+// customer-hash shards, one goroutine each, so ingestion scales with cores),
+// advances the watermark at each window boundary so silent (defecting!)
+// customers still get scored, and prints each alert with the products to win
+// the customer back with. Alerts arrive at the watermark barriers in
+// (window, customer) order — identical output for any shard count.
 //
 //	go run ./examples/streaming
 package main
@@ -13,7 +16,6 @@ import (
 	"log"
 	"sort"
 	"strings"
-	"time"
 
 	"github.com/gautrais/stability"
 )
@@ -31,13 +33,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	monitor, err := stability.NewMonitor(stability.MonitorConfig{
+	monitor, err := stability.NewShardedMonitor(stability.MonitorConfig{
 		Grid:          grid,
 		Model:         stability.DefaultOptions(),
 		Beta:          0.6, // alert when stability falls to 0.6 or below
 		TopJ:          3,
 		WarmupWindows: 4, // no alerts until 8 months of history
-	})
+	}, stability.MonitorOptions{Shards: 4}) // 0 = one shard per core
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,11 +60,11 @@ func main() {
 		}
 	}
 	sort.Slice(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
-	fmt.Printf("replaying %d receipts from %d customers as a live feed\n\n", len(feed), cfg.Customers)
+	fmt.Printf("replaying %d receipts from %d customers as a live feed across %d shards\n\n",
+		len(feed), cfg.Customers, monitor.Shards())
 
 	alertsTotal := 0
 	trueAlerts := 0
-	var watermark time.Time
 	handle := func(alerts []stability.Alert) {
 		for _, a := range alerts {
 			alertsTotal++
@@ -83,21 +85,36 @@ func main() {
 		}
 	}
 
+	// Advance the watermark at window boundaries: the CloseThrough barrier
+	// drains every shard, scores customers silent for a whole window (their
+	// silence is the signal), and surfaces any ingest error from the batch.
+	lastK := 0
 	for _, ev := range feed {
-		// Advance the watermark at window boundaries: customers silent for
-		// a whole window are scored (their silence is the signal).
-		if !watermark.IsZero() && grid.Index(ev.r.Time) > grid.Index(watermark) {
-			handle(monitor.CloseThrough(grid.Index(ev.r.Time) - 1))
+		if k := grid.Index(ev.r.Time); k > lastK {
+			alerts, err := monitor.CloseThrough(k - 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			handle(alerts)
+			lastK = k
 		}
-		watermark = ev.r.Time
-		alerts, err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items)
-		if err != nil {
+		if err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items); err != nil {
 			log.Fatal(err)
 		}
-		handle(alerts)
 	}
-	handle(monitor.CloseThrough(cfg.Months/2 - 1))
+	alerts, err := monitor.CloseThrough(cfg.Months/2 - 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	handle(alerts)
+	if _, err := monitor.Close(); err != nil {
+		log.Fatal(err)
+	}
 
+	if alertsTotal == 0 {
+		fmt.Println("\nno alerts fired")
+		return
+	}
 	fmt.Printf("\n%d alerts total; %d (%.0f%%) were ground-truth defectors\n",
 		alertsTotal, trueAlerts, 100*float64(trueAlerts)/float64(alertsTotal))
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
 )
 
 // Monitor snapshot format:
@@ -28,11 +29,20 @@ import (
 //	  tracker snapshot (embedded, self-delimiting via its own counts)
 //
 // A restored monitor resumes exactly where the snapshot left off: the
-// equivalence is property-tested.
+// equivalence is property-tested. The format is shared by Monitor and
+// ShardedMonitor — sharding is an operational knob, so the bytes carry no
+// trace of the shard count and either monitor restores the other's snapshot.
 var monitorMagic = [4]byte{'S', 'M', 'N', '1'}
 
 // WriteSnapshot persists every tracked customer's state.
 func (m *Monitor) WriteSnapshot(w io.Writer) error {
+	return writeMonitorStates(w, m.cfg.Grid, m.states)
+}
+
+// writeMonitorStates streams the SMN1 encoding of a customer-state map.
+// It iterates customers in ascending id order, so the bytes depend only on
+// the logical state, never on which monitor flavor produced it.
+func writeMonitorStates(w io.Writer, grid window.Grid, states map[retail.CustomerID]*custState) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(monitorMagic[:]); err != nil {
 		return fmt.Errorf("stream: write magic: %w", err)
@@ -48,23 +58,23 @@ func (m *Monitor) WriteSnapshot(w io.Writer) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	binary.LittleEndian.PutUint64(buf[:8], uint64(m.cfg.Grid.Origin().Unix()))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(grid.Origin().Unix()))
 	if _, err := bw.Write(buf[:8]); err != nil {
 		return err
 	}
-	if err := putU(uint64(m.cfg.Grid.Span().Months)); err != nil {
+	if err := putU(uint64(grid.Span().Months)); err != nil {
 		return err
 	}
-	if err := putU(uint64(len(m.states))); err != nil {
+	if err := putU(uint64(len(states))); err != nil {
 		return err
 	}
-	ids := make([]retail.CustomerID, 0, len(m.states))
-	for id := range m.states {
+	ids := make([]retail.CustomerID, 0, len(states))
+	for id := range states {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		st := m.states[id]
+		st := states[id]
 		if err := putU(uint64(id)); err != nil {
 			return err
 		}
@@ -108,11 +118,26 @@ func (m *Monitor) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadMonitorSnapshot restores a monitor persisted by WriteSnapshot. The
-// supplied config provides the operational knobs (β, TopJ, warm-up,
-// hooks); its grid must match the snapshot's grid, and its model options
-// are validated against each restored tracker's.
+// ReadMonitorSnapshot restores a monitor persisted by WriteSnapshot (either
+// flavor). The supplied config provides the operational knobs (β, TopJ,
+// warm-up, hooks); its grid must match the snapshot's grid, and its model
+// options are validated against each restored tracker's.
 func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
+	states, err := readMonitorStates(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.states = states
+	return m, nil
+}
+
+// readMonitorStates decodes an SMN1 snapshot into a customer-state map,
+// validating cfg and every embedded tracker along the way.
+func readMonitorStates(r io.Reader, cfg Config) (map[retail.CustomerID]*custState, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,10 +170,7 @@ func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
 	if count > maxCustomers {
 		return nil, fmt.Errorf("stream: implausible customer count %d", count)
 	}
-	m, err := New(cfg)
-	if err != nil {
-		return nil, err
-	}
+	states := make(map[retail.CustomerID]*custState, count)
 	for i := uint64(0); i < count; i++ {
 		id, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -198,7 +220,7 @@ func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
 			return nil, fmt.Errorf("stream: customer %d tracker options %+v do not match config %+v",
 				id, tracker.Options(), cfg.Model)
 		}
-		m.states[retail.CustomerID(id)] = &custState{
+		states[retail.CustomerID(id)] = &custState{
 			tracker:       tracker,
 			openK:         int(openK),
 			pending:       pending,
@@ -208,5 +230,5 @@ func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
 			scored:        flags&2 != 0,
 		}
 	}
-	return m, nil
+	return states, nil
 }

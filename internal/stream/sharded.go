@@ -1,0 +1,383 @@
+// Sharded ingestion: a ShardedMonitor fans receipts across N single-threaded
+// shard Monitors by customer hash, so the online path scales with cores while
+// keeping every guarantee of the sequential monitor. Each customer maps to
+// exactly one shard (FNV-1a over the id), each shard is driven by its own
+// goroutine over a bounded FIFO channel, so per-customer receipt order is
+// preserved and per-customer results are bit-identical to the single-threaded
+// Monitor at every shard count.
+//
+// Alerts cannot be returned synchronously from an asynchronous Ingest, so they
+// accumulate per shard and are delivered at barriers — Flush, CloseThrough,
+// Close — merged in a canonical order (grid index, then customer id). Because
+// the alert set is shard-count independent and the merge order is total, the
+// delivered batches are byte-identical for any shard count, including the
+// single-threaded Monitor's sorted output; the equivalence is property-tested.
+//
+// Errors follow the same discipline as internal/population: each Ingest call
+// is stamped with a feed sequence number, each shard remembers the
+// lowest-sequence error since the last barrier, and the barrier reports the
+// error with the lowest sequence across shards — for a sequential feed that
+// is deterministically the first bad receipt, regardless of shard count.
+package stream
+
+import (
+	"errors"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// ErrClosed is returned by operations on a ShardedMonitor after Close.
+var ErrClosed = errors.New("stream: sharded monitor is closed")
+
+// shardChanCap bounds each shard's ingest channel. A full channel applies
+// backpressure to producers rather than buffering without limit.
+const shardChanCap = 512
+
+// shardMsg is one unit of work on a shard channel: a receipt (ctl nil), a
+// control closure run on the shard goroutine with exclusive access to the
+// shard's state, or a stop signal.
+type shardMsg struct {
+	id    retail.CustomerID
+	t     time.Time
+	items retail.Basket
+	seq   uint64
+	ctl   func()
+	stop  bool
+}
+
+// shard pairs one single-threaded Monitor with its feed channel. All fields
+// besides ch are owned by the shard goroutine; other goroutines reach them
+// only through ctl closures (or after the goroutine has exited).
+type shard struct {
+	mon *Monitor
+	ch  chan shardMsg
+	// alerts buffers ingest-time alerts until the next barrier.
+	alerts []Alert
+	// firstErr/errSeq track the lowest-sequence ingest error since the last
+	// barrier.
+	firstErr error
+	errSeq   uint64
+}
+
+func (sh *shard) run(done *sync.WaitGroup) {
+	defer done.Done()
+	for msg := range sh.ch {
+		switch {
+		case msg.stop:
+			return
+		case msg.ctl != nil:
+			msg.ctl()
+		default:
+			alerts, err := sh.mon.Ingest(msg.id, msg.t, msg.items)
+			sh.alerts = append(sh.alerts, alerts...)
+			if err != nil && (sh.firstErr == nil || msg.seq < sh.errSeq) {
+				sh.firstErr, sh.errSeq = err, msg.seq
+			}
+		}
+	}
+}
+
+// ShardedMonitor is the parallel ingestion engine: hash-partitioned shard
+// Monitors behind a fan-in Ingest. Ingest is safe for concurrent use by
+// multiple producers; per-customer receipt order is preserved for receipts
+// whose Ingest calls are ordered (a single producer, or external
+// synchronization). Alerts are delivered at Flush/CloseThrough/Close
+// barriers in (grid index, customer id) order.
+//
+// Close must not run concurrently with other calls; stop all producers
+// first. The other methods may be used concurrently with each other.
+type ShardedMonitor struct {
+	cfg    Config
+	shards []*shard
+	seq    atomic.Uint64
+	closed atomic.Bool
+	done   sync.WaitGroup
+	// snapMu serializes WriteSnapshot's stop-the-world pause: two
+	// interleaved pauses could each park a different shard first and wait
+	// on each other forever.
+	snapMu sync.Mutex
+}
+
+// NewSharded validates cfg and returns a running sharded monitor. shards <= 0
+// means GOMAXPROCS. Shard count is an operational knob like a worker count:
+// it affects throughput only, never results or snapshots.
+func NewSharded(cfg Config, shards int) (*ShardedMonitor, error) {
+	s, err := newSharded(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newSharded builds the monitor without starting shard goroutines, so the
+// snapshot-restore path can populate shard states race-free first.
+func newSharded(cfg Config, shards int) (*ShardedMonitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedMonitor{cfg: cfg, shards: make([]*shard, shards)}
+	for i := range s.shards {
+		mon, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = &shard{mon: mon, ch: make(chan shardMsg, shardChanCap)}
+	}
+	return s, nil
+}
+
+func (s *ShardedMonitor) start() {
+	for _, sh := range s.shards {
+		s.done.Add(1)
+		go sh.run(&s.done)
+	}
+}
+
+// FNV-1a 64-bit over the customer id's 8 little-endian bytes.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func shardIndex(id retail.CustomerID, n int) int {
+	h := uint64(fnvOffset64)
+	x := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return int(h % uint64(n))
+}
+
+// Shards returns the shard count.
+func (s *ShardedMonitor) Shards() int { return len(s.shards) }
+
+// Ingest enqueues one receipt on its customer's shard. Receipts must arrive
+// in non-decreasing window order per customer, exactly as for Monitor.Ingest;
+// a violation surfaces as an ErrStale-wrapped error at the next barrier.
+// Ingest blocks when the shard's channel is full (backpressure). The basket
+// must not be mutated by the caller after Ingest returns.
+func (s *ShardedMonitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.shards[shardIndex(id, len(s.shards))].ch <- shardMsg{
+		id: id, t: t, items: items, seq: s.seq.Add(1),
+	}
+	return nil
+}
+
+// barrier drains every shard (channel FIFO guarantees all previously
+// enqueued receipts are processed first), runs fn on each shard goroutine,
+// and merges the collected alerts into (grid index, customer id) order.
+// The reported error is the lowest-sequence ingest error across shards since
+// the last barrier; reporting clears it.
+func (s *ShardedMonitor) barrier(fn func(sh *shard) []Alert) ([]Alert, error) {
+	type out struct {
+		alerts []Alert
+		err    error
+		seq    uint64
+	}
+	outs := make([]out, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		wg.Add(1)
+		sh.ch <- shardMsg{ctl: func() {
+			defer wg.Done()
+			outs[i] = out{alerts: fn(sh), err: sh.firstErr, seq: sh.errSeq}
+			sh.firstErr, sh.errSeq = nil, 0
+		}}
+	}
+	wg.Wait()
+	var merged []Alert
+	var err error
+	errSeq := uint64(math.MaxUint64)
+	for _, o := range outs {
+		merged = append(merged, o.alerts...)
+		if o.err != nil && o.seq < errSeq {
+			err, errSeq = o.err, o.seq
+		}
+	}
+	sortAlerts(merged)
+	return merged, err
+}
+
+// sortAlerts orders alerts by (grid index, customer id) — a total order,
+// since a customer scores each window at most once, so the merged output is
+// identical for every shard count.
+func sortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].GridIndex != alerts[j].GridIndex {
+			return alerts[i].GridIndex < alerts[j].GridIndex
+		}
+		return alerts[i].Customer < alerts[j].Customer
+	})
+}
+
+// drainFn hands over a shard's buffered ingest alerts.
+func drainFn(sh *shard) []Alert {
+	a := sh.alerts
+	sh.alerts = nil
+	return a
+}
+
+// Flush is the barrier without window closing: it waits for every enqueued
+// receipt to be processed and returns the alerts they raised, merged
+// deterministically, plus the first ingest error since the last barrier.
+func (s *ShardedMonitor) Flush() ([]Alert, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.barrier(drainFn)
+}
+
+// CloseThrough drains every shard, force-closes every tracked customer's
+// windows through grid index k (scoring silent windows as empty, exactly as
+// Monitor.CloseThrough), and returns all pending plus newly raised alerts in
+// (grid index, customer id) order.
+func (s *ShardedMonitor) CloseThrough(k int) ([]Alert, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.barrier(func(sh *shard) []Alert {
+		return append(drainFn(sh), sh.mon.CloseThrough(k)...)
+	})
+}
+
+// Close drains every shard, returns any remaining buffered alerts and
+// pending error, and stops the shard goroutines. Stop all producers first;
+// Ingest/Flush/CloseThrough after Close return ErrClosed, while read-only
+// accessors (Stability, Customers, WriteSnapshot) keep working.
+func (s *ShardedMonitor) Close() ([]Alert, error) {
+	if s.closed.Swap(true) {
+		return nil, ErrClosed
+	}
+	alerts, err := s.barrier(drainFn)
+	for _, sh := range s.shards {
+		sh.ch <- shardMsg{stop: true}
+	}
+	s.done.Wait()
+	return alerts, err
+}
+
+// Stability returns the customer's last scored stability, like
+// Monitor.Stability. It synchronizes with the owning shard, so it reflects
+// every receipt enqueued before the call (by this goroutine).
+func (s *ShardedMonitor) Stability(id retail.CustomerID) (value float64, gridIndex int, ok bool) {
+	sh := s.shards[shardIndex(id, len(s.shards))]
+	if s.closed.Load() {
+		return sh.mon.Stability(id)
+	}
+	done := make(chan struct{})
+	sh.ch <- shardMsg{ctl: func() {
+		value, gridIndex, ok = sh.mon.Stability(id)
+		close(done)
+	}}
+	<-done
+	return value, gridIndex, ok
+}
+
+// Customers returns the number of customers tracked across all shards.
+func (s *ShardedMonitor) Customers() int {
+	counts := make([]int, len(s.shards))
+	if s.closed.Load() {
+		for i, sh := range s.shards {
+			counts[i] = sh.mon.Customers()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			i, sh := i, sh
+			wg.Add(1)
+			sh.ch <- shardMsg{ctl: func() {
+				counts[i] = sh.mon.Customers()
+				wg.Done()
+			}}
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// WriteSnapshot persists the monitor in the same SMN1 format as
+// Monitor.WriteSnapshot: shard count is an operational knob, not persisted
+// state, so the bytes are identical to the single-threaded monitor's for the
+// same feed and a snapshot written with S shards restores with any S'. The
+// write is a stop-the-world pause: every shard is drained and held while the
+// merged state streams out. Buffered alerts are not part of the snapshot —
+// Flush before snapshotting if they must not be lost across a restart.
+func (s *ShardedMonitor) WriteSnapshot(w io.Writer) error {
+	if s.closed.Load() {
+		return writeMonitorStates(w, s.cfg.Grid, s.mergedStates())
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	release := make(chan struct{})
+	var arrived sync.WaitGroup
+	for _, sh := range s.shards {
+		arrived.Add(1)
+		sh.ch <- shardMsg{ctl: func() {
+			arrived.Done()
+			<-release
+		}}
+	}
+	// All shard goroutines are parked on release: their states are
+	// quiescent and safe to read from here until release closes.
+	arrived.Wait()
+	err := writeMonitorStates(w, s.cfg.Grid, s.mergedStates())
+	close(release)
+	return err
+}
+
+// mergedStates combines the disjoint per-shard state maps into one view.
+// Callers must hold all shards quiescent.
+func (s *ShardedMonitor) mergedStates() map[retail.CustomerID]*custState {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.mon.states)
+	}
+	merged := make(map[retail.CustomerID]*custState, total)
+	for _, sh := range s.shards {
+		for id, st := range sh.mon.states {
+			merged[id] = st
+		}
+	}
+	return merged
+}
+
+// ReadShardedMonitorSnapshot restores a sharded monitor from any SMN1
+// snapshot — written by a Monitor or by a ShardedMonitor with any shard
+// count. cfg follows the ReadMonitorSnapshot contract; shards <= 0 means
+// GOMAXPROCS.
+func ReadShardedMonitorSnapshot(r io.Reader, cfg Config, shards int) (*ShardedMonitor, error) {
+	states, err := readMonitorStates(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSharded(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	for id, st := range states {
+		s.shards[shardIndex(id, len(s.shards))].mon.states[id] = st
+	}
+	s.start()
+	return s, nil
+}

@@ -11,6 +11,10 @@
 // receipt (or an explicit CloseThrough) proves no more purchases can fall
 // inside it. Windows with no purchases at all are scored as empty — absence
 // is the signal attrition lives in.
+//
+// Monitor is the single-threaded engine; ShardedMonitor fans the same
+// engine across customer-hash shards for multi-core ingestion with
+// identical results (see sharded.go).
 package stream
 
 import (
@@ -105,7 +109,8 @@ type custState struct {
 }
 
 // Monitor ingests receipts and emits alerts. Not safe for concurrent use;
-// shard by customer for parallel feeds.
+// ShardedMonitor wraps it with hash-partitioned parallel ingestion for
+// multi-core feeds.
 type Monitor struct {
 	cfg    Config
 	states map[retail.CustomerID]*custState

@@ -17,22 +17,55 @@ import (
 type (
 	// MonitorConfig parameterizes a Monitor.
 	MonitorConfig = stream.Config
-	// Monitor is the online attrition monitor.
+	// Monitor is the online attrition monitor (single-threaded).
 	Monitor = stream.Monitor
+	// ShardedMonitor is the parallel ingestion engine: receipts fan out
+	// across customer-hash shards, alerts come back at Flush/CloseThrough
+	// barriers in a deterministic order identical for every shard count.
+	ShardedMonitor = stream.ShardedMonitor
 	// Alert is one detection event with blamed products.
 	Alert = stream.Alert
 	// ScoredWindow is one closed window's result.
 	ScoredWindow = stream.Scored
 )
 
+// MonitorOptions tune a sharded monitor's operational knobs. Like
+// PopulationOptions, they affect throughput only — never results or
+// snapshot bytes.
+type MonitorOptions struct {
+	// Shards is the number of single-threaded shard monitors the feed is
+	// hash-partitioned across; <= 0 means GOMAXPROCS.
+	Shards int
+}
+
 // NewMonitor validates cfg and returns an empty monitor.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return stream.New(cfg) }
 
+// NewShardedMonitor validates cfg and returns a running sharded monitor:
+//
+//	monitor, _ := stability.NewShardedMonitor(cfg, stability.MonitorOptions{Shards: 8})
+//	_ = monitor.Ingest(id, t, items)            // safe from many producers
+//	alerts, err := monitor.CloseThrough(k)      // barrier: deterministic batch
+//
+// Per-customer receipt order is preserved, and alerts/snapshots are
+// byte-identical to the single-threaded Monitor's for any shard count.
+func NewShardedMonitor(cfg MonitorConfig, opts MonitorOptions) (*ShardedMonitor, error) {
+	return stream.NewSharded(cfg, opts.Shards)
+}
+
 // ReadMonitorSnapshot restores a monitor persisted with
-// Monitor.WriteSnapshot. cfg supplies the operational knobs (β, TopJ,
-// warm-up); its grid and model options must match the snapshot's.
+// Monitor.WriteSnapshot or ShardedMonitor.WriteSnapshot (the formats are
+// identical). cfg supplies the operational knobs (β, TopJ, warm-up); its
+// grid and model options must match the snapshot's.
 func ReadMonitorSnapshot(r io.Reader, cfg MonitorConfig) (*Monitor, error) {
 	return stream.ReadMonitorSnapshot(r, cfg)
+}
+
+// ReadShardedMonitorSnapshot restores any monitor snapshot into a sharded
+// monitor. Shard count is an operational knob, not persisted state: a
+// snapshot written with S shards restores with any S'.
+func ReadShardedMonitorSnapshot(r io.Reader, cfg MonitorConfig, opts MonitorOptions) (*ShardedMonitor, error) {
+	return stream.ReadShardedMonitorSnapshot(r, cfg, opts.Shards)
 }
 
 // ReadTrackerSnapshot restores a single customer's tracker persisted with
