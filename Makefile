@@ -4,8 +4,15 @@
 # order, so a local pass and a CI pass cannot drift.
 
 GO ?= go
+# Benchtime for bench-json: 1s for a real baseline, overridden to 1x by
+# bench-smoke so CI gets a structural artifact without the full cost.
+BENCHTIME ?= 1s
+# Output of bench-json. bench-smoke redirects it to BENCH_SMOKE.json
+# (untracked) so a smoke run can never clobber the checked-in 1s baseline
+# BENCH_PR3.json with single-iteration noise.
+BENCHJSON_OUT ?= BENCH_PR3.json
 
-.PHONY: verify build test lint race bench bench-smoke ci
+.PHONY: verify build test lint race bench bench-smoke bench-json ci
 
 ci: verify lint race bench-smoke ## everything .github/workflows/ci.yml runs
 
@@ -28,5 +35,12 @@ race: ## race-detector pass over the concurrent packages
 bench: ## full benchmark suite (population + shard sweeps included)
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-bench-smoke: ## one iteration of every benchmark, so benches can't bit-rot
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+bench-smoke: ## one iteration of every benchmark (emits BENCH_SMOKE.json), so benches can't bit-rot
+	$(MAKE) bench-json BENCHTIME=1x BENCHJSON_OUT=BENCH_SMOKE.json
+
+bench-json: ## machine-readable benchmark results -> $(BENCHJSON_OUT)
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . > bench-raw.out
+	$(GO) run ./cmd/benchjson < bench-raw.out > $(BENCHJSON_OUT).tmp
+	@mv $(BENCHJSON_OUT).tmp $(BENCHJSON_OUT)
+	@rm -f bench-raw.out
+	@echo "wrote $(BENCHJSON_OUT)"

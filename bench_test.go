@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -407,8 +408,8 @@ func BenchmarkPopulationAnalyzeExplain(b *testing.B) {
 // BenchmarkTrackerObserve measures the incremental per-window stability
 // update at several repertoire sizes.
 func BenchmarkTrackerObserve(b *testing.B) {
-	for _, size := range []int{10, 50, 200} {
-		b.Run(itoa(size), func(b *testing.B) {
+	for _, size := range []int{10, 50, 200, 1000} {
+		b.Run("repertoire-"+strconv.Itoa(size), func(b *testing.B) {
 			items := make([]retail.ItemID, size)
 			for i := range items {
 				items[i] = retail.ItemID(i + 1)
@@ -420,6 +421,7 @@ func BenchmarkTrackerObserve(b *testing.B) {
 				b.Fatal(err)
 			}
 			tr.Observe(full)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if i%2 == 0 {
@@ -589,17 +591,4 @@ func BenchmarkRFMExtract(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ex.Extract(pop.Histories[i%pop.N()], 9)
 	}
-}
-
-func itoa(v int) string {
-	// Tiny helper to avoid strconv import noise in bench names.
-	switch v {
-	case 10:
-		return "repertoire-10"
-	case 50:
-		return "repertoire-50"
-	case 200:
-		return "repertoire-200"
-	}
-	return "repertoire"
 }

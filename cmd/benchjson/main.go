@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into machine-readable JSON (written to stdout), so benchmark
+// trajectories can be archived per PR and diffed across commits — `make
+// bench-json` wires it to BENCH_PR3.json and CI uploads the file as an
+// artifact.
+//
+// Standard metrics (ns/op, B/op, allocs/op, MB/s) get their own fields;
+// any custom b.ReportMetric unit (e.g. receipts/op, customers/op) lands in
+// the Metrics map. Context lines (goos, goarch, pkg, cpu) are captured as
+// they appear. A FAIL anywhere in the stream makes the command exit
+// non-zero so a broken bench can't silently produce a plausible artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line. The per-op fields are pointers
+// so a measured zero (e.g. the tracker's 0 allocs/op steady state) is
+// recorded in the JSON rather than elided as an empty value — absent means
+// "not measured" (no -benchmem), null never appears.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64           `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole run.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	report, failed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Refuse to emit anything before the input is known good: stdout is
+	// usually redirected onto the baseline file, and a partial-but-plausible
+	// report from a failed run must not replace it.
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains FAIL, refusing to write a report")
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (Report, bool, error) {
+	var (
+		report Report
+		failed bool
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "FAIL"), strings.Contains(line, "--- FAIL"):
+			failed = true
+		}
+	}
+	return report, failed, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkTrackerObserve/repertoire-200-4  694808  1775 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = &v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerS = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

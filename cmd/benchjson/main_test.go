@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/gautrais/stability
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrackerObserve/repertoire-200-4         	  694808	      1775 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMonitorIngest/single-4                  	      37	  31017569 ns/op	     27982 receipts/op
+BenchmarkPopulationAnalyze/workers-1-4           	       5	  11652783 ns/op	       240.0 customers/op	  972552 B/op	    5926 allocs/op
+PASS
+ok  	github.com/gautrais/stability	12.3s
+`
+
+func TestParseSample(t *testing.T) {
+	report, failed, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("sample reported as failed")
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" ||
+		report.Package != "github.com/gautrais/stability" ||
+		!strings.Contains(report.CPU, "Xeon") {
+		t.Fatalf("context lines: %+v", report)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+
+	tr := report.Benchmarks[0]
+	if tr.Name != "BenchmarkTrackerObserve/repertoire-200-4" || tr.Iterations != 694808 ||
+		tr.NsPerOp == nil || *tr.NsPerOp != 1775 {
+		t.Fatalf("tracker line: %+v", tr)
+	}
+	// Measured zeros must be RECORDED (pointer non-nil), not elided: a
+	// future alloc regression has to diff against an explicit 0.
+	if tr.BytesPerOp == nil || *tr.BytesPerOp != 0 || tr.AllocsPerOp == nil || *tr.AllocsPerOp != 0 {
+		t.Fatalf("measured zeros elided: %+v", tr)
+	}
+
+	ingest := report.Benchmarks[1]
+	if ingest.Metrics["receipts/op"] != 27982 {
+		t.Fatalf("custom metric: %+v", ingest)
+	}
+	if ingest.AllocsPerOp != nil {
+		t.Fatalf("unmeasured allocs/op should be absent, got %v", *ingest.AllocsPerOp)
+	}
+
+	pop := report.Benchmarks[2]
+	if pop.Metrics["customers/op"] != 240 || pop.AllocsPerOp == nil || *pop.AllocsPerOp != 5926 ||
+		pop.BytesPerOp == nil || *pop.BytesPerOp != 972552 {
+		t.Fatalf("population line: %+v", pop)
+	}
+}
+
+func TestMeasuredZeroSurvivesJSON(t *testing.T) {
+	in := "BenchmarkZ-4  100  5 ns/op  0 B/op  0 allocs/op\n"
+	report, _, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(report.Benchmarks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bytes_per_op":0`, `"allocs_per_op":0`} {
+		if !strings.Contains(string(out), key) {
+			t.Fatalf("JSON %s lacks %s", out, key)
+		}
+	}
+}
+
+func TestParseDetectsFailure(t *testing.T) {
+	in := "BenchmarkX-4  10  5 ns/op\n--- FAIL: TestY\nFAIL\n"
+	report, failed, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("FAIL lines not detected")
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(report.Benchmarks))
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkNoFields",
+		"BenchmarkBadIters notanumber 5 ns/op",
+		"BenchmarkGood-2  42  7.5 ns/op",
+		"random noise",
+	}, "\n")
+	report, _, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 1 || report.Benchmarks[0].Name != "BenchmarkGood-2" ||
+		report.Benchmarks[0].NsPerOp == nil || *report.Benchmarks[0].NsPerOp != 7.5 {
+		t.Fatalf("benchmarks: %+v", report.Benchmarks)
+	}
+}

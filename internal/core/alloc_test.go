@@ -1,0 +1,130 @@
+//go:build !race
+
+// Allocation-regression guards. The columnar tracker's steady state —
+// scoring a window whose items have all been seen before — must not
+// allocate at all; these tests pin that with testing.AllocsPerRun so the
+// property can't silently erode. (Excluded under -race: the detector's
+// instrumentation inflates allocation counts.)
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+func steadyBaskets() (retail.Basket, retail.Basket) {
+	a := make([]retail.ItemID, 0, 50)
+	b := make([]retail.ItemID, 0, 50)
+	for p := 1; p <= 50; p++ {
+		a = append(a, retail.ItemID(p))
+		b = append(b, retail.ItemID(p+50))
+	}
+	return retail.NewBasket(a), retail.NewBasket(b)
+}
+
+// TestObserveStabilityZeroAllocSteadyState: once the repertoire and the
+// significance memo have stabilized, ObserveStability is allocation-free.
+// The feed alternates two disjoint 50-item baskets, so the count deficit
+// maxC−c stays bounded (≤1) and the memo table stops growing — the
+// realistic shape of a settled customer who buys from a stable repertoire.
+func TestObserveStabilityZeroAllocSteadyState(t *testing.T) {
+	a, b := steadyBaskets()
+	tr, err := NewTracker(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ { // warm: repertoire, column capacity, memo table
+		if i%2 == 0 {
+			tr.ObserveStability(a)
+		} else {
+			tr.ObserveStability(b)
+		}
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if n%2 == 0 {
+			tr.ObserveStability(a)
+		} else {
+			tr.ObserveStability(b)
+		}
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ObserveStability allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestObserveStabilityZeroAllocEmptyWindows: the attrition signal itself —
+// empty windows after history — must also be allocation-free.
+func TestObserveStabilityZeroAllocEmptyWindows(t *testing.T) {
+	a, _ := steadyBaskets()
+	tr, err := NewTracker(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		tr.ObserveStability(a)
+	}
+	empty := retail.Basket{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ObserveStability(empty)
+	})
+	if allocs != 0 {
+		t.Fatalf("empty-window ObserveStability allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// testWindowed builds a windowed database of n windows alternating between
+// baskets a and b.
+func testWindowed(t *testing.T, n int, a, b retail.Basket) window.Windowed {
+	t.Helper()
+	g, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := retail.History{Customer: 1}
+	for k := 0; k < n; k++ {
+		items := a
+		if k%2 == 1 {
+			items = b
+		}
+		start, _ := g.Bounds(k)
+		h.Receipts = append(h.Receipts, retail.Receipt{Time: start.Add(time.Hour), Items: items})
+	}
+	wd, err := window.Windowize(h, g, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// TestAnalyzeWithReuseAllocBudget pins the per-customer allocation budget
+// of the tracker-reuse scoring path (Model.AnalyzeStabilityWith on a
+// caller-owned tracker): after warm-up, the only allocation is the returned
+// Series.Points slice — one alloc per customer.
+func TestAnalyzeWithReuseAllocBudget(t *testing.T) {
+	a, b := steadyBaskets()
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := testWindowed(t, 14, a, b)
+	if _, err := m.AnalyzeStabilityWith(tr, wd); err != nil {
+		t.Fatal(err) // warm the tracker's columns and memo
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.AnalyzeStabilityWith(tr, wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("per-customer AnalyzeStabilityWith allocates %.2f allocs/op, want <= 1 (the Points slice)", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/gautrais/stability/internal/retail"
@@ -79,6 +80,43 @@ func (m *Model) analyze(wd window.Windowed, explain bool) (Series, error) {
 	if err != nil {
 		return Series{}, err
 	}
+	return m.analyzeWith(t, wd, explain), nil
+}
+
+// AnalyzeWith is Analyze running on a caller-owned tracker, which is Reset
+// first. Reusing one tracker (and its column/memo capacity) across many
+// customers is the allocation-free steady state for population workers;
+// results are bit-identical to Analyze. The tracker must have been built
+// from this model's Options.
+func (m *Model) AnalyzeWith(t *Tracker, wd window.Windowed) (Series, error) {
+	if err := m.checkTracker(t); err != nil {
+		return Series{}, err
+	}
+	return m.analyzeWith(t, wd, true), nil
+}
+
+// AnalyzeStabilityWith is AnalyzeStability running on a caller-owned
+// tracker (Reset first) — the hot path for population-scale scoring with
+// per-worker tracker reuse.
+func (m *Model) AnalyzeStabilityWith(t *Tracker, wd window.Windowed) (Series, error) {
+	if err := m.checkTracker(t); err != nil {
+		return Series{}, err
+	}
+	return m.analyzeWith(t, wd, false), nil
+}
+
+func (m *Model) checkTracker(t *Tracker) error {
+	if t == nil {
+		return errors.New("core: nil tracker")
+	}
+	if t.Options() != m.opts {
+		return fmt.Errorf("core: tracker options %+v do not match model options %+v", t.Options(), m.opts)
+	}
+	return nil
+}
+
+func (m *Model) analyzeWith(t *Tracker, wd window.Windowed, explain bool) Series {
+	t.Reset()
 	s := Series{Customer: wd.Customer, Grid: wd.Grid, Points: make([]Point, 0, len(wd.Windows))}
 	for _, w := range wd.Windows {
 		var res Result
@@ -89,7 +127,7 @@ func (m *Model) analyze(wd window.Windowed, explain bool) (Series, error) {
 		}
 		s.Points = append(s.Points, Point{GridIndex: w.Index, Result: res})
 	}
-	return s, nil
+	return s
 }
 
 // Detection is the β-threshold classification of one window.

@@ -122,6 +122,78 @@ func TestModelAnalyzeStabilityMatchesAnalyze(t *testing.T) {
 	}
 }
 
+// TestModelAnalyzeWithMatchesAnalyze: scoring many customers through one
+// reused tracker must be bit-identical to fresh-tracker analysis, in both
+// explain modes and regardless of what the tracker held before.
+func TestModelAnalyzeWithMatchesAnalyze(t *testing.T) {
+	g := testGrid(t)
+	m, _ := New(Options{Alpha: 2, MaxBlame: 5})
+	tr, err := NewTracker(m.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		h := paperHistory(g, 6+trial, 4+trial%3, 5+trial%4)
+		wd, err := window.Windowize(h, g, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Analyze(wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.AnalyzeWith(tr, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("trial %d: %d points, want %d", trial, len(got.Points), len(want.Points))
+		}
+		for i := range want.Points {
+			pw, pg := want.Points[i], got.Points[i]
+			if pw.GridIndex != pg.GridIndex || pw.Stability != pg.Stability ||
+				pw.Defined != pg.Defined || pw.Drop != pg.Drop || len(pw.Missing) != len(pg.Missing) {
+				t.Fatalf("trial %d point %d: reuse %+v, fresh %+v", trial, i, pg, pw)
+			}
+			for j := range pw.Missing {
+				if pw.Missing[j] != pg.Missing[j] {
+					t.Fatalf("trial %d point %d blame %d differs", trial, i, j)
+				}
+			}
+		}
+		wantFast, err := m.AnalyzeStability(wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFast, err := m.AnalyzeStabilityWith(tr, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantFast.Points {
+			if wantFast.Points[i].Stability != gotFast.Points[i].Stability {
+				t.Fatalf("trial %d fast point %d: %v vs %v", trial, i,
+					gotFast.Points[i].Stability, wantFast.Points[i].Stability)
+			}
+		}
+	}
+}
+
+func TestModelAnalyzeWithRejectsForeignTracker(t *testing.T) {
+	g := testGrid(t)
+	m, _ := New(Options{Alpha: 2})
+	wd, _ := window.Windowize(paperHistory(g, 4, 3, 3), g, -1)
+	if _, err := m.AnalyzeWith(nil, wd); err == nil {
+		t.Fatal("nil tracker accepted")
+	}
+	other, _ := NewTracker(Options{Alpha: 3})
+	if _, err := m.AnalyzeWith(other, wd); err == nil {
+		t.Fatal("tracker with mismatched options accepted")
+	}
+	if _, err := m.AnalyzeStabilityWith(other, wd); err == nil {
+		t.Fatal("fast path accepted mismatched options")
+	}
+}
+
 func TestSeriesAccessors(t *testing.T) {
 	g := testGrid(t)
 	m, _ := New(Options{Alpha: 2})

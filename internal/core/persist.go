@@ -76,18 +76,18 @@ func (t *Tracker) WriteSnapshot(w io.Writer) error {
 	if err := putF(t.prevStability); err != nil {
 		return err
 	}
-	if err := putU(uint64(len(t.counts))); err != nil {
+	if err := putU(uint64(len(t.items))); err != nil {
 		return err
 	}
-	// t.order is maintained in ascending id order — exactly the snapshot's
-	// wire order.
+	// The item column is maintained in ascending id order — exactly the
+	// snapshot's wire order.
 	prev := uint64(0)
-	for _, id := range t.order {
+	for i, id := range t.items {
 		if err := putU(uint64(id) - prev); err != nil {
 			return err
 		}
 		prev = uint64(id)
-		if err := putU(uint64(t.counts[id])); err != nil {
+		if err := putU(uint64(t.counts[i])); err != nil {
 			return err
 		}
 	}
@@ -166,6 +166,12 @@ func ReadTrackerSnapshot(r io.Reader) (*Tracker, error) {
 	if count > maxItems {
 		return nil, fmt.Errorf("core: implausible item count %d", count)
 	}
+	if count > 0 && count <= 1<<16 {
+		// Pre-size the columns for plausible repertoires; huge claimed
+		// counts allocate incrementally so a corrupt header can't balloon.
+		t.items = make([]retail.ItemID, 0, count)
+		t.counts = make([]int32, 0, count)
+	}
 	prev := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		d, err := binary.ReadUvarint(br)
@@ -188,8 +194,8 @@ func ReadTrackerSnapshot(r io.Reader) (*Tracker, error) {
 		if c == 0 || c > windows {
 			return nil, fmt.Errorf("core: item %d count %d inconsistent with %d windows", prev, c, windows)
 		}
-		t.counts[retail.ItemID(prev)] = int32(c)
-		t.order = append(t.order, retail.ItemID(prev)) // wire order is ascending
+		t.items = append(t.items, retail.ItemID(prev)) // wire order is ascending
+		t.counts = append(t.counts, int32(c))
 		if int32(c) > t.maxCount {
 			t.maxCount = int32(c)
 		}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// refTracker is a deliberately naive reference implementation of the
+// stability recurrence: counts in a map, the max count recomputed by a full
+// scan every window, every significance term evaluated with math.Exp on the
+// spot, membership via binary search. It shares no code with Tracker's
+// columnar/merge/memoized engine beyond the Options type — the differential
+// test below requires the two to agree bit for bit, which pins down that
+// the columnar rewrite changed the cost of the computation and nothing
+// about the computation itself. (Iteration is in ascending item order here
+// too: that ordering is part of the model's determinism contract, not an
+// implementation detail.)
+type refTracker struct {
+	opts    Options
+	logA    float64
+	counts  map[retail.ItemID]int32
+	windows int32
+	started bool
+	seq     int
+
+	prevStability float64
+	prevDefined   bool
+}
+
+func newRefTracker(opts Options) *refTracker {
+	return &refTracker{opts: opts, logA: math.Log(opts.Alpha), counts: make(map[retail.ItemID]int32)}
+}
+
+func (t *refTracker) sortedItems() []retail.ItemID {
+	items := make([]retail.ItemID, 0, len(t.counts))
+	for p := range t.counts {
+		items = append(items, p)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+func (t *refTracker) observe(items retail.Basket, explain bool) Result {
+	res := Result{Seq: t.seq}
+	t.seq++
+
+	skipCount := false
+	if !t.started {
+		if len(items) == 0 && t.opts.Policy == CountFromFirstSeen {
+			skipCount = true
+		} else {
+			t.started = true
+		}
+	}
+
+	if len(t.counts) > 0 {
+		order := t.sortedItems()
+		var maxC int32
+		for _, c := range t.counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		var num, den float64
+		for _, p := range order {
+			term := math.Exp(float64(2*(t.counts[p]-maxC)) * t.logA)
+			den += term
+			if items.Contains(p) {
+				num += term
+			}
+		}
+		if den > 0 {
+			res.Defined = true
+			res.Stability = num / den
+			if res.Stability > 1 {
+				res.Stability = 1
+			}
+			if explain {
+				missing := make([]Blame, 0)
+				for _, p := range order {
+					if items.Contains(p) {
+						continue
+					}
+					c := t.counts[p]
+					net := int(2*c - t.windows)
+					missing = append(missing, Blame{
+						Item:            p,
+						Net:             net,
+						LogSignificance: float64(net) * t.logA,
+						Share:           math.Exp(float64(2*(c-maxC))*t.logA) / den,
+					})
+				}
+				sort.Slice(missing, func(i, j int) bool {
+					if missing[i].Net != missing[j].Net {
+						return missing[i].Net > missing[j].Net
+					}
+					return missing[i].Item < missing[j].Item
+				})
+				if t.opts.MaxBlame > 0 && len(missing) > t.opts.MaxBlame {
+					missing = missing[:t.opts.MaxBlame]
+				}
+				if len(missing) > 0 {
+					res.Missing = missing
+				}
+			}
+		}
+	}
+	if !res.Defined {
+		res.Stability = 1
+	}
+	if t.prevDefined && res.Defined && res.Stability < t.prevStability {
+		res.Drop = t.prevStability - res.Stability
+	}
+	t.prevStability, t.prevDefined = res.Stability, res.Defined
+
+	if explain {
+		for _, p := range items {
+			if _, ok := t.counts[p]; !ok {
+				res.NewItems = append(res.NewItems, p)
+			}
+		}
+	}
+	if !skipCount {
+		res.Counted = true
+		t.windows++
+		for _, p := range items {
+			t.counts[p]++
+		}
+	}
+	return res
+}
+
+// equalResults compares two Results bit for bit (float equality is ==, not
+// a tolerance: the engines must agree exactly).
+func equalResults(a, b Result) bool {
+	if a.Seq != b.Seq || a.Stability != b.Stability || a.Defined != b.Defined ||
+		a.Drop != b.Drop || a.Counted != b.Counted {
+		return false
+	}
+	if len(a.Missing) != len(b.Missing) || len(a.NewItems) != len(b.NewItems) {
+		return false
+	}
+	for i := range a.Missing {
+		if a.Missing[i] != b.Missing[i] {
+			return false
+		}
+	}
+	for i := range a.NewItems {
+		if a.NewItems[i] != b.NewItems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTrackerMatchesNaiveReference drives the columnar tracker and the
+// naive map-based reference over randomized basket sequences — both count
+// policies, explain on and off, varied α and blame caps, empty windows and
+// large repertoires included — and requires every Result to be
+// bit-identical. Midway through each sequence the columnar tracker is
+// snapshotted and restored, and the restored tracker must keep agreeing
+// with the reference, which pins the snapshot round-trip too.
+func TestTrackerMatchesNaiveReference(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{Alpha: 2}},
+		{"origin-policy", Options{Alpha: 2, Policy: CountFromOrigin}},
+		{"low-alpha", Options{Alpha: 1.1, MaxBlame: 4}},
+		{"high-alpha", Options{Alpha: 7.5, Policy: CountFromOrigin, MaxBlame: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				for _, explain := range []bool{false, true} {
+					rng := rand.New(rand.NewSource(seed))
+					tr, err := NewTracker(tc.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref := newRefTracker(tc.opts)
+					universe := 3 + rng.Intn(60)
+					windows := 50
+					restoreAt := 10 + rng.Intn(30)
+					for k := 0; k < windows; k++ {
+						if k == restoreAt {
+							var buf bytes.Buffer
+							if err := tr.WriteSnapshot(&buf); err != nil {
+								t.Fatal(err)
+							}
+							restored, err := ReadTrackerSnapshot(&buf)
+							if err != nil {
+								t.Fatal(err)
+							}
+							tr = restored
+						}
+						var b retail.Basket
+						if rng.Intn(8) != 0 { // 1 in 8 windows is empty
+							b = randomBasket(rng, universe)
+						} else {
+							b = retail.Basket{}
+						}
+						var got, want Result
+						if explain {
+							got, want = tr.Observe(b), ref.observe(b, true)
+						} else {
+							got, want = tr.ObserveStability(b), ref.observe(b, false)
+						}
+						if !equalResults(got, want) {
+							t.Fatalf("seed %d explain=%v window %d:\ncolumnar %+v\nreference %+v",
+								seed, explain, k, got, want)
+						}
+						if tr.Seen() != len(ref.counts) || tr.Windows() != int(ref.windows) {
+							t.Fatalf("seed %d window %d: state diverged: seen %d/%d windows %d/%d",
+								seed, k, tr.Seen(), len(ref.counts), tr.Windows(), int(ref.windows))
+						}
+					}
+					// Post-fold significance exponents must agree for every
+					// item ever bought (and for one item never bought).
+					for _, p := range ref.sortedItems() {
+						wantNet := int(2*ref.counts[p] - ref.windows)
+						gotNet, seen := tr.SignificanceOf(p)
+						if !seen || gotNet != wantNet {
+							t.Fatalf("seed %d item %d: net %d/%v, want %d", seed, p, gotNet, seen, wantNet)
+						}
+					}
+					if _, seen := tr.SignificanceOf(retail.ItemID(universe + 500)); seen {
+						t.Fatalf("seed %d: unbought item reported seen", seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrackerReferenceLeadingEmpties aims the differential test at the one
+// code path random baskets rarely hold long enough: runs of leading empty
+// windows, where the two count policies diverge.
+func TestTrackerReferenceLeadingEmpties(t *testing.T) {
+	for _, policy := range []CountPolicy{CountFromFirstSeen, CountFromOrigin} {
+		opts := Options{Alpha: 2, Policy: policy}
+		tr, err := NewTracker(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefTracker(opts)
+		feed := []retail.Basket{
+			{}, {}, {}, {},
+			basket(itemA, itemB),
+			{},
+			basket(itemA),
+			{}, {},
+			basket(itemB, itemC),
+		}
+		for k, b := range feed {
+			got, want := tr.Observe(b), ref.observe(b, true)
+			if !equalResults(got, want) {
+				t.Fatalf("policy %v window %d:\ncolumnar %+v\nreference %+v", policy, k, got, want)
+			}
+		}
+	}
+}

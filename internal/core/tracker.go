@@ -2,32 +2,50 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/gautrais/stability/internal/retail"
 )
 
+// maxMemoTerms caps the per-tracker significance memo table. Entries are 8
+// bytes, so a fully grown table is 4 KiB; beyond the cap (a count spread of
+// 512 between the most and least frequent item — far past the point where
+// the smaller term has underflowed to zero at any realistic α) terms fall
+// back to a direct math.Exp call with bit-identical results.
+const maxMemoTerms = 512
+
 // Tracker computes the stability series of one customer incrementally: feed
 // windows in chronological order with Observe and read each window's
 // stability, blame list, and bookkeeping from the returned Result.
 //
-// The tracker stores one counter per distinct item ever seen (c, the number
-// of counted windows containing the item) plus the global counted-window
-// count W; the exponent of the significance of any item is 2c−W (see the
-// package comment). Memory is O(distinct items), time per window is
-// O(distinct items + |uk| log |uk|).
+// State is columnar: two parallel slices hold the repertoire in ascending
+// item order — items[i] has been bought in counts[i] counted windows — plus
+// the global counted-window count W; the exponent of the significance of
+// any item is 2c−W (see the package comment). The canonical iteration is a
+// single cache-friendly scan, and each window folds in with one sorted
+// merge of repertoire × basket. Memory is O(distinct items), time per
+// window is O(distinct items + |uk|). The significance terms α^{2(c−maxC)}
+// depend only on the count deficit maxC−c, so they are memoized in `terms`
+// rather than recomputed with math.Exp per item per window.
 //
 // Trackers are not safe for concurrent use; analyses shard one tracker per
-// customer.
+// customer (or reuse one tracker per worker via Reset).
 type Tracker struct {
-	opts     Options
-	logA     float64
-	counts   map[retail.ItemID]int32
-	order    []retail.ItemID // ascending item id: the canonical iteration order
-	maxCount int32           // running max of counts; counts only grow, so never recomputed
-	windows  int32           // W: counted prior windows
-	started  bool            // a non-empty window has been counted
-	seq      int             // observations so far (including uncounted leading ones)
+	opts   Options
+	logA   float64
+	items  []retail.ItemID // ascending item id: the canonical iteration order
+	counts []int32         // counts[i] = c of items[i]; counts only grow
+	// terms[d] = exp(−2d·ln α) = α^{2(c−maxC)} for d = maxC−c. Entries are
+	// computed with exactly the math.Exp expression the scan would use, so
+	// memoized and direct sums are bit-identical. Grown lazily to the
+	// largest observed deficit (capped at maxMemoTerms) and kept across
+	// Reset — the table depends only on α.
+	terms    []float64
+	maxCount int32 // running max of counts; counts only grow, so never recomputed
+	windows  int32 // W: counted prior windows
+	started  bool  // a non-empty window has been counted
+	seq      int   // observations so far (including uncounted leading ones)
 
 	prevStability float64
 	prevDefined   bool
@@ -77,9 +95,8 @@ func NewTracker(opts Options) (*Tracker, error) {
 		return nil, err
 	}
 	return &Tracker{
-		opts:   opts,
-		logA:   math.Log(opts.Alpha),
-		counts: make(map[retail.ItemID]int32),
+		opts: opts,
+		logA: math.Log(opts.Alpha),
 	}, nil
 }
 
@@ -87,10 +104,35 @@ func NewTracker(opts Options) (*Tracker, error) {
 func (t *Tracker) Options() Options { return t.opts }
 
 // Seen returns the number of distinct items observed so far.
-func (t *Tracker) Seen() int { return len(t.counts) }
+func (t *Tracker) Seen() int { return len(t.items) }
 
 // Windows returns W, the number of counted windows so far.
 func (t *Tracker) Windows() int { return int(t.windows) }
+
+// term returns α^{2(c−maxC)} for the count deficit d = maxC−c ≥ 0. The
+// common case is one bounds check and a load; termSlow grows the memo.
+func (t *Tracker) term(d int32) float64 {
+	if int(d) < len(t.terms) {
+		return t.terms[d]
+	}
+	return t.termSlow(d)
+}
+
+// termSlow extends the memo table through deficit d (capped) and returns
+// the term, falling back to a direct evaluation past the cap. The appended
+// entries use the exact expression the pre-memo scan used —
+// exp(2(c−maxC)·ln α) with the exponent formed in int32 — so every sum
+// stays bit-identical to an unmemoized tracker.
+func (t *Tracker) termSlow(d int32) float64 {
+	if d >= maxMemoTerms {
+		return math.Exp(float64(-2*d) * t.logA)
+	}
+	for int32(len(t.terms)) <= d {
+		k := int32(len(t.terms))
+		t.terms = append(t.terms, math.Exp(float64(-2*k)*t.logA))
+	}
+	return t.terms[d]
+}
 
 // Observe feeds the next window's item set uk (must be a normalized basket)
 // and returns the window's Result. Stability is computed against the state
@@ -103,7 +145,8 @@ func (t *Tracker) Observe(items retail.Basket) Result {
 
 // ObserveStability is Observe without building blame and new-item lists —
 // the hot path for population-scale scoring. Results carry empty Missing
-// and NewItems.
+// and NewItems, and the steady state (no first-seen items in the window)
+// performs no allocations.
 func (t *Tracker) ObserveStability(items retail.Basket) Result {
 	return t.observe(items, false)
 }
@@ -125,16 +168,21 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 	// the maximum exponent so the largest term is exactly 1. Iterating in
 	// canonical (ascending item) order — never Go's randomized map order —
 	// keeps the non-associative float sums bit-identical across runs,
-	// restores and worker counts.
-	if len(t.counts) > 0 {
+	// restores and worker counts. The repertoire and the basket are both
+	// sorted, so membership is a sorted merge, not a lookup per item.
+	if len(t.items) > 0 {
 		maxC := t.maxCount
 		var num, den float64
-		for _, p := range t.order {
-			c := t.counts[p]
-			term := math.Exp(float64(2*(c-maxC)) * t.logA)
+		j := 0
+		for i, p := range t.items {
+			term := t.term(maxC - t.counts[i])
 			den += term
-			if items.Contains(p) {
+			for j < len(items) && items[j] < p {
+				j++ // basket item not in the repertoire: first purchase, S=0
+			}
+			if j < len(items) && items[j] == p {
 				num += term
+				j++
 			}
 		}
 		if den > 0 {
@@ -156,27 +204,13 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 	}
 	t.prevStability, t.prevDefined = res.Stability, res.Defined
 
-	// Fold the window in.
 	if explain {
-		for _, p := range items {
-			if _, ok := t.counts[p]; !ok {
-				res.NewItems = append(res.NewItems, p)
-			}
-		}
+		res.NewItems = t.newItems(items)
 	}
 	if !skipCount {
 		res.Counted = true
 		t.windows++
-		for _, p := range items {
-			c := t.counts[p] + 1
-			t.counts[p] = c
-			if c == 1 {
-				t.insert(p)
-			}
-			if c > t.maxCount {
-				t.maxCount = c
-			}
-		}
+		t.fold(items)
 	} else {
 		// Leading empty window under CountFromFirstSeen: nothing recorded.
 		res.Counted = false
@@ -184,29 +218,101 @@ func (t *Tracker) observe(items retail.Basket, explain bool) Result {
 	return res
 }
 
-// insert adds a first-seen item to the canonical order (baskets are
-// normalized, so p is new and appears once per window).
-func (t *Tracker) insert(p retail.ItemID) {
-	i := sort.Search(len(t.order), func(i int) bool { return t.order[i] >= p })
-	t.order = append(t.order, 0)
-	copy(t.order[i+1:], t.order[i:])
-	t.order[i] = p
+// newItems lists the basket items absent from the repertoire, in basket
+// (ascending) order. nil when every item has been seen before.
+func (t *Tracker) newItems(items retail.Basket) []retail.ItemID {
+	var out []retail.ItemID
+	i := 0
+	for _, p := range items {
+		for i < len(t.items) && t.items[i] < p {
+			i++
+		}
+		if i == len(t.items) || t.items[i] != p {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
-// blame builds the sorted missing-item list for the current window.
+// fold merges the window's basket into the columnar counters: existing
+// items are bumped in place, first-seen items are spliced in by a single
+// backward merge that preserves the canonical ascending order, and the
+// max-count watermark is maintained. The no-new-items steady state touches
+// only the count column and allocates nothing.
+func (t *Tracker) fold(items retail.Basket) {
+	if len(items) == 0 {
+		return
+	}
+	newN := 0
+	i := 0
+	for _, p := range items {
+		for i < len(t.items) && t.items[i] < p {
+			i++
+		}
+		if i < len(t.items) && t.items[i] == p {
+			c := t.counts[i] + 1
+			t.counts[i] = c
+			if c > t.maxCount {
+				t.maxCount = c
+			}
+			i++
+		} else {
+			newN++
+		}
+	}
+	if newN == 0 {
+		return
+	}
+	if t.maxCount < 1 {
+		t.maxCount = 1 // first-seen items enter with c=1
+	}
+	oldN := len(t.items)
+	t.items = slices.Grow(t.items, newN)[:oldN+newN]
+	t.counts = slices.Grow(t.counts, newN)[:oldN+newN]
+	// Merge from the back so every element moves at most once.
+	w := oldN + newN - 1
+	i = oldN - 1
+	j := len(items) - 1
+	for j >= 0 {
+		switch {
+		case i >= 0 && t.items[i] > items[j]:
+			t.items[w] = t.items[i]
+			t.counts[w] = t.counts[i]
+			i--
+		case i >= 0 && t.items[i] == items[j]:
+			t.items[w] = t.items[i]
+			t.counts[w] = t.counts[i] // already bumped in the first pass
+			i--
+			j--
+		default:
+			t.items[w] = items[j]
+			t.counts[w] = 1
+			j--
+		}
+		w--
+	}
+}
+
+// blame builds the sorted missing-item list for the current window with the
+// same repertoire × basket merge the stability scan uses.
 func (t *Tracker) blame(items retail.Basket, maxC int32, den float64) []Blame {
 	missing := make([]Blame, 0, 8)
-	for _, p := range t.order {
-		c := t.counts[p]
-		if items.Contains(p) {
+	j := 0
+	for i, p := range t.items {
+		for j < len(items) && items[j] < p {
+			j++
+		}
+		if j < len(items) && items[j] == p {
+			j++
 			continue
 		}
+		c := t.counts[i]
 		net := int(2*c - t.windows)
 		missing = append(missing, Blame{
 			Item:            p,
 			Net:             net,
 			LogSignificance: float64(net) * t.logA,
-			Share:           math.Exp(float64(2*(c-maxC))*t.logA) / den,
+			Share:           t.term(maxC-c) / den,
 		})
 	}
 	sort.Slice(missing, func(i, j int) bool {
@@ -221,22 +327,34 @@ func (t *Tracker) blame(items retail.Basket, maxC int32, den float64) []Blame {
 	return missing
 }
 
+// find returns the column index of item p, or ok=false when p has never
+// been bought.
+func (t *Tracker) find(p retail.ItemID) (int, bool) {
+	i := sort.Search(len(t.items), func(i int) bool { return t.items[i] >= p })
+	if i < len(t.items) && t.items[i] == p {
+		return i, true
+	}
+	return i, false
+}
+
 // SignificanceOf returns the current (post-fold) significance exponent
 // c−l of item p and whether the item has ever been bought. It reflects the
 // state after the last Observe — i.e. the S(p, k+1) numerator exponent for
 // the next window.
 func (t *Tracker) SignificanceOf(p retail.ItemID) (net int, seen bool) {
-	c, ok := t.counts[p]
+	i, ok := t.find(p)
 	if !ok {
 		return 0, false
 	}
-	return int(2*c - t.windows), true
+	return int(2*t.counts[i] - t.windows), true
 }
 
-// Reset returns the tracker to its initial state, keeping options.
+// Reset returns the tracker to its initial state, keeping options and
+// retaining the column and memo-table capacity so a worker can score many
+// customers with one tracker and no steady-state allocations.
 func (t *Tracker) Reset() {
-	t.counts = make(map[retail.ItemID]int32)
-	t.order = nil
+	t.items = t.items[:0]
+	t.counts = t.counts[:0]
 	t.maxCount = 0
 	t.windows = 0
 	t.started = false

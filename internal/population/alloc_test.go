@@ -1,0 +1,77 @@
+//go:build !race
+
+// Allocation-regression guard for the population scoring path. With
+// per-worker scratch (one reused tracker + windowed database), scoring a
+// customer costs a pinned, small number of allocations: the returned
+// Series.Points, one Items copy per non-empty window, and amortized buffer
+// growth — NOT a tracker, a count map, and a windowed database per
+// customer, which is what this test keeps from creeping back. (Excluded
+// under -race: the detector's instrumentation inflates allocation counts.)
+package population
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/core"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+func TestAnalyzeStabilityPerCustomerAllocBudget(t *testing.T) {
+	g, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		customers          = 40
+		windowsPerCustomer = 16
+		receiptsPerWindow  = 4
+	)
+	histories := make([]retail.History, customers)
+	for c := range histories {
+		h := retail.History{Customer: retail.CustomerID(c + 1)}
+		for k := 0; k < windowsPerCustomer; k++ {
+			start, _ := g.Bounds(k)
+			for r := 0; r < receiptsPerWindow; r++ {
+				items := make([]retail.ItemID, 0, 12)
+				for p := 0; p < 12; p++ {
+					items = append(items, retail.ItemID((c*7+k*3+r*5+p)%40+1))
+				}
+				h.Receipts = append(h.Receipts, retail.Receipt{
+					Time:  start.Add(time.Duration(r+1) * time.Hour),
+					Items: retail.NewBasket(items),
+				})
+			}
+		}
+		histories[c] = h
+	}
+
+	opts := Options{Workers: 1}
+	through := windowsPerCustomer - 1
+	if _, err := AnalyzeStability(model, histories, g, through, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := AnalyzeStability(model, histories, g, through, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Budget: per customer, 1 Points slice + 1 Items copy per non-empty
+	// window + slack for the result Series and amortized scratch growth;
+	// plus a small constant for the Map machinery (out slice, scratch).
+	budget := float64(customers*(windowsPerCustomer+4) + 16)
+	perCustomer := allocs / customers
+	t.Logf("population scoring: %.1f allocs/op total, %.2f per customer (budget %.0f total)",
+		allocs, perCustomer, budget)
+	if allocs > budget {
+		t.Fatalf("population scoring allocates %.1f allocs/op (%.2f per customer), budget %.0f",
+			allocs, perCustomer, budget)
+	}
+}

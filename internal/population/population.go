@@ -66,14 +66,35 @@ func (o Options) workers(n int) int {
 // indices below the reported one are guaranteed to have been attempted, so
 // the (index, error) pair is deterministic across runs and worker counts.
 func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	return MapScratch(n, opts,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(i int, _ struct{}) (T, error) { return fn(i) })
+}
+
+// MapScratch is Map with worker-local scratch state: newScratch runs once
+// per worker (sequentially, before any work starts — a failure is returned
+// as-is and nothing runs) and the scratch value is passed to every fn call
+// that worker makes. Reusable buffers, trackers, and windowed databases
+// live in the scratch so the per-index cost stops paying per-customer
+// allocations; fn must not let results alias scratch memory that a later
+// call overwrites. Ordering and first-error determinism are exactly Map's.
+func MapScratch[T, S any](n int, opts Options, newScratch func() (S, error), fn func(i int, scratch S) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	out := make([]T, n)
 	workers := opts.workers(n)
+	scratches := make([]S, workers)
+	for w := range scratches {
+		s, err := newScratch()
+		if err != nil {
+			return nil, err
+		}
+		scratches[w] = s
+	}
+	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(i, scratches[0])
 			if err != nil {
 				return nil, err
 			}
@@ -98,11 +119,12 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			scratch := scratches[w]
 			for i := w; i < n; i += workers {
 				if int64(i) >= stop.Load() {
 					return // a lower index already failed; our remaining indices only grow
 				}
-				v, err := fn(i)
+				v, err := fn(i, scratch)
 				if err != nil {
 					mu.Lock()
 					if i < firstIdx {
@@ -157,18 +179,33 @@ func AnalyzeStability(model *core.Model, histories []retail.History, grid window
 	return analyze(model, histories, grid, through, opts, false)
 }
 
+// analyzeScratch is the per-worker reusable state: one tracker (columns and
+// significance memo retained across customers via Reset) and one windowed
+// database (window slice retained across customers via WindowizeInto).
+type analyzeScratch struct {
+	tracker *core.Tracker
+	wd      window.Windowed
+}
+
 func analyze(model *core.Model, histories []retail.History, grid window.Grid, through int, opts Options, explain bool) ([]core.Series, error) {
 	if model == nil {
 		return nil, errNilModel
 	}
-	return Map(len(histories), opts, func(i int) (core.Series, error) {
-		wd, err := window.Windowize(histories[i], grid, through)
-		if err != nil {
-			return core.Series{}, err
-		}
-		if explain {
-			return model.Analyze(wd)
-		}
-		return model.AnalyzeStability(wd)
-	})
+	return MapScratch(len(histories), opts,
+		func() (*analyzeScratch, error) {
+			t, err := core.NewTracker(model.Options())
+			if err != nil {
+				return nil, err
+			}
+			return &analyzeScratch{tracker: t}, nil
+		},
+		func(i int, s *analyzeScratch) (core.Series, error) {
+			if err := window.WindowizeInto(&s.wd, histories[i], grid, through); err != nil {
+				return core.Series{}, err
+			}
+			if explain {
+				return model.AnalyzeWith(s.tracker, s.wd)
+			}
+			return model.AnalyzeStabilityWith(s.tracker, s.wd)
+		})
 }

@@ -93,6 +93,88 @@ func TestMapErrorSentinel(t *testing.T) {
 	}
 }
 
+// TestMapScratchWorkerLocalState: every fn call must receive the scratch
+// of exactly one worker — scratches are never shared across goroutines, so
+// mutating them without locks is safe. Each scratch records the indices it
+// served; together they must partition the input.
+func TestMapScratchWorkerLocalState(t *testing.T) {
+	type scratch struct{ served []int }
+	for _, w := range workerSweep {
+		var made []*scratch
+		got, err := MapScratch(100, Options{Workers: w},
+			func() (*scratch, error) {
+				s := &scratch{}
+				made = append(made, s)
+				return s, nil
+			},
+			func(i int, s *scratch) (int, error) {
+				s.served = append(s.served, i)
+				return i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+		seen := make(map[int]int)
+		for _, s := range made {
+			for _, i := range s.served {
+				seen[i]++
+			}
+		}
+		if len(seen) != 100 {
+			t.Fatalf("workers=%d: served %d distinct indices, want 100", w, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d served %d times", w, i, n)
+			}
+		}
+	}
+}
+
+// TestMapScratchNewScratchError: a scratch-construction failure surfaces
+// as-is and no work runs.
+func TestMapScratchNewScratchError(t *testing.T) {
+	boom := errors.New("no scratch")
+	for _, w := range workerSweep {
+		_, err := MapScratch(10, Options{Workers: w},
+			func() (int, error) { return 0, boom },
+			func(i int, _ int) (int, error) {
+				t.Fatal("fn ran despite scratch failure")
+				return 0, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want %v", w, err, boom)
+		}
+	}
+}
+
+// TestMapScratchFirstErrorDeterministic mirrors Map's error contract on
+// the scratch path.
+func TestMapScratchFirstErrorDeterministic(t *testing.T) {
+	fail := map[int]bool{13: true, 77: true}
+	for _, w := range workerSweep {
+		_, err := MapScratch(100, Options{Workers: w},
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(i int, _ struct{}) (int, error) {
+				if fail[i] {
+					if i == 13 {
+						time.Sleep(2 * time.Millisecond)
+					}
+					return 0, fmt.Errorf("boom at %d", i)
+				}
+				return i, nil
+			})
+		if err == nil || err.Error() != "boom at 13" {
+			t.Fatalf("workers=%d: error %v, want boom at 13", w, err)
+		}
+	}
+}
+
 func TestMapReduceMatchesSequential(t *testing.T) {
 	n := 257
 	want := 0

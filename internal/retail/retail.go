@@ -58,25 +58,33 @@ func (b Basket) Contains(p ItemID) bool {
 
 // Union returns the normalized union of b and other.
 func (b Basket) Union(other Basket) Basket {
-	merged := make([]ItemID, 0, len(b)+len(other))
+	return UnionInto(make(Basket, 0, len(b)+len(other)), b, other)
+}
+
+// UnionInto appends the normalized union of a and b to dst[:0] and returns
+// it, reusing dst's capacity — the allocation-free path for long-lived
+// accumulators (e.g. a streaming monitor's open-window basket). dst must
+// not alias a or b; a and b must be normalized.
+func UnionInto(dst, a, b Basket) Basket {
+	out := dst[:0]
 	i, j := 0, 0
-	for i < len(b) && j < len(other) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case b[i] < other[j]:
-			merged = append(merged, b[i])
+		case a[i] < b[j]:
+			out = append(out, a[i])
 			i++
-		case b[i] > other[j]:
-			merged = append(merged, other[j])
+		case a[i] > b[j]:
+			out = append(out, b[j])
 			j++
 		default:
-			merged = append(merged, b[i])
+			out = append(out, a[i])
 			i++
 			j++
 		}
 	}
-	merged = append(merged, b[i:]...)
-	merged = append(merged, other[j:]...)
-	return Basket(merged)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Equal reports whether two normalized baskets hold the same items.

@@ -125,6 +125,47 @@ func TestBasketUnionProperties(t *testing.T) {
 	}
 }
 
+// TestUnionInto: the buffer-reusing union must agree with Union and
+// actually reuse dst's capacity.
+func TestUnionInto(t *testing.T) {
+	gen := func(r *rand.Rand) Basket {
+		n := r.Intn(12)
+		items := make([]ItemID, n)
+		for i := range items {
+			items[i] = ItemID(r.Intn(20) + 1)
+		}
+		return NewBasket(items)
+	}
+	agrees := func(seedA, seedB int64) bool {
+		a := gen(rand.New(rand.NewSource(seedA)))
+		b := gen(rand.New(rand.NewSource(seedB)))
+		return UnionInto(nil, a, b).Equal(a.Union(b))
+	}
+	if err := quick.Check(agrees, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+
+	// Capacity reuse: a dst with enough room must not be reallocated.
+	dst := make(Basket, 0, 16)
+	a, b := Basket{1, 3, 5}, Basket{2, 3, 6}
+	out := UnionInto(dst, a, b)
+	if !out.Equal(Basket{1, 2, 3, 5, 6}) {
+		t.Fatalf("UnionInto = %v", out)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("UnionInto reallocated despite sufficient capacity")
+	}
+	// Inputs must be untouched.
+	if !a.Equal(Basket{1, 3, 5}) || !b.Equal(Basket{2, 3, 6}) {
+		t.Fatalf("inputs mutated: %v %v", a, b)
+	}
+	// Reuse with stale longer contents is truncated, not merged with.
+	out = UnionInto(out, Basket{9}, nil)
+	if !out.Equal(Basket{9}) {
+		t.Fatalf("stale dst leaked: %v", out)
+	}
+}
+
 func TestBasketClone(t *testing.T) {
 	a := NewBasket([]ItemID{1, 2, 3})
 	c := a.Clone()

@@ -99,7 +99,12 @@ var ErrStale = errors.New("stream: receipt for an already-closed window")
 type custState struct {
 	tracker *core.Tracker
 	openK   int // grid index of the open (accumulating) window
+	// pending accumulates the open window's item set; scratch is the spare
+	// buffer UnionInto merges into, swapped with pending on every receipt
+	// so the steady state reuses two buffers instead of allocating a merged
+	// basket per receipt.
 	pending retail.Basket
+	scratch retail.Basket
 	// lastStability/lastDefined feed Alert.Drop; scored reports whether
 	// any window has been scored yet.
 	lastStability float64
@@ -158,7 +163,8 @@ func (m *Monitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket)
 	if k > st.openK {
 		alerts = m.closeThrough(id, st, k-1)
 	}
-	st.pending = st.pending.Union(items)
+	st.scratch = retail.UnionInto(st.scratch, st.pending, items)
+	st.pending, st.scratch = st.scratch, st.pending
 	return alerts, nil
 }
 
@@ -168,7 +174,7 @@ func (m *Monitor) closeThrough(id retail.CustomerID, st *custState, k int) []Ale
 	var alerts []Alert
 	for st.openK <= k {
 		res := st.tracker.Observe(st.pending)
-		st.pending = nil
+		st.pending = st.pending[:0] // Observe retains nothing; keep the buffer
 		if m.scoredHook != nil {
 			m.scoredHook(Scored{Customer: id, GridIndex: st.openK, Result: res})
 		}

@@ -116,6 +116,13 @@ type Windowed struct {
 	// FirstIndex is the grid index of Windows[0].
 	FirstIndex int
 	Windows    []Window
+
+	// unionAcc/unionSpare are the reused accumulator pair
+	// WindowizeFromInto merges each open window's item set in; they ride
+	// on the Windowed so a worker reusing one via WindowizeInto pays for
+	// the buffers once, not per customer.
+	unionAcc   retail.Basket
+	unionSpare retail.Basket
 }
 
 // Len returns the number of windows.
@@ -158,9 +165,41 @@ func Windowize(h retail.History, g Grid, through int) (Windowed, error) {
 // empty; whether they count as prior windows is the model's CountPolicy
 // decision, not the windowing engine's.
 func WindowizeFrom(h retail.History, g Grid, from, through int) (Windowed, error) {
-	wd := Windowed{Customer: h.Customer, Grid: g}
+	var wd Windowed
+	if err := WindowizeFromInto(&wd, h, g, from, through); err != nil {
+		return Windowed{}, err
+	}
+	// One-shot results don't reuse the union scratch; drop it rather than
+	// pin two buffers for the Windowed's lifetime.
+	wd.unionAcc, wd.unionSpare = nil, nil
+	return wd, nil
+}
+
+// WindowizeInto is Windowize writing into a caller-owned Windowed, reusing
+// its window-slice capacity: a population worker scoring customer after
+// customer pays for the window array once instead of per customer. The
+// result is identical to Windowize; wd's previous contents are discarded.
+// On error wd's contents are unspecified. A Windowed being reused this way
+// (including struct copies of it, which share the internal scratch
+// buffers) is owned by one goroutine, like any value this function
+// mutates.
+func WindowizeInto(wd *Windowed, h retail.History, g Grid, through int) error {
+	from := 0
+	if len(h.Receipts) > 0 {
+		from = g.Index(h.Receipts[0].Time)
+	}
+	return WindowizeFromInto(wd, h, g, from, through)
+}
+
+// WindowizeFromInto is WindowizeFrom writing into a caller-owned Windowed
+// (see WindowizeInto).
+func WindowizeFromInto(wd *Windowed, h retail.History, g Grid, from, through int) error {
+	wd.Customer = h.Customer
+	wd.Grid = g
+	wd.FirstIndex = 0
+	wd.Windows = wd.Windows[:0]
 	if len(h.Receipts) == 0 {
-		return wd, nil
+		return nil
 	}
 	first := g.Index(h.Receipts[0].Time)
 	if from < first {
@@ -171,25 +210,50 @@ func WindowizeFrom(h retail.History, g Grid, from, through int) (Windowed, error
 		last = through
 	}
 	wd.FirstIndex = first
-	wd.Windows = make([]Window, last-first+1)
+	n := last - first + 1
+	if cap(wd.Windows) < n {
+		wd.Windows = make([]Window, n)
+	} else {
+		wd.Windows = wd.Windows[:n]
+	}
 	for i := range wd.Windows {
 		k := first + i
 		start, end := g.Bounds(k)
 		wd.Windows[i] = Window{Index: k, Start: start, End: end}
 	}
+	// Receipts are chronological, so windows fill one after another: the
+	// open window's item set accumulates in a reused buffer pair (one
+	// UnionInto per receipt, no allocation) and is copied out exactly once
+	// when the window is done — instead of allocating a merged basket per
+	// receipt.
 	var prev time.Time
+	acc, spare := wd.unionAcc[:0], wd.unionSpare[:0]
+	cur := -1 // index into wd.Windows of the accumulating window
+	flush := func() {
+		if cur >= 0 {
+			wd.Windows[cur].Items = append(retail.Basket{}, acc...)
+		}
+	}
 	for ri, r := range h.Receipts {
 		if ri > 0 && r.Time.Before(prev) {
-			return Windowed{}, fmt.Errorf("window: customer %d: receipts out of order at %d", h.Customer, ri)
+			return fmt.Errorf("window: customer %d: receipts out of order at %d", h.Customer, ri)
 		}
 		prev = r.Time
-		k := g.Index(r.Time)
-		w := &wd.Windows[k-first]
-		w.Items = w.Items.Union(r.Items)
+		i := g.Index(r.Time) - first
+		if i != cur {
+			flush()
+			cur = i
+			acc = acc[:0]
+		}
+		spare = retail.UnionInto(spare, acc, r.Items)
+		acc, spare = spare, acc
+		w := &wd.Windows[i]
 		w.Receipts++
 		w.Spend += r.Spend
 	}
-	return wd, nil
+	flush()
+	wd.unionAcc, wd.unionSpare = acc, spare
+	return nil
 }
 
 // Slice returns a shallow copy of wd restricted to grid indices

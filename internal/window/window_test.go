@@ -333,6 +333,102 @@ func TestWindowizeFromLeadingEmpties(t *testing.T) {
 	}
 }
 
+// randomHistory builds a chronological history with rng-driven receipt
+// spacing and basket contents.
+func randomHistory(rng *rand.Rand, g Grid, customer retail.CustomerID) retail.History {
+	h := retail.History{Customer: customer}
+	at := g.Origin().Add(time.Duration(rng.Intn(720)) * time.Hour)
+	for i := 0; i < 5+rng.Intn(60); i++ {
+		items := make([]retail.ItemID, 0, 8)
+		for p := 0; p < rng.Intn(8); p++ {
+			items = append(items, retail.ItemID(rng.Intn(20)+1))
+		}
+		h.Receipts = append(h.Receipts, retail.Receipt{
+			Time:  at,
+			Items: retail.NewBasket(items),
+			Spend: float64(rng.Intn(100)),
+		})
+		at = at.Add(time.Duration(rng.Intn(600)) * time.Hour) // 0–25 days, ties allowed
+	}
+	return h
+}
+
+// equalWindowed compares the observable fields of two windowed databases,
+// including the nil-ness of each window's item set.
+func equalWindowed(a, b Windowed) bool {
+	if a.Customer != b.Customer || a.Grid != b.Grid || a.FirstIndex != b.FirstIndex || len(a.Windows) != len(b.Windows) {
+		return false
+	}
+	for i := range a.Windows {
+		wa, wb := a.Windows[i], b.Windows[i]
+		if wa.Index != wb.Index || !wa.Start.Equal(wb.Start) || !wa.End.Equal(wb.End) ||
+			wa.Receipts != wb.Receipts || wa.Spend != wb.Spend {
+			return false
+		}
+		if (wa.Items == nil) != (wb.Items == nil) || !wa.Items.Equal(wb.Items) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowizeIntoMatchesWindowize: the reusing path must produce exactly
+// the database the allocating path does — including when the same Windowed
+// is reused across customers of different shapes, which is how population
+// workers drive it.
+func TestWindowizeIntoMatchesWindowize(t *testing.T) {
+	g := mayGrid(t, 2)
+	rng := rand.New(rand.NewSource(11))
+	var scratch Windowed
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistory(rng, g, retail.CustomerID(trial+1))
+		through := rng.Intn(20) - 5
+		want, err := Windowize(h, g, through)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WindowizeInto(&scratch, h, g, through); err != nil {
+			t.Fatal(err)
+		}
+		if !equalWindowed(want, scratch) {
+			t.Fatalf("trial %d: WindowizeInto diverged\nwant %+v\ngot  %+v", trial, want, scratch)
+		}
+	}
+	// Reuse must also fully overwrite a larger previous database with a
+	// smaller one (stale windows must not leak).
+	big := retail.History{Customer: 1, Receipts: []retail.Receipt{receiptAt(g, 0, 1), receiptAt(g, 700, 2)}}
+	if err := WindowizeInto(&scratch, big, g, -1); err != nil {
+		t.Fatal(err)
+	}
+	small := retail.History{Customer: 2, Receipts: []retail.Receipt{receiptAt(g, 0, 3)}}
+	if err := WindowizeInto(&scratch, small, g, -1); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Windowize(small, g, -1)
+	if !equalWindowed(want, scratch) {
+		t.Fatalf("shrinking reuse diverged: %+v", scratch)
+	}
+	// Empty history clears the reused value too.
+	if err := WindowizeInto(&scratch, retail.History{Customer: 3}, g, 10); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Len() != 0 || scratch.Customer != 3 {
+		t.Fatalf("empty-history reuse: %+v", scratch)
+	}
+}
+
+func TestWindowizeIntoOutOfOrder(t *testing.T) {
+	g := mayGrid(t, 2)
+	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
+		receiptAt(g, 10, 1),
+		receiptAt(g, 5, 2),
+	}}
+	var wd Windowed
+	if err := WindowizeInto(&wd, h, g, -1); err == nil {
+		t.Fatal("out-of-order receipts accepted")
+	}
+}
+
 func TestSlice(t *testing.T) {
 	g := mayGrid(t, 1)
 	h := retail.History{Customer: 1, Receipts: []retail.Receipt{
