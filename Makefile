@@ -9,10 +9,17 @@ GO ?= go
 BENCHTIME ?= 1s
 # Output of bench-json. bench-smoke redirects it to BENCH_SMOKE.json
 # (untracked) so a smoke run can never clobber the checked-in 1s baseline
-# BENCH_PR3.json with single-iteration noise.
-BENCHJSON_OUT ?= BENCH_PR3.json
+# BENCH_PR4.json with single-iteration noise.
+BENCHJSON_OUT ?= BENCH_PR4.json
+# Baseline bench-diff compares against, and the regression thresholds.
+# Smoke runs are single-iteration, so the defaults are deliberately loose:
+# the diff is a tripwire for order-of-magnitude regressions and alloc-count
+# jumps, not a timing oracle (diff two 1s bench-json runs for that).
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_DIFF_THRESHOLD ?= 1.0
+BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 
-.PHONY: verify build test lint race bench bench-smoke bench-json ci
+.PHONY: verify build test lint race bench bench-smoke bench-json bench-diff ci
 
 ci: verify lint race bench-smoke ## everything .github/workflows/ci.yml runs
 
@@ -30,7 +37,7 @@ lint: ## gofmt cleanliness + go vet
 	$(GO) vet ./...
 
 race: ## race-detector pass over the concurrent packages
-	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream
+	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream ./internal/gen ./internal/eval
 
 bench: ## full benchmark suite (population + shard sweeps included)
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -44,3 +51,10 @@ bench-json: ## machine-readable benchmark results -> $(BENCHJSON_OUT)
 	@mv $(BENCHJSON_OUT).tmp $(BENCHJSON_OUT)
 	@rm -f bench-raw.out
 	@echo "wrote $(BENCHJSON_OUT)"
+
+bench-diff: ## diff smoke results (regenerated when absent) against $(BENCH_BASELINE); writes bench-diff.txt, exits non-zero on regression
+	@test -f BENCH_SMOKE.json || $(MAKE) bench-smoke
+	@$(GO) run ./cmd/benchjson diff \
+		-threshold $(BENCH_DIFF_THRESHOLD) -allocs-threshold $(BENCH_DIFF_ALLOCS_THRESHOLD) \
+		$(BENCH_BASELINE) BENCH_SMOKE.json > bench-diff.txt; \
+	rc=$$?; cat bench-diff.txt; exit $$rc

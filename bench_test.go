@@ -575,6 +575,75 @@ func BenchmarkGenerator(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerate sweeps the parallel dataset generator across customer
+// counts and worker counts. Output is bit-identical at every worker count
+// (differential-tested), so this measures pure scheduling: on multi-core
+// hardware throughput should scale with workers until the cores saturate;
+// on a 1-CPU container the worker sweep is flat by construction.
+func BenchmarkGenerate(b *testing.B) {
+	for _, customers := range []int{100, 400} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("customers-%d/workers-%d", customers, workers), func(b *testing.B) {
+				cfg := benchGen()
+				cfg.Customers = customers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := gen.GenerateWith(cfg, gen.Options{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMonitorCloseThrough measures the barrier hot path at population
+// scale: many tracked customers, one watermark barrier per op. With the
+// sorted-customer index a steady-state barrier is a linear scan plus the
+// per-customer window scoring — no O(n log n) re-sort of the whole
+// customer set per barrier. Alerts are suppressed (warm-up) so the
+// measurement isolates the barrier machinery.
+func BenchmarkMonitorCloseThrough(b *testing.B) {
+	grid, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, customers := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("customers-%d", customers), func(b *testing.B) {
+			cfg := stream.Config{
+				Grid:  grid,
+				Model: core.Options{Alpha: 2},
+				Beta:  0.6,
+				// Never alert: the benchmark targets the barrier sweep, not
+				// alert assembly.
+				WarmupWindows: 1 << 30,
+			}
+			m, err := stream.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			basket := retail.NewBasket([]retail.ItemID{1, 2, 3, 4, 5, 6, 7, 8})
+			start, _ := grid.Bounds(0)
+			for c := 1; c <= customers; c++ {
+				// Shuffled insertion order (stride walk) so the index merge
+				// path is exercised, not an already-sorted append.
+				id := retail.CustomerID((c*7919)%customers + 1)
+				if _, err := m.Ingest(id, start, basket); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Each op closes exactly one window per customer: the
+				// steady-state periodic watermark barrier.
+				m.CloseThrough(i)
+			}
+		})
+	}
+}
+
 // BenchmarkRFMExtract measures feature extraction.
 func BenchmarkRFMExtract(b *testing.B) {
 	ds := sharedDataset(b)

@@ -21,6 +21,7 @@ func cmdGen(args []string) error {
 		customers = fs.Int("customers", 0, "population size (0 = default)")
 		seed      = fs.Int64("seed", 0, "dataset seed (0 = default)")
 		months    = fs.Int("months", 0, "dataset length in months (0 = default 28)")
+		workers   = fs.Int("workers", 0, "generation worker pool size (0 = all CPUs; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,7 +42,7 @@ func cmdGen(args []string) error {
 			}
 		}
 	}
-	ds, err := stability.GenerateSample(cfg)
+	ds, err := stability.GenerateSampleWith(cfg, stability.SampleOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}

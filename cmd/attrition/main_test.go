@@ -1,10 +1,37 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fnErr := fn()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return out
+}
 
 // genTestData writes a small dataset and returns the receipt and label
 // paths.
@@ -124,6 +151,50 @@ func TestCmdSegments(t *testing.T) {
 	}
 	if err := cmdSegments([]string{"-data", data, "-labels", "/nonexistent.csv"}); err == nil {
 		t.Fatal("missing labels accepted")
+	}
+}
+
+// TestGenEvaluateWorkerInvariance pins the end-to-end contract of the
+// parallel pipeline at the CLI surface: generated CSVs and the evaluate
+// table are byte-identical for every -workers value.
+func TestGenEvaluateWorkerInvariance(t *testing.T) {
+	var baseData, baseLabels []byte
+	var baseEval string
+	for _, workers := range []string{"1", "3", "8"} {
+		dir := t.TempDir()
+		data := filepath.Join(dir, "receipts.csv")
+		labels := filepath.Join(dir, "labels.csv")
+		err := cmdGen([]string{
+			"-out", data, "-labels", labels,
+			"-customers", "40", "-seed", "11", "-workers", workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		dataBytes, err := os.ReadFile(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelBytes, err := os.ReadFile(labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evalOut := captureStdout(t, func() error {
+			return cmdEvaluate([]string{"-data", data, "-labels", labels, "-workers", workers})
+		})
+		if baseData == nil {
+			baseData, baseLabels, baseEval = dataBytes, labelBytes, evalOut
+			continue
+		}
+		if string(dataBytes) != string(baseData) {
+			t.Errorf("workers=%s: receipts.csv differs", workers)
+		}
+		if string(labelBytes) != string(baseLabels) {
+			t.Errorf("workers=%s: labels.csv differs", workers)
+		}
+		if evalOut != baseEval {
+			t.Errorf("workers=%s: evaluate output differs", workers)
+		}
 	}
 }
 

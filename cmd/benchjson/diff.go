@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// runDiff implements `benchjson diff old.json new.json`: it compares two
+// reports produced by the default mode, prints per-benchmark ns/op and
+// allocs/op deltas, and returns 1 when any benchmark regressed beyond the
+// thresholds — so CI can diff bench trajectories mechanically instead of
+// eyeballing raw output. Benchmarks present in only one report are listed
+// but never count as regressions (suites grow and shrink legitimately).
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 0.25,
+			"relative ns/op increase that counts as a regression (0.25 = +25%)")
+		allocsThreshold = fs.Float64("allocs-threshold", 0.25,
+			"relative allocs/op increase that counts as a regression (with half an alloc of absolute slack, so 0 -> 1 flags but jitter on large counts does not)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchjson diff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	regressions := diffReports(stdout, oldRep, newRep, *threshold, *allocsThreshold)
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\n%d regression(s) beyond thresholds (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+			regressions, *threshold*100, *allocsThreshold*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "\nno regressions beyond thresholds")
+	return 0
+}
+
+func loadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diffReports writes the comparison table and returns the regression count.
+func diffReports(w io.Writer, oldRep, newRep Report, threshold, allocsThreshold float64) int {
+	oldBy := benchByName(oldRep)
+	newBy := benchByName(newRep)
+
+	names := make([]string, 0, len(oldBy))
+	var added, removed []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		} else {
+			removed = append(removed, name)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	regressions := 0
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\t")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		nsCell, nsRegressed := deltaCell(o.NsPerOp, n.NsPerOp, threshold, 0)
+		allocCell, allocRegressed := deltaCell(o.AllocsPerOp, n.AllocsPerOp, allocsThreshold, 0.5)
+		// A single-iteration run cannot amortize one-time warmup
+		// allocations, so its allocs/op systematically overstates the
+		// steady state (a 0-alloc hot path reports its setup alloc).
+		// Show the delta but never gate on it when either side ran once.
+		if o.Iterations == 1 || n.Iterations == 1 {
+			allocRegressed = false
+		}
+		if nsRegressed || allocRegressed {
+			regressions++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			name, fmtMetric(o.NsPerOp), fmtMetric(n.NsPerOp), nsCell,
+			fmtMetric(o.AllocsPerOp), fmtMetric(n.AllocsPerOp), allocCell)
+	}
+	tw.Flush()
+	for _, name := range removed {
+		fmt.Fprintf(w, "only in old: %s\n", name)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "only in new: %s\n", name)
+	}
+	return regressions
+}
+
+func benchByName(rep Report) map[string]Benchmark {
+	by := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		by[b.Name] = b
+	}
+	return by
+}
+
+// deltaCell renders the relative change between two optional metrics and
+// reports whether it regresses beyond threshold. slack is an absolute
+// allowance added to the budget (half an alloc keeps integer-count jitter
+// honest while still flagging a 0 -> 1 step).
+func deltaCell(o, n *float64, threshold, slack float64) (cell string, regressed bool) {
+	switch {
+	case o == nil || n == nil:
+		return "-", false
+	case *o == 0 && *n == 0:
+		return "+0.0%", false
+	case *o == 0:
+		return "new>0", *n > slack
+	}
+	rel := (*n - *o) / *o
+	regressed = *n > *o*(1+threshold)+slack
+	return fmt.Sprintf("%+.1f%%", rel*100), regressed
+}
+
+func fmtMetric(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	if *v == math.Trunc(*v) && math.Abs(*v) < 1e15 {
+		return fmt.Sprintf("%.0f", *v)
+	}
+	return fmt.Sprintf("%.1f", *v)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func f(v float64) *float64 { return &v }
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1000, NsPerOp: f(ns), AllocsPerOp: f(allocs)}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA-4", 1000, 10),
+		bench("BenchmarkGone-4", 5, 0),
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA-4", 1100, 10), // +10% < default 25% threshold
+		bench("BenchmarkNew-4", 7, 1),
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %s, stdout = %s", code, errOut.String(), out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkA-4", "+10.0%", "only in old: BenchmarkGone-4",
+		"only in new: BenchmarkNew-4", "no regressions"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffFlagsTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA-4", 1000, 10),
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA-4", 1500, 10), // +50% > default threshold
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout = %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 regression(s)") {
+		t.Errorf("missing regression summary:\n%s", out.String())
+	}
+	// A generous threshold turns the same delta informational.
+	out.Reset()
+	if code := runDiff([]string{"-threshold", "1.0", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code with -threshold 1.0 = %d, stdout = %s", code, out.String())
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkZeroAlloc-4", 100, 0),
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkZeroAlloc-4", 100, 1), // 0 -> 1 alloc must flag
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout = %s", code, out.String())
+	}
+}
+
+func TestDiffSingleIterationAllocsAreInformational(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZeroAlloc-4", Iterations: 500000, NsPerOp: f(100), AllocsPerOp: f(0)},
+	}})
+	// A 1x smoke run reports the unamortized warmup alloc; that must not
+	// gate, only show.
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZeroAlloc-4", Iterations: 1, NsPerOp: f(100), AllocsPerOp: f(1)},
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (single-iteration allocs are informational); stdout = %s",
+			code, out.String())
+	}
+	if !strings.Contains(out.String(), "new>0") {
+		t.Errorf("delta cell should still show the alloc step:\n%s", out.String())
+	}
+}
+
+func TestDiffMissingMetricIsNotARegression(t *testing.T) {
+	dir := t.TempDir()
+	// No -benchmem: allocs absent on both sides.
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", Iterations: 1000, NsPerOp: f(100)},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", Iterations: 1000, NsPerOp: f(100)},
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stdout = %s", code, out.String())
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("one arg: exit code = %d", code)
+	}
+	if code := runDiff([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing files: exit code = %d", code)
+	}
+}

@@ -1,8 +1,14 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into machine-readable JSON (written to stdout), so benchmark
 // trajectories can be archived per PR and diffed across commits — `make
-// bench-json` wires it to BENCH_PR3.json and CI uploads the file as an
+// bench-json` wires it to BENCH_PR4.json and CI uploads the file as an
 // artifact.
+//
+// The diff subcommand compares two such reports and exits non-zero on
+// regressions beyond a threshold (`make bench-diff` wires it to the
+// checked-in baseline):
+//
+//	benchjson diff [-threshold 0.25] [-allocs-threshold 0.25] old.json new.json
 //
 // Standard metrics (ns/op, B/op, allocs/op, MB/s) get their own fields;
 // any custom b.ReportMetric unit (e.g. receipts/op, customers/op) lands in
@@ -45,6 +51,9 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	report, failed, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	datagen -out DIR [-customers N] [-seed S] [-months M] [-segments K] [-formats csv,jsonl,bin]
+//	datagen -out DIR [-customers N] [-seed S] [-months M] [-segments K] \
+//	        [-formats csv,jsonl,bin] [-workers W]
 package main
 
 import (
@@ -34,6 +35,7 @@ func run(args []string) error {
 		onset     = fs.Int("onset", 0, "attrition onset month (0 = default/auto)")
 		segments  = fs.Int("segments", 0, "catalog segments (0 = default)")
 		formats   = fs.String("formats", "csv", "comma-separated: csv,jsonl,bin")
+		workers   = fs.Int("workers", 0, "generation worker pool size (0 = all CPUs; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +64,7 @@ func run(args []string) error {
 	if *segments > 0 {
 		cfg.Segments = *segments
 	}
-	ds, err := stability.GenerateSample(cfg)
+	ds, err := stability.GenerateSampleWith(cfg, stability.SampleOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}

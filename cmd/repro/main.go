@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro -experiment all|fig1|fig2|cv|explain-quality|alpha|window|policy \
-//	      [-customers N] [-seed S] [-out DIR]
+//	      [-customers N] [-seed S] [-workers W] [-out DIR]
 //
 // Each experiment prints an ASCII rendering to stdout; with -out, the
 // underlying series are also written as CSV files for external plotting.
@@ -35,6 +35,7 @@ func run(args []string) error {
 			"fig1|fig2|cv|explain-quality|alpha|window|policy|gateway|families|leadtime|all")
 		customers = fs.Int("customers", 0, "override population size (0 = default)")
 		seed      = fs.Int64("seed", 0, "override dataset seed (0 = default)")
+		workers   = fs.Int("workers", 0, "worker pool size for generation and sweeps (0 = all CPUs; results are identical for any value)")
 		outDir    = fs.String("out", "", "directory for CSV exports (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +65,7 @@ func run(args []string) error {
 		if err := runOne("Figure 1: attrition detection AUROC", func() error {
 			cfg := experiments.DefaultFigure1Config()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := experiments.Figure1(cfg)
 			if err != nil {
 				return err
@@ -114,6 +116,7 @@ func run(args []string) error {
 		if err := runOne("CV-1: cross-validated parameter search", func() error {
 			cfg := experiments.DefaultParamSearchConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := experiments.ParamSearch(cfg)
 			if err != nil {
 				return err
@@ -135,6 +138,7 @@ func run(args []string) error {
 		if err := runOne("EXT-1: explanation quality", func() error {
 			cfg := experiments.DefaultExplanationQualityConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := experiments.ExplanationQuality(cfg)
 			if err != nil {
 				return err
@@ -170,6 +174,7 @@ func run(args []string) error {
 		if err := runOne(ab.name, func() error {
 			cfg := experiments.DefaultAblationConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := ab.fn(cfg)
 			if err != nil {
 				return err
@@ -191,6 +196,7 @@ func run(args []string) error {
 		if err := runOne("EXT-5: gateway segments", func() error {
 			cfg := experiments.DefaultGatewayConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Seg.Workers = *workers
 			res, err := experiments.Gateway(cfg)
 			if err != nil {
 				return err
@@ -212,6 +218,7 @@ func run(args []string) error {
 		if err := runOne("EXT-6: RFM family ablation", func() error {
 			cfg := experiments.DefaultFamilyAblationConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := experiments.FamilyAblation(cfg)
 			if err != nil {
 				return err
@@ -233,6 +240,7 @@ func run(args []string) error {
 		if err := runOne("EXT-7: detection lead time", func() error {
 			cfg := experiments.DefaultLeadTimeConfig()
 			applyOverrides(&cfg.Gen.Customers, *customers, &cfg.Gen.Seed, *seed)
+			cfg.Workers = *workers
 			res, err := experiments.LeadTime(cfg)
 			if err != nil {
 				return err

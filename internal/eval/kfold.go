@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/stats"
 )
 
@@ -100,26 +101,43 @@ type GridResult struct {
 // GridSearch evaluates every (α, span) combination with the supplied
 // cross-validated scorer and returns results sorted by descending mean,
 // ties broken toward smaller α then smaller span (prefer the simpler
-// model).
+// model). It is GridSearchParallel with a single worker.
 func GridSearch(alphas []float64, spans []int, score func(GridPoint) ([]float64, error)) ([]GridResult, error) {
+	return GridSearchParallel(alphas, spans, 1, score)
+}
+
+// GridSearchParallel is GridSearch with the independent (α, span) cells
+// fanned across the population engine's worker pool (workers <= 0 means
+// GOMAXPROCS). The scorer must be safe for concurrent calls. Results,
+// their order, and the reported error (lowest cell in row-major
+// alphas×spans order — exactly the cell the sequential loop would have
+// failed on first) are identical at every worker count.
+func GridSearchParallel(alphas []float64, spans []int, workers int, score func(GridPoint) ([]float64, error)) ([]GridResult, error) {
 	if len(alphas) == 0 || len(spans) == 0 {
 		return nil, fmt.Errorf("eval: empty grid (%d alphas, %d spans)", len(alphas), len(spans))
 	}
-	var out []GridResult
+	cells := make([]GridPoint, 0, len(alphas)*len(spans))
 	for _, a := range alphas {
 		for _, s := range spans {
-			gp := GridPoint{Alpha: a, SpanMonths: s}
+			cells = append(cells, GridPoint{Alpha: a, SpanMonths: s})
+		}
+	}
+	out, err := population.Map(len(cells), population.Options{Workers: workers},
+		func(i int) (GridResult, error) {
+			gp := cells[i]
 			foldScores, err := score(gp)
 			if err != nil {
-				return nil, fmt.Errorf("eval: grid point α=%v w=%dmo: %w", a, s, err)
+				return GridResult{}, fmt.Errorf("eval: grid point α=%v w=%dmo: %w", gp.Alpha, gp.SpanMonths, err)
 			}
-			out = append(out, GridResult{
+			return GridResult{
 				GridPoint:  gp,
 				FoldScores: foldScores,
 				Mean:       stats.Mean(foldScores),
 				StdErr:     stats.StdErr(foldScores),
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sortGrid(out)
 	return out, nil

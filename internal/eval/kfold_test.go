@@ -3,6 +3,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -187,5 +188,58 @@ func TestGridSearchErrors(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("scorer error swallowed")
+	}
+}
+
+// TestGridSearchParallelWorkerInvariance pins the parallel grid search to
+// the sequential one: identical ranked results at every worker count, and
+// on failure the reported error is the lowest cell's in row-major
+// alphas×spans order — not whichever goroutine finished first.
+func TestGridSearchParallelWorkerInvariance(t *testing.T) {
+	alphas := []float64{1.5, 2, 3}
+	spans := []int{1, 2}
+	score := func(gp GridPoint) ([]float64, error) {
+		v := gp.Alpha/10 + float64(gp.SpanMonths)/100
+		return []float64{v, v + 0.01}, nil
+	}
+	base, err := GridSearch(alphas, spans, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := GridSearchParallel(alphas, spans, workers, score)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d results vs %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i].GridPoint != base[i].GridPoint || got[i].Mean != base[i].Mean ||
+				got[i].StdErr != base[i].StdErr {
+				t.Fatalf("workers=%d: result %d = %+v, want %+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+
+	// Two failing cells: the error must name the row-major-lowest one —
+	// (alpha=2, span=1) before (alpha=3, span=2) — at every worker count.
+	failing := func(gp GridPoint) ([]float64, error) {
+		if gp.Alpha == 2 && gp.SpanMonths == 1 {
+			return nil, errors.New("first bad cell")
+		}
+		if gp.Alpha == 3 && gp.SpanMonths == 2 {
+			return nil, errors.New("second bad cell")
+		}
+		return []float64{0.5, 0.5}, nil
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		_, err := GridSearchParallel(alphas, spans, workers, failing)
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "first bad cell") {
+			t.Fatalf("workers=%d: error = %v, want the row-major-lowest cell's", workers, err)
+		}
 	}
 }

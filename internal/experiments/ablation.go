@@ -6,6 +6,7 @@ import (
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 )
 
@@ -25,6 +26,11 @@ type AblationConfig struct {
 	Alphas   []float64
 	Spans    []int
 	Policies []core.CountPolicy
+
+	// Workers sizes the worker pool that fans out the independent ablation
+	// variants (and customer scoring inside each); <= 0 means GOMAXPROCS.
+	// Every series is identical at every worker count.
+	Workers int
 }
 
 // DefaultAblationConfig returns the DESIGN.md ablation grids.
@@ -57,7 +63,7 @@ type AblationResult struct {
 }
 
 // stabilityCurve computes the AUROC series of one model setting.
-func stabilityCurve(pop *Population, ds *gen.Dataset, span int, opts core.Options, firstMonth, lastMonth int) (AblationSeries, error) {
+func stabilityCurve(pop *Population, ds *gen.Dataset, span int, opts core.Options, firstMonth, lastMonth int, popts population.Options) (AblationSeries, error) {
 	grid, err := gridFor(ds, span)
 	if err != nil {
 		return AblationSeries{}, err
@@ -66,7 +72,7 @@ func stabilityCurve(pop *Population, ds *gen.Dataset, span int, opts core.Option
 	if len(evalKs) == 0 {
 		return AblationSeries{}, fmt.Errorf("experiments: no eval windows for span %d in [%d,%d]", span, firstMonth, lastMonth)
 	}
-	scores, err := stabilityScores(pop, grid, opts, evalKs)
+	scores, err := stabilityScores(pop, grid, opts, evalKs, popts)
 	if err != nil {
 		return AblationSeries{}, err
 	}
@@ -84,56 +90,69 @@ func stabilityCurve(pop *Population, ds *gen.Dataset, span int, opts core.Option
 
 // AlphaAblation (EXT-2) varies α with the window span fixed.
 func AlphaAblation(cfg AblationConfig) (*AblationResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
 	return AlphaAblationOn(ds, cfg)
 }
 
-// AlphaAblationOn runs EXT-2 on an existing dataset.
+// AlphaAblationOn runs EXT-2 on an existing dataset. The variants are
+// independent model settings over the same population, so the sweep rides
+// the population engine: variant cells run across the worker pool and fold
+// back in grid order, with the lowest failing variant's error surfaced —
+// exactly the sequential loop's behaviour at every worker count.
 func AlphaAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
 	pop, err := NewPopulation(ds)
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationResult{Title: "EXT-2: AUROC vs alpha", Onset: cfg.Gen.OnsetMonth}
-	for _, a := range cfg.Alphas {
-		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: a, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth)
+	popts := population.Options{Workers: cfg.Workers}
+	series, err := population.Map(len(cfg.Alphas), popts, func(i int) (AblationSeries, error) {
+		a := cfg.Alphas[i]
+		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: a, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth, popts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: alpha=%g: %w", a, err)
+			return AblationSeries{}, fmt.Errorf("experiments: alpha=%g: %w", a, err)
 		}
 		s.Name = fmt.Sprintf("alpha=%g", a)
-		res.Series = append(res.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Title: "EXT-2: AUROC vs alpha", Onset: cfg.Gen.OnsetMonth, Series: series}, nil
 }
 
 // WindowAblation (EXT-3) varies the window span with α fixed.
 func WindowAblation(cfg AblationConfig) (*AblationResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
 	return WindowAblationOn(ds, cfg)
 }
 
-// WindowAblationOn runs EXT-3 on an existing dataset.
+// WindowAblationOn runs EXT-3 on an existing dataset (parallel over
+// variants, like AlphaAblationOn).
 func WindowAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
 	pop, err := NewPopulation(ds)
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationResult{Title: "EXT-3: AUROC vs window span", Onset: cfg.Gen.OnsetMonth}
-	for _, span := range cfg.Spans {
-		s, err := stabilityCurve(pop, ds, span, core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth)
+	popts := population.Options{Workers: cfg.Workers}
+	series, err := population.Map(len(cfg.Spans), popts, func(i int) (AblationSeries, error) {
+		span := cfg.Spans[i]
+		s, err := stabilityCurve(pop, ds, span, core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy}, cfg.FirstMonth, cfg.LastMonth, popts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: span=%d: %w", span, err)
+			return AblationSeries{}, fmt.Errorf("experiments: span=%d: %w", span, err)
 		}
 		s.Name = fmt.Sprintf("w=%dmo", span)
-		res.Series = append(res.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Title: "EXT-3: AUROC vs window span", Onset: cfg.Gen.OnsetMonth, Series: series}, nil
 }
 
 // PolicyAblation (EXT-4) compares prior-window counting policies on a
@@ -147,29 +166,34 @@ func PolicyAblation(cfg AblationConfig) (*AblationResult, error) {
 	if cfg.Gen.JoinSpreadMonths == 0 {
 		cfg.Gen.JoinSpreadMonths = 12
 	}
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
 	return PolicyAblationOn(ds, cfg)
 }
 
-// PolicyAblationOn runs EXT-4 on an existing dataset.
+// PolicyAblationOn runs EXT-4 on an existing dataset (parallel over
+// variants, like AlphaAblationOn).
 func PolicyAblationOn(ds *gen.Dataset, cfg AblationConfig) (*AblationResult, error) {
 	pop, err := NewPopulation(ds)
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationResult{Title: "EXT-4: AUROC vs counting policy", Onset: cfg.Gen.OnsetMonth}
-	for _, p := range cfg.Policies {
-		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: cfg.Alpha, Policy: p}, cfg.FirstMonth, cfg.LastMonth)
+	popts := population.Options{Workers: cfg.Workers}
+	series, err := population.Map(len(cfg.Policies), popts, func(i int) (AblationSeries, error) {
+		p := cfg.Policies[i]
+		s, err := stabilityCurve(pop, ds, cfg.SpanMonths, core.Options{Alpha: cfg.Alpha, Policy: p}, cfg.FirstMonth, cfg.LastMonth, popts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: policy=%s: %w", p, err)
+			return AblationSeries{}, fmt.Errorf("experiments: policy=%s: %w", p, err)
 		}
 		s.Name = fmt.Sprintf("policy=%s", p)
-		res.Series = append(res.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Title: "EXT-4: AUROC vs counting policy", Onset: cfg.Gen.OnsetMonth, Series: series}, nil
 }
 
 // Chart renders every variant as one chart.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 )
 
 // smallGen returns a fast dataset config that still shows the attrition
@@ -399,7 +400,7 @@ func TestStabilityScoresShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	ks := []int{5, 9, 11}
-	scores, err := stabilityScores(pop, grid, core.Options{Alpha: 2}, ks)
+	scores, err := stabilityScores(pop, grid, core.Options{Alpha: 2}, ks, population.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,9 @@ import (
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 	"github.com/gautrais/stability/internal/retail"
-	"github.com/gautrais/stability/internal/window"
 )
 
 // ExplanationQualityConfig drives EXT-1: scoring the model's blamed
@@ -28,6 +28,9 @@ type ExplanationQualityConfig struct {
 	// surfaces one window later because the item was already bought early
 	// in its drop window).
 	WindowSlack int
+	// Workers sizes the per-defector analysis pool; <= 0 means GOMAXPROCS.
+	// Results are identical at every worker count.
+	Workers int
 }
 
 // DefaultExplanationQualityConfig returns the DESIGN.md setting.
@@ -57,7 +60,7 @@ type ExplanationQualityResult struct {
 
 // ExplanationQuality runs EXT-1.
 func ExplanationQuality(cfg ExplanationQualityConfig) (*ExplanationQualityResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -100,22 +103,32 @@ func ExplanationQualityOn(ds *gen.Dataset, cfg ExplanationQualityConfig) (*Expla
 	blamedTotal := make([]int, len(cfg.Js))
 	blamedTrue := make([]int, len(cfg.Js))
 
-	for id, truth := range ds.Truth.ByCustomer {
-		if truth.Label.Cohort != retail.CohortDefecting || len(truth.Drops) == 0 {
+	// Scored cohort: defectors with at least one ground-truth drop and a
+	// purchase history, in ascending id order. Their full-explanation
+	// analyses are independent, so they ride the population engine; the
+	// precision/recall tally below folds the ordered results sequentially.
+	var ids []retail.CustomerID
+	var histories []retail.History
+	for _, id := range ds.Truth.Defectors() {
+		if len(ds.Truth.ByCustomer[id].Drops) == 0 {
 			continue
 		}
 		h, err := ds.Store.History(id)
 		if err != nil {
 			continue
 		}
-		wd, err := window.Windowize(h, grid, lastK)
-		if err != nil {
-			return nil, err
-		}
-		series, err := model.Analyze(wd)
-		if err != nil {
-			return nil, err
-		}
+		ids = append(ids, id)
+		histories = append(histories, h)
+	}
+	allSeries, err := population.Analyze(model, histories, grid, lastK,
+		population.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	for ci, id := range ids {
+		truth := ds.Truth.ByCustomer[id]
+		series := allSeries[ci]
 		res.Customers++
 
 		// Blame lists per grid index, truncated per depth on use.

@@ -55,7 +55,7 @@ type GatewayResult struct {
 
 // Gateway runs EXT-5.
 func Gateway(cfg GatewayConfig) (*GatewayResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Seg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,8 @@ func GatewayOn(ds *gen.Dataset, cfg GatewayConfig) (*GatewayResult, error) {
 	// Ground-truth validation: does the model's first blame match a true
 	// early drop of that customer? Per-customer analyses ride the
 	// population engine; the agreement tally folds in input order.
-	popSeries, err := population.Analyze(model, histories, grid, through, population.DefaultOptions())
+	popSeries, err := population.Analyze(model, histories, grid, through,
+		population.Options{Workers: cfg.Seg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +154,9 @@ type FamilyAblationConfig struct {
 	FirstMonth, LastMonth int
 	Folds                 int
 	CVSeed                int64
+	// Workers sizes the pool fanning out the (family, window) cells; <= 0
+	// means GOMAXPROCS. Results are identical at every worker count.
+	Workers int
 }
 
 // DefaultFamilyAblationConfig returns the DESIGN.md setting.
@@ -169,7 +173,7 @@ func DefaultFamilyAblationConfig() FamilyAblationConfig {
 
 // FamilyAblation runs EXT-6.
 func FamilyAblation(cfg FamilyAblationConfig) (*AblationResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -196,23 +200,31 @@ func FamilyAblationOn(ds *gen.Dataset, cfg FamilyAblationConfig) (*AblationResul
 		{"F only", []rfm.Family{rfm.Frequency}},
 		{"M only", []rfm.Family{rfm.Monetary}},
 	}
+	// Every (family, window) cell is an independent cross-validated
+	// train+score, so the whole grid fans out over the population engine
+	// and folds back into per-family series in row-major order — identical
+	// output and first-error behaviour at every worker count.
+	nK := len(evalKs)
+	aucs, err := population.Map(len(variants)*nK, population.Options{Workers: cfg.Workers},
+		func(ci int) (float64, error) {
+			v, k := variants[ci/nK], evalKs[ci%nK]
+			topts := rfm.DefaultTrainOptions()
+			topts.Families = v.families
+			scores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, topts, cfg.Workers)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: %s at window %d: %w", v.name, k, err)
+			}
+			return eval.AUROC(scores, pop.Labels)
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationResult{Title: "EXT-6: RFM predictor-family ablation", Onset: cfg.Gen.OnsetMonth}
-	for _, v := range variants {
-		topts := rfm.DefaultTrainOptions()
-		topts.Families = v.families
-		var s AblationSeries
-		s.Name = v.name
-		for _, k := range evalKs {
-			scores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, topts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at window %d: %w", v.name, k, err)
-			}
-			auc, err := eval.AUROC(scores, pop.Labels)
-			if err != nil {
-				return nil, err
-			}
+	for vi, v := range variants {
+		s := AblationSeries{Name: v.name}
+		for ki, k := range evalKs {
 			s.Months = append(s.Months, grid.MonthOfWindowEnd(k))
-			s.AUROC = append(s.AUROC, auc)
+			s.AUROC = append(s.AUROC, aucs[vi*nK+ki])
 		}
 		res.Series = append(res.Series, s)
 	}
@@ -236,6 +248,9 @@ type LeadTimeConfig struct {
 	// CalibrationMonth is the month whose window calibrates β
 	// (pre-onset, so calibration never sees attrition).
 	CalibrationMonth int
+	// Workers sizes the customer-scoring worker pool; <= 0 means
+	// GOMAXPROCS. Results are identical at every worker count.
+	Workers int
 }
 
 // DefaultLeadTimeConfig returns the DESIGN.md setting.
@@ -268,7 +283,7 @@ type LeadTimeResult struct {
 
 // LeadTime runs EXT-7.
 func LeadTime(cfg LeadTimeConfig) (*LeadTimeResult, error) {
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +316,7 @@ func LeadTimeOn(ds *gen.Dataset, cfg LeadTimeConfig) (*LeadTimeResult, error) {
 		evalKs = append(evalKs, k)
 	}
 	opts := core.Options{Alpha: cfg.Alpha}
-	scores, err := stabilityScores(pop, grid, opts, evalKs)
+	scores, err := stabilityScores(pop, grid, opts, evalKs, population.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

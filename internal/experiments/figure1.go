@@ -6,6 +6,7 @@ import (
 
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 	"github.com/gautrais/stability/internal/rfm"
 )
@@ -27,6 +28,10 @@ type Figure1Config struct {
 	Folds int
 	// CVSeed seeds the fold assignment.
 	CVSeed int64
+	// Workers sizes the worker pool for customer scoring and the
+	// per-window AUROC sweep; <= 0 means GOMAXPROCS. Results are identical
+	// at every worker count.
+	Workers int
 }
 
 // DefaultFigure1Config returns the paper's experimental setting.
@@ -83,7 +88,7 @@ func Figure1(cfg Figure1Config) (*Figure1Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -107,30 +112,47 @@ func Figure1On(ds *gen.Dataset, cfg Figure1Config) (*Figure1Result, error) {
 			cfg.FirstMonth, cfg.LastMonth, cfg.SpanMonths)
 	}
 
+	popts := population.Options{Workers: cfg.Workers}
 	opts := core.Options{Alpha: cfg.Alpha, Policy: cfg.Policy}
-	stab, err := stabilityScores(pop, grid, opts, evalKs)
+	stab, err := stabilityScores(pop, grid, opts, evalKs, popts)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Figure1Result{Cfg: cfg, OnsetMonth: cfg.Gen.OnsetMonth, Population: pop.N()}
-	for ki, k := range evalKs {
+	// Each evaluation window's AUROC pair — one stability ranking, one
+	// RFM cross-validated train+score — is independent of every other
+	// window, so the month sweep rides the population engine too. Results
+	// fold back in window order; a failure surfaces as the lowest failing
+	// window's error, exactly like the sequential loop.
+	type monthAUC struct {
+		month      int
+		sAUC, rAUC float64
+	}
+	cells, err := population.Map(len(evalKs), popts, func(ki int) (monthAUC, error) {
+		k := evalKs[ki]
 		month := grid.MonthOfWindowEnd(k)
 		sAUC, err := aurocAt(stab[ki], pop.Labels)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: stability auroc at month %d: %w", month, err)
+			return monthAUC{}, fmt.Errorf("experiments: stability auroc at month %d: %w", month, err)
 		}
-		rfmScores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, rfm.DefaultTrainOptions())
+		rfmScores, err := rfmScoresCV(pop, grid, k, cfg.Folds, cfg.CVSeed, rfm.DefaultTrainOptions(), cfg.Workers)
 		if err != nil {
-			return nil, err
+			return monthAUC{}, err
 		}
 		rAUC, err := aurocAt(rfmScores, pop.Labels)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rfm auroc at month %d: %w", month, err)
+			return monthAUC{}, fmt.Errorf("experiments: rfm auroc at month %d: %w", month, err)
 		}
-		res.Months = append(res.Months, month)
-		res.StabilityAUROC = append(res.StabilityAUROC, sAUC)
-		res.RFMAUROC = append(res.RFMAUROC, rAUC)
+		return monthAUC{month: month, sAUC: sAUC, rAUC: rAUC}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{Cfg: cfg, OnsetMonth: cfg.Gen.OnsetMonth, Population: pop.N()}
+	for _, c := range cells {
+		res.Months = append(res.Months, c.month)
+		res.StabilityAUROC = append(res.StabilityAUROC, c.sAUC)
+		res.RFMAUROC = append(res.RFMAUROC, c.rAUC)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/gautrais/stability/internal/core"
 	"github.com/gautrais/stability/internal/eval"
 	"github.com/gautrais/stability/internal/gen"
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/report"
 )
 
@@ -23,6 +24,10 @@ type ParamSearchConfig struct {
 	Folds        int
 	CVSeed       int64
 	Policy       core.CountPolicy
+	// Workers sizes the worker pool that fans out the independent (α, w)
+	// grid cells (and customer scoring inside each cell); <= 0 means
+	// GOMAXPROCS. The ranked grid is identical at every worker count.
+	Workers int
 }
 
 // DefaultParamSearchConfig returns the search space around the paper's
@@ -65,7 +70,7 @@ func ParamSearch(cfg ParamSearchConfig) (*ParamSearchResult, error) {
 	if len(cfg.TargetMonths) == 0 {
 		return nil, fmt.Errorf("experiments: no target months")
 	}
-	ds, err := gen.Generate(cfg.Gen)
+	ds, err := gen.GenerateWith(cfg.Gen, gen.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +89,7 @@ func ParamSearchOn(ds *gen.Dataset, cfg ParamSearchConfig) (*ParamSearchResult, 
 		return nil, err
 	}
 
-	results, err := eval.GridSearch(cfg.Alphas, cfg.Spans, func(gp eval.GridPoint) ([]float64, error) {
+	results, err := eval.GridSearchParallel(cfg.Alphas, cfg.Spans, cfg.Workers, func(gp eval.GridPoint) ([]float64, error) {
 		grid, err := gridFor(ds, gp.SpanMonths)
 		if err != nil {
 			return nil, err
@@ -100,7 +105,7 @@ func ParamSearchOn(ds *gen.Dataset, cfg ParamSearchConfig) (*ParamSearchResult, 
 			evalKs = append(evalKs, k-1)
 		}
 		opts := core.Options{Alpha: gp.Alpha, Policy: cfg.Policy}
-		scores, err := stabilityScores(pop, grid, opts, evalKs)
+		scores, err := stabilityScores(pop, grid, opts, evalKs, population.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -95,8 +95,9 @@ func evalWindows(span, firstMonth, lastMonth int) []int {
 //
 // Customers are scored on the population engine: the model is stateless
 // and per-customer trackers are created inside AnalyzeStability, so each
-// customer is an independent unit of work.
-func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalKs []int) ([][]float64, error) {
+// customer is an independent unit of work. popts sizes the worker pool;
+// results are identical at every worker count.
+func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalKs []int, popts population.Options) ([][]float64, error) {
 	model, err := core.New(opts)
 	if err != nil {
 		return nil, err
@@ -107,7 +108,7 @@ func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalK
 			maxK = k
 		}
 	}
-	cols, err := population.Map(pop.N(), population.DefaultOptions(), func(ci int) ([]float64, error) {
+	cols, err := population.Map(pop.N(), popts, func(ci int) ([]float64, error) {
 		h := pop.Histories[ci]
 		// Materialize from window 0 so that the CountPolicy decision about
 		// pre-first-purchase windows is the tracker's, not an artifact of
@@ -145,7 +146,11 @@ func stabilityScores(pop *Population, grid window.Grid, opts core.Options, evalK
 
 // rfmScoresCV trains the RFM baseline with stratified folds at window k and
 // returns pooled out-of-fold P(defecting) scores aligned with pop.IDs.
-func rfmScoresCV(pop *Population, grid window.Grid, k, folds int, seed int64, topts rfm.TrainOptions) ([]float64, error) {
+// workers bounds the RFM feature-extraction and scoring pools (it
+// overrides topts.Workers), so a sweep that fans cells out in parallel
+// does not multiply the per-cell pools by GOMAXPROCS.
+func rfmScoresCV(pop *Population, grid window.Grid, k, folds int, seed int64, topts rfm.TrainOptions, workers int) ([]float64, error) {
+	topts.Workers = workers
 	kf := eval.KFold{K: folds, Seed: seed}
 	splits, err := kf.Split(pop.Labels)
 	if err != nil {
@@ -167,7 +172,7 @@ func rfmScoresCV(pop *Population, grid window.Grid, k, folds int, seed int64, to
 		for i, idx := range f.Test {
 			testH[i] = pop.Histories[idx]
 		}
-		for i, s := range baseline.ScoreAll(testH, 0) {
+		for i, s := range baseline.ScoreAll(testH, workers) {
 			scores[f.Test[i]] = s
 		}
 	}

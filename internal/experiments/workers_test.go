@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gautrais/stability/internal/gen"
+)
+
+// TestSweepWorkerCountInvariance pins the parallel experiment sweeps to
+// the sequential path: the fully rendered output (charts, tables, summary
+// lines) of each sweep must be byte-identical at every worker count. The
+// dataset is generated once so the comparison isolates the sweeps.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	ds, err := gen.Generate(smallGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type runner func(workers int) ([]byte, error)
+	sweeps := []struct {
+		name string
+		run  runner
+	}{
+		{"figure1", func(workers int) ([]byte, error) {
+			cfg := DefaultFigure1Config()
+			cfg.Gen = smallGen()
+			cfg.Workers = workers
+			res, err := Figure1On(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+		{"paramsearch", func(workers int) ([]byte, error) {
+			cfg := DefaultParamSearchConfig()
+			cfg.Gen = smallGen()
+			cfg.Alphas = []float64{1.5, 2, 3}
+			cfg.Spans = []int{1, 2}
+			cfg.Workers = workers
+			res, err := ParamSearchOn(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+		{"alpha-ablation", func(workers int) ([]byte, error) {
+			cfg := DefaultAblationConfig()
+			cfg.Gen = smallGen()
+			cfg.Alphas = []float64{1.5, 3}
+			cfg.Workers = workers
+			res, err := AlphaAblationOn(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+		{"family-ablation", func(workers int) ([]byte, error) {
+			cfg := DefaultFamilyAblationConfig()
+			cfg.Gen = smallGen()
+			cfg.FirstMonth, cfg.LastMonth = 18, 24
+			cfg.Workers = workers
+			res, err := FamilyAblationOn(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+		{"leadtime", func(workers int) ([]byte, error) {
+			cfg := DefaultLeadTimeConfig()
+			cfg.Gen = smallGen()
+			cfg.Workers = workers
+			res, err := LeadTimeOn(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+		{"explain-quality", func(workers int) ([]byte, error) {
+			cfg := DefaultExplanationQualityConfig()
+			cfg.Gen = smallGen()
+			cfg.Workers = workers
+			res, err := ExplanationQualityOn(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			return buf.Bytes(), nil
+		}},
+	}
+	for _, sweep := range sweeps {
+		sweep := sweep
+		t.Run(sweep.name, func(t *testing.T) {
+			base, err := sweep.run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{3, 8} {
+				got, err := sweep.run(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(got, base) {
+					t.Errorf("workers=%d: rendered output differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}

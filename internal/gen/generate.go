@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/stats"
 	"github.com/gautrais/stability/internal/store"
@@ -37,27 +38,48 @@ type CustomerTruth struct {
 // GroundTruth indexes per-customer truth records.
 type GroundTruth struct {
 	ByCustomer map[retail.CustomerID]*CustomerTruth
+	// labels and defectors are sorted indexes built once — at generation
+	// time by Generate, or lazily on first access for hand-assembled
+	// truths. Accessors return copies, so callers can mutate the returned
+	// slices freely. Mutating ByCustomer after the first accessor call is
+	// not supported (the indexes would go stale).
+	labels    []retail.Label
+	defectors []retail.CustomerID
+}
+
+// buildIndexes (re)derives the sorted label and defector indexes from
+// ByCustomer.
+func (g *GroundTruth) buildIndexes() {
+	g.labels = make([]retail.Label, 0, len(g.ByCustomer))
+	g.defectors = g.defectors[:0]
+	for _, t := range g.ByCustomer {
+		g.labels = append(g.labels, t.Label)
+	}
+	sort.Slice(g.labels, func(i, j int) bool { return g.labels[i].Customer < g.labels[j].Customer })
+	for _, l := range g.labels {
+		if l.Cohort == retail.CohortDefecting {
+			g.defectors = append(g.defectors, l.Customer)
+		}
+	}
 }
 
 // Labels returns every label sorted by customer identifier.
 func (g *GroundTruth) Labels() []retail.Label {
-	out := make([]retail.Label, 0, len(g.ByCustomer))
-	for _, t := range g.ByCustomer {
-		out = append(out, t.Label)
+	if g.labels == nil && len(g.ByCustomer) > 0 {
+		g.buildIndexes()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Customer < out[j].Customer })
+	out := make([]retail.Label, len(g.labels))
+	copy(out, g.labels)
 	return out
 }
 
 // Defectors returns the identifiers of the defecting cohort, ascending.
 func (g *GroundTruth) Defectors() []retail.CustomerID {
-	var out []retail.CustomerID
-	for id, t := range g.ByCustomer {
-		if t.Label.Cohort == retail.CohortDefecting {
-			out = append(out, id)
-		}
+	if g.labels == nil && len(g.ByCustomer) > 0 {
+		g.buildIndexes()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]retail.CustomerID, len(g.defectors))
+	copy(out, g.defectors)
 	return out
 }
 
@@ -97,8 +119,35 @@ type Dataset struct {
 	Truth   *GroundTruth
 }
 
-// Generate synthesizes a full dataset. It is deterministic in cfg.Seed.
+// Options tune how Generate executes. They never affect the generated
+// data: every option value produces bit-identical datasets.
+type Options struct {
+	// Workers is the per-customer simulation pool size; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Generate synthesizes a full dataset on all CPUs. It is deterministic in
+// cfg.Seed; see GenerateWith for the worker-count invariance contract.
 func Generate(cfg Config) (*Dataset, error) {
+	return GenerateWith(cfg, Options{})
+}
+
+// custGen is one customer's simulation output, merged sequentially into
+// the store builder and truth map in customer order.
+type custGen struct {
+	truth    *CustomerTruth
+	receipts []retail.Receipt
+}
+
+// GenerateWith synthesizes a full dataset with an explicit worker count.
+// The output is bit-identical at every worker count: the shared state
+// (catalog, prices, seasons) is drawn before the fan-out, each customer's
+// RNG stream is pre-forked sequentially from the population stream (one
+// Int63 per customer — exactly what the sequential loop consumed), and the
+// per-customer simulations ride population.Map, whose results merge back in
+// customer order.
+func GenerateWith(cfg Config, opts Options) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,38 +161,61 @@ func Generate(cfg Config) (*Dataset, error) {
 	seasons := buildSeasons(cfg, root.Fork())
 
 	nDefect := int(float64(cfg.Customers)*cfg.DefectorFraction + 0.5)
+
+	// Pre-fork the per-customer RNG streams: cheap (one Int63 each) and
+	// sequential, so customer i's generator seed does not depend on how the
+	// remaining work is scheduled.
+	popRand := root.Fork()
+	seeds := make([]int64, cfg.Customers)
+	for i := range seeds {
+		seeds[i] = popRand.Int63()
+	}
+	// The Zipf cumulative table is identical for every customer; build it
+	// once and give each customer a clone drawing from its private Rand.
+	// NewZipf never draws from the Rand it is handed, so the prototype's
+	// throwaway source leaves every stream untouched.
+	zipfProto := stats.NewZipf(stats.NewRand(0), cfg.Segments, cfg.ZipfExponent)
+
+	results, err := population.Map(cfg.Customers, population.Options{Workers: opts.Workers},
+		func(i int) (custGen, error) {
+			id := retail.CustomerID(i + 1)
+			defector := i < nDefect
+			custRand := stats.NewRand(seeds[i])
+			zipf := zipfProto.Clone(custRand)
+			p := newProfile(cfg, id, defector, zipf, custRand)
+			p.seasons = seasons
+			receipts, drops, driftDrops := p.simulate(cfg, prices, zipf)
+			ct := &CustomerTruth{
+				Label:      retail.Label{Customer: id, Cohort: retail.CohortLoyal, OnsetMonth: -1},
+				Core:       make([]retail.ItemID, 0, len(p.core)),
+				Drops:      drops,
+				DriftDrops: driftDrops,
+			}
+			for _, c := range p.core {
+				ct.Core = append(ct.Core, c.seg)
+			}
+			sort.Slice(ct.Core, func(a, b int) bool { return ct.Core[a] < ct.Core[b] })
+			if defector {
+				ct.Label.Cohort = retail.CohortDefecting
+				ct.Label.OnsetMonth = p.onset
+			}
+			return custGen{truth: ct, receipts: receipts}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	truth := &GroundTruth{ByCustomer: make(map[retail.CustomerID]*CustomerTruth, cfg.Customers)}
 	sb := store.NewBuilder()
-
-	popRand := root.Fork()
-	for i := 0; i < cfg.Customers; i++ {
+	for i, cg := range results {
 		id := retail.CustomerID(i + 1)
-		defector := i < nDefect
-		custRand := popRand.Fork()
-		zipf := stats.NewZipf(custRand, cfg.Segments, cfg.ZipfExponent)
-		p := newProfile(cfg, id, defector, zipf, custRand)
-		p.seasons = seasons
-		receipts, drops, driftDrops := p.simulate(cfg, prices, zipf)
-		for _, r := range receipts {
+		for _, r := range cg.receipts {
 			if err := sb.AddReceipt(id, r); err != nil {
 				return nil, fmt.Errorf("gen: customer %d: %w", id, err)
 			}
 		}
-		ct := &CustomerTruth{
-			Label:      retail.Label{Customer: id, Cohort: retail.CohortLoyal, OnsetMonth: -1},
-			Core:       make([]retail.ItemID, 0, len(p.core)),
-			Drops:      drops,
-			DriftDrops: driftDrops,
-		}
-		for _, c := range p.core {
-			ct.Core = append(ct.Core, c.seg)
-		}
-		sort.Slice(ct.Core, func(a, b int) bool { return ct.Core[a] < ct.Core[b] })
-		if defector {
-			ct.Label.Cohort = retail.CohortDefecting
-			ct.Label.OnsetMonth = p.onset
-		}
-		truth.ByCustomer[id] = ct
+		truth.ByCustomer[id] = cg.truth
 	}
+	truth.buildIndexes()
 	return &Dataset{Config: cfg, Store: sb.Build(), Catalog: cat, Truth: truth}, nil
 }

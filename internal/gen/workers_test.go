@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// datasetFingerprint captures everything a worker-count change could
+// plausibly disturb: the full store encoding, the sorted label and
+// defector indexes, and every per-customer truth record.
+func datasetFingerprint(t *testing.T, ds *Dataset) (storeBytes []byte, truth *GroundTruth) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.Store.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ds.Truth
+}
+
+// TestGenerateWorkerCountInvariance pins the tentpole contract: the
+// parallel generator is byte-identical to the single-worker path at every
+// worker count, including with the seasonality and late-joiner features
+// enabled (the code paths that draw the most per-customer randomness).
+func TestGenerateWorkerCountInvariance(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Customers = 80
+	cfg.SeasonalFraction = 0.3
+	cfg.JoinSpreadMonths = 6
+
+	base, err := GenerateWith(cfg, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStore, baseTruth := datasetFingerprint(t, base)
+
+	for _, workers := range []int{2, 4, 8} {
+		ds, err := GenerateWith(cfg, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		gotStore, gotTruth := datasetFingerprint(t, ds)
+		if !bytes.Equal(gotStore, baseStore) {
+			t.Errorf("workers=%d: store bytes differ from workers=1", workers)
+		}
+		if !reflect.DeepEqual(gotTruth.Labels(), baseTruth.Labels()) {
+			t.Errorf("workers=%d: labels differ from workers=1", workers)
+		}
+		if !reflect.DeepEqual(gotTruth.Defectors(), baseTruth.Defectors()) {
+			t.Errorf("workers=%d: defectors differ from workers=1", workers)
+		}
+		if !reflect.DeepEqual(gotTruth.ByCustomer, baseTruth.ByCustomer) {
+			t.Errorf("workers=%d: truth records differ from workers=1", workers)
+		}
+	}
+
+	// Default Generate (all CPUs) is the same dataset too.
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStore, _ := datasetFingerprint(t, ds)
+	if !bytes.Equal(gotStore, baseStore) {
+		t.Error("Generate (default workers) differs from workers=1")
+	}
+}
+
+// TestGroundTruthIndexAccessorsReturnCopies guards the generation-time
+// sorted indexes: accessors must hand out copies, not the cached slices.
+func TestGroundTruthIndexAccessorsReturnCopies(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ds.Truth.Labels()
+	labels[0].Customer = 999999
+	if ds.Truth.Labels()[0].Customer == 999999 {
+		t.Error("Labels() returned the cached slice, not a copy")
+	}
+	defectors := ds.Truth.Defectors()
+	if len(defectors) == 0 {
+		t.Fatal("no defectors")
+	}
+	defectors[0] = 999999
+	if ds.Truth.Defectors()[0] == 999999 {
+		t.Error("Defectors() returned the cached slice, not a copy")
+	}
+}
+
+// TestGroundTruthLazyIndexes covers hand-assembled truths (loaded
+// datasets): the indexes build on first access.
+func TestGroundTruthLazyIndexes(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := &GroundTruth{ByCustomer: ds.Truth.ByCustomer}
+	if !reflect.DeepEqual(manual.Labels(), ds.Truth.Labels()) {
+		t.Error("lazy Labels() differs from generation-time index")
+	}
+	if !reflect.DeepEqual(manual.Defectors(), ds.Truth.Defectors()) {
+		t.Error("lazy Defectors() differs from generation-time index")
+	}
+}

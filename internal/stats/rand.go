@@ -135,6 +135,15 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 	return &Zipf{cum: cum, r: r}
 }
 
+// Clone returns a sampler that shares z's cumulative-weight table but
+// draws from r. The table is immutable after NewZipf, so one table can
+// serve any number of goroutines, each cloning it with a private Rand —
+// the parallel dataset generator builds the O(n) table once instead of
+// once per customer.
+func (z *Zipf) Clone(r *Rand) *Zipf {
+	return &Zipf{cum: z.cum, r: r}
+}
+
 // Draw returns one rank.
 func (z *Zipf) Draw() int {
 	u := z.r.Float64()

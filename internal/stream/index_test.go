@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/window"
+)
+
+func alertLess(a, b Alert) bool {
+	if a.GridIndex != b.GridIndex {
+		return a.GridIndex < b.GridIndex
+	}
+	return a.Customer < b.Customer
+}
+
+// indexEvent is one precomputed feed step, so both monitors replay the
+// identical stream.
+type indexEvent struct {
+	id     retail.CustomerID
+	t      int // day offset inside window k
+	k      int
+	basket retail.Basket
+}
+
+func buildRandomFeed(rng *rand.Rand, lastK int) (events []indexEvent, barriers map[int]bool) {
+	nCust := 10 + rng.Intn(40)
+	ids := make([]retail.CustomerID, nCust)
+	for i := range ids {
+		// Non-contiguous, shuffled ids: insertion order never matches
+		// index order.
+		ids[i] = retail.CustomerID(rng.Intn(100000) + 1)
+	}
+	barriers = make(map[int]bool)
+	for k := 0; k <= lastK; k++ {
+		for _, id := range ids {
+			if rng.Intn(3) == 0 {
+				continue // silent window: the attrition signal
+			}
+			events = append(events, indexEvent{
+				id: id, t: rng.Intn(50), k: k,
+				basket: retail.NewBasket([]retail.ItemID{
+					retail.ItemID(rng.Intn(20) + 1), retail.ItemID(rng.Intn(20) + 1),
+				}),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			barriers[k] = true
+		}
+	}
+	return events, barriers
+}
+
+func replayFeed(t *testing.T, m *Monitor, grid window.Grid, events []indexEvent, barriers map[int]bool, lastK int, checkOrder bool) []Alert {
+	t.Helper()
+	var all []Alert
+	cur := 0
+	for k := 0; k <= lastK; k++ {
+		for cur < len(events) && events[cur].k == k {
+			ev := events[cur]
+			alerts, err := m.Ingest(ev.id, at(grid, ev.k, ev.t), ev.basket)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, alerts...)
+			cur++
+		}
+		if barriers[k] {
+			batch := m.CloseThrough(k)
+			if checkOrder {
+				for i := 1; i < len(batch); i++ {
+					if batch[i].Customer < batch[i-1].Customer {
+						t.Fatalf("barrier at k=%d out of customer order", k)
+					}
+				}
+			}
+			all = append(all, batch...)
+		}
+	}
+	return append(all, m.CloseThrough(lastK)...)
+}
+
+// TestCloseThroughBarrierOrderProperty is the property test guarding the
+// sorted-customer index: for random feeds with customers arriving in
+// random id order and barriers at random watermarks, (1) every barrier's
+// alerts come out in ascending customer order, and (2) the union of all
+// barrier alerts equals the alerts of an identical monitor barriered only
+// once at the end — intermediate barriers change when windows close, never
+// what they score.
+func TestCloseThroughBarrierOrderProperty(t *testing.T) {
+	const lastK = 8
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 1)))
+		cfg := testConfig(t, 0.6)
+		events, barriers := buildRandomFeed(rng, lastK)
+
+		incremental, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gathered := replayFeed(t, incremental, cfg.Grid, events, barriers, lastK, true)
+		reference := replayFeed(t, final, cfg.Grid, events, nil, lastK, false)
+
+		sort.Slice(gathered, func(i, j int) bool { return alertLess(gathered[i], gathered[j]) })
+		sort.Slice(reference, func(i, j int) bool { return alertLess(reference[i], reference[j]) })
+		if len(gathered) != len(reference) {
+			t.Fatalf("trial %d: %d alerts with barriers vs %d without", trial, len(gathered), len(reference))
+		}
+		for i := range gathered {
+			g, r := gathered[i], reference[i]
+			if g.Customer != r.Customer || g.GridIndex != r.GridIndex || g.Stability != r.Stability {
+				t.Fatalf("trial %d: alert %d differs: %+v vs %+v", trial, i, g, r)
+			}
+		}
+	}
+}
+
+// TestCloseThroughOrderSurvivesSnapshotRestore checks the restored
+// monitor's lazily rebuilt index: a mid-stream snapshot/restore must not
+// perturb barrier order or content.
+func TestCloseThroughOrderSurvivesSnapshotRestore(t *testing.T) {
+	cfg := testConfig(t, 0.6)
+	grid := cfg.Grid
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]retail.CustomerID, 30)
+	for i := range ids {
+		ids[i] = retail.CustomerID(rng.Intn(5000) + 1)
+	}
+	ingest := func(m *Monitor, k int) {
+		for _, id := range ids {
+			basket := retail.NewBasket([]retail.ItemID{retail.ItemID(id%17 + 1), retail.ItemID(id%5 + 1)})
+			if _, err := m.Ingest(id, at(grid, k, int(id)%50), basket); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k := 0; k <= 3; k++ {
+		ingest(m, k)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadMonitorSnapshot(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 4; k <= 6; k++ {
+		ingest(m, k)
+		ingest(restored, k)
+	}
+	want := m.CloseThrough(6)
+	got := restored.CloseThrough(6)
+	if len(want) != len(got) {
+		t.Fatalf("restored barrier: %d alerts vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Customer != got[i].Customer || want[i].GridIndex != got[i].GridIndex ||
+			want[i].Stability != got[i].Stability {
+			t.Fatalf("alert %d differs after restore: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Customer < got[i-1].Customer {
+			t.Fatalf("restored barrier out of customer order at %d", i)
+		}
+	}
+}

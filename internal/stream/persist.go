@@ -131,7 +131,9 @@ func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.states = states
+	for id, st := range states {
+		m.addRestored(id, st)
+	}
 	return m, nil
 }
 

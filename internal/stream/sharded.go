@@ -376,7 +376,7 @@ func ReadShardedMonitorSnapshot(r io.Reader, cfg Config, shards int) (*ShardedMo
 		return nil, err
 	}
 	for id, st := range states {
-		s.shards[shardIndex(id, len(s.shards))].mon.states[id] = st
+		s.shards[shardIndex(id, len(s.shards))].mon.addRestored(id, st)
 	}
 	s.start()
 	return s, nil

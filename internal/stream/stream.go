@@ -119,6 +119,13 @@ type custState struct {
 type Monitor struct {
 	cfg    Config
 	states map[retail.CustomerID]*custState
+	// ids is the sorted customer index CloseThrough iterates; newIDs
+	// buffers customers first seen since the last merge. Folding the
+	// (small) new batch in with one sort + one linear merge keeps barriers
+	// from re-sorting the whole customer set: a steady-state barrier over n
+	// customers is O(n), not O(n log n).
+	ids    []retail.CustomerID
+	newIDs []retail.CustomerID
 	// scoredHook, when set, receives every closed window (used by tests
 	// and by callers that want full traces).
 	scoredHook func(Scored)
@@ -155,6 +162,7 @@ func (m *Monitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket)
 		}
 		st = &custState{tracker: tr, openK: k, lastScoredK: k - 1}
 		m.states[id] = st
+		m.newIDs = append(m.newIDs, id)
 	}
 	if k < st.openK {
 		return nil, fmt.Errorf("%w: customer %d window %d (open is %d)", ErrStale, id, k, st.openK)
@@ -221,22 +229,51 @@ func (m *Monitor) toAlert(id retail.CustomerID, st *custState, res core.Result) 
 	}, true
 }
 
+// mergeIDs folds the customers first seen since the last merge into the
+// sorted index: sort the new batch, then one backward in-place merge. New
+// customers arrive only on their first receipt, so the batch is small (and
+// usually empty) at a steady-state barrier.
+func (m *Monitor) mergeIDs() {
+	if len(m.newIDs) == 0 {
+		return
+	}
+	sort.Slice(m.newIDs, func(i, j int) bool { return m.newIDs[i] < m.newIDs[j] })
+	ni := len(m.ids)
+	m.ids = append(m.ids, m.newIDs...)
+	// Backward merge: ids[0:ni] and newIDs are each sorted and disjoint
+	// (a customer enters newIDs only when absent from states).
+	for w, nj := len(m.ids)-1, len(m.newIDs)-1; nj >= 0; w-- {
+		if ni > 0 && m.ids[ni-1] > m.newIDs[nj] {
+			m.ids[w] = m.ids[ni-1]
+			ni--
+		} else {
+			m.ids[w] = m.newIDs[nj]
+			nj--
+		}
+	}
+	m.newIDs = m.newIDs[:0]
+}
+
+// addRestored registers a snapshot-restored customer state. The index is
+// rebuilt lazily at the next barrier, so restore order does not matter.
+func (m *Monitor) addRestored(id retail.CustomerID, st *custState) {
+	m.states[id] = st
+	m.newIDs = append(m.newIDs, id)
+}
+
 // CloseThrough force-closes every tracked customer's windows through grid
 // index k (inclusive), scoring them (empty where no purchases arrived) and
 // returning any alerts, ordered by customer id. Use at end-of-feed, or
 // periodically with the feed's watermark so silent customers — the
 // defecting ones — still get scored.
 func (m *Monitor) CloseThrough(k int) []Alert {
-	ids := make([]retail.CustomerID, 0, len(m.states))
-	for id, st := range m.states {
-		if st.openK <= k {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.mergeIDs()
 	var alerts []Alert
-	for _, id := range ids {
-		alerts = append(alerts, m.closeThrough(id, m.states[id], k)...)
+	for _, id := range m.ids {
+		st := m.states[id]
+		if st.openK <= k {
+			alerts = append(alerts, m.closeThrough(id, st, k)...)
+		}
 	}
 	return alerts
 }

@@ -25,14 +25,24 @@ type (
 	ScenarioConfig = gen.Figure2Config
 )
 
+// SampleOptions tunes how sample generation executes (worker-pool size);
+// it never affects the generated data.
+type SampleOptions = gen.Options
+
 // DefaultSampleConfig returns the default synthetic-dataset configuration:
 // the paper's 28-month timeline with attrition onset at month 18, at
 // laptop scale.
 func DefaultSampleConfig() SampleConfig { return gen.NewConfig() }
 
-// GenerateSample synthesizes a labelled retail dataset. Deterministic in
-// cfg.Seed.
+// GenerateSample synthesizes a labelled retail dataset on all CPUs.
+// Deterministic in cfg.Seed.
 func GenerateSample(cfg SampleConfig) (*SampleDataset, error) { return gen.Generate(cfg) }
+
+// GenerateSampleWith is GenerateSample with an explicit worker count. The
+// dataset is bit-identical at every worker count.
+func GenerateSampleWith(cfg SampleConfig, opts SampleOptions) (*SampleDataset, error) {
+	return gen.GenerateWith(cfg, opts)
+}
 
 // DefaultScenarioConfig returns the paper's Figure-2 use case: a loyal
 // customer who stops buying coffee, then milk, sponge and cheese.
