@@ -9,13 +9,14 @@ GO ?= go
 BENCHTIME ?= 1s
 # Output of bench-json. bench-smoke redirects it to BENCH_SMOKE.json
 # (untracked) so a smoke run can never clobber the checked-in 1s baseline
-# BENCH_PR4.json with single-iteration noise.
-BENCHJSON_OUT ?= BENCH_PR4.json
+# BENCH_PR5.json with single-iteration noise. BENCH_PR3/PR4.json are kept
+# for the perf trajectory.
+BENCHJSON_OUT ?= BENCH_PR5.json
 # Baseline bench-diff compares against, and the regression thresholds.
 # Smoke runs are single-iteration, so the defaults are deliberately loose:
 # the diff is a tripwire for order-of-magnitude regressions and alloc-count
 # jumps, not a timing oracle (diff two 1s bench-json runs for that).
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR5.json
 BENCH_DIFF_THRESHOLD ?= 1.0
 BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 
@@ -37,7 +38,7 @@ lint: ## gofmt cleanliness + go vet
 	$(GO) vet ./...
 
 race: ## race-detector pass over the concurrent packages
-	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream ./internal/gen ./internal/eval
+	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream ./internal/gen ./internal/eval ./internal/store
 
 bench: ## full benchmark suite (population + shard sweeps included)
 	$(GO) test -run '^$$' -bench . -benchmem .

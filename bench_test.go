@@ -29,6 +29,7 @@ import (
 	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/rfm"
+	"github.com/gautrais/stability/internal/store"
 	"github.com/gautrais/stability/internal/stream"
 	"github.com/gautrais/stability/internal/window"
 )
@@ -503,6 +504,64 @@ func BenchmarkStoreIngest(b *testing.B) {
 		if sb.Build().NumReceipts() != len(rows) {
 			b.Fatal("lost receipts")
 		}
+	}
+}
+
+// BenchmarkStoreBuild measures the frozen-store build — every history
+// copied and sorted — across worker counts: the per-history work fans out
+// over the population engine (PR 5), so multi-core hosts should scale
+// until memory bandwidth saturates; a 1-CPU container shows a flat sweep
+// by construction. The builder is built once and frozen repeatedly
+// (Build never consumes the builder).
+func BenchmarkStoreBuild(b *testing.B) {
+	ds := sharedDataset(b)
+	sb := store.NewBuilder()
+	receipts := 0
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			if err := sb.AddReceipt(h.Customer, r); err != nil {
+				b.Fatal(err)
+			}
+			receipts++
+		}
+		return true
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if sb.BuildWith(store.Options{Workers: workers}).NumReceipts() != receipts {
+					b.Fatal("lost receipts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateExtend measures incremental dataset growth: appending
+// months by resuming per-customer checkpoints (gen.Extend) versus the
+// from-scratch cost of the same final horizon. Each iteration regenerates
+// the base outside the timer, so the measured region is exactly the
+// extension (resume + simulate new months + store append).
+func BenchmarkGenerateExtend(b *testing.B) {
+	const extraMonths = 4
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := benchGen()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ds, err := gen.GenerateWith(cfg, gen.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := gen.Extend(ds, extraMonths, gen.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"github.com/gautrais/stability"
 	"github.com/gautrais/stability/internal/population"
@@ -15,12 +14,13 @@ import (
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var (
-		out       = fs.String("out", "receipts.csv", "receipt CSV output path")
+		out       = fs.String("out", "receipts.csv", "receipt output path (.csv, .jsonl, or .stb/.bin binary snapshot)")
 		labelsOut = fs.String("labels", "", "labels CSV output path (optional)")
 		catOut    = fs.String("catalog", "", "catalog CSV output path (optional)")
 		customers = fs.Int("customers", 0, "population size (0 = default)")
 		seed      = fs.Int64("seed", 0, "dataset seed (0 = default)")
-		months    = fs.Int("months", 0, "dataset length in months (0 = default 28)")
+		months    = fs.Int("months", 0, "dataset length in months (0 = default 28); with -extend, the length of the existing base dataset")
+		extend    = fs.Int("extend", 0, "append N months to the existing dataset at -out instead of regenerating it: the base is re-derived from the same flags, the simulation resumes past its horizon, and only the new receipts are appended to the file")
 		workers   = fs.Int("workers", 0, "generation worker pool size (0 = all CPUs; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -46,10 +46,18 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeTo(*out, func(f *os.File) error { return stability.WriteReceiptsCSV(f, ds.Store) }); err != nil {
-		return err
+	if *extend > 0 {
+		if err := extendFile(*out, ds, *extend, *workers); err != nil {
+			return err
+		}
+		fmt.Printf("extended %s by %d months (now %d months, %d customers, %d receipts)\n",
+			*out, *extend, ds.Config.Months, ds.Store.NumCustomers(), ds.Store.NumReceipts())
+	} else {
+		if err := writeTo(*out, func(f *os.File) error { return writeStore(f, *out, ds.Store) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d customers, %d receipts)\n", *out, ds.Store.NumCustomers(), ds.Store.NumReceipts())
 	}
-	fmt.Printf("wrote %s (%d customers, %d receipts)\n", *out, ds.Store.NumCustomers(), ds.Store.NumReceipts())
 	if *labelsOut != "" {
 		if err := writeTo(*labelsOut, func(f *os.File) error {
 			return stability.WriteLabelsCSV(f, ds.Truth.Labels())
@@ -279,12 +287,10 @@ func loadStore(path string) (*stability.Store, error) {
 		return nil, err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(path, ".jsonl"):
-		return stability.ReadReceiptsJSONL(f)
-	case strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".stb"):
-		return stability.ReadSnapshot(f)
-	default:
+	sf := stability.ReceiptFormatForPath(path)
+	if sf.Name == "csv" {
+		// CLI affordance for hand-edited files: lenient CSV read with a
+		// skipped-rows warning instead of the table's strict reader.
 		st, rep, err := stability.ReadReceiptsCSV(f, false)
 		if err != nil {
 			return nil, err
@@ -294,6 +300,7 @@ func loadStore(path string) (*stability.Store, error) {
 		}
 		return st, nil
 	}
+	return sf.Read(f)
 }
 
 func writeTo(path string, fn func(*os.File) error) error {
@@ -306,4 +313,63 @@ func writeTo(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeStore serializes a full store in the format the path's suffix
+// names (.jsonl, .stb/.bin, else CSV) — the same dispatch loadStore uses.
+func writeStore(f *os.File, path string, st *stability.Store) error {
+	return stability.ReceiptFormatForPath(path).Write(f, st)
+}
+
+// extendFile grows an existing dataset file in place: ds must be the
+// regenerated base dataset for the command's flags. The file may already
+// have been extended past the base horizon — extension is bit-identical to
+// regeneration, so GrowSample fast-forwards ds to the file's current
+// length, verifies the file against it, then extends by the requested
+// months; only the receipts beyond the file's current end are appended.
+func extendFile(path string, ds *stability.SampleDataset, months, workers int) error {
+	onDisk, err := loadStore(path)
+	if err != nil {
+		return fmt.Errorf("-extend: read existing dataset: %w", err)
+	}
+	prev, err := stability.GrowSample(ds, onDisk, months, stability.SampleOptions{Workers: workers})
+	if err != nil {
+		return fmt.Errorf("-extend: %s: %w", path, err)
+	}
+	return appendDeltaTo(path, ds.Store, prev)
+}
+
+// appendDeltaTo appends cur's receipts beyond prev to an existing dataset
+// file, never rewriting the bytes already there. The format follows the
+// path suffix, exactly as writeStore. A failed append (disk full, codec
+// error) truncates the file back to its original size, so the dataset is
+// never left with a half-written trailing segment.
+func appendDeltaTo(path string, cur, prev *stability.Store) error {
+	return appendOrRestore(path, func(f *os.File) error {
+		return stability.ReceiptFormatForPath(path).WriteDelta(f, cur, prev)
+	})
+}
+
+// appendOrRestore opens path for appending, runs fn, and on any failure
+// truncates the file back to its pre-append size before reporting the
+// error.
+func appendOrRestore(path string, fn func(*os.File) error) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		os.Truncate(path, info.Size())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Truncate(path, info.Size())
+		return err
+	}
+	return nil
 }

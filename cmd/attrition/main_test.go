@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
+	"time"
+
+	"github.com/gautrais/stability"
 )
 
 // captureStdout runs fn with os.Stdout redirected to a pipe and returns
@@ -209,5 +215,226 @@ func TestLoadStoreFormats(t *testing.T) {
 	}
 	if _, err := loadStore(""); err == nil {
 		t.Fatal("empty path accepted")
+	}
+}
+
+// readStoreFile parses a dataset file through the command's own loader.
+func readStoreFile(t *testing.T, path string) *stability.Store {
+	t.Helper()
+	st, err := loadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeFileBytes canonicalizes a dataset file as binary snapshot bytes.
+func storeFileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stability.WriteSnapshot(&buf, readStoreFile(t, path)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCmdGenExtend pins the incremental dataset pipeline end to end for
+// the CLI: growing a dataset file in place with -extend (including a
+// chained second extension) yields files that decode to exactly the store
+// a one-shot longer generation produces, for both the binary append-segment
+// path and the CSV append-rows path — and `attrition evaluate` output over
+// the grown dataset matches the from-scratch one byte for byte.
+func TestCmdGenExtend(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-customers", "30", "-seed", "7"}
+
+	for _, suffix := range []string{"stb", "csv"} {
+		grown := filepath.Join(dir, "grow."+suffix)
+		oneShot := filepath.Join(dir, "oneshot."+suffix)
+		grownLabels := filepath.Join(dir, "grow-labels-"+suffix+".csv")
+		oneShotLabels := filepath.Join(dir, "oneshot-labels-"+suffix+".csv")
+
+		captureStdout(t, func() error {
+			return cmdGen(append([]string{"-out", grown, "-months", "12"}, common...))
+		})
+		captureStdout(t, func() error {
+			return cmdGen(append([]string{"-out", grown, "-months", "12", "-extend", "4"}, common...))
+		})
+		// Chained extension: the file is already 16 months long; the same
+		// base flags fast-forward to it and append 2 more.
+		captureStdout(t, func() error {
+			return cmdGen(append([]string{"-out", grown, "-labels", grownLabels, "-months", "12", "-extend", "2"}, common...))
+		})
+		captureStdout(t, func() error {
+			return cmdGen(append([]string{"-out", oneShot, "-months", "12"}, common...))
+		})
+		captureStdout(t, func() error {
+			return cmdGen(append([]string{"-out", oneShot, "-labels", oneShotLabels, "-months", "12", "-extend", "6"}, common...))
+		})
+
+		if !bytes.Equal(storeFileBytes(t, grown), storeFileBytes(t, oneShot)) {
+			t.Fatalf("%s: chained 4+2 month extension decodes differently from a one-shot 6-month extension", suffix)
+		}
+		evalGrown := captureStdout(t, func() error {
+			return cmdEvaluate([]string{"-data", grown, "-labels", grownLabels})
+		})
+		evalOneShot := captureStdout(t, func() error {
+			return cmdEvaluate([]string{"-data", oneShot, "-labels", oneShotLabels})
+		})
+		if evalGrown != evalOneShot {
+			t.Fatalf("%s: evaluate output differs between grown and one-shot datasets", suffix)
+		}
+	}
+}
+
+// TestCmdGenExtendRejectsMismatch pins the safety check: -extend refuses
+// to append to a file the flags do not regenerate.
+func TestCmdGenExtendRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.csv")
+	captureStdout(t, func() error {
+		return cmdGen([]string{"-out", out, "-customers", "20", "-seed", "3", "-months", "12"})
+	})
+	err := cmdGen([]string{"-out", out, "-customers", "20", "-seed", "4", "-months", "12", "-extend", "2"})
+	if err == nil {
+		t.Fatal("-extend with a different seed accepted")
+	}
+	if err := cmdGen([]string{"-out", filepath.Join(dir, "absent.csv"), "-customers", "20", "-seed", "3", "-months", "12", "-extend", "2"}); err == nil {
+		t.Fatal("-extend without an existing file accepted")
+	}
+}
+
+// alertLines filters cmdMonitor output down to the alert lines.
+func alertLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "stability ") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestCmdMonitorStateResume pins the incremental monitor CLI: processing a
+// base dataset with -state, growing the file in place, then resuming from
+// the saved state emits exactly the alerts of one -state replay of the
+// final file — the past is never rescored, and the saved watermark marks
+// where feeding resumes.
+func TestCmdMonitorStateResume(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r.csv")
+	common := []string{"-customers", "40", "-seed", "11"}
+	captureStdout(t, func() error {
+		return cmdGen(append([]string{"-out", data, "-months", "24"}, common...))
+	})
+
+	state := filepath.Join(dir, "mon.smn")
+	run := func(statePath string) string {
+		return captureStdout(t, func() error {
+			return cmdMonitor([]string{"-data", data, "-state", statePath, "-beta", "0.6", "-shards", "3", "-max-show", "100000"})
+		})
+	}
+	first := run(state)
+	captureStdout(t, func() error {
+		return cmdGen(append([]string{"-out", data, "-months", "24", "-extend", "4"}, common...))
+	})
+	second := run(state)
+	if !strings.Contains(second, "resuming at window") {
+		t.Fatalf("second run did not resume from state:\n%s", second)
+	}
+
+	oneShot := run(filepath.Join(dir, "fresh.smn"))
+	got := append(alertLines(first), alertLines(second)...)
+	want := alertLines(oneShot)
+	if len(got) == 0 {
+		t.Fatal("no alerts fired — test dataset too benign to pin anything")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental alert lines differ from one-shot replay:\nincremental (%d):\n%s\none-shot (%d):\n%s",
+			len(got), strings.Join(got, "\n"), len(want), strings.Join(want, "\n"))
+	}
+	// The two state files must describe the same monitor.
+	a, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fresh.smn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("incremental monitor state differs from one-shot replay state")
+	}
+}
+
+// TestCmdMonitorStateMidMonthBoundary pins the mid-month resume contract
+// the conservative watermark exists for: when the first file ends in the
+// middle of a month (externally grown datasets do), receipts for that same
+// month appended later must still be ingested on resume — the monitor may
+// not close windows past the data frontier. The final state must equal a
+// one-shot -state replay of the full file.
+func TestCmdMonitorStateMidMonthBoundary(t *testing.T) {
+	dir := t.TempDir()
+	day := func(months, days int) time.Time {
+		return time.Date(2012, time.May, 1, 10, 0, 0, 0, time.UTC).AddDate(0, months, days)
+	}
+	build := func(upToMonth, upToDay int) *stability.Store {
+		b := stability.NewStoreBuilder()
+		for id := stability.CustomerID(1); id <= 6; id++ {
+			for m := 0; m <= upToMonth; m++ {
+				for _, d := range []int{2, 9, 16, 23} {
+					if m == upToMonth && d > upToDay {
+						continue
+					}
+					if err := b.Add(id, day(m, d), []stability.ItemID{1, 2, stability.ItemID(id + 2)}, 5); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return b.Build()
+	}
+	writeCSV := func(path string, st *stability.Store) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := stability.WriteReceiptsCSV(f, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data := filepath.Join(dir, "r.csv")
+	full := build(14, 23)        // 15 months, complete
+	writeCSV(data, build(13, 9)) // ends mid-month: month 13 cut after day 9
+
+	state := filepath.Join(dir, "mid.smn")
+	run := func(statePath string) string {
+		return captureStdout(t, func() error {
+			return cmdMonitor([]string{"-data", data, "-state", statePath, "-beta", "0.99", "-warmup", "1", "-max-show", "100000"})
+		})
+	}
+	first := run(state)
+	writeCSV(data, full) // the file grows; months 13 (rest) and 14 arrive
+	second := run(state)
+	oneShot := run(filepath.Join(dir, "oneshot.smn"))
+
+	got := append(alertLines(first), alertLines(second)...)
+	want := alertLines(oneShot)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-month boundary lost or duplicated scoring:\nincremental:\n%s\none-shot:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	a, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "oneshot.smn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("mid-month incremental state differs from one-shot replay state — receipts were dropped at the boundary")
 	}
 }

@@ -15,6 +15,19 @@ import (
 // production deployment shape of the model on recorded data. Alerts are
 // collected at each window boundary (the feed's watermark), so output is
 // deterministic for any -shards value.
+//
+// With -state, the monitor becomes an incremental consumer of a growing
+// dataset: the first run processes the file and persists the monitor
+// snapshot; after the dataset is extended in place (attrition gen -extend),
+// the next run restores the snapshot, feeds only the windows past its
+// watermark, and persists again. The alerts printed across the incremental
+// runs are exactly the alerts one batch replay of the final file prints —
+// extension never rescores the past. Because more data may follow —
+// possibly for the very month the file ends in — -state runs close only
+// windows that ended at or before the start of the last receipt's month;
+// later windows stay open (their pending baskets persist in the snapshot,
+// and they are scored once a later run proves them covered) instead of
+// being force-closed.
 func cmdMonitor(args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
 	var (
@@ -25,6 +38,7 @@ func cmdMonitor(args []string) error {
 		topJ    = fs.Int("top", 3, "blamed products per alert")
 		warmup  = fs.Int("warmup", 4, "windows of history before alerts may fire")
 		shards  = fs.Int("shards", 0, "ingestion shards (customer-hash partitions); 0 = GOMAXPROCS")
+		state   = fs.String("state", "", "monitor snapshot path: restore from it when present, feed only new windows, persist back (incremental replay of a growing dataset)")
 		maxShow = fs.Int("max-show", 50, "maximum alerts to print (summary always shown)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -34,7 +48,7 @@ func cmdMonitor(args []string) error {
 	if err != nil {
 		return err
 	}
-	min, _, ok := st.TimeRange()
+	min, max, ok := st.TimeRange()
 	if !ok {
 		return fmt.Errorf("dataset is empty")
 	}
@@ -42,13 +56,14 @@ func cmdMonitor(args []string) error {
 	if err != nil {
 		return err
 	}
-	monitor, err := stability.NewShardedMonitor(stability.MonitorConfig{
+	cfg := stability.MonitorConfig{
 		Grid:          grid,
 		Model:         stability.Options{Alpha: *alpha},
 		Beta:          *beta,
 		TopJ:          *topJ,
 		WarmupWindows: *warmup,
-	}, stability.MonitorOptions{Shards: *shards})
+	}
+	monitor, resumeK, err := openMonitor(cfg, *state, *shards)
 	if err != nil {
 		return err
 	}
@@ -58,13 +73,21 @@ func cmdMonitor(args []string) error {
 		r  stability.Receipt
 	}
 	var feed []event
+	skipped := 0
 	st.Each(func(h stability.History) bool {
 		for _, r := range h.Receipts {
+			if grid.Index(r.Time) < resumeK {
+				skipped++ // window already scored by a previous -state run
+				continue
+			}
 			feed = append(feed, event{h.Customer, r})
 		}
 		return true
 	})
 	sort.SliceStable(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
+	if skipped > 0 {
+		fmt.Printf("resuming at window %d: %d receipts already processed, %d new\n", resumeK, skipped, len(feed))
+	}
 
 	shown, total := 0, 0
 	emit := func(alerts []stability.Alert) {
@@ -83,7 +106,7 @@ func cmdMonitor(args []string) error {
 		}
 	}
 
-	lastK := 0
+	lastK := resumeK
 	for _, ev := range feed {
 		k := grid.Index(ev.r.Time)
 		if k > lastK {
@@ -98,9 +121,22 @@ func cmdMonitor(args []string) error {
 			return fmt.Errorf("ingest customer %d: %w", ev.id, err)
 		}
 	}
-	alerts, err := monitor.CloseThrough(lastK)
+	// End-of-data watermark. Without -state this is the last window seen —
+	// the replay is final, score everything. With -state, more data may be
+	// appended later, and a stream can never prove the month containing
+	// its last receipt is complete (the file may end mid-month; appended
+	// receipts for that month must still be ingestible). So only windows
+	// that ended at or before that month's start are closed; later windows
+	// stay open — their pending baskets persist in the snapshot — until a
+	// subsequent run proves them covered.
+	closeK := lastK
+	if *state != "" {
+		lastMonthStart := grid.Origin().AddDate(0, grid.MonthIndex(max), 0)
+		closeK = grid.Index(lastMonthStart) - 1
+	}
+	alerts, err := monitor.CloseThrough(closeK)
 	if err != nil {
-		return fmt.Errorf("close through window %d: %w", lastK, err)
+		return fmt.Errorf("close through window %d: %w", closeK, err)
 	}
 	emit(alerts)
 	final, err := monitor.Close()
@@ -108,7 +144,58 @@ func cmdMonitor(args []string) error {
 		return fmt.Errorf("monitor close: %w", err)
 	}
 	emit(final)
+	if *state != "" {
+		if err := saveMonitorState(*state, monitor); err != nil {
+			return err
+		}
+		fmt.Printf("state saved to %s (watermark window %d)\n", *state, closeK+1)
+	}
 	fmt.Fprintf(os.Stdout, "\n%d alerts over %d customers (%d shards, %d shown)\n",
 		total, monitor.Customers(), monitor.Shards(), shown)
 	return nil
+}
+
+// openMonitor returns a fresh sharded monitor, or one restored from the
+// state file when it exists, along with the window index feeding should
+// resume from (0 for a fresh monitor).
+func openMonitor(cfg stability.MonitorConfig, statePath string, shards int) (*stability.ShardedMonitor, int, error) {
+	if statePath != "" {
+		f, err := os.Open(statePath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			monitor, err := stability.ReadShardedMonitorSnapshot(f, cfg, stability.MonitorOptions{Shards: shards})
+			if err != nil {
+				return nil, 0, fmt.Errorf("restore state %s: %w", statePath, err)
+			}
+			resumeK, _ := monitor.Watermark()
+			return monitor, resumeK, nil
+		case !os.IsNotExist(err):
+			return nil, 0, err
+		}
+	}
+	monitor, err := stability.NewShardedMonitor(cfg, stability.MonitorOptions{Shards: shards})
+	if err != nil {
+		return nil, 0, err
+	}
+	return monitor, 0, nil
+}
+
+// saveMonitorState atomically persists the monitor snapshot.
+func saveMonitorState(path string, monitor *stability.ShardedMonitor) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := monitor.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

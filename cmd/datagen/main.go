@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/gautrais/stability"
 )
@@ -31,10 +32,11 @@ func run(args []string) error {
 		outDir    = fs.String("out", "dataset", "output directory")
 		customers = fs.Int("customers", 0, "population size (0 = default)")
 		seed      = fs.Int64("seed", 0, "dataset seed (0 = default)")
-		months    = fs.Int("months", 0, "dataset length in months (0 = default)")
+		months    = fs.Int("months", 0, "dataset length in months (0 = default); with -extend, the length of the existing base dataset")
 		onset     = fs.Int("onset", 0, "attrition onset month (0 = default/auto)")
 		segments  = fs.Int("segments", 0, "catalog segments (0 = default)")
 		formats   = fs.String("formats", "csv", "comma-separated: csv,jsonl,bin")
+		extend    = fs.Int("extend", 0, "append N months to the existing dataset in -out: the base is regenerated from the same flags, the simulation resumes past its horizon, and only the new receipts are appended to each format file")
 		workers   = fs.Int("workers", 0, "generation worker pool size (0 = all CPUs; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,12 +66,103 @@ func run(args []string) error {
 	if *segments > 0 {
 		cfg.Segments = *segments
 	}
+	// wanted resolves the -formats list against the shared codec table,
+	// deduplicated: a repeated name must not write (or, worse, delta-append)
+	// the same file twice.
+	var wanted []stability.ReceiptFormat
+	seen := make(map[string]bool)
+	for _, format := range strings.Split(*formats, ",") {
+		name := strings.TrimSpace(format)
+		if name == "" || seen[name] {
+			continue
+		}
+		sf, ok := stability.ReceiptFormatNamed(name)
+		if !ok {
+			return fmt.Errorf("unknown format %q", name)
+		}
+		seen[name] = true
+		wanted = append(wanted, sf)
+	}
+
 	ds, err := stability.GenerateSampleWith(cfg, stability.SampleOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+	var prev *stability.Store
+	if *extend > 0 {
+		if len(wanted) == 0 {
+			return fmt.Errorf("-extend needs at least one format")
+		}
+		// Verify every requested file really is the dataset these flags
+		// regenerate before appending a single byte: GrowSample
+		// fast-forwards the base to the files' current length and checks
+		// population, receipt count and time range. Re-running the same
+		// -extend command is therefore a no-op-safe error (the files are
+		// already longer than base+extend would allow duplicating), and a
+		// wrong -seed/-months is rejected instead of corrupting the files.
+		stores := make([]*stability.Store, len(wanted))
+		for i, sf := range wanted {
+			path := filepath.Join(*outDir, sf.File)
+			f, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("%s: -extend needs the base file to append to: %w", sf.File, err)
+			}
+			st, err := sf.Read(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", sf.File, err)
+			}
+			stores[i] = st
+			if st.NumReceipts() != stores[0].NumReceipts() || st.NumCustomers() != stores[0].NumCustomers() {
+				return fmt.Errorf("%s and %s disagree (%d/%d vs %d/%d receipts/customers) — extend them from a consistent state",
+					wanted[0].File, sf.File, stores[0].NumReceipts(), stores[0].NumCustomers(), st.NumReceipts(), st.NumCustomers())
+			}
+			// CSV stores whole seconds while JSONL keeps nanoseconds, so
+			// compare the ranges at the coarsest codec resolution.
+			aMin, aMax, aOK := stores[0].TimeRange()
+			bMin, bMax, bOK := st.TimeRange()
+			if aOK != bOK || (aOK && (!aMin.Truncate(time.Second).Equal(bMin.Truncate(time.Second)) ||
+				!aMax.Truncate(time.Second).Equal(bMax.Truncate(time.Second)))) {
+				return fmt.Errorf("%s and %s disagree on the covered time range — extend them from a consistent state",
+					wanted[0].File, sf.File)
+			}
+		}
+		prev, err = stability.GrowSample(ds, stores[0], *extend, stability.SampleOptions{Workers: *workers})
+		if err != nil {
+			return fmt.Errorf("-extend: %s: %w", wanted[0].File, err)
+		}
+	}
+
+	appendDelta := func(name string, fn func(*os.File) error) error {
+		path := filepath.Join(*outDir, name)
+		before, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return err
+		}
+		// A failed append (disk full, codec error) restores the original
+		// size, so the file never keeps a half-written trailing segment.
+		if err := fn(f); err != nil {
+			f.Close()
+			os.Truncate(path, before.Size())
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			os.Truncate(path, before.Size())
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("extended %s (now %d bytes)\n", path, info.Size())
+		return nil
 	}
 
 	write := func(name string, fn func(*os.File) error) error {
@@ -93,29 +186,14 @@ func run(args []string) error {
 		return nil
 	}
 
-	for _, format := range strings.Split(*formats, ",") {
-		switch strings.TrimSpace(format) {
-		case "csv":
-			if err := write("receipts.csv", func(f *os.File) error {
-				return stability.WriteReceiptsCSV(f, ds.Store)
-			}); err != nil {
-				return err
-			}
-		case "jsonl":
-			if err := write("receipts.jsonl", func(f *os.File) error {
-				return stability.WriteReceiptsJSONL(f, ds.Store)
-			}); err != nil {
-				return err
-			}
-		case "bin":
-			if err := write("receipts.stb", func(f *os.File) error {
-				return stability.WriteSnapshot(f, ds.Store)
-			}); err != nil {
-				return err
-			}
-		case "":
-		default:
-			return fmt.Errorf("unknown format %q", format)
+	for _, sf := range wanted {
+		if prev != nil {
+			err = appendDelta(sf.File, func(f *os.File) error { return sf.WriteDelta(f, ds.Store, prev) })
+		} else {
+			err = write(sf.File, func(f *os.File) error { return sf.Write(f, ds.Store) })
+		}
+		if err != nil {
+			return err
 		}
 	}
 	if err := write("labels.csv", func(f *os.File) error {
@@ -129,6 +207,6 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("dataset: %d customers, %d receipts, %d segments, %d months\n",
-		ds.Store.NumCustomers(), ds.Store.NumReceipts(), cfg.Segments, cfg.Months)
+		ds.Store.NumCustomers(), ds.Store.NumReceipts(), ds.Config.Segments, ds.Config.Months)
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/gautrais/stability"
@@ -80,5 +82,152 @@ func TestRunDeterministicAcrossInvocations(t *testing.T) {
 	}
 	if string(a) != string(b) {
 		t.Fatal("same seed produced different CSV output")
+	}
+}
+
+// TestRunExtendAllFormats pins datagen's incremental growth path: a base
+// dataset in every format, extended in place with -extend, decodes to the
+// same store as a one-shot generation of the longer horizon (the base's
+// auto-adjusted onset passed explicitly so the configs agree).
+func TestRunExtendAllFormats(t *testing.T) {
+	grown, oneShot := t.TempDir(), t.TempDir()
+	common := []string{"-customers", "25", "-seed", "6", "-segments", "60", "-formats", "csv,jsonl,bin"}
+	// months=12 auto-adjusts the onset to 8; pin it so the 15-month
+	// one-shot run uses the same generation config.
+	if err := run(append([]string{"-out", grown, "-months", "12", "-onset", "8"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-out", grown, "-months", "12", "-onset", "8", "-extend", "3"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-out", oneShot, "-months", "15", "-onset", "8"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(dir, name string) *stability.Store {
+		t.Helper()
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		switch {
+		case strings.HasSuffix(name, ".jsonl"):
+			st, err := stability.ReadReceiptsJSONL(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		case strings.HasSuffix(name, ".stb"):
+			st, err := stability.ReadSnapshot(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		default:
+			st, _, err := stability.ReadReceiptsCSV(f, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+	}
+	for _, name := range []string{"receipts.csv", "receipts.jsonl", "receipts.stb"} {
+		var a, b bytes.Buffer
+		if err := stability.WriteSnapshot(&a, read(grown, name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := stability.WriteSnapshot(&b, read(oneShot, name)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: extended-in-place file decodes differently from one-shot generation", name)
+		}
+	}
+	// Labels over the grown dataset must match the one-shot run's.
+	gl, err := os.ReadFile(filepath.Join(grown, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := os.ReadFile(filepath.Join(oneShot, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gl, ol) {
+		t.Fatal("labels differ between grown and one-shot datasets")
+	}
+}
+
+// TestRunExtendNeedsBaseFiles pins the error path: -extend without the
+// base files in place fails loudly instead of writing from scratch.
+func TestRunExtendNeedsBaseFiles(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-customers", "10", "-months", "12", "-extend", "2", "-formats", "csv"}); err == nil {
+		t.Fatal("-extend into an empty directory accepted")
+	}
+}
+
+// TestRunExtendRerunAndMismatch pins the verification path: re-running the
+// same -extend command chains (the base fast-forwards to the files'
+// current length — months append, receipts never duplicate), and a
+// mismatched seed is rejected before a single byte is appended.
+func TestRunExtendRerunAndMismatch(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-out", dir, "-customers", "15", "-seed", "5", "-months", "12", "-onset", "8", "-formats", "csv"}
+	if err := run(common); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-extend", "3")); err != nil {
+		t.Fatal(err)
+	}
+	// Same command again: chains to 18 months, no duplicated receipts.
+	if err := run(append(common, "-extend", "3")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "receipts.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, _, err := stability.ReadReceiptsCSV(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot := t.TempDir()
+	if err := run([]string{"-out", oneShot, "-customers", "15", "-seed", "5", "-months", "18", "-onset", "8", "-formats", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	of, err := os.Open(filepath.Join(oneShot, "receipts.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	want, _, err := stability.ReadReceiptsCSV(of, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := stability.WriteSnapshot(&a, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := stability.WriteSnapshot(&b, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("double -extend 3 differs from a one-shot 18-month generation (duplicate or missing receipts)")
+	}
+	// Wrong seed must be rejected, file untouched.
+	before, err := os.ReadFile(filepath.Join(dir, "receipts.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", dir, "-customers", "15", "-seed", "6", "-months", "12", "-onset", "8", "-formats", "csv", "-extend", "3"}); err == nil {
+		t.Fatal("-extend with a mismatched seed accepted")
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "receipts.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected -extend still modified the file")
 	}
 }

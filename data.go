@@ -2,6 +2,7 @@ package stability
 
 import (
 	"io"
+	"strings"
 
 	"github.com/gautrais/stability/internal/eval"
 	"github.com/gautrais/stability/internal/store"
@@ -50,11 +51,104 @@ func ReadReceiptsJSONL(r io.Reader) (*Store, error) { return store.ReadJSONL(r) 
 // WriteReceiptsJSONL serializes a store as one JSON object per receipt.
 func WriteReceiptsJSONL(w io.Writer, s *Store) error { return s.WriteJSONL(w) }
 
-// ReadSnapshot parses the compact binary snapshot format.
+// ReadSnapshot parses the compact binary snapshot format, including files
+// grown by appending delta segments (WriteSnapshotDelta).
 func ReadSnapshot(r io.Reader) (*Store, error) { return store.ReadBinary(r) }
 
 // WriteSnapshot serializes a store in the compact binary snapshot format.
 func WriteSnapshot(w io.Writer, s *Store) error { return s.WriteBinary(w) }
+
+// WriteReceiptsCSVDelta writes only the receipts s holds beyond prev as
+// header-less CSV rows: appending them to a file that decodes to prev
+// yields a file that decodes to s. s must extend prev (same receipts, new
+// ones appended per customer), which is what ExtendSample produces.
+func WriteReceiptsCSVDelta(w io.Writer, s, prev *Store) error { return s.WriteCSVDelta(w, prev) }
+
+// WriteReceiptsJSONLDelta writes only the receipts s holds beyond prev as
+// JSONL lines, for appending to an existing export. s must extend prev.
+func WriteReceiptsJSONLDelta(w io.Writer, s, prev *Store) error { return s.WriteJSONLDelta(w, prev) }
+
+// WriteSnapshotDelta writes only the receipts s holds beyond prev as one
+// binary snapshot segment, for appending to an existing snapshot file —
+// the existing bytes are never rewritten. s must extend prev.
+func WriteSnapshotDelta(w io.Writer, s, prev *Store) error { return s.WriteBinaryDelta(w, prev) }
+
+// ReceiptFormat bundles one receipt codec's operations, keyed both by
+// format name (datagen's -formats list) and by path suffix (attrition's
+// -data/-out dispatch). Keeping the triples in one table means a format's
+// read, write and delta-append paths can never drift apart per call site.
+type ReceiptFormat struct {
+	// Name keys the format in format lists ("csv", "jsonl", "bin").
+	Name string
+	// File is the conventional file name in a dataset directory.
+	File string
+	// Extensions are the path suffixes that select this format.
+	Extensions []string
+	// Read parses a complete file strictly (the CSV codec also has a
+	// lenient mode via ReadReceiptsCSV for hand-edited files).
+	Read func(r io.Reader) (*Store, error)
+	// Write serializes a full store.
+	Write func(w io.Writer, s *Store) error
+	// WriteDelta appends only the receipts cur holds beyond prev.
+	WriteDelta func(w io.Writer, cur, prev *Store) error
+}
+
+// ReceiptFormats lists every supported receipt codec.
+func ReceiptFormats() []ReceiptFormat {
+	return []ReceiptFormat{
+		{
+			Name:       "csv",
+			File:       "receipts.csv",
+			Extensions: []string{".csv"},
+			Read: func(r io.Reader) (*Store, error) {
+				st, _, err := ReadReceiptsCSV(r, true)
+				return st, err
+			},
+			Write:      WriteReceiptsCSV,
+			WriteDelta: WriteReceiptsCSVDelta,
+		},
+		{
+			Name:       "jsonl",
+			File:       "receipts.jsonl",
+			Extensions: []string{".jsonl"},
+			Read:       ReadReceiptsJSONL,
+			Write:      WriteReceiptsJSONL,
+			WriteDelta: WriteReceiptsJSONLDelta,
+		},
+		{
+			Name:       "bin",
+			File:       "receipts.stb",
+			Extensions: []string{".stb", ".bin"},
+			Read:       ReadSnapshot,
+			Write:      WriteSnapshot,
+			WriteDelta: WriteSnapshotDelta,
+		},
+	}
+}
+
+// ReceiptFormatNamed returns the format a -formats list entry names.
+func ReceiptFormatNamed(name string) (ReceiptFormat, bool) {
+	for _, f := range ReceiptFormats() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return ReceiptFormat{}, false
+}
+
+// ReceiptFormatForPath returns the format a path's suffix selects,
+// defaulting to CSV.
+func ReceiptFormatForPath(path string) ReceiptFormat {
+	formats := ReceiptFormats()
+	for _, f := range formats {
+		for _, ext := range f.Extensions {
+			if strings.HasSuffix(path, ext) {
+				return f
+			}
+		}
+	}
+	return formats[0]
+}
 
 // ReadLabelsCSV parses cohort labels (customer,cohort,onset_month).
 func ReadLabelsCSV(r io.Reader) ([]Label, error) { return store.ReadLabelsCSV(r) }

@@ -1,17 +1,22 @@
 // Streaming: monitor a live receipt feed and react to attrition alerts as
 // they fire — the production deployment shape of the stability model. The
-// example replays a generated dataset in timestamp order as if it were a
-// point-of-sale stream through the sharded monitor (receipts fan out across
-// customer-hash shards, one goroutine each, so ingestion scales with cores),
-// advances the watermark at each window boundary so silent (defecting!)
-// customers still get scored, and prints each alert with the products to win
-// the customer back with. Alerts arrive at the watermark barriers in
-// (window, customer) order — identical output for any shard count.
+// example drives the sharded monitor from a dataset that GROWS while the
+// monitor runs: a base horizon is generated and replayed as a
+// point-of-sale stream, then the dataset is extended month by month
+// (resuming each customer's simulation — the past is never re-simulated)
+// and only the appended receipts are fed. The watermark advances at each
+// window boundary so silent (defecting!) customers still get scored, and
+// each alert prints the products to win the customer back with.
+//
+// Incremental consumption is lossless: at the end, the monitor state is
+// byte-identical to a batch replay of the final dataset through a fresh
+// monitor — the example checks the two SMN1 snapshots and says so.
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"sort"
@@ -20,48 +25,57 @@ import (
 	"github.com/gautrais/stability"
 )
 
+const (
+	baseMonths   = 22 // generated up front (attrition onset is month 18)
+	extraMonths  = 6  // appended one month at a time while monitoring
+	monitorSpan  = 2  // window span in months
+	monitorBeta  = 0.6
+	monitorShard = 4
+)
+
+type event struct {
+	id stability.CustomerID
+	r  stability.Receipt
+}
+
+// feedOf flattens histories into one timestamp-ordered feed (ties keep
+// ascending customer order, so the feed is deterministic).
+func feedOf(histories []stability.History) []event {
+	var feed []event
+	for _, h := range histories {
+		for _, r := range h.Receipts {
+			feed = append(feed, event{h.Customer, r})
+		}
+	}
+	sort.SliceStable(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
+	return feed
+}
+
 func main() {
 	cfg := stability.DefaultSampleConfig()
 	cfg.Customers = 120
 	cfg.Seed = 5
+	cfg.Months = baseMonths
 	ds, err := stability.GenerateSample(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	grid, err := stability.NewGrid(cfg.Start, 2)
+	grid, err := stability.NewGrid(cfg.Start, monitorSpan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	monitor, err := stability.NewShardedMonitor(stability.MonitorConfig{
+	monitorCfg := stability.MonitorConfig{
 		Grid:          grid,
 		Model:         stability.DefaultOptions(),
-		Beta:          0.6, // alert when stability falls to 0.6 or below
+		Beta:          monitorBeta, // alert when stability falls to 0.6 or below
 		TopJ:          3,
 		WarmupWindows: 4, // no alerts until 8 months of history
-	}, stability.MonitorOptions{Shards: 4}) // 0 = one shard per core
+	}
+	monitor, err := stability.NewShardedMonitor(monitorCfg, stability.MonitorOptions{Shards: monitorShard})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Flatten the dataset into one timestamp-ordered feed.
-	type event struct {
-		id stability.CustomerID
-		r  stability.Receipt
-	}
-	var feed []event
-	for _, id := range ds.Store.Customers() {
-		h, err := ds.Store.History(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, r := range h.Receipts {
-			feed = append(feed, event{id, r})
-		}
-	}
-	sort.Slice(feed, func(i, j int) bool { return feed[i].r.Time.Before(feed[j].r.Time) })
-	fmt.Printf("replaying %d receipts from %d customers as a live feed across %d shards\n\n",
-		len(feed), cfg.Customers, monitor.Shards())
 
 	alertsTotal := 0
 	trueAlerts := 0
@@ -85,36 +99,126 @@ func main() {
 		}
 	}
 
-	// Advance the watermark at window boundaries: the CloseThrough barrier
-	// drains every shard, scores customers silent for a whole window (their
-	// silence is the signal), and surfaces any ingest error from the batch.
+	// ingest replays a feed slice, advancing the watermark at each window
+	// boundary: the CloseThrough barrier drains every shard, scores
+	// customers silent for a whole window (their silence is the signal),
+	// and surfaces any ingest error from the batch.
 	lastK := 0
-	for _, ev := range feed {
+	ingest := func(feed []event) {
+		for _, ev := range feed {
+			if k := grid.Index(ev.r.Time); k > lastK {
+				alerts, err := monitor.CloseThrough(k - 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				handle(alerts)
+				lastK = k
+			}
+			if err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: replay the base horizon as a live feed.
+	base, err := ds.Store.DeltaSince(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseFeed := feedOf(base)
+	fmt.Printf("replaying %d receipts from %d customers as a live feed across %d shards\n\n",
+		len(baseFeed), cfg.Customers, monitor.Shards())
+	ingest(baseFeed)
+
+	// Phase 2: the dataset keeps growing underneath the monitor. Each
+	// month, the simulation resumes from its checkpoint (bit-identical to
+	// having generated the longer horizon up front) and only the appended
+	// receipts — DeltaSince against the previous frozen store — are fed.
+	for m := 0; m < extraMonths; m++ {
+		prev := ds.Store
+		if err := stability.ExtendSample(ds, 1, stability.SampleOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		delta, err := ds.Store.DeltaSince(prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newFeed := feedOf(delta)
+		fmt.Printf("-- month %d appended: %d new receipts\n", ds.Config.Months, len(newFeed))
+		ingest(newFeed)
+	}
+
+	// Close every window the final horizon covers.
+	finalK := grid.Index(ds.Config.End().AddDate(0, 0, -1))
+	alerts, err := monitor.CloseThrough(finalK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	handle(alerts)
+	var incremental bytes.Buffer
+	if err := monitor.WriteSnapshot(&incremental); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := monitor.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check: a batch replay of the final store through a fresh
+	// monitor must land in exactly the same state.
+	batchSnap, batchAlerts := batchReplay(monitorCfg, grid, ds, finalK)
+	if !bytes.Equal(incremental.Bytes(), batchSnap) {
+		log.Fatal("incremental replay snapshot diverged from batch replay of the final store")
+	}
+	if alertsTotal != batchAlerts {
+		log.Fatalf("alert counts diverged: incremental %d, batch %d", alertsTotal, batchAlerts)
+	}
+	fmt.Printf("\nincremental replay == batch replay of the final store: true (%d alerts each)\n", alertsTotal)
+
+	if alertsTotal == 0 {
+		fmt.Println("no alerts fired")
+		return
+	}
+	fmt.Printf("%d alerts total; %d (%.0f%%) were ground-truth defectors\n",
+		alertsTotal, trueAlerts, 100*float64(trueAlerts)/float64(alertsTotal))
+}
+
+// batchReplay feeds the complete final store through a fresh monitor in
+// one pass and returns its snapshot bytes and alert count.
+func batchReplay(cfg stability.MonitorConfig, grid stability.Grid, ds *stability.SampleDataset, finalK int) ([]byte, int) {
+	monitor, err := stability.NewShardedMonitor(cfg, stability.MonitorOptions{Shards: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, err := ds.Store.DeltaSince(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	lastK := 0
+	for _, ev := range feedOf(all) {
 		if k := grid.Index(ev.r.Time); k > lastK {
 			alerts, err := monitor.CloseThrough(k - 1)
 			if err != nil {
 				log.Fatal(err)
 			}
-			handle(alerts)
+			count += len(alerts)
 			lastK = k
 		}
 		if err := monitor.Ingest(ev.id, ev.r.Time, ev.r.Items); err != nil {
 			log.Fatal(err)
 		}
 	}
-	alerts, err := monitor.CloseThrough(cfg.Months/2 - 1)
+	alerts, err := monitor.CloseThrough(finalK)
 	if err != nil {
 		log.Fatal(err)
 	}
-	handle(alerts)
+	count += len(alerts)
+	var snap bytes.Buffer
+	if err := monitor.WriteSnapshot(&snap); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := monitor.Close(); err != nil {
 		log.Fatal(err)
 	}
-
-	if alertsTotal == 0 {
-		fmt.Println("\nno alerts fired")
-		return
-	}
-	fmt.Printf("\n%d alerts total; %d (%.0f%%) were ground-truth defectors\n",
-		alertsTotal, trueAlerts, 100*float64(trueAlerts)/float64(alertsTotal))
+	return snap.Bytes(), count
 }

@@ -33,8 +33,17 @@ type profile struct {
 	driftProb float64 // per-month chance of an ordinary repertoire swap
 	core      []coreItem
 	vacations []vacation
-	r         *stats.Rand
-	driftZipf *stats.Zipf // sampler for drift-adopted segments
+	// Vacations are drawn lazily as a Poisson process on a dedicated forked
+	// stream, so the materialized plan for any horizon is a prefix of the
+	// plan for every longer horizon — the property that lets Extend resume a
+	// customer bit-identically. vacNext is the start day of the first
+	// vacation not yet materialized; vacRand is nil when vacations are
+	// disabled.
+	vacRand    *stats.Rand
+	vacNext    float64
+	vacGapDays float64
+	r          *stats.Rand
+	driftZipf  *stats.Zipf // sampler for drift-adopted segments
 	// dropped marks attrition-lost segments: "stopped buying" means gone
 	// for good, so impulse draws and drift adoption must skip them.
 	dropped map[retail.ItemID]bool
@@ -118,17 +127,32 @@ func newProfile(cfg Config, id retail.CustomerID, defector bool, zipf *stats.Zip
 			active:     true,
 		})
 	}
-	// Vacation plan over the whole horizon.
-	horizonDays := cfg.End().Sub(cfg.Start).Hours() / 24
-	years := horizonDays / 365.25
-	n := r.Poisson(cfg.VacationsPerYear * years)
-	for i := 0; i < n; i++ {
-		start := r.Float64() * horizonDays
-		length := float64(r.IntBetween(cfg.VacationDaysMin, cfg.VacationDaysMax))
-		p.vacations = append(p.vacations, vacation{startDay: start, endDay: start + length})
+	// Vacation plan: a homogeneous Poisson process (exponential gaps between
+	// start days) on a dedicated forked stream. The process is materialized
+	// only up to the current horizon by extendVacations, and the draws for
+	// months [0, M) never depend on the total horizon — so extending a
+	// dataset replays exactly the draws a longer from-scratch run makes.
+	if cfg.VacationsPerYear > 0 {
+		p.vacGapDays = 365.25 / cfg.VacationsPerYear
+		p.vacRand = r.Fork()
+		p.vacNext = p.vacRand.Exponential(p.vacGapDays)
 	}
-	sort.Slice(p.vacations, func(i, j int) bool { return p.vacations[i].startDay < p.vacations[j].startDay })
 	return p
+}
+
+// extendVacations materializes the vacation plan through horizonDays.
+// Starts arrive in increasing order, so the list stays sorted; calling with
+// successively larger horizons appends exactly the vacations a from-scratch
+// run with the larger horizon would have drawn.
+func (p *profile) extendVacations(cfg Config, horizonDays float64) {
+	if p.vacRand == nil {
+		return
+	}
+	for p.vacNext < horizonDays {
+		length := float64(p.vacRand.IntBetween(cfg.VacationDaysMin, cfg.VacationDaysMax))
+		p.vacations = append(p.vacations, vacation{startDay: p.vacNext, endDay: p.vacNext + length})
+		p.vacNext += p.vacRand.Exponential(p.vacGapDays)
+	}
 }
 
 func (p *profile) onVacation(day float64) bool {
@@ -149,12 +173,9 @@ func monthOf(start time.Time, day float64) int {
 	return (t.Year()-start.Year())*12 + int(t.Month()) - int(start.Month())
 }
 
-// simulate generates the customer's receipts, attrition drop events and
-// drift drop events over the configured horizon.
-func (p *profile) simulate(cfg Config, prices []float64, zipf *stats.Zipf) (receipts []retail.Receipt, drops, driftDrops []DropEvent) {
-	horizonDays := cfg.End().Sub(cfg.Start).Hours() / 24
-
-	curMonth := 0
+// startSimulation draws the customer's join offset and first trip day,
+// returning the initial trip-loop cursor for simulateRange.
+func (p *profile) startSimulation(cfg Config) (day float64, curMonth int) {
 	// Late joiners: the customer's first trip happens after their join
 	// offset; everything before is pre-customer silence. Replenishment
 	// phases shift with the join so baskets ramp up naturally instead of
@@ -165,7 +186,19 @@ func (p *profile) simulate(cfg Config, prices []float64, zipf *stats.Zipf) (rece
 			p.core[i].lastBought += joinDay
 		}
 	}
-	day := joinDay + p.r.Exponential(7/p.tripRate)
+	return joinDay + p.r.Exponential(7/p.tripRate), 0
+}
+
+// simulateRange runs the trip loop from the (day, curMonth) cursor until
+// the horizon, generating receipts, attrition drop events and drift drop
+// events. It returns the cursor at loop exit: day is the first trip at or
+// beyond the horizon (its randomness already drawn), curMonth the last
+// month boundary processed. Nothing inside the loop depends on the horizon,
+// so resuming the returned cursor against a later horizon is bit-identical
+// to having run the longer horizon from the start — the property gen.Extend
+// is built on. Vacations must already be materialized through horizonDays.
+func (p *profile) simulateRange(cfg Config, prices []float64, day float64, curMonth int, horizonDays float64) (receipts []retail.Receipt, drops, driftDrops []DropEvent, nextDay float64, nextMonth int) {
+	zipf := p.driftZipf
 	for day < horizonDays {
 		m := monthOf(cfg.Start, day)
 		// Apply month-boundary transitions (possibly several if trips are
@@ -198,7 +231,7 @@ func (p *profile) simulate(cfg Config, prices []float64, zipf *stats.Zipf) (rece
 		}
 		day += gap
 	}
-	return receipts, drops, driftDrops
+	return receipts, drops, driftDrops, day, curMonth
 }
 
 // applyMonthlyDrift occasionally swaps one active core segment for a fresh

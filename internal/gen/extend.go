@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gautrais/stability/internal/population"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/store"
+)
+
+// ErrNotResumable is returned by Extend for datasets that carry no
+// simulation checkpoints (e.g. datasets decoded from codec files).
+// Regenerate the base deterministically from its config to obtain a
+// resumable dataset.
+var ErrNotResumable = errors.New("gen: dataset carries no simulation checkpoints")
+
+// extGen is one customer's extension output, merged in customer order.
+type extGen struct {
+	receipts   []retail.Receipt
+	drops      []DropEvent
+	driftDrops []DropEvent
+}
+
+// Extend appends months to a generated dataset by resuming every
+// customer's simulation from its checkpoint, without re-simulating the
+// past. The result is bit-identical to a from-scratch Generate over the
+// longer horizon — store bytes, truth records and downstream evaluation
+// alike — at any worker count, because each customer's RNG streams resume
+// exactly where the base run's trip loop left them and nothing in the loop
+// depends on the total horizon. The store is grown with
+// Builder.AppendWith, so the frozen per-customer histories are reused
+// rather than re-sorted.
+//
+// Extend mutates ds in place (Config, Store, Truth, checkpoints) and may
+// be called repeatedly: Extend(Extend(M), K1), K2) equals Generate over
+// M+K1+K2 months.
+func Extend(ds *Dataset, months int, opts Options) error {
+	if !ds.Resumable() {
+		return ErrNotResumable
+	}
+	if months < 1 {
+		return fmt.Errorf("gen: Extend months must be >= 1, got %d", months)
+	}
+	newCfg := ds.Config
+	newCfg.Months += months
+	if err := newCfg.Validate(); err != nil {
+		return err
+	}
+	horizonDays := newCfg.End().Sub(newCfg.Start).Hours() / 24
+	cps := ds.resume.cps
+	prices := ds.resume.prices
+	results, err := population.Map(len(cps), population.Options{Workers: opts.Workers},
+		func(i int) (extGen, error) {
+			cp := cps[i]
+			cp.p.extendVacations(newCfg, horizonDays)
+			receipts, drops, driftDrops, day, curMonth := cp.p.simulateRange(newCfg, prices, cp.day, cp.month, horizonDays)
+			cp.day, cp.month = day, curMonth
+			return extGen{receipts: receipts, drops: drops, driftDrops: driftDrops}, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	sb := store.NewBuilder()
+	for i, eg := range results {
+		id := retail.CustomerID(i + 1)
+		for _, r := range eg.receipts {
+			if err := sb.AddReceipt(id, r); err != nil {
+				return fmt.Errorf("gen: extend customer %d: %w", id, err)
+			}
+		}
+		t := ds.Truth.ByCustomer[id]
+		t.Drops = append(t.Drops, eg.drops...)
+		t.DriftDrops = append(t.DriftDrops, eg.driftDrops...)
+		// The core repertoire includes drift adoptions, which the extended
+		// months may have added — re-derive it so truth records match a
+		// from-scratch run of the longer horizon.
+		t.Core = coreSegments(cps[i].p)
+	}
+	ds.Truth.InvalidateIndexes()
+	ds.Store = sb.AppendWith(ds.Store, store.Options{Workers: opts.Workers})
+	ds.Config = newCfg
+	return nil
+}

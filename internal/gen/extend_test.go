@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// extendConfig exercises every horizon-sensitive feature: seasonality,
+// late joiners, vacations, drift and attrition all cross the extension
+// boundary.
+func extendConfig() Config {
+	cfg := smallConfig()
+	cfg.Customers = 50
+	cfg.SeasonalFraction = 0.3
+	cfg.JoinSpreadMonths = 4
+	return cfg
+}
+
+// truthFingerprint deep-copies the comparable truth content: every label,
+// drop schedule and core repertoire.
+func truthFingerprint(t *testing.T, g *GroundTruth) map[retail.CustomerID]CustomerTruth {
+	t.Helper()
+	out := make(map[retail.CustomerID]CustomerTruth, len(g.ByCustomer))
+	for id, ct := range g.ByCustomer {
+		out[id] = CustomerTruth{
+			Label:      ct.Label,
+			Core:       append([]retail.ItemID(nil), ct.Core...),
+			Drops:      append([]DropEvent(nil), ct.Drops...),
+			DriftDrops: append([]DropEvent(nil), ct.DriftDrops...),
+		}
+	}
+	return out
+}
+
+// TestExtendMatchesFromScratch pins the tentpole contract: extending a
+// generated dataset is bit-identical — store bytes, truth records, label
+// indexes — to generating the longer horizon from scratch, at every worker
+// count on both sides of the comparison.
+func TestExtendMatchesFromScratch(t *testing.T) {
+	cfg := extendConfig()
+	const extraMonths = 6
+
+	longCfg := cfg
+	longCfg.Months += extraMonths
+	want, err := GenerateWith(longCfg, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStore, _ := datasetFingerprint(t, want)
+	wantTruth := truthFingerprint(t, want.Truth)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		ds, err := GenerateWith(cfg, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := Extend(ds, extraMonths, Options{Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ds.Config.Months != longCfg.Months {
+			t.Fatalf("workers=%d: extended config has %d months, want %d", workers, ds.Config.Months, longCfg.Months)
+		}
+		gotStore, _ := datasetFingerprint(t, ds)
+		if !bytes.Equal(gotStore, wantStore) {
+			t.Errorf("workers=%d: extended store bytes differ from from-scratch generation", workers)
+		}
+		if got := truthFingerprint(t, ds.Truth); !reflect.DeepEqual(got, wantTruth) {
+			t.Errorf("workers=%d: extended truth records differ from from-scratch generation", workers)
+		}
+		if !reflect.DeepEqual(ds.Truth.Labels(), want.Truth.Labels()) {
+			t.Errorf("workers=%d: label index differs after extension", workers)
+		}
+		if !reflect.DeepEqual(ds.Truth.Defectors(), want.Truth.Defectors()) {
+			t.Errorf("workers=%d: defector index differs after extension", workers)
+		}
+	}
+}
+
+// TestExtendChained pins that repeated extension equals one long
+// extension equals from-scratch generation: the checkpoints stay live
+// across Extend calls.
+func TestExtendChained(t *testing.T) {
+	cfg := extendConfig()
+	longCfg := cfg
+	longCfg.Months += 5
+	want, err := Generate(longCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStore, _ := datasetFingerprint(t, want)
+
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{1, 3, 1} {
+		if err := Extend(ds, step, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotStore, _ := datasetFingerprint(t, ds)
+	if !bytes.Equal(gotStore, wantStore) {
+		t.Error("chained 1+3+1 month extensions differ from one 5-month horizon")
+	}
+}
+
+// TestExtendGroundTruthIndexes pins the index-staleness satellite: Extend
+// mutates ByCustomer after the indexes were built at generation time, so
+// Labels/Defectors must reflect post-extension truth (via the
+// InvalidateIndexes path), not the frozen base indexes.
+func TestExtendGroundTruthIndexes(t *testing.T) {
+	cfg := extendConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the accessors so the lazy indexes definitely exist pre-Extend.
+	baseLabels := ds.Truth.Labels()
+	if len(baseLabels) != cfg.Customers {
+		t.Fatalf("base labels = %d, want %d", len(baseLabels), cfg.Customers)
+	}
+	if err := Extend(ds, 4, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	labels := ds.Truth.Labels()
+	if len(labels) != cfg.Customers {
+		t.Fatalf("labels after extension = %d, want %d", len(labels), cfg.Customers)
+	}
+	for i, l := range labels {
+		if i > 0 && labels[i-1].Customer >= l.Customer {
+			t.Fatal("labels not sorted after extension")
+		}
+		want := ds.Truth.ByCustomer[l.Customer].Label
+		if l != want {
+			t.Fatalf("customer %d: indexed label %+v != truth %+v", l.Customer, l, want)
+		}
+	}
+	defectors := ds.Truth.Defectors()
+	wantDefectors := 0
+	for _, ct := range ds.Truth.ByCustomer {
+		if ct.Label.Cohort == retail.CohortDefecting {
+			wantDefectors++
+		}
+	}
+	if len(defectors) != wantDefectors {
+		t.Fatalf("defectors after extension = %d, want %d", len(defectors), wantDefectors)
+	}
+}
+
+// TestInvalidateIndexesAfterManualMutation pins the explicit rebuild path
+// for hand-mutated truths.
+func TestInvalidateIndexesAfterManualMutation(t *testing.T) {
+	g := &GroundTruth{ByCustomer: map[retail.CustomerID]*CustomerTruth{
+		1: {Label: retail.Label{Customer: 1, Cohort: retail.CohortLoyal, OnsetMonth: -1}},
+	}}
+	if n := len(g.Labels()); n != 1 {
+		t.Fatalf("labels = %d, want 1", n)
+	}
+	g.ByCustomer[2] = &CustomerTruth{Label: retail.Label{Customer: 2, Cohort: retail.CohortDefecting, OnsetMonth: 3}}
+	g.InvalidateIndexes()
+	if n := len(g.Labels()); n != 2 {
+		t.Fatalf("labels after invalidate = %d, want 2", n)
+	}
+	if d := g.Defectors(); len(d) != 1 || d[0] != 2 {
+		t.Fatalf("defectors after invalidate = %v, want [2]", d)
+	}
+}
+
+// TestExtendRejectsNonResumable pins the loaded-dataset error path.
+func TestExtendRejectsNonResumable(t *testing.T) {
+	ds, err := Generate(extendConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Resumable() {
+		t.Fatal("generated dataset should be resumable")
+	}
+	loaded := &Dataset{Config: ds.Config, Store: ds.Store, Catalog: ds.Catalog, Truth: ds.Truth}
+	if loaded.Resumable() {
+		t.Fatal("hand-assembled dataset should not be resumable")
+	}
+	if err := Extend(loaded, 1, Options{}); !errors.Is(err, ErrNotResumable) {
+		t.Fatalf("Extend on non-resumable dataset: got %v, want ErrNotResumable", err)
+	}
+	if err := Extend(ds, 0, Options{}); err == nil {
+		t.Fatal("Extend with 0 months accepted")
+	}
+	var nilDS *Dataset
+	if err := Extend(nilDS, 1, Options{}); !errors.Is(err, ErrNotResumable) {
+		t.Fatalf("Extend on nil dataset: got %v, want ErrNotResumable", err)
+	}
+}

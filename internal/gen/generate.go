@@ -41,10 +41,19 @@ type GroundTruth struct {
 	// labels and defectors are sorted indexes built once — at generation
 	// time by Generate, or lazily on first access for hand-assembled
 	// truths. Accessors return copies, so callers can mutate the returned
-	// slices freely. Mutating ByCustomer after the first accessor call is
-	// not supported (the indexes would go stale).
+	// slices freely. After mutating ByCustomer (Extend does, and callers
+	// assembling truths by hand may), call InvalidateIndexes so the next
+	// accessor rebuilds them.
 	labels    []retail.Label
 	defectors []retail.CustomerID
+}
+
+// InvalidateIndexes discards the sorted label and defector indexes so the
+// next Labels/Defectors call rebuilds them from ByCustomer. Required after
+// any mutation of ByCustomer that happens once the indexes exist (Extend
+// calls it on every extension).
+func (g *GroundTruth) InvalidateIndexes() {
+	g.labels, g.defectors = nil, nil
 }
 
 // buildIndexes (re)derives the sorted label and defector indexes from
@@ -117,6 +126,30 @@ type Dataset struct {
 	Store   *store.Store
 	Catalog *taxonomy.Catalog
 	Truth   *GroundTruth
+	// resume carries the per-customer simulation checkpoints Extend needs.
+	// Datasets loaded from codec files have none and cannot be extended
+	// (regenerate the base deterministically from its config instead).
+	resume *resumeState
+}
+
+// Resumable reports whether the dataset carries the simulation checkpoints
+// Extend needs (true for generated datasets, false for loaded ones).
+func (ds *Dataset) Resumable() bool { return ds != nil && ds.resume != nil }
+
+// checkpoint freezes one customer's simulation at a horizon: the profile
+// (core repertoire, drop schedule position, RNG streams — the main stream
+// plus the forked vacation stream) and the trip-loop cursor.
+type checkpoint struct {
+	p     *profile
+	day   float64 // next trip day, at or beyond the simulated horizon
+	month int     // last month boundary processed by the trip loop
+}
+
+// resumeState is everything Extend needs beyond the checkpoints: the
+// population-shared tables that newProfile/simulateRange consume.
+type resumeState struct {
+	prices []float64
+	cps    []*checkpoint // index i holds customer i+1
 }
 
 // Options tune how Generate executes. They never affect the generated
@@ -138,6 +171,18 @@ func Generate(cfg Config) (*Dataset, error) {
 type custGen struct {
 	truth    *CustomerTruth
 	receipts []retail.Receipt
+	cp       *checkpoint
+}
+
+// coreSegments lists the profile's core repertoire (including segments
+// adopted by drift during simulation), ascending.
+func coreSegments(p *profile) []retail.ItemID {
+	out := make([]retail.ItemID, 0, len(p.core))
+	for _, c := range p.core {
+		out = append(out, c.seg)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // GenerateWith synthesizes a full dataset with an explicit worker count.
@@ -176,6 +221,7 @@ func GenerateWith(cfg Config, opts Options) (*Dataset, error) {
 	// throwaway source leaves every stream untouched.
 	zipfProto := stats.NewZipf(stats.NewRand(0), cfg.Segments, cfg.ZipfExponent)
 
+	horizonDays := cfg.End().Sub(cfg.Start).Hours() / 24
 	results, err := population.Map(cfg.Customers, population.Options{Workers: opts.Workers},
 		func(i int) (custGen, error) {
 			id := retail.CustomerID(i + 1)
@@ -184,22 +230,20 @@ func GenerateWith(cfg Config, opts Options) (*Dataset, error) {
 			zipf := zipfProto.Clone(custRand)
 			p := newProfile(cfg, id, defector, zipf, custRand)
 			p.seasons = seasons
-			receipts, drops, driftDrops := p.simulate(cfg, prices, zipf)
+			p.extendVacations(cfg, horizonDays)
+			day, curMonth := p.startSimulation(cfg)
+			receipts, drops, driftDrops, day, curMonth := p.simulateRange(cfg, prices, day, curMonth, horizonDays)
 			ct := &CustomerTruth{
 				Label:      retail.Label{Customer: id, Cohort: retail.CohortLoyal, OnsetMonth: -1},
-				Core:       make([]retail.ItemID, 0, len(p.core)),
+				Core:       coreSegments(p),
 				Drops:      drops,
 				DriftDrops: driftDrops,
 			}
-			for _, c := range p.core {
-				ct.Core = append(ct.Core, c.seg)
-			}
-			sort.Slice(ct.Core, func(a, b int) bool { return ct.Core[a] < ct.Core[b] })
 			if defector {
 				ct.Label.Cohort = retail.CohortDefecting
 				ct.Label.OnsetMonth = p.onset
 			}
-			return custGen{truth: ct, receipts: receipts}, nil
+			return custGen{truth: ct, receipts: receipts, cp: &checkpoint{p: p, day: day, month: curMonth}}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -207,6 +251,7 @@ func GenerateWith(cfg Config, opts Options) (*Dataset, error) {
 
 	truth := &GroundTruth{ByCustomer: make(map[retail.CustomerID]*CustomerTruth, cfg.Customers)}
 	sb := store.NewBuilder()
+	resume := &resumeState{prices: prices, cps: make([]*checkpoint, 0, cfg.Customers)}
 	for i, cg := range results {
 		id := retail.CustomerID(i + 1)
 		for _, r := range cg.receipts {
@@ -215,7 +260,9 @@ func GenerateWith(cfg Config, opts Options) (*Dataset, error) {
 			}
 		}
 		truth.ByCustomer[id] = cg.truth
+		resume.cps = append(resume.cps, cg.cp)
 	}
 	truth.buildIndexes()
-	return &Dataset{Config: cfg, Store: sb.Build(), Catalog: cat, Truth: truth}, nil
+	st := sb.BuildWith(store.Options{Workers: opts.Workers})
+	return &Dataset{Config: cfg, Store: st, Catalog: cat, Truth: truth, resume: resume}, nil
 }

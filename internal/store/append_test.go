@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// TestBuilderMergeAliasing is the regression test for the Merge aliasing
+// bug: Merge used to store the other builder's *retail.History pointers
+// directly, so a later Add on either builder mutated both. Merge must copy
+// the history header (with clipped capacity) so the builders stay
+// independent.
+func TestBuilderMergeAliasing(t *testing.T) {
+	other := NewBuilder()
+	must(t, other.Add(7, day(0), []retail.ItemID{1}, 1))
+	b := NewBuilder()
+	b.Merge(other)
+
+	// Mutating either builder after the merge must not leak into the other.
+	must(t, b.Add(7, day(1), []retail.ItemID{2}, 2))
+	must(t, other.Add(7, day(2), []retail.ItemID{3}, 3))
+
+	sb := b.Build()
+	so := other.Build()
+	hb, err := sb.History(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho, err := so.History(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Receipts) != 2 {
+		t.Fatalf("merged builder sees %d receipts, want 2 (its own Add leaked away or the other's leaked in)", len(hb.Receipts))
+	}
+	if len(ho.Receipts) != 2 {
+		t.Fatalf("source builder sees %d receipts, want 2", len(ho.Receipts))
+	}
+	if !hb.Receipts[1].Items.Equal(retail.Basket{2}) {
+		t.Fatalf("merged builder's second receipt = %v, want [2]", hb.Receipts[1].Items)
+	}
+	if !ho.Receipts[1].Items.Equal(retail.Basket{3}) {
+		t.Fatalf("source builder's second receipt = %v, want [3] — the merge aliased the history", ho.Receipts[1].Items)
+	}
+}
+
+// receiptEvent is one raw receipt for the append property tests.
+type receiptEvent struct {
+	id    retail.CustomerID
+	t     time.Time
+	items []retail.ItemID
+	spend float64
+}
+
+// randomEvents draws a pseudo-random receipt schedule with plenty of
+// duplicate timestamps (stable-order stress) and shared customers.
+func randomEvents(r *rand.Rand, n int) []receiptEvent {
+	events := make([]receiptEvent, n)
+	for i := range events {
+		items := make([]retail.ItemID, r.Intn(5))
+		for j := range items {
+			items[j] = retail.ItemID(r.Intn(40) + 1)
+		}
+		events[i] = receiptEvent{
+			id: retail.CustomerID(r.Intn(8) + 1),
+			// Coarse second resolution forces timestamp collisions.
+			t:     day(r.Intn(60)).Add(time.Duration(r.Intn(8)) * time.Hour),
+			items: items,
+			spend: float64(r.Intn(1000)) / 100,
+		}
+	}
+	return events
+}
+
+func addEvents(t *testing.T, b *Builder, events []receiptEvent) {
+	t.Helper()
+	for _, ev := range events {
+		must(t, b.Add(ev.id, ev.t, ev.items, ev.spend))
+	}
+}
+
+func storeBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAppendBuildEquivalence is the append/build property test: for random
+// splits of a random receipt schedule into a frozen base and an appended
+// batch — including receipts that land before the frozen boundary, brand
+// -new customers, and duplicate timestamps — Append at every worker count
+// is byte-identical (binary codec) to a from-scratch sequential Build of
+// the whole schedule, and BuildWith is worker-count invariant.
+func TestAppendBuildEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		events := randomEvents(r, 40+r.Intn(80))
+
+		var oldEvents, newEvents []receiptEvent
+		for _, ev := range events {
+			// Random assignment (not a time split): the appended batch
+			// regularly reaches across the old/new boundary out of order.
+			if r.Intn(3) == 0 {
+				newEvents = append(newEvents, ev)
+			} else {
+				oldEvents = append(oldEvents, ev)
+			}
+		}
+
+		ref := NewBuilder()
+		addEvents(t, ref, oldEvents)
+		addEvents(t, ref, newEvents)
+		want := storeBytes(t, ref.BuildWith(Options{Workers: 1}))
+
+		base := NewBuilder()
+		addEvents(t, base, oldEvents)
+		for _, workers := range []int{1, 2, 4, 8} {
+			prev := base.BuildWith(Options{Workers: workers})
+			if got := storeBytes(t, prev); !bytes.Equal(got, storeBytes(t, base.BuildWith(Options{Workers: 1}))) {
+				t.Fatalf("seed %d workers %d: BuildWith not worker-invariant", seed, workers)
+			}
+			delta := NewBuilder()
+			addEvents(t, delta, newEvents)
+			got := storeBytes(t, delta.AppendWith(prev, Options{Workers: workers}))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d workers %d: Append+Build differs from sequential from-scratch Build", seed, workers)
+			}
+		}
+	}
+}
+
+// TestAppendReusesFrozenHistories pins the zero-copy path: a customer the
+// appended batch does not touch shares the previous store's receipt slice
+// outright, and the previous store is never mutated.
+func TestAppendReusesFrozenHistories(t *testing.T) {
+	base := NewBuilder()
+	must(t, base.Add(1, day(0), []retail.ItemID{1}, 1))
+	must(t, base.Add(2, day(1), []retail.ItemID{2}, 2))
+	prev := base.Build()
+
+	delta := NewBuilder()
+	must(t, delta.Add(2, day(2), []retail.ItemID{3}, 3))
+	cur := delta.Append(prev)
+
+	untouchedPrev, err := prev.History(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untouchedCur, err := cur.History(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &untouchedPrev.Receipts[0] != &untouchedCur.Receipts[0] {
+		t.Error("untouched history was copied instead of aliased")
+	}
+	prevTouched, err := prev.History(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prevTouched.Receipts) != 1 {
+		t.Fatalf("previous store mutated: customer 2 has %d receipts", len(prevTouched.Receipts))
+	}
+	curTouched, err := cur.History(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curTouched.Receipts) != 2 {
+		t.Fatalf("appended store: customer 2 has %d receipts, want 2", len(curTouched.Receipts))
+	}
+	if cur.NumReceipts() != 3 {
+		t.Fatalf("appended store receipts = %d, want 3", cur.NumReceipts())
+	}
+	if _, _, ok := cur.TimeRange(); !ok {
+		t.Fatal("appended store has no time range")
+	}
+}
+
+// TestAppendNilOrEmptyPrev pins the degenerate cases.
+func TestAppendNilOrEmptyPrev(t *testing.T) {
+	delta := NewBuilder()
+	must(t, delta.Add(1, day(0), []retail.ItemID{1}, 1))
+	if s := delta.Append(nil); s.NumReceipts() != 1 {
+		t.Fatalf("Append(nil) = %d receipts, want 1", s.NumReceipts())
+	}
+	if s := delta.Append(NewBuilder().Build()); s.NumReceipts() != 1 {
+		t.Fatalf("Append(empty) = %d receipts, want 1", s.NumReceipts())
+	}
+	if s := NewBuilder().Append(delta.Build()); s.NumReceipts() != 1 {
+		t.Fatalf("empty-builder Append = %d receipts, want 1", s.NumReceipts())
+	}
+}
+
+// TestDeltaSince pins the delta contract: per-customer suffixes beyond
+// prev, extension-shape violations rejected.
+func TestDeltaSince(t *testing.T) {
+	base := NewBuilder()
+	must(t, base.Add(1, day(0), []retail.ItemID{1}, 1))
+	must(t, base.Add(2, day(1), []retail.ItemID{2}, 2))
+	prev := base.Build()
+
+	delta := NewBuilder()
+	must(t, delta.Add(2, day(3), []retail.ItemID{4}, 4))
+	must(t, delta.Add(3, day(2), []retail.ItemID{3}, 3))
+	cur := delta.Append(prev)
+
+	got, err := cur.DeltaSince(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delta holds %d customers, want 2", len(got))
+	}
+	if got[0].Customer != 2 || len(got[0].Receipts) != 1 || !got[0].Receipts[0].Items.Equal(retail.Basket{4}) {
+		t.Fatalf("delta[0] = %+v", got[0])
+	}
+	if got[1].Customer != 3 || len(got[1].Receipts) != 1 {
+		t.Fatalf("delta[1] = %+v", got[1])
+	}
+
+	// Nil prev yields everything.
+	all, err := cur.DeltaSince(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("DeltaSince(nil) = %d customers, want 3", len(all))
+	}
+
+	// A store that is not an extension is rejected.
+	if _, err := prev.DeltaSince(cur); err == nil {
+		t.Fatal("shrunken store accepted as extension")
+	}
+	mutated := NewBuilder()
+	must(t, mutated.Add(1, day(0), []retail.ItemID{9}, 1)) // different boundary basket
+	must(t, mutated.Add(2, day(1), []retail.ItemID{2}, 2))
+	if _, err := mutated.Build().DeltaSince(prev); err == nil {
+		t.Fatal("store with a rewritten boundary receipt accepted as extension")
+	}
+	missing := NewBuilder()
+	must(t, missing.Add(2, day(1), []retail.ItemID{2}, 2))
+	if _, err := missing.Build().DeltaSince(prev); err == nil {
+		t.Fatal("store missing a prev customer accepted as extension")
+	}
+}

@@ -27,10 +27,33 @@ import (
 //
 // Delta encoding exploits chronological receipt order and sorted baskets;
 // on the synthetic datasets it is ~4x smaller than CSV.
+//
+// A snapshot file is one or more such segments concatenated: ReadBinary
+// merges them all into one store. That is the streaming append path — an
+// extended dataset is persisted by appending a segment holding only the
+// new receipts (WriteBinaryDelta) after the existing bytes, which are
+// never rewritten.
 var binaryMagic = [4]byte{'S', 'T', 'B', '1'}
 
-// WriteBinary serializes the store snapshot.
+// WriteBinary serializes the store snapshot as a single segment.
 func (s *Store) WriteBinary(w io.Writer) error {
+	return writeBinarySegment(w, s.histories)
+}
+
+// WriteBinaryDelta serializes only the receipts s holds beyond prev as one
+// STB1 segment (see DeltaSince for the extension contract). Appending the
+// segment to a file that decodes to prev yields a file that decodes to s.
+func (s *Store) WriteBinaryDelta(w io.Writer, prev *Store) error {
+	delta, err := s.DeltaSince(prev)
+	if err != nil {
+		return err
+	}
+	return writeBinarySegment(w, delta)
+}
+
+// writeBinarySegment encodes one STB1 segment from a customer-ascending
+// history slice.
+func writeBinarySegment(w io.Writer, histories []retail.History) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return fmt.Errorf("store: write magic: %w", err)
@@ -46,10 +69,10 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	if err := putUvarint(uint64(len(s.histories))); err != nil {
+	if err := putUvarint(uint64(len(histories))); err != nil {
 		return fmt.Errorf("store: write count: %w", err)
 	}
-	for _, h := range s.histories {
+	for _, h := range histories {
 		if err := putUvarint(uint64(h.Customer)); err != nil {
 			return fmt.Errorf("store: write customer: %w", err)
 		}
@@ -82,72 +105,95 @@ func (s *Store) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a snapshot produced by WriteBinary.
+// ReadBinary parses a snapshot produced by WriteBinary, including files
+// grown by appending WriteBinaryDelta segments: every concatenated STB1
+// segment is merged into one store. At least one segment is required.
 func ReadBinary(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
+	b := NewBuilder()
+	if err := readBinarySegment(br, b, true); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := br.Peek(1); err == io.EOF {
+			break
+		}
+		if err := readBinarySegment(br, b, false); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// readBinarySegment decodes one STB1 segment into the builder. first
+// distinguishes the error message for a file that isn't a snapshot at all
+// from one with a corrupt appended segment.
+func readBinarySegment(br *bufio.Reader, b *Builder, first bool) error {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("store: read magic: %w", err)
+		return fmt.Errorf("store: read magic: %w", err)
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("store: bad magic %q (not a STB1 snapshot)", magic[:])
+		if first {
+			return fmt.Errorf("store: bad magic %q (not a STB1 snapshot)", magic[:])
+		}
+		return fmt.Errorf("store: bad magic %q in appended segment", magic[:])
 	}
 	customers, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("store: read customer count: %w", err)
+		return fmt.Errorf("store: read customer count: %w", err)
 	}
 	const maxCustomers = 1 << 34
 	if customers > maxCustomers {
-		return nil, fmt.Errorf("store: implausible customer count %d", customers)
+		return fmt.Errorf("store: implausible customer count %d", customers)
 	}
-	b := NewBuilder()
 	var spendBuf [8]byte
 	for c := uint64(0); c < customers; c++ {
 		cust, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: read customer id: %w", err)
+			return fmt.Errorf("store: read customer id: %w", err)
 		}
 		receipts, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: read receipt count: %w", err)
+			return fmt.Errorf("store: read receipt count: %w", err)
 		}
 		prev := int64(0)
 		for i := uint64(0); i < receipts; i++ {
 			dt, err := binary.ReadVarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("store: read time delta: %w", err)
+				return fmt.Errorf("store: read time delta: %w", err)
 			}
 			prev += dt
 			if _, err := io.ReadFull(br, spendBuf[:]); err != nil {
-				return nil, fmt.Errorf("store: read spend: %w", err)
+				return fmt.Errorf("store: read spend: %w", err)
 			}
 			spend := math.Float64frombits(binary.LittleEndian.Uint64(spendBuf[:]))
 			itemCount, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("store: read item count: %w", err)
+				return fmt.Errorf("store: read item count: %w", err)
 			}
 			const maxItems = 1 << 20
 			if itemCount > maxItems {
-				return nil, fmt.Errorf("store: implausible basket size %d", itemCount)
+				return fmt.Errorf("store: implausible basket size %d", itemCount)
 			}
 			items := make(retail.Basket, itemCount)
 			prevItem := uint64(0)
 			for j := range items {
 				d, err := binary.ReadUvarint(br)
 				if err != nil {
-					return nil, fmt.Errorf("store: read item: %w", err)
+					return fmt.Errorf("store: read item: %w", err)
 				}
 				prevItem += d
 				if prevItem == 0 || prevItem > math.MaxUint32 {
-					return nil, fmt.Errorf("store: item id %d out of range", prevItem)
+					return fmt.Errorf("store: item id %d out of range", prevItem)
 				}
 				items[j] = retail.ItemID(prevItem)
 			}
 			rec := retail.Receipt{Time: time.Unix(prev, 0).UTC(), Items: items, Spend: spend}
 			if err := b.AddReceipt(retail.CustomerID(cust), rec); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return b.Build(), nil
+	return nil
 }

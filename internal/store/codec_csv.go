@@ -25,8 +25,34 @@ func (s *Store) WriteCSV(w io.Writer) error {
 	if err := cw.Write(strings.Split(csvHeader, ",")); err != nil {
 		return fmt.Errorf("store: write csv header: %w", err)
 	}
+	if err := writeCSVHistories(cw, s.histories); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVDelta serializes only the receipts s holds beyond prev (see
+// DeltaSince for the extension contract), without a header row: appending
+// the output to a file that decodes to prev yields a file that decodes to
+// s — the reader sorts per-customer rows, so trailing delta rows are fine.
+func (s *Store) WriteCSVDelta(w io.Writer, prev *Store) error {
+	delta, err := s.DeltaSince(prev)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := writeCSVHistories(cw, delta); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeCSVHistories streams one row per receipt in history order.
+func writeCSVHistories(cw *csv.Writer, histories []retail.History) error {
 	var sb strings.Builder
-	for _, h := range s.histories {
+	for _, h := range histories {
 		for _, r := range h.Receipts {
 			sb.Reset()
 			for i, it := range r.Items {
@@ -46,8 +72,7 @@ func (s *Store) WriteCSV(w io.Writer) error {
 			}
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }
 
 // CSVOptions tunes ReadCSV.

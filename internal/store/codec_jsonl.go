@@ -20,9 +20,24 @@ type jsonReceipt struct {
 
 // WriteJSONL serializes every receipt as one JSON object per line.
 func (s *Store) WriteJSONL(w io.Writer) error {
+	return writeJSONLHistories(w, s.histories)
+}
+
+// WriteJSONLDelta serializes only the receipts s holds beyond prev (see
+// DeltaSince for the extension contract): appending the output to a file
+// that decodes to prev yields a file that decodes to s.
+func (s *Store) WriteJSONLDelta(w io.Writer, prev *Store) error {
+	delta, err := s.DeltaSince(prev)
+	if err != nil {
+		return err
+	}
+	return writeJSONLHistories(w, delta)
+}
+
+func writeJSONLHistories(w io.Writer, histories []retail.History) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, h := range s.histories {
+	for _, h := range histories {
 		for _, r := range h.Receipts {
 			items := make([]uint32, len(r.Items))
 			for i, it := range r.Items {

@@ -269,3 +269,132 @@ func TestReadLabelsCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+// splitStore builds a base store plus an appended extension from a random
+// store: receipts up to the per-customer split stay in the base, the rest
+// arrive through Append. Returns (prev, cur).
+func splitStore(seed int64) (*Store, *Store) {
+	full := randomStore(seed)
+	base := NewBuilder()
+	delta := NewBuilder()
+	full.Each(func(h retail.History) bool {
+		cut := len(h.Receipts) / 2
+		for i, r := range h.Receipts {
+			b := base
+			if i >= cut {
+				b = delta
+			}
+			if err := b.AddReceipt(h.Customer, r); err != nil {
+				panic(err)
+			}
+		}
+		return true
+	})
+	prev := base.Build()
+	return prev, delta.Append(prev)
+}
+
+// TestBinaryDeltaAppend pins the binary streaming append path: a file of
+// the base segment plus a delta segment decodes to the extended store, and
+// the base bytes are untouched by construction.
+func TestBinaryDeltaAppend(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		prev, cur := splitStore(seed)
+		var file bytes.Buffer
+		if err := prev.WriteBinary(&file); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.WriteBinaryDelta(&file, prev); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(bytes.NewReader(file.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: read appended file: %v", seed, err)
+		}
+		var gotBytes, wantBytes bytes.Buffer
+		if err := got.WriteBinary(&gotBytes); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.WriteBinary(&wantBytes); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()) {
+			t.Fatalf("seed %d: appended file decodes to a different store", seed)
+		}
+	}
+}
+
+// TestBinaryDeltaOfUnrelatedStore pins that the delta writer refuses
+// stores that do not extend prev.
+func TestBinaryDeltaOfUnrelatedStore(t *testing.T) {
+	prev, _ := splitStore(1)
+	other := randomStore(99)
+	var buf bytes.Buffer
+	if err := other.WriteBinaryDelta(&buf, prev); err == nil {
+		t.Fatal("delta of an unrelated store accepted")
+	}
+}
+
+// TestReadBinaryRejectsCorruptAppendedSegment pins the multi-segment error
+// path: trailing garbage after a valid segment is a loud error, not a
+// silent truncation.
+func TestReadBinaryRejectsCorruptAppendedSegment(t *testing.T) {
+	s := randomStore(3)
+	var file bytes.Buffer
+	if err := s.WriteBinary(&file); err != nil {
+		t.Fatal(err)
+	}
+	file.WriteString("garbage")
+	if _, err := ReadBinary(bytes.NewReader(file.Bytes())); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestCSVDeltaAppend pins the CSV streaming append path: header-less delta
+// rows appended to the base file parse back to the extended store.
+func TestCSVDeltaAppend(t *testing.T) {
+	prev, cur := splitStore(2)
+	var file bytes.Buffer
+	if err := prev.WriteCSV(&file); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteCSVDelta(&file, prev); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := ReadCSV(bytes.NewReader(file.Bytes()), CSVOptions{Strict: true})
+	if err != nil || rep.Skipped != 0 {
+		t.Fatalf("read appended file: %v (%+v)", err, rep)
+	}
+	// Compare against a full rewrite parsed the same way (CSV rounds
+	// spend, so compare file-to-file rather than file-to-memory).
+	var fullFile bytes.Buffer
+	if err := cur.WriteCSV(&fullFile); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ReadCSV(bytes.NewReader(fullFile.Bytes()), CSVOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storesEqual(got, want) {
+		t.Fatal("appended CSV decodes to a different store than a full rewrite")
+	}
+}
+
+// TestJSONLDeltaAppend pins the JSONL streaming append path.
+func TestJSONLDeltaAppend(t *testing.T) {
+	prev, cur := splitStore(4)
+	var file bytes.Buffer
+	if err := prev.WriteJSONL(&file); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteJSONLDelta(&file, prev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storesEqual(got, cur) {
+		t.Fatal("appended JSONL decodes to a different store")
+	}
+}

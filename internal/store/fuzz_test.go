@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,53 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if again.NumReceipts() != s.NumReceipts() {
 			t.Fatalf("round trip changed receipts")
+		}
+	})
+}
+
+// FuzzAppendBoundary fuzzes the frozen/appended split of a pseudo-random
+// receipt schedule: whatever subset of receipts arrives after the base
+// store froze — including receipts timestamped before the boundary, i.e.
+// out-of-order appends across the old/new frontier — Append must produce
+// byte-identical stores to a from-scratch sequential Build.
+func FuzzAppendBoundary(f *testing.F) {
+	f.Add(int64(1), uint64(0))                  // everything frozen, empty append
+	f.Add(int64(2), ^uint64(0))                 // everything appended
+	f.Add(int64(3), uint64(0xAAAAAAAAAAAAAAAA)) // alternating: every appended batch reaches across the boundary
+	f.Add(int64(4), uint64(1)<<63|1)            // first and last receipts appended, middle frozen
+	f.Add(int64(5), uint64(0x00000000FFFFFFFF)) // early half appended after the late half froze (fully out of order)
+	f.Fuzz(func(t *testing.T, seed int64, mask uint64) {
+		r := rand.New(rand.NewSource(seed))
+		events := randomEvents(r, 48)
+		ref := NewBuilder()
+		base := NewBuilder()
+		delta := NewBuilder()
+		for i, ev := range events {
+			if mask&(1<<(uint(i)%64)) != 0 {
+				delta.Add(ev.id, ev.t, ev.items, ev.spend)
+			} else {
+				base.Add(ev.id, ev.t, ev.items, ev.spend)
+			}
+		}
+		for i, ev := range events {
+			if mask&(1<<(uint(i)%64)) == 0 {
+				ref.Add(ev.id, ev.t, ev.items, ev.spend)
+			}
+		}
+		for i, ev := range events {
+			if mask&(1<<(uint(i)%64)) != 0 {
+				ref.Add(ev.id, ev.t, ev.items, ev.spend)
+			}
+		}
+		var want, got bytes.Buffer
+		if err := ref.BuildWith(Options{Workers: 1}).WriteBinary(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := delta.Append(base.Build()).WriteBinary(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("seed %d mask %x: Append differs from from-scratch Build", seed, mask)
 		}
 	})
 }

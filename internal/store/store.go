@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 )
 
@@ -152,32 +153,59 @@ func (b *Builder) addHistory(h retail.History) {
 	b.byCustomer[h.Customer] = &cp
 }
 
-// Merge folds another builder's contents into b.
+// Merge folds another builder's contents into b. The merged receipts are
+// shared (receipts are immutable), but the history headers are copied with
+// their capacity clipped, so later Adds on either builder can never reach
+// into the other's backing arrays.
 func (b *Builder) Merge(other *Builder) {
 	for id, h := range other.byCustomer {
 		mine, ok := b.byCustomer[id]
 		if !ok {
-			b.byCustomer[id] = h
+			cp := retail.History{
+				Customer: h.Customer,
+				Receipts: h.Receipts[:len(h.Receipts):len(h.Receipts)],
+			}
+			b.byCustomer[id] = &cp
 			continue
 		}
 		mine.Receipts = append(mine.Receipts, h.Receipts...)
 	}
 }
 
-// Build sorts every history chronologically and freezes the store. The
-// builder may keep being used; subsequent Builds include later additions.
-func (b *Builder) Build() *Store {
+// Options tune how Build and Append execute. They never affect the built
+// store: every worker count produces byte-identical stores.
+type Options struct {
+	// Workers is the per-history sort/merge pool size; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// sortedIDs returns the builder's customer identifiers in ascending order.
+func (b *Builder) sortedIDs() []retail.CustomerID {
+	ids := make([]retail.CustomerID, 0, len(b.byCustomer))
+	for id := range b.byCustomer {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedCopy returns an independent chronologically sorted copy of a
+// history (stable, preserving insertion order among equal timestamps).
+func sortedCopy(h *retail.History) retail.History {
+	cp := retail.History{Customer: h.Customer, Receipts: make([]retail.Receipt, len(h.Receipts))}
+	copy(cp.Receipts, h.Receipts)
+	cp.Sort()
+	return cp
+}
+
+// assemble freezes a customer-ascending history slice into a Store,
+// deriving the index, receipt count and time range.
+func assemble(histories []retail.History) *Store {
 	s := &Store{
-		histories: make([]retail.History, 0, len(b.byCustomer)),
-		index:     make(map[retail.CustomerID]int, len(b.byCustomer)),
+		histories: histories,
+		index:     make(map[retail.CustomerID]int, len(histories)),
 	}
-	for _, h := range b.byCustomer {
-		cp := retail.History{Customer: h.Customer, Receipts: make([]retail.Receipt, len(h.Receipts))}
-		copy(cp.Receipts, h.Receipts)
-		cp.Sort()
-		s.histories = append(s.histories, cp)
-	}
-	sort.Slice(s.histories, func(i, j int) bool { return s.histories[i].Customer < s.histories[j].Customer })
 	for i, h := range s.histories {
 		s.index[h.Customer] = i
 		s.receipts += len(h.Receipts)
@@ -191,4 +219,135 @@ func (b *Builder) Build() *Store {
 		}
 	}
 	return s
+}
+
+// Build sorts every history chronologically and freezes the store on all
+// CPUs. The builder may keep being used; subsequent Builds include later
+// additions.
+func (b *Builder) Build() *Store {
+	return b.BuildWith(Options{})
+}
+
+// BuildWith is Build with an explicit worker count: the per-history
+// sort/copy fans out over the population engine, and the result is
+// byte-identical at every worker count (each history sorts independently
+// and histories assemble in ascending customer order).
+func (b *Builder) BuildWith(opts Options) *Store {
+	ids := b.sortedIDs()
+	histories, _ := population.Map(len(ids), population.Options{Workers: opts.Workers},
+		func(i int) (retail.History, error) {
+			return sortedCopy(b.byCustomer[ids[i]]), nil
+		})
+	return assemble(histories)
+}
+
+// Append freezes a new store holding prev's histories plus the builder's
+// receipts, on all CPUs. See AppendWith.
+func (b *Builder) Append(prev *Store) *Store {
+	return b.AppendWith(prev, Options{})
+}
+
+// AppendWith grows a frozen store without re-sorting history: customers
+// untouched by the builder share prev's frozen receipt slices outright,
+// and customers with new receipts get one linear merge of prev's sorted
+// run with the (sorted) new batch — prev receipts win ties, exactly the
+// stable order Build gives a builder holding old-then-new receipts. The
+// per-customer merges fan out over the population engine; the result is
+// byte-identical to a from-scratch Build of all receipts at every worker
+// count. prev is never mutated; nil prev is an empty store.
+func (b *Builder) AppendWith(prev *Store, opts Options) *Store {
+	if prev == nil || len(prev.histories) == 0 {
+		return b.BuildWith(opts)
+	}
+	newIDs := b.sortedIDs()
+	// Plan the merged customer walk: ascending over the union of prev's
+	// customers and the builder's.
+	type job struct {
+		frozen *retail.History // prev's history, nil for brand-new customers
+		added  *retail.History // builder's receipts, nil for untouched ones
+	}
+	jobs := make([]job, 0, len(prev.histories)+len(newIDs))
+	pi, ni := 0, 0
+	for pi < len(prev.histories) || ni < len(newIDs) {
+		switch {
+		case ni == len(newIDs) || (pi < len(prev.histories) && prev.histories[pi].Customer < newIDs[ni]):
+			jobs = append(jobs, job{frozen: &prev.histories[pi]})
+			pi++
+		case pi == len(prev.histories) || newIDs[ni] < prev.histories[pi].Customer:
+			jobs = append(jobs, job{added: b.byCustomer[newIDs[ni]]})
+			ni++
+		default:
+			jobs = append(jobs, job{frozen: &prev.histories[pi], added: b.byCustomer[newIDs[ni]]})
+			pi++
+			ni++
+		}
+	}
+	histories, _ := population.Map(len(jobs), population.Options{Workers: opts.Workers},
+		func(i int) (retail.History, error) {
+			j := jobs[i]
+			switch {
+			case j.added == nil:
+				return *j.frozen, nil // untouched: alias the frozen history
+			case j.frozen == nil:
+				return sortedCopy(j.added), nil
+			}
+			add := sortedCopy(j.added)
+			old := j.frozen.Receipts
+			merged := make([]retail.Receipt, 0, len(old)+len(add.Receipts))
+			oi := 0
+			for _, r := range add.Receipts {
+				for oi < len(old) && !old[oi].Time.After(r.Time) {
+					merged = append(merged, old[oi])
+					oi++
+				}
+				merged = append(merged, r)
+			}
+			merged = append(merged, old[oi:]...)
+			return retail.History{Customer: j.frozen.Customer, Receipts: merged}, nil
+		})
+	return assemble(histories)
+}
+
+// DeltaSince returns, per customer in ascending order, the receipts
+// present in s but not in prev, assuming s extends prev: every prev
+// history must be a prefix of its counterpart in s (the shape AppendWith
+// produces from receipts arriving after prev's horizon). Customers whose
+// histories are unchanged are omitted. The returned histories alias s and
+// must not be mutated. A nil prev yields every history. The prefix
+// property is checked cheaply (counts plus the boundary receipt), so
+// stores that interleaved new receipts into the frozen past are rejected
+// rather than mis-reported.
+func (s *Store) DeltaSince(prev *Store) ([]retail.History, error) {
+	if prev == nil {
+		out := make([]retail.History, len(s.histories))
+		copy(out, s.histories)
+		return out, nil
+	}
+	for _, ph := range prev.histories {
+		if _, ok := s.index[ph.Customer]; !ok {
+			return nil, fmt.Errorf("store: customer %d present in prev but missing from the extended store", ph.Customer)
+		}
+	}
+	var out []retail.History
+	for _, h := range s.histories {
+		prevN := 0
+		if j, ok := prev.index[h.Customer]; ok {
+			ph := prev.histories[j]
+			prevN = len(ph.Receipts)
+			if prevN > len(h.Receipts) {
+				return nil, fmt.Errorf("store: customer %d shrank from %d to %d receipts (not an extension)",
+					h.Customer, prevN, len(h.Receipts))
+			}
+			if prevN > 0 {
+				a, b := ph.Receipts[prevN-1], h.Receipts[prevN-1]
+				if !a.Time.Equal(b.Time) || a.Spend != b.Spend || !a.Items.Equal(b.Items) {
+					return nil, fmt.Errorf("store: customer %d boundary receipt differs (not an extension)", h.Customer)
+				}
+			}
+		}
+		if prevN < len(h.Receipts) {
+			out = append(out, retail.History{Customer: h.Customer, Receipts: h.Receipts[prevN:]})
+		}
+	}
+	return out, nil
 }

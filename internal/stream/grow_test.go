@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// monthOfEvent returns the month index (from the grid origin) an event
+// falls in.
+func monthOfEvent(g interface{ Origin() time.Time }, t time.Time) int {
+	o := g.Origin()
+	return (t.Year()-o.Year())*12 + int(t.Month()) - int(o.Month())
+}
+
+// driver abstracts the two monitor flavors behind one replay loop so the
+// growth equivalence test exercises both with identical mechanics.
+type driver interface {
+	ingest(id retail.CustomerID, t time.Time, items retail.Basket) error
+	closeThrough(k int) ([]Alert, error)
+	snapshot() ([]byte, error)
+	watermark() (int, bool)
+}
+
+type singleDriver struct {
+	m       *Monitor
+	pending []Alert
+}
+
+func (d *singleDriver) ingest(id retail.CustomerID, t time.Time, items retail.Basket) error {
+	alerts, err := d.m.Ingest(id, t, items)
+	d.pending = append(d.pending, alerts...)
+	return err
+}
+
+func (d *singleDriver) closeThrough(k int) ([]Alert, error) {
+	out := append(d.pending, d.m.CloseThrough(k)...)
+	d.pending = nil
+	return out, nil
+}
+
+func (d *singleDriver) snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := d.m.WriteSnapshot(&buf)
+	return buf.Bytes(), err
+}
+
+func (d *singleDriver) watermark() (int, bool) { return d.m.Watermark() }
+
+type shardedDriver struct{ s *ShardedMonitor }
+
+func (d *shardedDriver) ingest(id retail.CustomerID, t time.Time, items retail.Basket) error {
+	return d.s.Ingest(id, t, items)
+}
+
+func (d *shardedDriver) closeThrough(k int) ([]Alert, error) { return d.s.CloseThrough(k) }
+
+func (d *shardedDriver) snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := d.s.WriteSnapshot(&buf)
+	return buf.Bytes(), err
+}
+
+func (d *shardedDriver) watermark() (int, bool) { return d.s.Watermark() }
+
+// replayGrowFeed drives a feed slice through the monitor with watermark
+// barriers at window boundaries, collecting all alerts in barrier order.
+func replayGrowFeed(t *testing.T, d driver, feed []feedEvent, lastK *int) []Alert {
+	t.Helper()
+	g := testGrid(t)
+	var alerts []Alert
+	for _, ev := range feed {
+		if k := g.Index(ev.t); k > *lastK {
+			batch, err := d.closeThrough(k - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alerts = append(alerts, batch...)
+			*lastK = k
+		}
+		if err := d.ingest(ev.id, ev.t, ev.items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return alerts
+}
+
+// TestMonitorGrowingFeedEquivalence pins the growing-store workload for
+// both monitor flavors: feeding a dataset month by month — as if the store
+// were extended in place between batches, with a watermark close after
+// each month — yields byte-identical alerts and SMN1 snapshots to one
+// batch replay of the full feed. The feed length deliberately ends
+// mid-window, so the trailing partial window's pending state crosses the
+// incremental boundary too.
+func TestMonitorGrowingFeedEquivalence(t *testing.T) {
+	cfg := testConfig(t, 0.6)
+	cfg.WarmupWindows = 1
+	g := testGrid(t)
+	feed := randomFeed(t, 42, 12, 900)
+
+	lastMonth := 0
+	for _, ev := range feed {
+		if m := monthOfEvent(g, ev.t); m > lastMonth {
+			lastMonth = m
+		}
+	}
+	finalK := g.Index(g.Origin().AddDate(0, lastMonth+1, 0).AddDate(0, 0, -1))
+
+	flavors := []struct {
+		name string
+		mk   func() driver
+	}{
+		{"single", func() driver {
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &singleDriver{m: m}
+		}},
+		{"sharded-3", func() driver {
+			s, err := NewSharded(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &shardedDriver{s: s}
+		}},
+	}
+	for _, fl := range flavors {
+		t.Run(fl.name, func(t *testing.T) {
+			// Batch replay of the complete feed.
+			batch := fl.mk()
+			lastK := 0
+			batchAlerts := replayGrowFeed(t, batch, feed, &lastK)
+			final, err := batch.closeThrough(finalK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchAlerts = append(batchAlerts, final...)
+			batchSnap, err := batch.snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incremental replay: one batch per month, watermark close
+			// after each month — the shape of a monitor fed from a store
+			// growing by gen.Extend.
+			inc := fl.mk()
+			var incAlerts []Alert
+			lastK = 0
+			for m := 0; m <= lastMonth; m++ {
+				var monthFeed []feedEvent
+				for _, ev := range feed {
+					if monthOfEvent(g, ev.t) == m {
+						monthFeed = append(monthFeed, ev)
+					}
+				}
+				incAlerts = append(incAlerts, replayGrowFeed(t, inc, monthFeed, &lastK)...)
+				// Month-end watermark: close every window that has fully
+				// ended, exactly what a live deployment does at the end of
+				// an append batch.
+				monthEnd := g.Origin().AddDate(0, m+1, 0)
+				if closeK := g.Index(monthEnd) - 1; closeK >= 0 {
+					got, err := inc.closeThrough(closeK)
+					if err != nil {
+						t.Fatal(err)
+					}
+					incAlerts = append(incAlerts, got...)
+					lastK = closeK + 1
+				}
+			}
+			final, err = inc.closeThrough(finalK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incAlerts = append(incAlerts, final...)
+			incSnap, err := inc.snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !alertsEqual(batchAlerts, incAlerts) {
+				t.Errorf("incremental alerts differ from batch replay (%d vs %d)", len(incAlerts), len(batchAlerts))
+			}
+			if !bytes.Equal(batchSnap, incSnap) {
+				t.Error("incremental snapshot bytes differ from batch replay")
+			}
+		})
+	}
+}
+
+// TestWatermark pins the resume index contract for both flavors: no
+// customers means no watermark; after CloseThrough(k) every flavor reports
+// k+1.
+func TestWatermark(t *testing.T) {
+	cfg := testConfig(t, 0.5)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Watermark(); ok {
+		t.Fatal("empty monitor reported a watermark")
+	}
+	g := testGrid(t)
+	if _, err := m.Ingest(1, at(g, 2, 3), retail.Basket{1}); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := m.Watermark(); !ok || k != 2 {
+		t.Fatalf("watermark after first receipt = %d,%v, want 2,true", k, ok)
+	}
+	m.CloseThrough(4)
+	if k, ok := m.Watermark(); !ok || k != 5 {
+		t.Fatalf("watermark after CloseThrough(4) = %d,%v, want 5,true", k, ok)
+	}
+
+	s, err := NewSharded(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Watermark(); ok {
+		t.Fatal("empty sharded monitor reported a watermark")
+	}
+	for id := retail.CustomerID(1); id <= 9; id++ {
+		if err := s.Ingest(id, at(g, 1, 2), retail.Basket{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.CloseThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := s.Watermark(); !ok || k != 4 {
+		t.Fatalf("sharded watermark after CloseThrough(3) = %d,%v, want 4,true", k, ok)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := s.Watermark(); !ok || k != 4 {
+		t.Fatalf("sharded watermark after Close = %d,%v, want 4,true", k, ok)
+	}
+}

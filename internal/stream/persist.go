@@ -39,83 +39,160 @@ func (m *Monitor) WriteSnapshot(w io.Writer) error {
 	return writeMonitorStates(w, m.cfg.Grid, m.states)
 }
 
-// writeMonitorStates streams the SMN1 encoding of a customer-state map.
-// It iterates customers in ascending id order, so the bytes depend only on
-// the logical state, never on which monitor flavor produced it.
-func writeMonitorStates(w io.Writer, grid window.Grid, states map[retail.CustomerID]*custState) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(monitorMagic[:]); err != nil {
-		return fmt.Errorf("stream: write magic: %w", err)
+// snapshotWriter streams the SMN1 encoding state by state: the header is
+// written on construction, then writeState once per customer in ascending
+// id order, then flush. Splitting the writer from the iteration lets the
+// sharded monitor stream its per-shard maps through a k-way id merge
+// without first materializing one merged state map.
+type snapshotWriter struct {
+	w   io.Writer
+	bw  *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (sw *snapshotWriter) putU(v uint64) error {
+	n := binary.PutUvarint(sw.buf[:], v)
+	_, err := sw.bw.Write(sw.buf[:n])
+	return err
+}
+
+func (sw *snapshotWriter) putI(v int64) error {
+	n := binary.PutVarint(sw.buf[:], v)
+	_, err := sw.bw.Write(sw.buf[:n])
+	return err
+}
+
+// newSnapshotWriter writes the SMN1 header (magic, grid, customer count).
+func newSnapshotWriter(w io.Writer, grid window.Grid, customers int) (*snapshotWriter, error) {
+	sw := &snapshotWriter{w: w, bw: bufio.NewWriter(w)}
+	if _, err := sw.bw.Write(monitorMagic[:]); err != nil {
+		return nil, fmt.Errorf("stream: write magic: %w", err)
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putU := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
+	binary.LittleEndian.PutUint64(sw.buf[:8], uint64(grid.Origin().Unix()))
+	if _, err := sw.bw.Write(sw.buf[:8]); err != nil {
+		return nil, err
+	}
+	if err := sw.putU(uint64(grid.Span().Months)); err != nil {
+		return nil, err
+	}
+	if err := sw.putU(uint64(customers)); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// writeState encodes one customer's state, including the embedded tracker
+// snapshot.
+func (sw *snapshotWriter) writeState(id retail.CustomerID, st *custState) error {
+	if err := sw.putU(uint64(id)); err != nil {
 		return err
 	}
-	putI := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
+	if err := sw.putI(int64(st.openK)); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(buf[:8], uint64(grid.Origin().Unix()))
-	if _, err := bw.Write(buf[:8]); err != nil {
+	if err := sw.putI(int64(st.lastScoredK)); err != nil {
 		return err
 	}
-	if err := putU(uint64(grid.Span().Months)); err != nil {
+	flags := byte(0)
+	if st.lastDefined {
+		flags |= 1
+	}
+	if st.scored {
+		flags |= 2
+	}
+	if err := sw.bw.WriteByte(flags); err != nil {
 		return err
 	}
-	if err := putU(uint64(len(states))); err != nil {
+	binary.LittleEndian.PutUint64(sw.buf[:8], math.Float64bits(st.lastStability))
+	if _, err := sw.bw.Write(sw.buf[:8]); err != nil {
 		return err
 	}
+	if err := sw.putU(uint64(len(st.pending))); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, it := range st.pending {
+		if err := sw.putU(uint64(it) - prev); err != nil {
+			return err
+		}
+		prev = uint64(it)
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return err
+	}
+	if err := st.tracker.WriteSnapshot(sw.w); err != nil {
+		return fmt.Errorf("stream: customer %d tracker: %w", id, err)
+	}
+	return nil
+}
+
+func (sw *snapshotWriter) flush() error { return sw.bw.Flush() }
+
+// sortedStateIDs returns a state map's customer ids ascending.
+func sortedStateIDs(states map[retail.CustomerID]*custState) []retail.CustomerID {
 	ids := make([]retail.CustomerID, 0, len(states))
 	for id := range states {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		st := states[id]
-		if err := putU(uint64(id)); err != nil {
+	return ids
+}
+
+// writeMonitorStates streams the SMN1 encoding of a customer-state map.
+// It iterates customers in ascending id order, so the bytes depend only on
+// the logical state, never on which monitor flavor produced it.
+func writeMonitorStates(w io.Writer, grid window.Grid, states map[retail.CustomerID]*custState) error {
+	sw, err := newSnapshotWriter(w, grid, len(states))
+	if err != nil {
+		return err
+	}
+	for _, id := range sortedStateIDs(states) {
+		if err := sw.writeState(id, states[id]); err != nil {
 			return err
-		}
-		if err := putI(int64(st.openK)); err != nil {
-			return err
-		}
-		if err := putI(int64(st.lastScoredK)); err != nil {
-			return err
-		}
-		flags := byte(0)
-		if st.lastDefined {
-			flags |= 1
-		}
-		if st.scored {
-			flags |= 2
-		}
-		if err := bw.WriteByte(flags); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(st.lastStability))
-		if _, err := bw.Write(buf[:8]); err != nil {
-			return err
-		}
-		if err := putU(uint64(len(st.pending))); err != nil {
-			return err
-		}
-		prev := uint64(0)
-		for _, it := range st.pending {
-			if err := putU(uint64(it) - prev); err != nil {
-				return err
-			}
-			prev = uint64(it)
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-		if err := st.tracker.WriteSnapshot(w); err != nil {
-			return fmt.Errorf("stream: customer %d tracker: %w", id, err)
 		}
 	}
-	return bw.Flush()
+	return sw.flush()
+}
+
+// writeShardedStates streams the SMN1 encoding of disjoint per-shard state
+// maps by merging their sorted id lists on the fly — customer states flow
+// straight from the shard maps to the writer, with no merged intermediate
+// map. The bytes are identical to writeMonitorStates over the union: the
+// shard partition is disjoint, so the merged walk is the global ascending
+// id order.
+func writeShardedStates(w io.Writer, grid window.Grid, shardStates []map[retail.CustomerID]*custState) error {
+	total := 0
+	heads := make([][]retail.CustomerID, len(shardStates))
+	for i, states := range shardStates {
+		total += len(states)
+		heads[i] = sortedStateIDs(states)
+	}
+	sw, err := newSnapshotWriter(w, grid, total)
+	if err != nil {
+		return err
+	}
+	for {
+		// Pick the shard whose next id is smallest; the shard count is an
+		// operational handful, so a linear scan beats heap bookkeeping.
+		best := -1
+		for i, ids := range heads {
+			if len(ids) == 0 {
+				continue
+			}
+			if best < 0 || ids[0] < heads[best][0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		id := heads[best][0]
+		heads[best] = heads[best][1:]
+		if err := sw.writeState(id, shardStates[best][id]); err != nil {
+			return err
+		}
+	}
+	return sw.flush()
 }
 
 // ReadMonitorSnapshot restores a monitor persisted by WriteSnapshot (either

@@ -320,12 +320,16 @@ func (s *ShardedMonitor) Customers() int {
 // Monitor.WriteSnapshot: shard count is an operational knob, not persisted
 // state, so the bytes are identical to the single-threaded monitor's for the
 // same feed and a snapshot written with S shards restores with any S'. The
-// write is a stop-the-world pause: every shard is drained and held while the
-// merged state streams out. Buffered alerts are not part of the snapshot —
-// Flush before snapshotting if they must not be lost across a restart.
+// shards are drained and held quiescent while their states stream out
+// through a k-way merge of the per-shard sorted id lists — states flow
+// straight from each shard map to the writer, with no merged intermediate
+// map, so the pause's memory overhead is one id slice per shard instead of
+// a copy of the whole population's state index. Buffered alerts are not
+// part of the snapshot — Flush before snapshotting if they must not be
+// lost across a restart.
 func (s *ShardedMonitor) WriteSnapshot(w io.Writer) error {
 	if s.closed.Load() {
-		return writeMonitorStates(w, s.cfg.Grid, s.mergedStates())
+		return writeShardedStates(w, s.cfg.Grid, s.shardStates())
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -341,25 +345,56 @@ func (s *ShardedMonitor) WriteSnapshot(w io.Writer) error {
 	// All shard goroutines are parked on release: their states are
 	// quiescent and safe to read from here until release closes.
 	arrived.Wait()
-	err := writeMonitorStates(w, s.cfg.Grid, s.mergedStates())
+	err := writeShardedStates(w, s.cfg.Grid, s.shardStates())
 	close(release)
 	return err
 }
 
-// mergedStates combines the disjoint per-shard state maps into one view.
-// Callers must hold all shards quiescent.
-func (s *ShardedMonitor) mergedStates() map[retail.CustomerID]*custState {
-	total := 0
-	for _, sh := range s.shards {
-		total += len(sh.mon.states)
+// shardStates collects the disjoint per-shard state maps. Callers must
+// hold all shards quiescent.
+func (s *ShardedMonitor) shardStates() []map[retail.CustomerID]*custState {
+	states := make([]map[retail.CustomerID]*custState, len(s.shards))
+	for i, sh := range s.shards {
+		states[i] = sh.mon.states
 	}
-	merged := make(map[retail.CustomerID]*custState, total)
-	for _, sh := range s.shards {
-		for id, st := range sh.mon.states {
-			merged[id] = st
+	return states
+}
+
+// Watermark returns the lowest open (not yet scored) window index across
+// all tracked customers — after a uniform CloseThrough(k) barrier this is
+// k+1, the index replay should resume feeding from. ok is false when no
+// customers are tracked.
+func (s *ShardedMonitor) Watermark() (k int, ok bool) {
+	if s.closed.Load() {
+		for _, sh := range s.shards {
+			if sk, sok := sh.mon.Watermark(); sok && (!ok || sk < k) {
+				k, ok = sk, true
+			}
+		}
+		return k, ok
+	}
+	type minK struct {
+		k  int
+		ok bool
+	}
+	mins := make([]minK, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		wg.Add(1)
+		sh.ch <- shardMsg{ctl: func() {
+			k, ok := sh.mon.Watermark()
+			mins[i] = minK{k: k, ok: ok}
+			wg.Done()
+		}}
+	}
+	wg.Wait()
+	for _, m := range mins {
+		if m.ok && (!ok || m.k < k) {
+			k, ok = m.k, true
 		}
 	}
-	return merged
+	return k, ok
 }
 
 // ReadShardedMonitorSnapshot restores a sharded monitor from any SMN1

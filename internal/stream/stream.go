@@ -278,6 +278,19 @@ func (m *Monitor) CloseThrough(k int) []Alert {
 	return alerts
 }
 
+// Watermark returns the lowest open (not yet scored) window index across
+// all tracked customers — after CloseThrough(k) it is k+1, the index
+// replay should resume feeding from. ok is false when no customers are
+// tracked.
+func (m *Monitor) Watermark() (k int, ok bool) {
+	for _, st := range m.states {
+		if !ok || st.openK < k {
+			k, ok = st.openK, true
+		}
+	}
+	return k, ok
+}
+
 // Stability returns the last scored stability of a customer, with ok=false
 // when the customer is unknown or no window has been scored yet.
 func (m *Monitor) Stability(id retail.CustomerID) (value float64, gridIndex int, ok bool) {

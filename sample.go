@@ -1,6 +1,9 @@
 package stability
 
 import (
+	"fmt"
+	"time"
+
 	"github.com/gautrais/stability/internal/gen"
 )
 
@@ -42,6 +45,55 @@ func GenerateSample(cfg SampleConfig) (*SampleDataset, error) { return gen.Gener
 // dataset is bit-identical at every worker count.
 func GenerateSampleWith(cfg SampleConfig, opts SampleOptions) (*SampleDataset, error) {
 	return gen.GenerateWith(cfg, opts)
+}
+
+// ExtendSample appends months to a generated dataset by resuming every
+// customer's simulation from its checkpoint — the past is never
+// re-simulated, and the result is bit-identical (store bytes, truth
+// records, downstream evaluation) to generating the longer horizon from
+// scratch, at any worker count. Only datasets produced by
+// GenerateSample/GenerateSampleWith are resumable; datasets loaded from
+// files return gen.ErrNotResumable (regenerate the base from its config
+// instead — generation is deterministic in the seed).
+func ExtendSample(ds *SampleDataset, months int, opts SampleOptions) error {
+	return gen.Extend(ds, months, opts)
+}
+
+// GrowSample extends a regenerated base dataset past an on-disk copy:
+// it fast-forwards ds to onDisk's horizon (extension is bit-identical to
+// regeneration, so a previously-extended file is reachable from its base
+// config), verifies the file actually is that dataset — population,
+// receipt count and time range, compared at the codecs' whole-second
+// resolution — and then extends by the requested months. It returns the
+// pre-extension store, the baseline for writing a file delta
+// (WriteReceiptsCSVDelta and friends). A verification failure means the
+// file was produced with different generation parameters (or edited) and
+// appending to it would corrupt it.
+func GrowSample(ds *SampleDataset, onDisk *Store, months int, opts SampleOptions) (prev *Store, err error) {
+	if _, dMax, ok := onDisk.TimeRange(); ok {
+		start := ds.Config.Start
+		have := (dMax.Year()-start.Year())*12 + int(dMax.Month()) - int(start.Month()) + 1
+		if have > ds.Config.Months {
+			if err := ExtendSample(ds, have-ds.Config.Months, opts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if onDisk.NumCustomers() != ds.Store.NumCustomers() || onDisk.NumReceipts() != ds.Store.NumReceipts() {
+		return nil, fmt.Errorf("stability: existing dataset holds %d customers / %d receipts but the base flags regenerate %d / %d — different seed/customers/months?",
+			onDisk.NumCustomers(), onDisk.NumReceipts(), ds.Store.NumCustomers(), ds.Store.NumReceipts())
+	}
+	dMin, dMax, dOK := onDisk.TimeRange()
+	bMin, bMax, bOK := ds.Store.TimeRange()
+	if dOK != bOK || (dOK && (!dMin.Equal(bMin.Truncate(time.Second)) || !dMax.Equal(bMax.Truncate(time.Second)))) {
+		return nil, fmt.Errorf("stability: existing dataset covers %v..%v but the base flags regenerate %v..%v — generation parameter mismatch",
+			dMin, dMax, bMin, bMax)
+	}
+	prev = ds.Store
+	if err := ExtendSample(ds, months, opts); err != nil {
+		return nil, err
+	}
+	return prev, nil
 }
 
 // DefaultScenarioConfig returns the paper's Figure-2 use case: a loyal
