@@ -20,9 +20,14 @@ BENCH_BASELINE ?= BENCH_PR5.json
 BENCH_DIFF_THRESHOLD ?= 1.0
 BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 
-.PHONY: verify build test lint race bench bench-smoke bench-json bench-diff ci
+# Coverage gate for `make cover`. The module sits at ~83% total today;
+# the floor trips if a PR drops it below 80%.
+COVER_PROFILE ?= cover.out
+COVER_FLOOR ?= 80
 
-ci: verify lint race bench-smoke ## everything .github/workflows/ci.yml runs
+.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff ci
+
+ci: verify lint race cover bench-smoke ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -32,13 +37,32 @@ build:
 test:
 	$(GO) test ./...
 
-lint: ## gofmt cleanliness + go vet
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+# internal/lint/testdata holds detlint fixture packages that are
+# intentionally non-idiomatic (one is deliberately unformatted); the go
+# tool already ignores testdata directories for vet/build, and the gofmt
+# sweep filters them out the same way. Real code keeps full coverage.
+lint: ## gofmt cleanliness + go vet + detlint determinism contract
+	@out="$$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)"; if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/detlint ./...
 
-race: ## race-detector pass over the concurrent packages
-	$(GO) test -race ./internal/population ./internal/segments ./internal/experiments ./internal/stream ./internal/gen ./internal/eval ./internal/store
+detlint: ## static determinism-contract check (R1-R5), human-readable
+	$(GO) run ./cmd/detlint ./...
+
+detlint-json: ## detlint findings as detlint.json (CI artifact); still exits non-zero on findings
+	@$(GO) run ./cmd/detlint -json ./... > detlint.json; rc=$$?; \
+	echo "wrote detlint.json"; exit $$rc
+
+race: ## race-detector pass over the whole module
+	$(GO) test -race ./...
+
+cover: ## module-wide coverage profile with a total-coverage floor
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
 
 bench: ## full benchmark suite (population + shard sweeps included)
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -77,6 +77,7 @@ func diffReports(w io.Writer, oldRep, newRep Report, threshold, allocsThreshold 
 
 	names := make([]string, 0, len(oldBy))
 	var added, removed []string
+	//detlint:ignore R1 membership partition only; names and removed are sorted before any output
 	for name := range oldBy {
 		if _, ok := newBy[name]; ok {
 			names = append(names, name)
@@ -84,6 +85,7 @@ func diffReports(w io.Writer, oldRep, newRep Report, threshold, allocsThreshold 
 			removed = append(removed, name)
 		}
 	}
+	//detlint:ignore R1 membership partition only; added is sorted before any output
 	for name := range newBy {
 		if _, ok := oldBy[name]; !ok {
 			added = append(added, name)

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestDiffReportsOrderInsensitive is the regression test behind the
+// detlint R1 annotations in diffReports: the name-partition loops there
+// iterate Go maps, so if visit order ever leaked into the rendered
+// table or the regression count, permuting the input benchmark lists
+// would change the output. Pin byte-identical output across reversed
+// and interleaved inputs.
+func TestDiffReportsOrderInsensitive(t *testing.T) {
+	mk := func(name string, ns, allocs float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 100, NsPerOp: &ns, AllocsPerOp: &allocs}
+	}
+	var oldBench, newBench []Benchmark
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("BenchmarkCase%02d-4", i)
+		oldBench = append(oldBench, mk(name, float64(1000+i), float64(i%3)))
+		// Every third case regresses, every fifth is new-only, every
+		// seventh old-only — the diff has to partition all three sets.
+		switch {
+		case i%7 == 0:
+			// left out of new: "only in old"
+		case i%3 == 0:
+			newBench = append(newBench, mk(name, float64(3000+i), float64(i%3)))
+		default:
+			newBench = append(newBench, mk(name, float64(1000+i), float64(i%3)))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		newBench = append(newBench, mk(fmt.Sprintf("BenchmarkFresh%d-4", i), 10, 0))
+	}
+
+	render := func(oldB, newB []Benchmark) (string, int) {
+		var buf bytes.Buffer
+		n := diffReports(&buf, Report{Benchmarks: oldB}, Report{Benchmarks: newB}, 0.25, 0.25)
+		return buf.String(), n
+	}
+
+	baseOut, baseRegs := render(oldBench, newBench)
+	if baseRegs == 0 {
+		t.Fatal("fixture should contain regressions")
+	}
+
+	reversed := func(b []Benchmark) []Benchmark {
+		out := make([]Benchmark, len(b))
+		for i, x := range b {
+			out[len(b)-1-i] = x
+		}
+		return out
+	}
+	interleaved := func(b []Benchmark) []Benchmark {
+		out := make([]Benchmark, 0, len(b))
+		for i := 1; i < len(b); i += 2 {
+			out = append(out, b[i])
+		}
+		for i := 0; i < len(b); i += 2 {
+			out = append(out, b[i])
+		}
+		return out
+	}
+
+	for name, in := range map[string][2][]Benchmark{
+		"reversed":    {reversed(oldBench), reversed(newBench)},
+		"interleaved": {interleaved(oldBench), interleaved(newBench)},
+	} {
+		out, regs := render(in[0], in[1])
+		if regs != baseRegs {
+			t.Errorf("%s: regression count changed: %d != %d", name, regs, baseRegs)
+		}
+		if out != baseOut {
+			t.Errorf("%s: diff output depends on input order\n--- base ---\n%s--- permuted ---\n%s", name, baseOut, out)
+		}
+	}
+}

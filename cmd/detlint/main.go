@@ -1,0 +1,166 @@
+// Command detlint statically enforces the repository's determinism
+// contract: every score and rendered byte must be a bit-exact function
+// of the input stream. It loads every non-test package in the module
+// with go/parser + go/types (stdlib only, no x/tools) and reports
+// contract violations with file:line:col diagnostics, exiting non-zero
+// when any unsuppressed finding remains — `make lint` runs it over the
+// whole module on every build and in CI.
+//
+// Usage:
+//
+//	detlint [-json] [-rules R1,R2] [-disable R3] [-C dir] [packages]
+//
+// Packages default to ./... (the whole module). Rules:
+//
+//	R1 map-range        for…range over a map in scoring/output packages
+//	R2 wallclock-rand   time.Now / global math/rand outside internal/stats
+//	R3 raw-goroutine    go statements / sync.WaitGroup outside population, stream
+//	R4 float-map-accum  float accumulation inside a map-range body
+//	R5 exit-in-library  os.Exit / log.Fatal outside package main
+//
+// A finding is suppressed only by an explicit annotated comment on the
+// flagged line or the line above:
+//
+//	//detlint:ignore R2 wall-clock timing is stderr telemetry, never output
+//
+// A bare or reasonless ignore is itself a diagnostic (R0, never
+// disableable). -json emits the findings as a machine-readable report
+// for CI artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gautrais/stability/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output shape. Findings is never null so
+// downstream tooling can index it unconditionally.
+type jsonReport struct {
+	Findings []lint.Finding `json:"findings"`
+	Count    int            `json:"count"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON (for CI artifacts)")
+		rulesF  = fs.String("rules", "", "comma-separated rule IDs to enable (default: all)")
+		disable = fs.String("disable", "", "comma-separated rule IDs to disable")
+		chdir   = fs.String("C", ".", "directory to resolve the module from")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: detlint [-json] [-rules R1,R2] [-disable R3] [-C dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := findModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	selected, err := selectRules(*rulesF, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	findings, err := lint.Run(lint.Config{Dir: root, Rules: selected}, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		report := jsonReport{Findings: findings, Count: len(findings)}
+		if report.Findings == nil {
+			report.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d determinism-contract violation(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectRules resolves the -rules / -disable flags into the enabled
+// set. Empty means all rules; R0 (suppression hygiene) is implicit and
+// cannot be turned off.
+func selectRules(enable, disable string) ([]string, error) {
+	all := []string{"R1", "R2", "R3", "R4", "R5"}
+	selected := all
+	if enable != "" {
+		selected = splitIDs(enable)
+	}
+	if disable == "" {
+		return selected, nil
+	}
+	off := make(map[string]bool)
+	for _, id := range splitIDs(disable) {
+		off[id] = true
+	}
+	var kept []string
+	for _, id := range selected {
+		if !off[id] {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("every rule disabled; nothing to do")
+	}
+	return kept, nil
+}
+
+func splitIDs(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}

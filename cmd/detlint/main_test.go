@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture points the CLI at one of the lint package's fixture modules.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src", name)
+}
+
+func TestRunReportsViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture("maprange")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 on findings, got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "R1") {
+		t.Fatalf("stdout missing R1 diagnostics:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "violation") {
+		t.Fatalf("stderr missing summary:\n%s", stderr.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture("wallclock"), "-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if report.Count == 0 || report.Count != len(report.Findings) {
+		t.Fatalf("inconsistent report: count=%d findings=%d", report.Count, len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Rule != "R2" {
+			t.Fatalf("wallclock fixture should only trip R2, got %s", f.Rule)
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestRunJSONCleanEmitsEmptyFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture("wallclock"), "-json", "-disable", "R2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("want exit 0 with R2 disabled, got %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `"findings": []`) {
+		t.Fatalf("clean JSON report should carry an empty findings array, got:\n%s", out)
+	}
+}
+
+func TestRunRuleSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fixture("maprange"), "-rules", "R2,R3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("maprange fixture should be clean under R2,R3; got exit %d:\n%s", code, stdout.String())
+	}
+	if code := run([]string{"-C", fixture("maprange"), "-rules", "R9"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown rule should exit 2, got %d", code)
+	}
+	if code := run([]string{"-C", fixture("maprange"), "-disable", "R1,R2,R3,R4,R5"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("disabling every rule should exit 2, got %d", code)
+	}
+}
+
+func TestRunPatternArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture("maprange"), "./internal/util"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("util package is out of R1 scope, want exit 0, got %d:\n%s", code, stdout.String())
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing go.mod should exit 2, got %d", code)
+	}
+}

@@ -47,13 +47,19 @@ func run(args []string) error {
 		}
 	}
 
+	// Experiment renderings go to stdout and must be bit-identical run to
+	// run; the elapsed-time telemetry below is the one wall-clock read in
+	// the binary and stays on stderr so stdout never carries it.
 	runOne := func(name string, fn func() error) error {
+		//detlint:ignore R2 operator timing telemetry; printed to stderr only, never into experiment output
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
 		if err := fn(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+		//detlint:ignore R2 operator timing telemetry; printed to stderr only, never into experiment output
+		fmt.Fprintf(os.Stderr, "--- %s done in %v ---\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 		return nil
 	}
 

@@ -179,6 +179,7 @@ func ExplanationQualityOn(ds *gen.Dataset, cfg ExplanationQualityConfig) (*Expla
 		// Precision: blamed items at post-onset windows scored against
 		// truth.
 		onsetK := grid.Index(ds.Config.Start.AddDate(0, truth.Label.OnsetMonth, 0))
+		//detlint:ignore R1 accumulates integer counters only; integer addition is exact and order-independent
 		for k, blames := range blameAt {
 			if k < onsetK {
 				continue

@@ -343,6 +343,7 @@ func LeadTimeOn(ds *gen.Dataset, cfg LeadTimeConfig) (*LeadTimeResult, error) {
 
 	res := &LeadTimeResult{Cfg: cfg, Beta: beta}
 	onsetOf := make(map[retail.CustomerID]int, len(ds.Truth.ByCustomer))
+	//detlint:ignore R1 rebuilds a keyed map; no order-dependent state escapes the loop
 	for id, tr := range ds.Truth.ByCustomer {
 		if tr.Label.Cohort == retail.CohortDefecting {
 			onsetOf[id] = tr.Label.OnsetMonth

@@ -43,6 +43,7 @@ type Population struct {
 func NewPopulation(ds *gen.Dataset) (*Population, error) {
 	p := &Population{DS: ds}
 	ids := make([]retail.CustomerID, 0, len(ds.Truth.ByCustomer))
+	//detlint:ignore R1 collects keys that are sorted immediately below
 	for id := range ds.Truth.ByCustomer {
 		ids = append(ids, id)
 	}

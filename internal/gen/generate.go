@@ -61,6 +61,7 @@ func (g *GroundTruth) InvalidateIndexes() {
 func (g *GroundTruth) buildIndexes() {
 	g.labels = make([]retail.Label, 0, len(g.ByCustomer))
 	g.defectors = g.defectors[:0]
+	//detlint:ignore R1 collects labels that are sorted by customer immediately below
 	for _, t := range g.ByCustomer {
 		g.labels = append(g.labels, t.Label)
 	}

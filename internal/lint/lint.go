@@ -1,0 +1,171 @@
+// Package lint implements detlint, the static analyzer that enforces
+// this repository's determinism contract at build time. Every score the
+// system emits must be a bit-exact function of the input stream; the
+// rules here reject the code shapes that historically break that —
+// map-order iteration feeding output, wall-clock and globally-seeded
+// randomness, hand-rolled goroutine fan-outs, reordering-prone float
+// accumulation, and library code that exits instead of returning errors.
+//
+// The analyzer is stdlib-only (go/ast, go/parser, go/types, go/importer)
+// per the repo's dependency-free constraint. See DESIGN.md "Static
+// determinism checks" for the rule catalogue and rationale.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic. File is relative to the module root so
+// output is stable regardless of where detlint runs from.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Package string `json:"package"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Config selects what to analyze and which rules run.
+type Config struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Rules enables a subset of rule IDs (e.g. "R1"). Empty means all.
+	// The suppression-hygiene meta rule R0 is always on: a malformed
+	// ignore must never be silenceable by disabling the rule it names.
+	Rules []string
+}
+
+// Run loads the module at cfg.Dir and reports findings for every
+// package matched by patterns ("./..." for the whole module; "./x/..."
+// for a subtree; "./x" or "x" for one package). Findings are sorted by
+// file, line, column, then rule, and suppressions
+// (//detlint:ignore RULE reason) have already been applied.
+func Run(cfg Config, patterns ...string) ([]Finding, error) {
+	enabled, err := enabledRules(cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := LoadModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		if !matchAny(pkg.Rel, patterns) {
+			continue
+		}
+		findings = append(findings, runPackage(mod, pkg, enabled)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// runPackage applies the enabled rules to one package and filters the
+// raw diagnostics through that package's suppression comments.
+func runPackage(mod *Module, pkg *Package, enabled map[string]bool) []Finding {
+	p := &pass{mod: mod, pkg: pkg}
+	for _, r := range rules {
+		if enabled[r.id] {
+			r.check(p)
+		}
+	}
+	sup := collectSuppressions(mod, pkg)
+	kept := sup.filter(p.findings)
+	kept = append(kept, sup.violations(mod, pkg)...)
+	return kept
+}
+
+// pass carries one package's analysis state; rules report through it.
+type pass struct {
+	mod      *Module
+	pkg      *Package
+	findings []Finding
+}
+
+func (p *pass) report(rule string, pos token.Pos, format string, args ...any) {
+	position := p.mod.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.mod.Dir, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	p.findings = append(p.findings, Finding{
+		Rule:    rule,
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Package: p.pkg.ImportPath,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// enabledRules validates and expands the rule selection.
+func enabledRules(ids []string) (map[string]bool, error) {
+	enabled := make(map[string]bool, len(rules))
+	if len(ids) == 0 {
+		for _, r := range rules {
+			enabled[r.id] = true
+		}
+		return enabled, nil
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !knownRule(id) {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", id, strings.Join(ruleIDs(), ", "))
+		}
+		enabled[id] = true
+	}
+	return enabled, nil
+}
+
+// matchAny reports whether the package with module-relative import path
+// rel is selected by any of the patterns.
+func matchAny(rel string, patterns []string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if pat == "." && rel == "" {
+			return true
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

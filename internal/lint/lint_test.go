@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden diagnostic files from current output.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenDiagnostics runs every rule over each fixture module under
+// testdata/src and compares the rendered findings, line for line,
+// against the checked-in golden file.
+func TestGoldenDiagnostics(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixture modules under testdata/src")
+	}
+	for _, dir := range fixtures {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			findings, err := Run(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, f := range findings {
+				buf.WriteString(f.String())
+				buf.WriteByte('\n')
+			}
+			goldenPath := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestRuleToggle verifies each rule can be enabled in isolation: a
+// fixture that only violates rule X is clean under every other rule.
+func TestRuleToggle(t *testing.T) {
+	cases := []struct {
+		fixture string
+		rule    string
+	}{
+		{"maprange", "R1"},
+		{"wallclock", "R2"},
+		{"goroutines", "R3"},
+		{"floatsum", "R4"},
+		{"exits", "R5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.fixture)
+
+			only, err := Run(Config{Dir: dir, Rules: []string{tc.rule}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(only) == 0 {
+				t.Fatalf("rule %s found nothing in its own fixture", tc.rule)
+			}
+			for _, f := range only {
+				if f.Rule != tc.rule && f.Rule != "R0" {
+					t.Fatalf("rule selection leaked: asked for %s, got %s", tc.rule, f.Rule)
+				}
+			}
+
+			var others []string
+			for _, id := range ruleIDs() {
+				if id != tc.rule {
+					others = append(others, id)
+				}
+			}
+			rest, err := Run(Config{Dir: dir, Rules: others})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rest {
+				if f.Rule == tc.rule {
+					t.Fatalf("rule %s reported while disabled: %s", tc.rule, f)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownRuleRejected pins the config validation error.
+func TestUnknownRuleRejected(t *testing.T) {
+	if _, err := Run(Config{Dir: filepath.Join("testdata", "src", "maprange"), Rules: []string{"R9"}}); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+// TestSuppressionRoundTrip writes a violating module, confirms the
+// finding, adds a well-formed annotation, and confirms it is silenced —
+// then strips the reason and confirms that degrades into an R0 finding
+// while the original violation resurfaces.
+func TestSuppressionRoundTrip(t *testing.T) {
+	const violating = `package core
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`
+	dir := t.TempDir()
+	src := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/roundtrip\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(src, "core.go"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(violating)
+	findings, err := Run(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Rule != "R1" {
+		t.Fatalf("want exactly one R1 finding, got %v", findings)
+	}
+
+	suppressed := strings.Replace(violating,
+		"\tfor k, v := range m {",
+		"\t//detlint:ignore R1 fixture: output order is asserted elsewhere\n\tfor k, v := range m {", 1)
+	write(suppressed)
+	findings, err = Run(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("annotated violation still reported: %v", findings)
+	}
+
+	bare := strings.Replace(suppressed,
+		"//detlint:ignore R1 fixture: output order is asserted elsewhere",
+		"//detlint:ignore R1", 1)
+	write(bare)
+	findings, err = Run(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rulesSeen []string
+	for _, f := range findings {
+		rulesSeen = append(rulesSeen, f.Rule)
+	}
+	if len(findings) != 2 || rulesSeen[0] != "R0" && rulesSeen[1] != "R0" {
+		t.Fatalf("reasonless ignore should yield R0 plus the resurfaced R1, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Message+findings[1].Message, "no reason") {
+		t.Fatalf("R0 message should explain the missing reason, got %v", findings)
+	}
+}
+
+// TestSelfCheckRepoClean is the gate the Makefile relies on: detlint
+// over this repository reports nothing, and every suppression in the
+// tree carries a written reason (a reasonless one would surface as R0
+// right here).
+func TestSelfCheckRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(Config{Dir: root}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo violates its own determinism contract: %s", f)
+	}
+}
+
+// TestPatternSelection pins the package pattern grammar.
+func TestPatternSelection(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maprange")
+
+	all, err := Run(Config{Dir: dir}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOnly, err := Run(Config{Dir: dir}, "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coreOnly) == 0 || len(coreOnly) >= len(all) {
+		t.Fatalf("pattern ./internal/core selected %d of %d findings", len(coreOnly), len(all))
+	}
+	for _, f := range coreOnly {
+		if !strings.HasPrefix(f.File, "internal/core/") {
+			t.Fatalf("pattern leaked finding outside internal/core: %s", f)
+		}
+	}
+	cmdTree, err := Run(Config{Dir: dir}, "./cmd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range cmdTree {
+		if !strings.HasPrefix(f.File, "cmd/") {
+			t.Fatalf("pattern ./cmd/... leaked: %s", f)
+		}
+	}
+	if len(coreOnly)+len(cmdTree) != len(all) {
+		t.Fatalf("pattern partition mismatch: %d + %d != %d", len(coreOnly), len(cmdTree), len(all))
+	}
+}

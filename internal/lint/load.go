@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a parsed and type-checked Go module: every non-test package
+// under the module root, in deterministic (path-sorted, dependency-first)
+// order. Loading uses only go/parser + go/types + go/importer — no
+// golang.org/x/tools — so detlint stays inside the repo's stdlib-only
+// constraint.
+type Module struct {
+	Dir  string // absolute path of the directory holding go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Package is one type-checked package of the module. Test files
+// (*_test.go) are not loaded: the determinism contract governs shipped
+// code, and tests routinely use seeded math/rand and raw goroutines to
+// attack that shipped code.
+type Package struct {
+	ImportPath string
+	Rel        string // import path relative to the module root; "" for the root package
+	Dir        string
+	Name       string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under dir, which must contain a go.mod. Module-internal imports are
+// resolved against the packages being loaded; everything else (stdlib)
+// is type-checked from source via go/importer.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Dir: abs, Path: modPath, Fset: token.NewFileSet()}
+
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(dirs))
+	for _, d := range dirs {
+		pkg, err := m.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			byPath[pkg.ImportPath] = pkg
+		}
+	}
+
+	order, err := topoOrder(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	src := importer.ForCompiler(m.Fset, "source", nil)
+	chain := &chainImporter{local: make(map[string]*types.Package), fallback: src}
+	for _, p := range order {
+		if err := m.check(p, chain); err != nil {
+			return nil, err
+		}
+		chain.local[p.ImportPath] = p.Types
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module declaration", file)
+}
+
+// packageDirs walks the module tree collecting directories that hold at
+// least one non-test .go file. testdata, vendor, hidden, and underscore
+// directories are skipped, matching the go tool's own conventions (the
+// lint fixtures under internal/lint/testdata stay invisible to the
+// self-check this way).
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test files of one directory into a Package
+// (nil if the directory holds no non-test Go files after filtering).
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	importPath := m.Path
+	if rel != "" {
+		importPath = m.Path + "/" + rel
+	}
+
+	pkg := &Package{ImportPath: importPath, Rel: rel, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("%s: multiple packages %s and %s", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// topoOrder sorts packages dependency-first so each package's
+// module-internal imports are type-checked before it is. Ties break on
+// import path, keeping the whole load deterministic.
+func topoOrder(byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(paths))
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		pkg, ok := byPath[path]
+		if !ok {
+			return nil // stdlib or external; the fallback importer handles it
+		}
+		switch state[path] {
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		case done:
+			return nil
+		}
+		state[path] = visiting
+		for _, imp := range moduleImports(pkg) {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImports returns the sorted, deduplicated import paths of pkg.
+func moduleImports(pkg *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// check type-checks one package, populating pkg.Types and pkg.Info.
+func (m *Module) check(pkg *Package, imp types.Importer) error {
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	tp, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-check %s: %w", pkg.ImportPath, err)
+	}
+	pkg.Types = tp
+	pkg.Info = info
+	return nil
+}
+
+// chainImporter resolves module-internal imports from the packages
+// already checked in this load, falling back to the source importer for
+// the standard library.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}

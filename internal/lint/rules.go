@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// rule is one determinism-contract check. Every rule is individually
+// toggleable via Config.Rules / detlint's -rules and -disable flags.
+type rule struct {
+	id    string
+	name  string
+	doc   string
+	check func(*pass)
+}
+
+// rules is the catalogue, in ID order. DESIGN.md documents each rule's
+// rationale; keep the two in sync.
+var rules = []rule{
+	{
+		id:   "R1",
+		name: "map-range",
+		doc: "for…range over a map in scoring/output packages: iteration order is " +
+			"nondeterministic and leaks into floats and rendered output",
+		check: checkMapRange,
+	},
+	{
+		id:   "R2",
+		name: "wallclock-rand",
+		doc: "time.Now, package-level math/rand functions, or rand.Seed outside " +
+			"internal/stats: all randomness must ride seeded stats.Rand streams",
+		check: checkWallclockRand,
+	},
+	{
+		id:   "R3",
+		name: "raw-goroutine",
+		doc: "go statements or sync.WaitGroup fan-outs outside internal/population " +
+			"and internal/stream: parallelism must ride population.Map/MapScratch",
+		check: checkRawGoroutine,
+	},
+	{
+		id:   "R4",
+		name: "float-map-accum",
+		doc: "floating-point accumulation inside a map-range body: the sum order " +
+			"follows map iteration order, so the result jitters run to run",
+		check: checkFloatMapAccum,
+	},
+	{
+		id:   "R5",
+		name: "exit-in-library",
+		doc: "os.Exit or log.Fatal outside package main: library code must return " +
+			"errors so population barrier first-error semantics hold",
+		check: checkExitInLibrary,
+	},
+}
+
+func knownRule(id string) bool {
+	for _, r := range rules {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func ruleIDs() []string {
+	ids := make([]string, len(rules))
+	for i, r := range rules {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// r1Scope lists the module-relative package paths whose floats and
+// rendered bytes are part of the determinism contract. cmd/* is added
+// separately. The root package ("") is the public scoring facade and is
+// in scope; internal/stats feeds every float in the system.
+var r1Scope = map[string]bool{
+	"":                     true,
+	"internal/core":        true,
+	"internal/stream":      true,
+	"internal/gen":         true,
+	"internal/store":       true,
+	"internal/eval":        true,
+	"internal/experiments": true,
+	"internal/report":      true,
+	"internal/stats":       true,
+}
+
+func inR1Scope(rel string) bool {
+	return r1Scope[rel] || rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
+// checkMapRange implements R1: no for…range over a map in scoring or
+// output packages. Iterate a sorted key slice instead.
+func checkMapRange(p *pass) {
+	if !inR1Scope(p.pkg.Rel) {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if isMap(p.typeOf(rng.X)) {
+			p.report("R1", rng.For,
+				"range over map %s: iteration order is nondeterministic; iterate sorted keys instead",
+				types.ExprString(rng.X))
+		}
+		return true
+	})
+}
+
+// checkWallclockRand implements R2: outside internal/stats, no
+// time.Now and no package-level math/rand functions (rand.Seed,
+// rand.Intn, …). rand.New/rand.NewSource/rand.NewZipf stay legal —
+// they wrap an explicit seed, which is exactly what stats.Rand does.
+func checkWallclockRand(p *pass) {
+	if p.pkg.Rel == "internal/stats" {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.funcUse(sel.Sel)
+		if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+				p.report("R2", sel.Pos(),
+					"time.%s leaks wall-clock into a deterministic pipeline; thread an explicit time through the call chain", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf":
+				// Explicit-seed constructors; stats.Rand is built on them.
+			default:
+				p.report("R2", sel.Pos(),
+					"package-level %s.%s uses the shared global source; draw from a seeded stats.Rand stream instead",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkRawGoroutine implements R3: outside internal/population and
+// internal/stream, no go statements and no sync.WaitGroup. New
+// parallelism rides population.Map/MapScratch, which pins input order
+// and lowest-index first-error semantics.
+func checkRawGoroutine(p *pass) {
+	switch p.pkg.Rel {
+	case "internal/population", "internal/stream":
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.report("R3", n.Go,
+				"raw go statement: new parallelism must ride population.Map/MapScratch for deterministic order and first-error")
+		case *ast.SelectorExpr:
+			if tn, ok := p.pkg.Info.Uses[n.Sel].(*types.TypeName); ok &&
+				tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+				p.report("R3", n.Pos(),
+					"hand-rolled sync.WaitGroup fan-out: use population.Map/MapScratch instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatMapAccum implements R4 in every package: a float compound
+// assignment (+=, -=, *=, /=) inside a map-range body, where the
+// accumulator outlives the loop body, sums in map iteration order. The
+// canonical fix is to iterate sorted keys (which R1 also demands in
+// scoring packages) or accumulate into a slice and sum in index order.
+func checkFloatMapAccum(p *pass) {
+	p.inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMap(p.typeOf(rng.X)) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			assign, ok := inner.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch assign.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				if !isFloat(p.typeOf(lhs)) || p.declaredWithin(lhs, rng.Body) {
+					continue
+				}
+				p.report("R4", assign.TokPos,
+					"float accumulation %s %s … inside range over map %s follows map order; sum in canonical order instead",
+					types.ExprString(lhs), assign.Tok, types.ExprString(rng.X))
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkExitInLibrary implements R5: only package main may call os.Exit
+// or log.Fatal*. Library errors must propagate so the population
+// barrier can pick the lowest-index first error deterministically.
+func checkExitInLibrary(p *pass) {
+	if p.pkg.Name == "main" {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.funcUse(sel.Sel)
+		if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+			p.report("R5", sel.Pos(), "os.Exit in library code: return an error instead")
+		case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+			p.report("R5", sel.Pos(), "log.%s in library code: return an error instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// inspect walks every file of the pass's package.
+func (p *pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// typeOf returns the type of e, or nil if unknown.
+func (p *pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// funcUse resolves an identifier to the *types.Func it uses, if any.
+func (p *pass) funcUse(id *ast.Ident) *types.Func {
+	fn, _ := p.pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// declaredWithin reports whether e is an identifier whose object is
+// declared inside node's source range — a per-iteration local, which
+// cannot carry state across map iterations.
+func (p *pass) declaredWithin(e ast.Expr, node ast.Node) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// ignorePrefix is the suppression marker. The full syntax is
+//
+//	//detlint:ignore RULE[,RULE...] reason text
+//
+// placed on the flagged line or the line directly above it. The rule
+// list and a non-empty reason are both mandatory: a suppression is a
+// recorded decision, and a decision without a reason is itself a
+// contract violation (reported as R0).
+const ignorePrefix = "//detlint:ignore"
+
+// suppression is one parsed //detlint:ignore comment.
+type suppression struct {
+	file   string // module-relative
+	line   int
+	rules  map[string]bool
+	reason string
+	bad    string // non-empty: why the comment is malformed (an R0 finding)
+}
+
+type suppressionSet struct {
+	byLine map[string][]*suppression // file -> suppressions, any order
+}
+
+// collectSuppressions parses every //detlint:ignore comment in pkg.
+func collectSuppressions(mod *Module, pkg *Package) *suppressionSet {
+	set := &suppressionSet{byLine: make(map[string][]*suppression)}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				file := pos.Filename
+				if rel, err := filepath.Rel(mod.Dir, file); err == nil {
+					file = filepath.ToSlash(rel)
+				}
+				s := parseSuppression(text)
+				s.file = file
+				s.line = pos.Line
+				set.byLine[file] = append(set.byLine[file], s)
+			}
+		}
+	}
+	return set
+}
+
+// parseSuppression validates the "RULE[,RULE...] reason" payload.
+func parseSuppression(text string) *suppression {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return &suppression{bad: "bare //detlint:ignore: write //detlint:ignore RULE reason"}
+	}
+	s := &suppression{rules: make(map[string]bool)}
+	for _, id := range strings.Split(fields[0], ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !knownRule(id) {
+			return &suppression{bad: "unknown rule " + id + " in //detlint:ignore (have " + strings.Join(ruleIDs(), ", ") + ")"}
+		}
+		s.rules[id] = true
+	}
+	if len(s.rules) == 0 {
+		return &suppression{bad: "bare //detlint:ignore: write //detlint:ignore RULE reason"}
+	}
+	s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if s.reason == "" {
+		return &suppression{bad: "//detlint:ignore " + fields[0] + " has no reason: every suppression must explain itself"}
+	}
+	return s
+}
+
+// filter drops findings covered by a well-formed suppression on the
+// same line or the line directly above.
+func (set *suppressionSet) filter(findings []Finding) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		if set.covers(f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func (set *suppressionSet) covers(f Finding) bool {
+	for _, s := range set.byLine[f.File] {
+		if s.bad != "" || !s.rules[f.Rule] {
+			continue
+		}
+		if s.line == f.Line || s.line == f.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// violations reports every malformed suppression as an R0 finding. R0
+// cannot be disabled and cannot itself be suppressed: the escape hatch
+// must stay auditable.
+func (set *suppressionSet) violations(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		pos := mod.Fset.Position(f.Pos())
+		file := pos.Filename
+		if rel, err := filepath.Rel(mod.Dir, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		for _, s := range set.byLine[file] {
+			if s.bad == "" {
+				continue
+			}
+			out = append(out, Finding{
+				Rule:    "R0",
+				File:    s.file,
+				Line:    s.line,
+				Col:     1,
+				Package: pkg.ImportPath,
+				Message: s.bad,
+			})
+		}
+	}
+	return out
+}

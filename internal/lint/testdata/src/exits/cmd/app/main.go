@@ -1,0 +1,14 @@
+// Command app is package main: exiting is its prerogative, not flagged.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("unexpected arguments")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,3 @@
+module example.com/exits
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package lib is an R5 fixture: library code must return errors so the
+// population barrier keeps its lowest-index first-error semantics.
+package lib
+
+import (
+	"log"
+	"os"
+)
+
+// Die exits the process from library code: flagged.
+func Die() {
+	os.Exit(1)
+}
+
+// DieLoudly log.Fatals from library code: flagged.
+func DieLoudly(err error) {
+	log.Fatalf("lib: %v", err)
+}

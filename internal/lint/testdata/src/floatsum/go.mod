@@ -1,0 +1,3 @@
+module example.com/floatsum
+
+go 1.22

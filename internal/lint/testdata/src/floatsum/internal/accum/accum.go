@@ -1,0 +1,66 @@
+// Package accum is an R4 fixture. It sits outside R1's scoring scope on
+// purpose: R4 polices float accumulation over map order in EVERY
+// package, because a jittering float escapes through any API.
+// This file is deliberately not gofmt-clean (fixture packages are
+// excluded from the formatting gate).
+package accum
+
+// SumValues accumulates a float across map iterations: flagged.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Scale multiplies an outer float inside a map range: flagged.
+func Scale(m map[string]float64) float64 {
+	total  :=  1.0
+	for _, v := range m {
+		total *= v
+	}
+	return total
+}
+
+// FieldSum accumulates into a struct field: flagged.
+type FieldSum struct{ Total float64 }
+
+func (f *FieldSum) Add(m map[int]float64) {
+	for _, v := range m {
+		f.Total += v
+	}
+}
+
+// CountValues accumulates an int: exact arithmetic, not flagged.
+func CountValues(m map[string]float64) int {
+	n := 0
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// PerEntry declares its accumulator inside the body: per-iteration
+// state cannot carry order across iterations, not flagged.
+func PerEntry(m map[string][]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, xs := range m {
+		var rowSum float64
+		for _, x := range xs {
+			rowSum += x
+		}
+		out = append(out, rowSum)
+	}
+	return out
+}
+
+// SliceSum accumulates over a slice: order is the index order, not
+// flagged.
+func SliceSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,3 @@
+module example.com/goroutines
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package pipe is an R3 fixture: raw goroutines and hand-rolled
+// WaitGroup fan-outs outside population/stream are contract violations.
+package pipe
+
+import "sync"
+
+// Run spawns a raw goroutine and joins it by hand: both the go
+// statement and the sync.WaitGroup use are flagged.
+func Run(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+// Package population is the one place allowed to spawn goroutines and
+// join them with WaitGroups: it owns the deterministic fan-out engine.
+package population
+
+import "sync"
+
+// Map fans work out across goroutines; population is R3-exempt.
+func Map(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}

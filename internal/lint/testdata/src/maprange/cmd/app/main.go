@@ -1,0 +1,12 @@
+// Command app is an R1 fixture: cmd/* renders output, so map ranges
+// are flagged here too.
+package main
+
+import "fmt"
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/maprange
+
+go 1.22

@@ -1,0 +1,37 @@
+// Package core is an R1 fixture: it stands in for a scoring package, so
+// ranging over a map here is a determinism-contract violation.
+package core
+
+import "sort"
+
+// Keys ranges over a map to collect keys: flagged, even though the
+// caller sorts, because core is a scoring package (rule R1 is about the
+// shape, the suppression carries the proof of safety).
+func Keys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SumSlice ranges over a slice: not a map, not flagged.
+func SumSlice(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// SuppressedKeys carries a well-formed annotation, so its map range is
+// not reported.
+func SuppressedKeys(m map[int]bool) int {
+	n := 0
+	//detlint:ignore R1 counts entries; the count is independent of visit order
+	for range m {
+		n++
+	}
+	return n
+}

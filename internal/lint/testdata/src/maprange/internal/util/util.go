@@ -1,0 +1,12 @@
+// Package util is outside R1's scoring/output scope: map ranges here
+// are legal (until they accumulate floats, which R4 owns).
+package util
+
+// Count may range the map freely; util is not a scoring package.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module example.com/suppress
+
+go 1.22

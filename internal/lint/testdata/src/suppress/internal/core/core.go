@@ -1,0 +1,64 @@
+// Package core exercises the suppression grammar: well-formed ignores
+// silence their rule, malformed ones are R0 findings, and an ignore for
+// the wrong rule suppresses nothing.
+package core
+
+// LineAbove is silenced by a comment on the preceding line.
+func LineAbove(m map[int]int) int {
+	n := 0
+	//detlint:ignore R1 counts entries; order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SameLine is silenced by a trailing comment on the flagged line.
+func SameLine(m map[int]int) int {
+	n := 0
+	for range m { //detlint:ignore R1 counts entries; order-independent
+		n++
+	}
+	return n
+}
+
+// Bare carries an ignore with no rule: the map range stays reported and
+// the bare ignore is an R0 finding.
+func Bare(m map[int]int) int {
+	n := 0
+	//detlint:ignore
+	for range m {
+		n++
+	}
+	return n
+}
+
+// NoReason names a rule but gives no reason: R0, and the range stays.
+func NoReason(m map[int]int) int {
+	n := 0
+	//detlint:ignore R1
+	for range m {
+		n++
+	}
+	return n
+}
+
+// UnknownRule names a rule that does not exist: R0, and the range stays.
+func UnknownRule(m map[int]int) int {
+	n := 0
+	//detlint:ignore R9 no such rule
+	for range m {
+		n++
+	}
+	return n
+}
+
+// WrongRule suppresses R2 on an R1 finding: the range stays reported.
+func WrongRule(m map[int]int) int {
+	n := 0
+	//detlint:ignore R2 this reason covers the wrong rule
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// Package clock is an R2 fixture: wall-clock reads and global math/rand
+// outside internal/stats are contract violations.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice: both flagged.
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Draws uses the shared global source and reseeds it: both flagged.
+func Draws() int {
+	rand.Seed(42)
+	return rand.Intn(10)
+}
+
+// Seeded builds an explicit-seed generator: rand.New/rand.NewSource are
+// the allowed constructors, not flagged.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}

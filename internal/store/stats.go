@@ -69,6 +69,7 @@ func (s *Store) Summarize(topN int) Stats {
 	st.ReceiptsPerCust = stats.Summarize(perCust)
 	st.SpendPerReceipt = stats.Summarize(spends)
 	st.TopItems = make([]ItemCount, 0, len(itemCounts))
+	//detlint:ignore R1 collects counts; TopItems is totally ordered (count desc, item asc) right below
 	for it, c := range itemCounts {
 		st.TopItems = append(st.TopItems, ItemCount{Item: it, Count: c})
 	}

@@ -131,6 +131,7 @@ func (sw *snapshotWriter) flush() error { return sw.bw.Flush() }
 // sortedStateIDs returns a state map's customer ids ascending.
 func sortedStateIDs(states map[retail.CustomerID]*custState) []retail.CustomerID {
 	ids := make([]retail.CustomerID, 0, len(states))
+	//detlint:ignore R1 collects ids that are sorted immediately below
 	for id := range states {
 		ids = append(ids, id)
 	}
@@ -208,6 +209,7 @@ func ReadMonitorSnapshot(r io.Reader, cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
+	//detlint:ignore R1 addRestored is order-insensitive; the id index is sort-rebuilt at the next barrier
 	for id, st := range states {
 		m.addRestored(id, st)
 	}

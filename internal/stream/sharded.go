@@ -410,6 +410,7 @@ func ReadShardedMonitorSnapshot(r io.Reader, cfg Config, shards int) (*ShardedMo
 	if err != nil {
 		return nil, err
 	}
+	//detlint:ignore R1 addRestored is order-insensitive and shard assignment depends only on the id hash
 	for id, st := range states {
 		s.shards[shardIndex(id, len(s.shards))].mon.addRestored(id, st)
 	}

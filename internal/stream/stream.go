@@ -283,6 +283,7 @@ func (m *Monitor) CloseThrough(k int) []Alert {
 // replay should resume feeding from. ok is false when no customers are
 // tracked.
 func (m *Monitor) Watermark() (k int, ok bool) {
+	//detlint:ignore R1 folds a minimum over values; min is commutative, so visit order cannot leak
 	for _, st := range m.states {
 		if !ok || st.openK < k {
 			k, ok = st.openK, true
