@@ -9,14 +9,14 @@ GO ?= go
 BENCHTIME ?= 1s
 # Output of bench-json. bench-smoke redirects it to BENCH_SMOKE.json
 # (untracked) so a smoke run can never clobber the checked-in 1s baseline
-# BENCH_PR5.json with single-iteration noise. BENCH_PR3/PR4.json are kept
-# for the perf trajectory.
-BENCHJSON_OUT ?= BENCH_PR5.json
+# BENCH_PR7.json with single-iteration noise. BENCH_PR3/PR4/PR5.json are
+# kept for the perf trajectory.
+BENCHJSON_OUT ?= BENCH_PR7.json
 # Baseline bench-diff compares against, and the regression thresholds.
 # Smoke runs are single-iteration, so the defaults are deliberately loose:
 # the diff is a tripwire for order-of-magnitude regressions and alloc-count
 # jumps, not a timing oracle (diff two 1s bench-json runs for that).
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_DIFF_THRESHOLD ?= 1.0
 BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 
@@ -25,9 +25,9 @@ BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 COVER_PROFILE ?= cover.out
 COVER_FLOOR ?= 80
 
-.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff ci
+.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest ci
 
-ci: verify lint race cover bench-smoke ## everything .github/workflows/ci.yml runs
+ci: verify lint race cover bench-smoke loadtest ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -76,6 +76,9 @@ bench-json: ## machine-readable benchmark results -> $(BENCHJSON_OUT)
 	@mv $(BENCHJSON_OUT).tmp $(BENCHJSON_OUT)
 	@rm -f bench-raw.out
 	@echo "wrote $(BENCHJSON_OUT)"
+
+loadtest: ## attritiond smoke load test: in-process daemon, concurrent replay, exact verification vs a sequential Monitor
+	$(GO) run ./cmd/loadgen -customers 120 -months 16 -conns 4 -batch 150 -queries 300
 
 bench-diff: ## diff smoke results (regenerated when absent) against $(BENCH_BASELINE); writes bench-diff.txt, exits non-zero on regression
 	@test -f BENCH_SMOKE.json || $(MAKE) bench-smoke

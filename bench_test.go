@@ -13,8 +13,11 @@
 package stability_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"sort"
 	"strconv"
 	"testing"
@@ -29,6 +32,7 @@ import (
 	"github.com/gautrais/stability/internal/population"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/rfm"
+	"github.com/gautrais/stability/internal/serve"
 	"github.com/gautrais/stability/internal/store"
 	"github.com/gautrais/stability/internal/stream"
 	"github.com/gautrais/stability/internal/window"
@@ -719,4 +723,131 @@ func BenchmarkRFMExtract(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ex.Extract(pop.Histories[i%pop.N()], 9)
 	}
+}
+
+// --- serving layer (attritiond) ---
+
+// serveBodies pre-marshals the shared dataset into month-phased POST
+// bodies so the benchmarks measure the handler path, not json.Marshal.
+func serveBodies(b *testing.B, batch int) (bodies [][]byte, receipts int, grid window.Grid) {
+	b.Helper()
+	ds := sharedDataset(b)
+	grid, err := window.NewGrid(ds.Config.Start, window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type event struct {
+		t  int64
+		rc serve.ReceiptIn
+	}
+	var feed []event
+	ds.Store.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			items := make([]uint32, len(r.Items))
+			for i, it := range r.Items {
+				items[i] = uint32(it)
+			}
+			feed = append(feed, event{r.Time.UnixNano(), serve.ReceiptIn{
+				Customer: uint64(h.Customer), Time: r.Time, Items: items,
+			}})
+		}
+		return true
+	})
+	sort.Slice(feed, func(i, j int) bool { return feed[i].t < feed[j].t })
+	for lo := 0; lo < len(feed); lo += batch {
+		hi := lo + batch
+		if hi > len(feed) {
+			hi = len(feed)
+		}
+		req := serve.IngestRequest{Receipts: make([]serve.ReceiptIn, 0, hi-lo)}
+		for _, ev := range feed[lo:hi] {
+			req.Receipts = append(req.Receipts, ev.rc)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, len(feed), grid
+}
+
+func serveConfig(grid window.Grid) serve.Config {
+	return serve.Config{
+		Monitor: stream.Config{Grid: grid, Model: core.Options{Alpha: 2}, Beta: 0.6, WarmupWindows: 3},
+	}
+}
+
+// BenchmarkServeIngest measures the daemon's ingestion path end to end:
+// HTTP decode, stale filter, bounded enqueue, drain into the sharded
+// monitor, and the shutdown barrier. Batches are time-ordered, so this is
+// the serving twin of BenchmarkMonitorIngest.
+func BenchmarkServeIngest(b *testing.B) {
+	bodies, receipts, grid := serveBodies(b, 500)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(receipts), "receipts/op")
+			for i := 0; i < b.N; i++ {
+				cfg := serveConfig(grid)
+				cfg.Shards = shards
+				s, err := serve.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := s.Handler()
+				for _, body := range bodies {
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/receipts", bytes.NewReader(body)))
+					if w.Code != 200 {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeQuery measures the read path against a fully ingested
+// daemon: per-customer stability lookups and alert-log pages.
+func BenchmarkServeQuery(b *testing.B) {
+	bodies, _, grid := serveBodies(b, 500)
+	ds := sharedDataset(b)
+	s, err := serve.New(serveConfig(grid))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	for _, body := range bodies {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/receipts", bytes.NewReader(body)))
+		if w.Code != 200 {
+			b.Fatal(w.Code)
+		}
+	}
+	if err := s.Close(); err != nil { // drain so queries hit settled state
+		b.Fatal(err)
+	}
+	ids := ds.Store.Customers()
+	b.Run("stability", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			target := fmt.Sprintf("/v1/customers/%d/stability", ids[i%len(ids)])
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+			if w.Code != 200 && w.Code != 404 {
+				b.Fatal(w.Code)
+			}
+		}
+	})
+	b.Run("alerts-page", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/alerts?max=100", nil))
+			if w.Code != 200 {
+				b.Fatal(w.Code)
+			}
+		}
+	})
 }

@@ -1,0 +1,162 @@
+// Command attritiond is attrition-as-a-service: a long-running HTTP
+// daemon that ingests live receipt batches into the sharded streaming
+// monitor, answers per-customer stability queries, and streams defection
+// alerts — the production deployment shape of the paper's model.
+//
+//	attritiond -addr :8080 -origin 2012-05 -state mon.smn
+//
+// Endpoints (see API.md for the full reference):
+//
+//	POST /v1/receipts                     batched ingestion (bounded queue)
+//	GET  /v1/customers/{id}/stability     last scored stability
+//	GET  /v1/alerts                       long-poll or SSE alert stream
+//	GET  /healthz                         liveness
+//	GET  /metrics                         counters + per-endpoint latency
+//
+// The ingestion queue is bounded; -policy picks what happens when it
+// fills: block (producers stall), shed (drop and count), or reject
+// (429 + Retry-After). With -state, the daemon restores the monitor
+// snapshot on start, saves it every -save-interval, and persists it
+// atomically on SIGINT/SIGTERM after draining the queue — windows past
+// the watermark stay open, so a restart resumes losslessly and the alert
+// stream across restarts is byte-identical to an uninterrupted run.
+//
+// Scored output is wall-clock free: alerts and snapshots are a pure
+// function of the accepted receipt sequence, so the daemon's results are
+// reproducible by replaying the same receipts through `attrition
+// monitor` (the differential tests in internal/serve pin this).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "attritiond:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed flag set.
+type config struct {
+	addr  string
+	serve stability.ServerConfig
+}
+
+// parseFlags builds the server configuration from the command line.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("attritiond", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		origin       = fs.String("origin", "2012-05", "window grid origin month (YYYY-MM); must match the receipt stream's first month")
+		span         = fs.Int("span", 2, "window span in months")
+		alpha        = fs.Float64("alpha", 2, "significance base α")
+		beta         = fs.Float64("beta", 0.6, "loyalty threshold: alert at stability <= beta")
+		topJ         = fs.Int("top", 3, "blamed products per alert")
+		warmup       = fs.Int("warmup", 4, "windows of history before alerts may fire")
+		shards       = fs.Int("shards", 0, "ingestion shards (customer-hash partitions); 0 = GOMAXPROCS")
+		queue        = fs.Int("queue", 64, "ingestion queue bound, in batches")
+		policy       = fs.String("policy", "block", "queue overflow policy: block, shed or reject (429)")
+		maxBatch     = fs.Int("max-batch", 10000, "receipts per POST limit (413 beyond)")
+		alertBuffer  = fs.Int("alert-buffer", 65536, "alerts retained for late consumers")
+		state        = fs.String("state", "", "SMN1 snapshot path: restore on start, save periodically and on shutdown")
+		saveInterval = fs.Duration("save-interval", time.Minute, "background snapshot period (0 disables; needs -state)")
+		flushTick    = fs.Duration("flush-interval", 2*time.Second, "alert delivery liveness barrier period (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	o, err := time.Parse("2006-01", *origin)
+	if err != nil {
+		return config{}, fmt.Errorf("invalid -origin %q (want YYYY-MM): %w", *origin, err)
+	}
+	grid, err := stability.NewGrid(o, *span)
+	if err != nil {
+		return config{}, err
+	}
+	pol, err := stability.ParseIngestPolicy(*policy)
+	if err != nil {
+		return config{}, err
+	}
+	return config{
+		addr: *addr,
+		serve: stability.ServerConfig{
+			Monitor: stability.MonitorConfig{
+				Grid:          grid,
+				Model:         stability.Options{Alpha: *alpha},
+				Beta:          *beta,
+				TopJ:          *topJ,
+				WarmupWindows: *warmup,
+			},
+			Shards:        *shards,
+			QueueBatches:  *queue,
+			Policy:        pol,
+			MaxBatch:      *maxBatch,
+			AlertBuffer:   *alertBuffer,
+			StatePath:     *state,
+			SaveInterval:  *saveInterval,
+			FlushInterval: *flushTick,
+		},
+	}, nil
+}
+
+// run parses flags, binds the listener, and serves until SIGINT/SIGTERM.
+func run(args []string, stderr *os.File) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	return serveUntilSignal(cfg, ln, stderr)
+}
+
+// serveUntilSignal runs the daemon on an existing listener until the
+// process is signalled (or the listener fails), then drains and persists.
+// Split from run so tests can drive a real daemon on a loopback listener.
+func serveUntilSignal(cfg config, ln net.Listener, stderr *os.File) error {
+	srv, err := stability.NewServer(cfg.serve)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// On signal: stop accepting and drain in-flight handlers, bounded. No
+	// raw goroutine needed — AfterFunc runs the shutdown off this stack.
+	stopShutdown := context.AfterFunc(ctx, func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	})
+	defer stopShutdown()
+
+	fmt.Fprintf(stderr, "attritiond: listening on %s (policy %s, %d-batch queue, state %q)\n",
+		ln.Addr(), cfg.serve.Policy, cfg.serve.QueueBatches, cfg.serve.StatePath)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		srv.Close()
+		return err
+	}
+	// Handlers have returned; drain the ingestion queue, deliver buffered
+	// alerts, persist the final snapshot, stop the pipeline.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(stderr, "attritiond: drained and persisted, bye")
+	return nil
+}

@@ -1,0 +1,567 @@
+// Command loadgen load-tests an attritiond daemon: it synthesizes a
+// labelled retail dataset, replays it month by month over concurrent
+// connections as batched POST /v1/receipts calls, measures ingestion and
+// query latency, and then verifies the daemon's answers — per-customer
+// stabilities, the alert stream, and the /metrics counters — against a
+// local sequential Monitor replay of the same feed.
+//
+//	loadgen -addr http://localhost:8080 -customers 400 -months 12
+//	loadgen -customers 400 -months 12        # self-serve: in-process daemon
+//
+// With no -addr, loadgen spins up an in-process daemon (httptest) so
+// `make loadtest` needs no running server. Months are replayed in phase —
+// all connections finish month m before any posts month m+1 — because the
+// daemon's watermark closes windows as months advance, and a connection
+// racing months ahead would turn slower connections' receipts stale. The
+// replayed feed is deterministic in -seed, so the verification step is
+// exact, not statistical: any mismatch exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gautrais/stability"
+	"github.com/gautrais/stability/internal/population"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// now reads the wall clock for latency and throughput telemetry.
+//
+//detlint:ignore R2 load-test latency/throughput measurement; durations are reported to the operator, never fed into scored output
+func now() time.Time { return time.Now() }
+
+type options struct {
+	addr      string
+	customers int
+	months    int
+	seed      int64
+	conns     int
+	batch     int
+	queries   int
+	span      int
+	alpha     float64
+	beta      float64
+	topJ      int
+	warmup    int
+	shards    int
+	verify    bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "", "daemon base URL (e.g. http://localhost:8080); empty runs an in-process daemon")
+	fs.IntVar(&o.customers, "customers", 400, "synthetic customers")
+	fs.IntVar(&o.months, "months", 12, "synthetic months")
+	fs.Int64Var(&o.seed, "seed", 1, "dataset seed (verification is exact for any seed)")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent ingesting connections")
+	fs.IntVar(&o.batch, "batch", 200, "receipts per POST")
+	fs.IntVar(&o.queries, "queries", 400, "stability queries to issue after ingestion")
+	fs.IntVar(&o.span, "span", 2, "window span in months (must match the daemon)")
+	fs.Float64Var(&o.alpha, "alpha", 2, "significance base α (must match the daemon)")
+	fs.Float64Var(&o.beta, "beta", 0.6, "loyalty threshold (must match the daemon)")
+	fs.IntVar(&o.topJ, "top", 3, "blamed products per alert (must match the daemon)")
+	fs.IntVar(&o.warmup, "warmup", 4, "warm-up windows (must match the daemon)")
+	fs.IntVar(&o.shards, "shards", 0, "shards for the in-process daemon; 0 = GOMAXPROCS")
+	fs.BoolVar(&o.verify, "verify", true, "verify daemon answers against a sequential replay")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.conns < 1 || o.batch < 1 {
+		return o, fmt.Errorf("need -conns >= 1 and -batch >= 1")
+	}
+	return o, nil
+}
+
+// receipt is one wire receipt of the replayed feed.
+type receipt struct {
+	Customer uint64    `json:"customer"`
+	Time     time.Time `json:"time"`
+	Items    []uint32  `json:"items"`
+}
+
+// hist is a power-of-two-microsecond latency histogram.
+type hist struct {
+	buckets [40]uint64
+	count   uint64
+	total   time.Duration
+	max     time.Duration
+}
+
+func (h *hist) observe(d time.Duration) {
+	h.buckets[bits.Len64(uint64(d.Microseconds()))]++
+	h.count++
+	h.total += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the upper bound of the bucket holding quantile q.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	seen := uint64(0)
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return time.Duration(uint64(1)<<i) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+func (h *hist) String() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("p50<=%v p90<=%v p99<=%v max=%v mean=%v",
+		h.quantile(0.50), h.quantile(0.90), h.quantile(0.99), h.max,
+		(h.total / time.Duration(h.count)).Round(time.Microsecond))
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	cfg := stability.DefaultSampleConfig()
+	cfg.Seed = o.seed
+	cfg.Customers = o.customers
+	cfg.Months = o.months
+	cfg.OnsetMonth = o.months * 2 / 3
+	ds, err := stability.GenerateSample(cfg)
+	if err != nil {
+		return err
+	}
+	feed, grid, err := sortedFeed(ds, o.span)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dataset: %d customers, %d receipts, %d months (seed %d)\n",
+		ds.Store.NumCustomers(), len(feed), o.months, o.seed)
+
+	base := o.addr
+	var srv *stability.Server
+	if base == "" {
+		s, err := stability.NewServer(stability.ServerConfig{
+			Monitor: stability.MonitorConfig{
+				Grid:          grid,
+				Model:         stability.Options{Alpha: o.alpha},
+				Beta:          o.beta,
+				TopJ:          o.topJ,
+				WarmupWindows: o.warmup,
+			},
+			Shards: o.shards,
+		})
+		if err != nil {
+			return err
+		}
+		srv = s
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer s.Close()
+		base = ts.URL
+		fmt.Fprintf(out, "self-serve daemon at %s (%d shards)\n", base, o.shards)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	ingestHist, elapsed, err := replay(base, feed, grid, o)
+	if err != nil {
+		return err
+	}
+	rate := float64(len(feed)) / elapsed.Seconds()
+	fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec\n",
+		len(feed), elapsed.Round(time.Millisecond), o.conns, rate)
+	fmt.Fprintf(out, "ingest latency per POST (%d receipts each): %s\n", o.batch, ingestHist)
+
+	if err := awaitDrain(base, uint64(len(feed))); err != nil {
+		return err
+	}
+
+	ids := ds.Store.Customers()
+	queryHist, err := queryStabilities(base, ids, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "query latency (%d GETs): %s\n", queryHist.count, queryHist)
+
+	if o.verify {
+		if err := verify(base, feed, grid, ids, o, out); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Fprintln(out, "verification: daemon matches sequential replay")
+	}
+	if srv != nil {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedFeed flattens the dataset into one time-sorted receipt slice and
+// anchors the window grid at the earliest receipt.
+func sortedFeed(ds *stability.SampleDataset, span int) ([]receipt, stability.Grid, error) {
+	min, _, ok := ds.Store.TimeRange()
+	if !ok {
+		return nil, stability.Grid{}, fmt.Errorf("generated dataset is empty")
+	}
+	grid, err := stability.NewGrid(min, span)
+	if err != nil {
+		return nil, stability.Grid{}, err
+	}
+	var feed []receipt
+	ds.Store.Each(func(h stability.History) bool {
+		for _, r := range h.Receipts {
+			items := make([]uint32, len(r.Items))
+			for i, it := range r.Items {
+				items[i] = uint32(it)
+			}
+			feed = append(feed, receipt{Customer: uint64(h.Customer), Time: r.Time, Items: items})
+		}
+		return true
+	})
+	sort.SliceStable(feed, func(i, j int) bool { return feed[i].Time.Before(feed[j].Time) })
+	return feed, grid, nil
+}
+
+// replay posts the feed month by month: each month's receipts are
+// partitioned by customer across o.conns workers (preserving per-customer
+// order within the month) and the month boundary is a barrier, so the
+// daemon's watermark can never race ahead of a slow connection.
+func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist, time.Duration, error) {
+	var months [][]receipt
+	for _, rc := range feed {
+		m := grid.MonthIndex(rc.Time)
+		for len(months) <= m {
+			months = append(months, nil)
+		}
+		months[m] = append(months[m], rc)
+	}
+	agg := &hist{}
+	start := now()
+	for m, month := range months {
+		if len(month) == 0 {
+			continue
+		}
+		parts := make([][]receipt, o.conns)
+		for _, rc := range month {
+			w := int(rc.Customer % uint64(o.conns))
+			parts[w] = append(parts[w], rc)
+		}
+		results, err := population.Map(o.conns, population.Options{Workers: o.conns}, func(w int) (*hist, error) {
+			h := &hist{}
+			part := parts[w]
+			for lo := 0; lo < len(part); lo += o.batch {
+				hi := lo + o.batch
+				if hi > len(part) {
+					hi = len(part)
+				}
+				if err := postBatch(base, part[lo:hi], h); err != nil {
+					return nil, fmt.Errorf("month %d conn %d: %w", m, w, err)
+				}
+			}
+			return h, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, h := range results {
+			agg.merge(h)
+		}
+	}
+	return agg, now().Sub(start), nil
+}
+
+func postBatch(base string, batch []receipt, h *hist) error {
+	body, err := json.Marshal(struct {
+		Receipts []receipt `json:"receipts"`
+	}{batch})
+	if err != nil {
+		return err
+	}
+	t0 := now()
+	resp, err := http.Post(base+"/v1/receipts", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	h.observe(now().Sub(t0))
+	defer resp.Body.Close()
+	var ir struct {
+		Accepted int `json:"accepted"`
+		Shed     int `json:"shed"`
+		Stale    int `json:"stale"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return fmt.Errorf("POST /v1/receipts: decode status-%d body: %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/receipts: status %d", resp.StatusCode)
+	}
+	if ir.Accepted != len(batch) {
+		return fmt.Errorf("POST /v1/receipts: accepted %d of %d (shed %d, stale %d)",
+			ir.Accepted, len(batch), ir.Shed, ir.Stale)
+	}
+	return nil
+}
+
+// metricsSnapshot is the subset of GET /metrics loadgen reads.
+type metricsSnapshot struct {
+	ReceiptsIngested uint64 `json:"receipts_ingested"`
+	ReceiptsShed     uint64 `json:"receipts_shed"`
+	ReceiptsRejected uint64 `json:"receipts_rejected"`
+	ReceiptsStale    uint64 `json:"receipts_stale"`
+	Watermark        int    `json:"watermark"`
+}
+
+func getJSON(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// awaitDrain polls /metrics until every accepted receipt has been drained
+// into the monitor (POSTs return at enqueue time, not drain time).
+func awaitDrain(base string, want uint64) error {
+	for tries := 0; tries < 6000; tries++ {
+		var m metricsSnapshot
+		if err := getJSON(base, "/metrics", &m); err != nil {
+			return err
+		}
+		if m.ReceiptsIngested >= want {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon never drained %d receipts", want)
+}
+
+// queryStabilities issues o.queries GET /v1/customers/{id}/stability calls
+// round-robin over the customer ids, concurrently, measuring latency.
+// 404s count as answers (customers can be unscored), other statuses fail.
+func queryStabilities(base string, ids []stability.CustomerID, o options) (*hist, error) {
+	if o.queries <= 0 || len(ids) == 0 {
+		return &hist{}, nil
+	}
+	results, err := population.Map(o.conns, population.Options{Workers: o.conns}, func(w int) (*hist, error) {
+		h := &hist{}
+		for q := w; q < o.queries; q += o.conns {
+			id := ids[q%len(ids)]
+			t0 := now()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/customers/%d/stability", base, id))
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			h.observe(now().Sub(t0))
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+				return nil, fmt.Errorf("GET stability %d: status %d", id, resp.StatusCode)
+			}
+		}
+		return h, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &hist{}
+	for _, h := range results {
+		agg.merge(h)
+	}
+	return agg, nil
+}
+
+// wireAlert is the subset of an alert loadgen verifies.
+type wireAlert struct {
+	Seq       uint64  `json:"seq"`
+	Customer  uint64  `json:"customer"`
+	Window    int     `json:"window"`
+	Stability float64 `json:"stability"`
+}
+
+// verify replays the feed through a local sequential Monitor under the
+// daemon's watermark rule and cross-checks the daemon's counters, health,
+// alert stream, and every customer's stability answer. The replay is
+// deterministic, so every comparison is exact.
+func verify(base string, feed []receipt, grid stability.Grid, ids []stability.CustomerID, o options, out io.Writer) error {
+	mon, err := stability.NewMonitor(stability.MonitorConfig{
+		Grid:          grid,
+		Model:         stability.Options{Alpha: o.alpha},
+		Beta:          o.beta,
+		TopJ:          o.topJ,
+		WarmupWindows: o.warmup,
+	})
+	if err != nil {
+		return err
+	}
+	type key struct {
+		customer uint64
+		window   int
+	}
+	var want []key
+	wantStab := map[key]float64{}
+	maxMonth := -1
+	lastClosedK := -1
+	var pending []stability.Alert
+	emit := func(batch []stability.Alert) {
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].GridIndex != batch[j].GridIndex {
+				return batch[i].GridIndex < batch[j].GridIndex
+			}
+			return batch[i].Customer < batch[j].Customer
+		})
+		for _, a := range batch {
+			k := key{uint64(a.Customer), a.GridIndex}
+			want = append(want, k)
+			wantStab[k] = a.Stability
+		}
+	}
+	for _, rc := range feed {
+		if m := grid.MonthIndex(rc.Time); m > maxMonth {
+			maxMonth = m
+			if closeK := grid.Index(grid.Origin().AddDate(0, m, 0)) - 1; closeK > lastClosedK {
+				pending = append(pending, mon.CloseThrough(closeK)...)
+				emit(pending)
+				pending = nil
+				lastClosedK = closeK
+			}
+		}
+		items := make([]stability.ItemID, len(rc.Items))
+		for i, it := range rc.Items {
+			items[i] = stability.ItemID(it)
+		}
+		a, err := mon.Ingest(stability.CustomerID(rc.Customer), rc.Time, stability.NewBasket(items))
+		if err != nil {
+			return err
+		}
+		pending = append(pending, a...)
+	}
+
+	var m metricsSnapshot
+	if err := getJSON(base, "/metrics", &m); err != nil {
+		return err
+	}
+	if m.ReceiptsIngested != uint64(len(feed)) || m.ReceiptsShed != 0 || m.ReceiptsRejected != 0 || m.ReceiptsStale != 0 {
+		return fmt.Errorf("metrics: ingested=%d shed=%d rejected=%d stale=%d, want %d/0/0/0",
+			m.ReceiptsIngested, m.ReceiptsShed, m.ReceiptsRejected, m.ReceiptsStale, len(feed))
+	}
+	if m.Watermark != lastClosedK+1 {
+		return fmt.Errorf("watermark %d, want %d", m.Watermark, lastClosedK+1)
+	}
+	var h struct {
+		Status    string `json:"status"`
+		Customers int    `json:"customers"`
+	}
+	if err := getJSON(base, "/healthz", &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" || h.Customers != len(ids) {
+		return fmt.Errorf("healthz: status=%q customers=%d, want ok/%d", h.Status, h.Customers, len(ids))
+	}
+
+	got, err := fetchAlerts(base)
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("daemon delivered %d alerts, sequential replay raised %d", len(got), len(want))
+	}
+	for i, a := range got {
+		k := key{a.Customer, a.Window}
+		if a.Seq != uint64(i)+1 || k != want[i] || a.Stability != wantStab[k] {
+			return fmt.Errorf("alert %d: got seq=%d customer=%d window=%d stability=%v, want %+v stability=%v",
+				i, a.Seq, a.Customer, a.Window, a.Stability, want[i], wantStab[want[i]])
+		}
+	}
+	fmt.Fprintf(out, "alert stream: %d alerts, exact match\n", len(got))
+
+	checked := 0
+	for _, id := range ids {
+		wantV, wantK, wantOK := mon.Stability(id)
+		var sr struct {
+			Stability float64 `json:"stability"`
+			Window    int     `json:"window"`
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/customers/%d/stability", base, id))
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK && wantOK:
+			err := json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if sr.Stability != wantV || sr.Window != wantK {
+				return fmt.Errorf("customer %d: daemon says %v@%d, replay says %v@%d",
+					id, sr.Stability, sr.Window, wantV, wantK)
+			}
+			checked++
+		case resp.StatusCode == http.StatusNotFound && !wantOK:
+			resp.Body.Close()
+		default:
+			resp.Body.Close()
+			return fmt.Errorf("customer %d: status %d, replay scored=%v", id, resp.StatusCode, wantOK)
+		}
+	}
+	fmt.Fprintf(out, "stabilities: %d scored customers, exact match\n", checked)
+	return nil
+}
+
+// fetchAlerts pages through GET /v1/alerts.
+func fetchAlerts(base string) ([]wireAlert, error) {
+	var out []wireAlert
+	after := uint64(0)
+	for {
+		var page struct {
+			Alerts []wireAlert `json:"alerts"`
+			Next   uint64      `json:"next"`
+		}
+		if err := getJSON(base, fmt.Sprintf("/v1/alerts?after=%d&max=500", after), &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.Alerts...)
+		if len(page.Alerts) == 0 {
+			return out, nil
+		}
+		after = page.Next
+	}
+}

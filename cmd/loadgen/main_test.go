@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSelfServe runs the full pipeline — generate, replay over
+// concurrent connections, measure, verify against the sequential replay —
+// against an in-process daemon. The horizon is long enough that alerts
+// fire, so the alert-stream comparison is not vacuous.
+func TestLoadgenSelfServe(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-customers", "40", "-months", "16", "-conns", "3", "-batch", "75",
+		"-queries", "60", "-shards", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"receipts/sec",
+		"ingest latency",
+		"query latency",
+		"alert stream:",
+		"exact match",
+		"verification: daemon matches sequential replay",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "alert stream: 0 alerts") {
+		t.Error("no alerts fired; the verification run is vacuous")
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-conns", "0"}); err == nil {
+		t.Error("accepted -conns 0")
+	}
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Error("accepted unknown flag")
+	}
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.customers != 400 || o.conns != 4 || !o.verify {
+		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := &hist{}
+	if h.String() != "no samples" {
+		t.Errorf("empty hist String = %q", h.String())
+	}
+	if h.quantile(0.5) != 0 {
+		t.Error("empty hist quantile != 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(10 * time.Millisecond)
+	}
+	if q := h.quantile(0.50); q > time.Millisecond {
+		t.Errorf("p50 = %v, want within the 100µs bucket range", q)
+	}
+	if q := h.quantile(0.99); q < 8*time.Millisecond {
+		t.Errorf("p99 = %v, want in the 10ms bucket", q)
+	}
+	if h.max != 10*time.Millisecond {
+		t.Errorf("max = %v", h.max)
+	}
+	other := &hist{}
+	other.observe(20 * time.Millisecond)
+	h.merge(other)
+	if h.count != 101 || h.max != 20*time.Millisecond {
+		t.Errorf("after merge: count=%d max=%v", h.count, h.max)
+	}
+}

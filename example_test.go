@@ -2,7 +2,10 @@ package stability_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"strings"
 	"time"
 
 	"github.com/gautrais/stability"
@@ -158,6 +161,117 @@ func ExampleNewShardedMonitor() {
 	}
 	// Output:
 	// customer 42 window 4 stability 0.33 missing 2 items
+}
+
+// ExampleNewServer drives the attrition-as-a-service HTTP engine without a
+// network: receipts go in through POST /v1/receipts, and after the queue
+// drains the defection alert comes back out of GET /v1/alerts. In
+// production the handler is mounted on an http.Server (see cmd/attritiond)
+// and alerts stream out by long-poll or SSE; API.md documents the wire
+// protocol.
+func ExampleNewServer() {
+	g := exampleGrid()
+	srv, err := stability.NewServer(stability.ServerConfig{
+		Monitor: stability.MonitorConfig{
+			Grid:  g,
+			Model: stability.DefaultOptions(),
+			Beta:  0.7,
+			TopJ:  2,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Customer 42 buys three products for four windows, then drops to one
+	// in window 4; the window-5 receipt advances the watermark, proving
+	// window 4 complete and triggering the alert.
+	var receipts []string
+	basket := func(k int, items string) {
+		start, _ := g.Bounds(k)
+		receipts = append(receipts, fmt.Sprintf(`{"customer":42,"time":%q,"items":[%s]}`,
+			start.AddDate(0, 0, 2).Format(time.RFC3339), items))
+	}
+	for k := 0; k < 4; k++ {
+		basket(k, "1,2,3")
+	}
+	basket(4, "1")
+	basket(5, "1,2,3")
+
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/receipts",
+		strings.NewReader(`{"receipts":[`+strings.Join(receipts, ",")+`]}`)))
+	fmt.Println("POST /v1/receipts:", w.Code)
+
+	if err := srv.Close(); err != nil { // drain the queue, publish alerts
+		panic(err)
+	}
+	w = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/v1/alerts", nil))
+	var alerts struct {
+		Alerts []struct {
+			Seq       uint64  `json:"seq"`
+			Customer  uint64  `json:"customer"`
+			Window    int     `json:"window"`
+			Stability float64 `json:"stability"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &alerts); err != nil {
+		panic(err)
+	}
+	for _, a := range alerts.Alerts {
+		fmt.Printf("alert %d: customer %d window %d stability %.2f\n",
+			a.Seq, a.Customer, a.Window, a.Stability)
+	}
+	// Output:
+	// POST /v1/receipts: 200
+	// alert 1: customer 42 window 4 stability 0.33
+}
+
+// ExampleNewIngestor uses the serving-path pipeline without the HTTP
+// layer: a bounded queue with an overflow policy in front of the sharded
+// monitor, and a sequence-numbered alert log to read deliveries from.
+func ExampleNewIngestor() {
+	g := exampleGrid()
+	ing, err := stability.NewIngestor(stability.IngestorConfig{
+		Monitor: stability.MonitorConfig{
+			Grid:  g,
+			Model: stability.DefaultOptions(),
+			Beta:  0.7,
+			TopJ:  2,
+		},
+		Policy: stability.IngestBlock, // producers wait when the queue fills
+	})
+	if err != nil {
+		panic(err)
+	}
+	var batch []stability.ReceiptEvent
+	add := func(k int, items []stability.ItemID) {
+		start, _ := g.Bounds(k)
+		batch = append(batch, stability.ReceiptEvent{
+			Customer: 42,
+			Time:     start.AddDate(0, 0, 2),
+			Items:    stability.NewBasket(items),
+		})
+	}
+	for k := 0; k < 4; k++ {
+		add(k, []stability.ItemID{1, 2, 3})
+	}
+	add(4, []stability.ItemID{1})
+	add(5, []stability.ItemID{1, 2, 3}) // advances the watermark past window 4
+
+	if _, err := ing.Enqueue(batch); err != nil {
+		panic(err)
+	}
+	if err := ing.Close(); err != nil { // drain, barrier, publish
+		panic(err)
+	}
+	alerts, _, _ := ing.AlertsSince(0, 10)
+	for _, a := range alerts {
+		fmt.Printf("seq %d: customer %d window %d stability %.2f\n",
+			a.Seq, a.Customer, a.GridIndex, a.Stability)
+	}
+	// Output:
+	// seq 1: customer 42 window 4 stability 0.33
 }
 
 // ExampleMonitor_WriteSnapshot persists a monitor mid-stream and restores

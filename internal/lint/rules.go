@@ -80,6 +80,7 @@ func ruleIDs() []string {
 var r1Scope = map[string]bool{
 	"":                     true,
 	"internal/core":        true,
+	"internal/serve":       true,
 	"internal/stream":      true,
 	"internal/gen":         true,
 	"internal/store":       true,

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EndpointMetrics reports one endpoint's cumulative call counts and
+// latency, in microseconds. Latency is operator telemetry: it is the one
+// wall-clock-derived value in the system and never feeds a score.
+type EndpointMetrics struct {
+	// Endpoint names the route ("ingest", "stability", "alerts",
+	// "healthz", "metrics").
+	Endpoint string `json:"endpoint"`
+	// Count is the number of completed requests.
+	Count uint64 `json:"count"`
+	// Errors counts requests answered with status >= 400.
+	Errors uint64 `json:"errors"`
+	// TotalMicros is the summed handler latency; TotalMicros/Count is the
+	// mean.
+	TotalMicros uint64 `json:"total_us"`
+	// MaxMicros is the largest single-request latency observed.
+	MaxMicros uint64 `json:"max_us"`
+}
+
+// endpointCounters is the lock-free accumulator behind EndpointMetrics.
+type endpointCounters struct {
+	count, errors, totalMicros, maxMicros atomic.Uint64
+}
+
+func (c *endpointCounters) record(d time.Duration, status int) {
+	us := uint64(d.Microseconds())
+	c.count.Add(1)
+	if status >= 400 {
+		c.errors.Add(1)
+	}
+	c.totalMicros.Add(us)
+	for {
+		cur := c.maxMicros.Load()
+		if us <= cur || c.maxMicros.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+func (c *endpointCounters) snapshot(name string) EndpointMetrics {
+	return EndpointMetrics{
+		Endpoint:    name,
+		Count:       c.count.Load(),
+		Errors:      c.errors.Load(),
+		TotalMicros: c.totalMicros.Load(),
+		MaxMicros:   c.maxMicros.Load(),
+	}
+}
+
+// endpointNames fixes the /metrics endpoint order (sorted by name).
+var endpointNames = []string{"alerts", "healthz", "ingest", "metrics", "stability"}
+
+// serveMetrics aggregates the serving layer's counters.
+type serveMetrics struct {
+	stale     atomic.Uint64
+	endpoints map[string]*endpointCounters
+}
+
+func newServeMetrics() *serveMetrics {
+	m := &serveMetrics{endpoints: make(map[string]*endpointCounters, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointCounters{}
+	}
+	return m
+}
+
+func (m *serveMetrics) snapshot() []EndpointMetrics {
+	out := make([]EndpointMetrics, 0, len(endpointNames))
+	for _, name := range endpointNames {
+		out = append(out, m.endpoints[name].snapshot(name))
+	}
+	return out
+}
+
+// now reads the wall clock for latency telemetry.
+//
+//detlint:ignore R2 per-endpoint latency telemetry; measured durations go to /metrics only, never into scored output
+func now() time.Time { return time.Now() }

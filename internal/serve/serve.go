@@ -1,0 +1,370 @@
+// Package serve implements attritiond's HTTP layer: bounded-ingestion
+// receipt POSTs, per-customer stability queries, alert delivery by
+// long-poll or SSE, health and metrics — a thin, goroutine-free shell
+// around stream.Ingestor. API.md is the wire reference; DESIGN.md
+// "attritiond serving architecture" explains how the pieces fit.
+//
+// Handlers run on net/http's connection goroutines and never spawn their
+// own (the determinism contract allows raw goroutines only in
+// internal/population and internal/stream); all concurrency lives behind
+// the Ingestor. Scored output (alerts, stability values, snapshots)
+// remains a pure function of the accepted receipt sequence; the only
+// wall-clock in this package is latency telemetry.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/stream"
+)
+
+// Config parameterizes a Server. The zero value is not usable: Monitor
+// must hold a valid monitor configuration.
+type Config struct {
+	// Monitor configures the wrapped monitor (grid, model, β, warm-up).
+	Monitor stream.Config
+	// Shards is the ingestion shard count; <= 0 means GOMAXPROCS.
+	Shards int
+	// QueueBatches bounds the ingestion queue in batches; <= 0 means 64.
+	QueueBatches int
+	// Policy is the queue-overflow policy: block, shed, or reject (429).
+	Policy stream.OverflowPolicy
+	// MaxBatch caps receipts per POST; <= 0 means 10000. Larger batches
+	// are refused with 413.
+	MaxBatch int
+	// MaxBodyBytes caps the POST body size; <= 0 means 8 MiB.
+	MaxBodyBytes int64
+	// AlertBuffer caps the in-memory alert log; <= 0 means 65536.
+	AlertBuffer int
+	// StatePath enables SMN1 persistence (restore on start, save on
+	// Close and every SaveInterval). Empty disables persistence.
+	StatePath string
+	// SaveInterval is the background snapshot period; 0 disables it.
+	SaveInterval time.Duration
+	// FlushInterval is the alert-delivery liveness barrier period; 0
+	// disables it.
+	FlushInterval time.Duration
+	// LongPollMax caps the ?wait= duration of GET /v1/alerts; <= 0 means
+	// 30s.
+	LongPollMax time.Duration
+	// SSEHeartbeat is the SSE keep-alive comment period; <= 0 means 15s.
+	SSEHeartbeat time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.LongPollMax <= 0 {
+		c.LongPollMax = 30 * time.Second
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
+	return c
+}
+
+// Server is the attritiond HTTP service: an Ingestor plus the handlers
+// that expose it. Create with New, mount Handler on an http.Server, and
+// Close on shutdown (after http.Server.Shutdown has drained handlers).
+type Server struct {
+	cfg     Config
+	ing     *stream.Ingestor
+	mux     *http.ServeMux
+	metrics *serveMetrics
+	closing chan struct{}
+}
+
+// New validates cfg, restores state from cfg.StatePath when present, and
+// returns a serving-ready Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ing, err := stream.NewIngestor(stream.IngestorConfig{
+		Monitor:       cfg.Monitor,
+		Shards:        cfg.Shards,
+		QueueBatches:  cfg.QueueBatches,
+		Policy:        cfg.Policy,
+		AlertBuffer:   cfg.AlertBuffer,
+		StatePath:     cfg.StatePath,
+		SaveInterval:  cfg.SaveInterval,
+		FlushInterval: cfg.FlushInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ing:     ing,
+		mux:     http.NewServeMux(),
+		metrics: newServeMetrics(),
+		closing: make(chan struct{}),
+	}
+	s.route("POST /v1/receipts", "ingest", s.handleIngest)
+	s.route("GET /v1/customers/{id}/stability", "stability", s.handleStability)
+	s.route("GET /v1/alerts", "alerts", s.handleAlerts)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the attritiond API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ingestor exposes the underlying ingestion pipeline (metrics, pause,
+// snapshots) for embedding processes like cmd/loadgen's self-serve mode.
+func (s *Server) Ingestor() *stream.Ingestor { return s.ing }
+
+// Close drains the ingestion queue, persists the final snapshot when
+// StatePath is set, and stops the pipeline. Call after the http.Server
+// has shut down, so no handler is mid-enqueue.
+func (s *Server) Close() error {
+	select {
+	case <-s.closing:
+	default:
+		close(s.closing)
+	}
+	err := s.ing.Close()
+	if errors.Is(err, stream.ErrIngestorClosed) {
+		return nil
+	}
+	return err
+}
+
+// route mounts a handler wrapped with latency recording.
+func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.Request) int) {
+	counters := s.metrics.endpoints[name]
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		status := h(w, r)
+		counters.record(now().Sub(start), status)
+	})
+}
+
+// writeJSON emits a JSON response and returns the status for latency
+// accounting.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleIngest implements POST /v1/receipts: decode, drop stale receipts,
+// and enqueue the rest under the configured backpressure policy.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
+	select {
+	case <-s.closing:
+		return writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	default:
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := decodeIngest(r.Body, s.cfg.MaxBatch)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) || errors.Is(err, ErrBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return writeError(w, status, "%v", err)
+	}
+	events := toEvents(req.Receipts)
+	// Stale receipts (window already closed, or pre-origin) can never be
+	// scored: the monitor would only surface them as barrier errors, so
+	// refuse them here and report the count.
+	watermark := s.ing.Watermark()
+	fresh := events[:0]
+	stale := 0
+	for _, ev := range events {
+		if k := s.cfg.Monitor.Grid.Index(ev.Time); k < watermark || ev.Time.Before(s.cfg.Monitor.Grid.Origin()) {
+			stale++
+			continue
+		}
+		fresh = append(fresh, ev)
+	}
+	if stale > 0 {
+		s.metrics.stale.Add(uint64(stale))
+	}
+	accepted, err := s.ing.Enqueue(fresh)
+	switch {
+	case errors.Is(err, stream.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "ingestion queue full", RetryAfterMS: 1000})
+		return http.StatusTooManyRequests
+	case errors.Is(err, stream.ErrIngestorClosed):
+		return writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case err != nil:
+		return writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	resp := IngestResponse{Stale: stale}
+	if accepted {
+		resp.Accepted = len(fresh)
+	} else {
+		resp.Shed = len(fresh)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStability implements GET /v1/customers/{id}/stability.
+func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) int {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "invalid customer id %q", r.PathValue("id"))
+	}
+	value, gridIndex, ok := s.ing.Stability(retail.CustomerID(id))
+	if !ok {
+		return writeError(w, http.StatusNotFound, "customer %d unknown or not yet scored", id)
+	}
+	start, end := s.cfg.Monitor.Grid.Bounds(gridIndex)
+	return writeJSON(w, http.StatusOK, StabilityResponse{
+		Customer:  id,
+		Stability: value,
+		Window:    gridIndex,
+		Start:     start,
+		End:       end,
+	})
+}
+
+// handleAlerts implements GET /v1/alerts: a single poll by default, a
+// long-poll with ?wait=, or an SSE stream with ?stream=sse (or Accept:
+// text/event-stream). Clients resume with ?after=<last seq>.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
+	q := r.URL.Query()
+	after, err := parseUintParam(q.Get("after"), 0)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "invalid after: %v", err)
+	}
+	max, err := parseUintParam(q.Get("max"), 1000)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "invalid max: %v", err)
+	}
+	if q.Get("stream") == "sse" || r.Header.Get("Accept") == "text/event-stream" {
+		return s.streamSSE(w, r, after)
+	}
+	var wait time.Duration
+	if ws := q.Get("wait"); ws != "" {
+		wait, err = time.ParseDuration(ws)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, "invalid wait: %v", err)
+		}
+		if wait > s.cfg.LongPollMax {
+			wait = s.cfg.LongPollMax
+		}
+	}
+	batch, oldest, changed := s.ing.AlertsSince(after, int(max))
+	if len(batch) == 0 && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-changed:
+			batch, oldest, _ = s.ing.AlertsSince(after, int(max))
+		case <-timer.C:
+		case <-r.Context().Done():
+		case <-s.closing:
+		}
+	}
+	resp := AlertsResponse{Alerts: make([]AlertOut, 0, len(batch)), Next: after, Oldest: oldest}
+	for _, a := range batch {
+		resp.Alerts = append(resp.Alerts, toAlertOut(a))
+	}
+	if n := len(batch); n > 0 {
+		resp.Next = batch[n-1].Seq
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// streamSSE delivers alerts as server-sent events until the client
+// disconnects or the server closes. Framing (one event per alert):
+//
+//	id: <seq>
+//	event: alert
+//	data: <AlertOut JSON>
+//
+// with ": keep-alive" comment lines between publications. Clients resume
+// with ?after= or the standard Last-Event-ID header.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, after uint64) int {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return writeError(w, http.StatusNotImplemented, "response writer does not support streaming")
+	}
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.ParseUint(lei, 10, 64); err == nil && v > after {
+			after = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		batch, _, changed := s.ing.AlertsSince(after, 0)
+		for _, a := range batch {
+			payload, err := json.Marshal(toAlertOut(a))
+			if err != nil {
+				return http.StatusOK
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", a.Seq, payload); err != nil {
+				return http.StatusOK
+			}
+			after = a.Seq
+		}
+		flusher.Flush()
+		select {
+		case <-changed:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return http.StatusOK
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return http.StatusOK
+		case <-s.closing:
+			return http.StatusOK
+		}
+	}
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	resp := HealthResponse{Status: "ok", Customers: s.ing.Customers(), Watermark: s.ing.Watermark()}
+	status := http.StatusOK
+	select {
+	case <-s.closing:
+		resp.Status = "closing"
+		status = http.StatusServiceUnavailable
+	default:
+	}
+	return writeJSON(w, status, resp)
+}
+
+// handleMetrics implements GET /metrics: ingestion counters + serving
+// counters + per-endpoint latency, as one flat JSON object.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, MetricsResponse{
+		IngestorMetrics: s.ing.Metrics(),
+		ReceiptsStale:   s.metrics.stale.Load(),
+		Endpoints:       s.metrics.snapshot(),
+	})
+}
+
+func parseUintParam(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

@@ -1,0 +1,628 @@
+// Serving-path ingestion: an Ingestor puts a bounded queue with an explicit
+// overflow policy in front of a ShardedMonitor, so a serving layer (HTTP
+// handlers, replication appliers, …) can feed the monitor from many
+// producers without unbounded buffering when a slow shard stalls the feed.
+//
+// One drainer goroutine owns the queue→monitor hand-off. It preserves the
+// queue's FIFO order, advances the window watermark as receipt months
+// advance (closing every window that provably ended, exactly the
+// `attrition monitor -state` rule: a stream can never prove the month of
+// its newest receipt complete), and appends every barrier's alerts to an
+// in-memory sequence-numbered log that long-poll and SSE consumers read.
+// Because barriers fire at deterministic positions in the receipt stream —
+// not on wall-clock — the alert log contents are a pure function of the
+// accepted receipt sequence; the equivalence with a sequential Monitor
+// replay is differential-tested in internal/serve.
+//
+// The optional background saver and flush tickers are wall-clock driven by
+// nature (crash-recovery snapshots, alert-delivery liveness); they never
+// change which alerts exist or what the SMN1 state is, only when both
+// become visible.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// OverflowPolicy selects what Ingestor.Enqueue does when the bounded
+// ingestion queue is full — the explicit backpressure story for the
+// serving path.
+type OverflowPolicy int
+
+const (
+	// PolicyBlock blocks the producer until queue space frees up. Lossless;
+	// a stalled shard propagates pressure all the way to producers.
+	PolicyBlock OverflowPolicy = iota
+	// PolicyShed drops the offered batch and counts it. Producers never
+	// stall; the monitor sees a gap (shed receipts are gone for good).
+	PolicyShed
+	// PolicyReject fails fast with ErrQueueFull so the producer can retry
+	// later — the HTTP layer maps it to 429 + Retry-After.
+	PolicyReject
+)
+
+// String returns the policy's flag spelling (block, shed, reject).
+func (p OverflowPolicy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyShed:
+		return "shed"
+	case PolicyReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy parses a policy's flag spelling.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "shed":
+		return PolicyShed, nil
+	case "reject":
+		return PolicyReject, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown overflow policy %q (want block, shed or reject)", s)
+	}
+}
+
+// ErrQueueFull is returned by Enqueue under PolicyReject when the
+// ingestion queue has no room for the offered batch.
+var ErrQueueFull = errors.New("stream: ingestion queue full")
+
+// ErrIngestorClosed is returned by operations on an Ingestor after Close.
+var ErrIngestorClosed = errors.New("stream: ingestor is closed")
+
+// ReceiptEvent is one receipt offered to an Ingestor.
+type ReceiptEvent struct {
+	// Customer identifies the purchasing customer.
+	Customer retail.CustomerID
+	// Time is the receipt timestamp; it must not precede the grid origin.
+	Time time.Time
+	// Items is the basket; it is normalized on ingestion if needed.
+	Items retail.Basket
+}
+
+// SeqAlert is an Alert stamped with its position in the Ingestor's alert
+// log. Sequence numbers start at 1 and never repeat; consumers resume
+// delivery by passing the last sequence they saw back to AlertsSince.
+type SeqAlert struct {
+	// Seq is the alert's 1-based position in the delivery log.
+	Seq uint64
+	Alert
+}
+
+// IngestorConfig parameterizes an Ingestor.
+type IngestorConfig struct {
+	// Monitor configures the wrapped sharded monitor (grid, model, β,
+	// warm-up) exactly as for NewSharded.
+	Monitor Config
+	// Shards is the shard count; <= 0 means GOMAXPROCS. Operational knob:
+	// results are identical at every shard count.
+	Shards int
+	// QueueBatches bounds the ingestion queue, counted in enqueued batches;
+	// <= 0 means 64. When the queue is full, Policy decides.
+	QueueBatches int
+	// Policy is the queue-overflow policy (default PolicyBlock).
+	Policy OverflowPolicy
+	// AlertBuffer caps the in-memory alert log; older alerts are dropped
+	// once the log exceeds it. <= 0 means 65536. Consumers that fall more
+	// than AlertBuffer alerts behind observe a gap (AlertsSince reports the
+	// oldest retained sequence).
+	AlertBuffer int
+	// StatePath, when non-empty, enables persistence: New restores from
+	// the file when it exists, Close writes it atomically, and SaveInterval
+	// snapshots it periodically in between.
+	StatePath string
+	// SaveInterval is the background snapshot period; 0 disables the
+	// periodic saver (Close still persists). Ignored when StatePath is "".
+	SaveInterval time.Duration
+	// FlushInterval is the period of liveness Flush barriers, which deliver
+	// ingest-time alerts buffered inside shards to the alert log between
+	// window closes. 0 disables them. For a time-ordered feed every alert
+	// is raised at a window-close barrier, so flushes change nothing; for
+	// out-of-order feeds they only affect when alerts become visible,
+	// never which alerts exist.
+	FlushInterval time.Duration
+}
+
+func (c IngestorConfig) withDefaults() IngestorConfig {
+	if c.QueueBatches <= 0 {
+		c.QueueBatches = 64
+	}
+	if c.AlertBuffer <= 0 {
+		c.AlertBuffer = 65536
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c IngestorConfig) Validate() error {
+	if err := c.Monitor.Validate(); err != nil {
+		return err
+	}
+	switch c.Policy {
+	case PolicyBlock, PolicyShed, PolicyReject:
+	default:
+		return fmt.Errorf("stream: unknown overflow policy %d", int(c.Policy))
+	}
+	if c.SaveInterval < 0 || c.FlushInterval < 0 {
+		return errors.New("stream: negative ticker interval")
+	}
+	return nil
+}
+
+// IngestorMetrics is a point-in-time snapshot of an Ingestor's counters.
+// All counters are cumulative since New (restore does not carry counters
+// over — they describe this process, the SMN1 state describes the model).
+type IngestorMetrics struct {
+	// ReceiptsIngested counts receipts handed to the monitor.
+	ReceiptsIngested uint64 `json:"receipts_ingested"`
+	// BatchesIngested counts batches drained from the queue.
+	BatchesIngested uint64 `json:"batches_ingested"`
+	// ReceiptsShed counts receipts dropped by PolicyShed.
+	ReceiptsShed uint64 `json:"receipts_shed"`
+	// ReceiptsRejected counts receipts refused by PolicyReject.
+	ReceiptsRejected uint64 `json:"receipts_rejected"`
+	// IngestErrors counts barriers that surfaced an ingest error (stale
+	// receipts are the usual cause); each barrier reports at most one.
+	IngestErrors uint64 `json:"ingest_errors"`
+	// AlertsEmitted counts alerts appended to the delivery log.
+	AlertsEmitted uint64 `json:"alerts_emitted"`
+	// QueueDepth is the current number of queued batches.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCapacity is the queue bound, in batches.
+	QueueCapacity int `json:"queue_capacity"`
+	// Watermark is the lowest window index not yet closed; receipts for
+	// earlier windows are stale.
+	Watermark int `json:"watermark"`
+	// Saves and SaveErrors count background + final snapshot attempts.
+	Saves      uint64 `json:"saves"`
+	SaveErrors uint64 `json:"save_errors"`
+}
+
+// Ingestor is the serving-path feed: a bounded batch queue with an
+// explicit overflow policy in front of a ShardedMonitor, drained by a
+// single goroutine that advances the window watermark and publishes every
+// barrier's alerts to a sequence-numbered log.
+//
+// Enqueue is safe for concurrent use. Per-customer receipt order must be
+// preserved by producers across Enqueue calls (the Monitor contract);
+// receipts within one batch are ingested in slice order. Stop producers
+// before Close, exactly as for ShardedMonitor.
+type Ingestor struct {
+	cfg  IngestorConfig
+	mon  *ShardedMonitor
+	grid gridInfo
+
+	queue chan []ReceiptEvent
+	stop  chan struct{}
+	// pauseReq hands the drainer a resume channel to park on; see Pause.
+	pauseReq  chan chan struct{}
+	drainDone chan struct{}
+	flushTick *time.Ticker
+	saveTick  *time.Ticker
+
+	// Drainer-owned watermark state: maxMonth is the largest receipt month
+	// seen, lastClosedK the highest barrier-closed window.
+	maxMonth    int
+	lastClosedK int
+
+	receipts   atomic.Uint64
+	batches    atomic.Uint64
+	shed       atomic.Uint64
+	rejected   atomic.Uint64
+	ingestErrs atomic.Uint64
+	saves      atomic.Uint64
+	saveErrs   atomic.Uint64
+	watermark  atomic.Int64
+	closed     atomic.Bool
+
+	// pmu guards the pause/resume handshake.
+	pmu    sync.Mutex
+	resume chan struct{}
+
+	// mu guards the alert log ring.
+	mu      sync.Mutex
+	log     []SeqAlert
+	nextSeq uint64
+	changed chan struct{}
+}
+
+// gridInfo caches the grid lookups the drainer needs per receipt.
+type gridInfo struct {
+	origin time.Time
+	span   int
+}
+
+// NewIngestor validates cfg, restores SMN1 state from cfg.StatePath when
+// the file exists, and starts the drainer (and any configured tickers).
+func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	mon, restored, err := openIngestorMonitor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	i := &Ingestor{
+		cfg:         cfg,
+		mon:         mon,
+		grid:        gridInfo{origin: cfg.Monitor.Grid.Origin(), span: cfg.Monitor.Grid.Span().Months},
+		queue:       make(chan []ReceiptEvent, cfg.QueueBatches),
+		stop:        make(chan struct{}),
+		pauseReq:    make(chan chan struct{}),
+		drainDone:   make(chan struct{}),
+		maxMonth:    math.MinInt / 2,
+		lastClosedK: -1,
+		nextSeq:     1,
+		changed:     make(chan struct{}),
+	}
+	if restored {
+		if k, ok := mon.Watermark(); ok {
+			i.lastClosedK = k - 1
+		}
+	}
+	i.watermark.Store(int64(i.lastClosedK + 1))
+	var flushC, saveC <-chan time.Time
+	if cfg.FlushInterval > 0 {
+		i.flushTick = time.NewTicker(cfg.FlushInterval)
+		flushC = i.flushTick.C
+	}
+	if cfg.SaveInterval > 0 && cfg.StatePath != "" {
+		i.saveTick = time.NewTicker(cfg.SaveInterval)
+		saveC = i.saveTick.C
+	}
+	go i.drain(flushC, saveC)
+	return i, nil
+}
+
+// openIngestorMonitor restores the monitor from cfg.StatePath when the
+// file exists, else starts fresh.
+func openIngestorMonitor(cfg IngestorConfig) (mon *ShardedMonitor, restored bool, err error) {
+	if cfg.StatePath != "" {
+		f, err := os.Open(cfg.StatePath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			mon, err := ReadShardedMonitorSnapshot(f, cfg.Monitor, cfg.Shards)
+			if err != nil {
+				return nil, false, fmt.Errorf("stream: restore %s: %w", cfg.StatePath, err)
+			}
+			return mon, true, nil
+		case !os.IsNotExist(err):
+			return nil, false, err
+		}
+	}
+	mon, err = NewSharded(cfg.Monitor, cfg.Shards)
+	return mon, false, err
+}
+
+// Enqueue offers one batch for ingestion. The batch is accepted (queued,
+// true), shed under PolicyShed (false, nil), or refused under PolicyReject
+// (false, ErrQueueFull). Under PolicyBlock the call waits for queue space.
+// The batch slice and its baskets must not be mutated after Enqueue
+// returns true.
+func (i *Ingestor) Enqueue(batch []ReceiptEvent) (bool, error) {
+	if len(batch) == 0 {
+		return true, nil
+	}
+	if i.closed.Load() {
+		return false, ErrIngestorClosed
+	}
+	if i.cfg.Policy == PolicyBlock {
+		select {
+		case i.queue <- batch:
+			return true, nil
+		case <-i.stop:
+			return false, ErrIngestorClosed
+		}
+	}
+	select {
+	case i.queue <- batch:
+		return true, nil
+	case <-i.stop:
+		return false, ErrIngestorClosed
+	default:
+	}
+	if i.cfg.Policy == PolicyShed {
+		i.shed.Add(uint64(len(batch)))
+		return false, nil
+	}
+	i.rejected.Add(uint64(len(batch)))
+	return false, ErrQueueFull
+}
+
+// drain is the single queue consumer: it feeds the monitor in queue order,
+// fires watermark barriers as receipt months advance, and services pause
+// requests and tickers. nil ticker channels block forever, so disabled
+// tickers cost nothing.
+func (i *Ingestor) drain(flushC, saveC <-chan time.Time) {
+	defer close(i.drainDone)
+	for {
+		select {
+		case resume := <-i.pauseReq:
+			<-resume
+		case <-flushC:
+			i.flushBarrier()
+		case <-saveC:
+			i.saveState()
+		case batch := <-i.queue:
+			i.process(batch)
+		case <-i.stop:
+			// Drain what made it into the queue before the stop, then exit;
+			// Close runs the final barrier and save.
+			for {
+				select {
+				case batch := <-i.queue:
+					i.process(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process ingests one batch. When a receipt's month advances past every
+// month seen so far, every window that ended at or before that month's
+// start is provably complete — the conservative `monitor -state` rule — so
+// a CloseThrough barrier fires before the receipt is ingested.
+func (i *Ingestor) process(batch []ReceiptEvent) {
+	for _, ev := range batch {
+		if m := i.monthIndex(ev.Time); m > i.maxMonth {
+			i.maxMonth = m
+			// closeK is the last window ending at or before the start of
+			// month m. Guarding on lastClosedK makes the barrier positions
+			// a pure function of the receipt sequence.
+			if closeK := i.windowOfMonth(m) - 1; closeK > i.lastClosedK {
+				i.closeBarrier(closeK)
+			}
+		}
+		if err := i.mon.Ingest(ev.Customer, ev.Time, ev.Items); err != nil {
+			// Only ErrClosed is synchronous, and Close stops this drainer
+			// first, so this is unreachable in practice; count it anyway.
+			i.ingestErrs.Add(1)
+			return
+		}
+		i.receipts.Add(1)
+	}
+	i.batches.Add(1)
+}
+
+// monthIndex returns the month index of t from the grid origin.
+func (i *Ingestor) monthIndex(t time.Time) int {
+	return (t.Year()-i.grid.origin.Year())*12 + int(t.Month()) - int(i.grid.origin.Month())
+}
+
+// windowOfMonth returns the grid index of the window containing month m.
+func (i *Ingestor) windowOfMonth(m int) int {
+	if m >= 0 {
+		return m / i.grid.span
+	}
+	return -((-m + i.grid.span - 1) / i.grid.span)
+}
+
+// closeBarrier force-closes windows through k and publishes the alerts.
+func (i *Ingestor) closeBarrier(k int) {
+	alerts, err := i.mon.CloseThrough(k)
+	if err != nil {
+		i.ingestErrs.Add(1)
+	}
+	i.lastClosedK = k
+	i.watermark.Store(int64(k + 1))
+	i.publish(alerts)
+}
+
+// flushBarrier delivers shard-buffered ingest alerts without closing
+// windows.
+func (i *Ingestor) flushBarrier() {
+	alerts, err := i.mon.Flush()
+	if err != nil {
+		i.ingestErrs.Add(1)
+	}
+	i.publish(alerts)
+}
+
+// publish appends alerts to the sequence-numbered log, trims it to the
+// configured buffer, and wakes waiting consumers.
+func (i *Ingestor) publish(alerts []Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	i.mu.Lock()
+	for _, a := range alerts {
+		i.log = append(i.log, SeqAlert{Seq: i.nextSeq, Alert: a})
+		i.nextSeq++
+	}
+	if excess := len(i.log) - i.cfg.AlertBuffer; excess > 0 {
+		i.log = append(i.log[:0], i.log[excess:]...)
+	}
+	close(i.changed)
+	i.changed = make(chan struct{})
+	i.mu.Unlock()
+}
+
+// AlertsSince returns up to max alerts with sequence numbers strictly
+// greater than after, in delivery order. oldest is the lowest sequence
+// still retained (consumers detect a gap when after+1 < oldest), and wait
+// is a channel closed at the next publication — select on it to long-poll.
+// max <= 0 means no limit.
+func (i *Ingestor) AlertsSince(after uint64, max int) (batch []SeqAlert, oldest uint64, wait <-chan struct{}) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	oldest = i.nextSeq
+	if len(i.log) > 0 {
+		oldest = i.log[0].Seq
+	}
+	start := 0
+	if after+1 > oldest {
+		start = int(after + 1 - oldest)
+	}
+	if start < len(i.log) {
+		n := len(i.log) - start
+		if max > 0 && n > max {
+			n = max
+		}
+		batch = make([]SeqAlert, n)
+		copy(batch, i.log[start:start+n])
+	}
+	return batch, oldest, i.changed
+}
+
+// Pause parks the drainer until Resume: queued batches stay queued, so the
+// backpressure policies act deterministically (tests and operational
+// quiesce both rely on this). Pause returns once the drainer is parked; a
+// second Pause before Resume is an error.
+func (i *Ingestor) Pause() error {
+	i.pmu.Lock()
+	defer i.pmu.Unlock()
+	if i.resume != nil {
+		return errors.New("stream: ingestor already paused")
+	}
+	r := make(chan struct{})
+	select {
+	case i.pauseReq <- r:
+		i.resume = r
+		return nil
+	case <-i.stop:
+		return ErrIngestorClosed
+	}
+}
+
+// Resume releases a paused drainer. Resuming a running ingestor is a
+// no-op.
+func (i *Ingestor) Resume() {
+	i.pmu.Lock()
+	defer i.pmu.Unlock()
+	if i.resume != nil {
+		close(i.resume)
+		i.resume = nil
+	}
+}
+
+// Stability returns the customer's last scored stability, synchronized
+// with the owning shard (it reflects every receipt already handed to the
+// monitor, not receipts still queued).
+func (i *Ingestor) Stability(id retail.CustomerID) (value float64, gridIndex int, ok bool) {
+	return i.mon.Stability(id)
+}
+
+// Customers returns the number of customers tracked across all shards.
+func (i *Ingestor) Customers() int { return i.mon.Customers() }
+
+// Watermark returns the lowest window index not yet closed by a barrier;
+// receipts for earlier windows are stale and should be refused upstream.
+func (i *Ingestor) Watermark() int { return int(i.watermark.Load()) }
+
+// Metrics returns a snapshot of the ingestion counters.
+func (i *Ingestor) Metrics() IngestorMetrics {
+	return IngestorMetrics{
+		ReceiptsIngested: i.receipts.Load(),
+		BatchesIngested:  i.batches.Load(),
+		ReceiptsShed:     i.shed.Load(),
+		ReceiptsRejected: i.rejected.Load(),
+		IngestErrors:     i.ingestErrs.Load(),
+		AlertsEmitted:    i.alertsEmitted(),
+		QueueDepth:       len(i.queue),
+		QueueCapacity:    cap(i.queue),
+		Watermark:        int(i.watermark.Load()),
+		Saves:            i.saves.Load(),
+		SaveErrors:       i.saveErrs.Load(),
+	}
+}
+
+func (i *Ingestor) alertsEmitted() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.nextSeq - 1
+}
+
+// saveState snapshots the monitor to cfg.StatePath atomically (tmp +
+// rename), flushing shard-buffered alerts to the log first so a crash
+// after the save loses only alerts never delivered to any consumer.
+// Called from the drainer and from Close.
+func (i *Ingestor) saveState() {
+	if i.cfg.StatePath == "" {
+		return
+	}
+	if !i.mon.closed.Load() {
+		i.flushBarrier()
+	}
+	i.saves.Add(1)
+	if err := i.writeStateFile(); err != nil {
+		i.saveErrs.Add(1)
+	}
+}
+
+func (i *Ingestor) writeStateFile() error {
+	tmp := i.cfg.StatePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := i.mon.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, i.cfg.StatePath)
+}
+
+// WriteSnapshot streams the monitor's SMN1 state, usable before and after
+// Close. Windows past the watermark stay open in the snapshot — their
+// pending baskets persist — so a restored ingestor resumes losslessly.
+func (i *Ingestor) WriteSnapshot(w io.Writer) error {
+	return i.mon.WriteSnapshot(w)
+}
+
+// Close drains the queue, delivers every shard-buffered alert, persists
+// the final SMN1 snapshot when StatePath is set, and stops the monitor.
+// Close never force-closes windows past the watermark: more data may
+// follow in the newest month, so pending windows persist open — restoring
+// from StatePath and continuing the feed yields byte-identical alerts and
+// state to an uninterrupted run. Stop producers first.
+func (i *Ingestor) Close() error {
+	if i.closed.Swap(true) {
+		return ErrIngestorClosed
+	}
+	if i.flushTick != nil {
+		i.flushTick.Stop()
+	}
+	if i.saveTick != nil {
+		i.saveTick.Stop()
+	}
+	i.Resume()
+	close(i.stop)
+	<-i.drainDone
+	alerts, err := i.mon.Close()
+	if err != nil {
+		i.ingestErrs.Add(1)
+	}
+	i.publish(alerts)
+	if i.cfg.StatePath != "" {
+		i.saves.Add(1)
+		if err := i.writeStateFile(); err != nil {
+			i.saveErrs.Add(1)
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package stability
+
+import (
+	"io"
+
+	"github.com/gautrais/stability/internal/serve"
+	"github.com/gautrais/stability/internal/stream"
+)
+
+// Serving types, re-exported: attrition-as-a-service. A Server wraps the
+// sharded streaming monitor with bounded batched ingestion, per-customer
+// stability queries, alert delivery (long-poll and SSE), health checks
+// and metrics — the attritiond daemon (cmd/attritiond) is a thin shell
+// around NewServer. API.md documents the HTTP surface; DESIGN.md
+// "attritiond serving architecture" the internals.
+type (
+	// Server is the attrition-as-a-service HTTP engine.
+	Server = serve.Server
+	// ServerConfig parameterizes a Server (monitor config, shard count,
+	// ingestion queue bound and overflow policy, persistence).
+	ServerConfig = serve.Config
+	// IngestPolicy selects the bounded ingestion queue's overflow
+	// behavior: block producers, shed batches, or reject with
+	// ErrQueueFull (HTTP 429).
+	IngestPolicy = stream.OverflowPolicy
+	// Ingestor is the serving-path feed: a bounded, policy-governed batch
+	// queue in front of a ShardedMonitor, with a sequence-numbered alert
+	// log for streaming consumers.
+	Ingestor = stream.Ingestor
+	// IngestorConfig parameterizes a standalone Ingestor.
+	IngestorConfig = stream.IngestorConfig
+	// IngestorMetrics is a snapshot of an Ingestor's counters.
+	IngestorMetrics = stream.IngestorMetrics
+	// ReceiptEvent is one receipt offered to an Ingestor.
+	ReceiptEvent = stream.ReceiptEvent
+	// SeqAlert is an Alert stamped with its delivery-log sequence.
+	SeqAlert = stream.SeqAlert
+)
+
+// Ingestion queue overflow policies.
+const (
+	// IngestBlock blocks producers until queue space frees up (lossless).
+	IngestBlock = stream.PolicyBlock
+	// IngestShed drops overflowing batches and counts them.
+	IngestShed = stream.PolicyShed
+	// IngestReject refuses overflowing batches with ErrQueueFull; the
+	// HTTP layer answers 429 with a Retry-After header.
+	IngestReject = stream.PolicyReject
+)
+
+// ErrQueueFull is returned by Ingestor.Enqueue under IngestReject when
+// the ingestion queue is full.
+var ErrQueueFull = stream.ErrQueueFull
+
+// ParseIngestPolicy parses a policy's flag spelling: "block", "shed" or
+// "reject".
+func ParseIngestPolicy(s string) (IngestPolicy, error) { return stream.ParseOverflowPolicy(s) }
+
+// NewServer validates cfg, restores SMN1 state from cfg.StatePath when the
+// file exists, and returns a serving-ready attrition server:
+//
+//	srv, _ := stability.NewServer(stability.ServerConfig{Monitor: cfg})
+//	defer srv.Close()                       // drain + persist
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// The handler serves POST /v1/receipts (batched, bounded, backpressured),
+// GET /v1/customers/{id}/stability, GET /v1/alerts (long-poll and SSE),
+// GET /healthz and GET /metrics. Alerts and snapshots are byte-identical
+// to a sequential Monitor replay of the accepted receipts at every shard
+// count and under every ingestion policy (differential-tested).
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewIngestor builds the queue→monitor pipeline without the HTTP layer,
+// for embedding the serving path in other processes.
+func NewIngestor(cfg IngestorConfig) (*Ingestor, error) { return stream.NewIngestor(cfg) }
+
+// EncodeAlerts writes alerts as newline-delimited JSON in the exact wire
+// form GET /v1/alerts delivers — the serving-path counterpart of comparing
+// Alert slices, used by the differential tests.
+func EncodeAlerts(w io.Writer, alerts []SeqAlert) error { return serve.EncodeAlerts(w, alerts) }
