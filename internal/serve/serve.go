@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/gautrais/stability/internal/retail"
@@ -77,11 +78,12 @@ func (c Config) withDefaults() Config {
 // that expose it. Create with New, mount Handler on an http.Server, and
 // Close on shutdown (after http.Server.Shutdown has drained handlers).
 type Server struct {
-	cfg     Config
-	ing     *stream.Ingestor
-	mux     *http.ServeMux
-	metrics *serveMetrics
-	closing chan struct{}
+	cfg       Config
+	ing       *stream.Ingestor
+	mux       *http.ServeMux
+	metrics   *serveMetrics
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // New validates cfg, restores state from cfg.StatePath when present, and
@@ -127,11 +129,7 @@ func (s *Server) Ingestor() *stream.Ingestor { return s.ing }
 // StatePath is set, and stops the pipeline. Call after the http.Server
 // has shut down, so no handler is mid-enqueue.
 func (s *Server) Close() error {
-	select {
-	case <-s.closing:
-	default:
-		close(s.closing)
-	}
+	s.closeOnce.Do(func() { close(s.closing) })
 	err := s.ing.Close()
 	if errors.Is(err, stream.ErrIngestorClosed) {
 		return nil
@@ -239,6 +237,10 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) int {
 	})
 }
 
+// maxAlertsPerPoll caps ?max= on GET /v1/alerts; larger (or zero) values
+// are clamped so a single poll response stays bounded.
+const maxAlertsPerPoll = 100000
+
 // handleAlerts implements GET /v1/alerts: a single poll by default, a
 // long-poll with ?wait=, or an SSE stream with ?stream=sse (or Accept:
 // text/event-stream). Clients resume with ?after=<last seq>.
@@ -251,6 +253,11 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
 	max, err := parseUintParam(q.Get("max"), 1000)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "invalid max: %v", err)
+	}
+	// AlertsSince treats max <= 0 as unlimited; clamp so neither ?max=0 nor
+	// a value that wraps negative in the int conversion bypasses the cap.
+	if max == 0 || max > maxAlertsPerPoll {
+		max = maxAlertsPerPoll
 	}
 	if q.Get("stream") == "sse" || r.Header.Get("Accept") == "text/event-stream" {
 		return s.streamSSE(w, r, after)

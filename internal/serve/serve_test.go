@@ -96,7 +96,8 @@ func referenceReplay(t *testing.T, cfg stream.Config, feed []ReceiptIn) ([]strea
 		}
 	}
 	for _, rc := range feed {
-		mo := (rc.Time.Year()-origin.Year())*12 + int(rc.Time.Month()) - int(origin.Month())
+		utc := rc.Time.UTC()
+		mo := (utc.Year()-origin.Year())*12 + int(utc.Month()) - int(origin.Month())
 		if mo > maxMonth {
 			maxMonth = mo
 			if closeK := mo/span - 1; closeK > lastClosedK {
@@ -282,6 +283,81 @@ func TestServerDifferential(t *testing.T) {
 					t.Error("persisted snapshot differs from sequential Monitor replay")
 				}
 			})
+		}
+	}
+}
+
+// TestServerOffsetTimestamps POSTs the feed with every timestamp spelled
+// in a non-UTC zone, with evening instants so spellings like
+// 2012-07-01T01:30:00+05:30 (June 30 in UTC) name a month their UTC
+// reading hasn't reached, and pins the wire output byte-identical to the
+// sequential replay. Regression test: the drainer indexed months in the
+// spelling's own zone while the stale filter used Grid.Index (UTC), so
+// such receipts closed windows early and the two layers disagreed.
+func TestServerOffsetTimestamps(t *testing.T) {
+	zone := time.FixedZone("UTC+5:30", 5*3600+1800)
+	feed := testFeed(t, 11, 12, 400)
+	crossings := 0
+	for i := range feed {
+		// 07:00 → 20:00 UTC, spelled 01:30 next day in the +05:30 zone.
+		feed[i].Time = feed[i].Time.Add(13 * time.Hour).In(zone)
+		if feed[i].Time.Month() != feed[i].Time.UTC().Month() {
+			crossings++
+		}
+	}
+	if crossings == 0 {
+		t.Fatal("no spelling crosses a month boundary; feed proves nothing")
+	}
+	wantAlerts, wantSnap := referenceReplay(t, testMonitorConfig(t), feed)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference produced no alerts; feed too tame to prove anything")
+	}
+	var wantWire bytes.Buffer
+	if err := EncodeAlerts(&wantWire, wantAlerts); err != nil {
+		t.Fatal(err)
+	}
+	state := filepath.Join(t.TempDir(), "mon.smn")
+	s, ts := testServer(t, func(c *Config) { c.Shards = 4; c.StatePath = state })
+	for start := 0; start < len(feed); start += 19 {
+		end := start + 19
+		if end > len(feed) {
+			end = len(feed)
+		}
+		var ir IngestResponse
+		if code := postReceipts(t, ts.URL, feed[start:end], &ir); code != http.StatusOK {
+			t.Fatalf("POST batch at %d: status %d", start, code)
+		}
+		if ir.Accepted != end-start || ir.Stale != 0 {
+			t.Fatalf("POST batch at %d: disposition %+v", start, ir)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gotWire := encodeWire(t, fetchAlerts(t, ts.URL)); !bytes.Equal(wantWire.Bytes(), gotWire) {
+		t.Error("offset-spelled feed: alert wire bytes differ from sequential replay")
+	}
+	gotSnap, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantSnap, gotSnap) {
+		t.Error("offset-spelled feed: persisted snapshot differs from sequential replay")
+	}
+}
+
+// TestServerCloseConcurrent is a regression test: two racing Close calls
+// used to both reach close(s.closing) and the loser panicked.
+func TestServerCloseConcurrent(t *testing.T) {
+	s, _ := testServer(t, nil)
+	const callers = 4
+	done := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() { done <- s.Close() }()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("concurrent Close: %v", err)
 		}
 	}
 }
@@ -607,6 +683,24 @@ func TestServerAlertsParams(t *testing.T) {
 	}
 	if len(page.Alerts) != 0 || page.Next != last {
 		t.Errorf("caught-up long-poll: %d alerts, next=%d want %d", len(page.Alerts), page.Next, last)
+	}
+
+	// Hostile extremes (regression tests): an after cursor past MaxInt64
+	// used to panic in the slice-offset conversion, and max values of 0 or
+	// beyond MaxInt64 used to wrap into "unlimited" past the cap.
+	for _, after := range []uint64{math.MaxInt64, math.MaxUint64} {
+		if code := getJSON(t, ts.URL, fmt.Sprintf("/v1/alerts?after=%d", after), &page); code != http.StatusOK {
+			t.Errorf("after=%d: status %d, want 200", after, code)
+		} else if len(page.Alerts) != 0 {
+			t.Errorf("after=%d: got %d alerts, want 0", after, len(page.Alerts))
+		}
+	}
+	for _, maxQ := range []string{"0", "18446744073709551615"} {
+		if code := getJSON(t, ts.URL, "/v1/alerts?max="+maxQ, &page); code != http.StatusOK {
+			t.Errorf("max=%s: status %d, want 200", maxQ, code)
+		} else if len(page.Alerts) == 0 || len(page.Alerts) > maxAlertsPerPoll {
+			t.Errorf("max=%s: got %d alerts, want 1..%d", maxQ, len(page.Alerts), maxAlertsPerPoll)
+		}
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // monthOfEvent returns the month index (from the grid origin) an event
 // falls in.
 func monthOfEvent(g interface{ Origin() time.Time }, t time.Time) int {
-	o := g.Origin()
+	t, o := t.UTC(), g.Origin()
 	return (t.Year()-o.Year())*12 + int(t.Month()) - int(o.Month())
 }
 

@@ -403,8 +403,12 @@ func (i *Ingestor) process(batch []ReceiptEvent) {
 	i.batches.Add(1)
 }
 
-// monthIndex returns the month index of t from the grid origin.
+// monthIndex returns the month index of t from the grid origin, in UTC
+// like Grid.MonthIndex — the barrier positions must agree with Grid.Index
+// or the drainer and the HTTP stale filter would disagree on offset-bearing
+// timestamps.
 func (i *Ingestor) monthIndex(t time.Time) int {
+	t = t.UTC()
 	return (t.Year()-i.grid.origin.Year())*12 + int(t.Month()) - int(i.grid.origin.Month())
 }
 
@@ -468,9 +472,14 @@ func (i *Ingestor) AlertsSince(after uint64, max int) (batch []SeqAlert, oldest 
 	if len(i.log) > 0 {
 		oldest = i.log[0].Seq
 	}
-	start := 0
-	if after+1 > oldest {
-		start = int(after + 1 - oldest)
+	start := len(i.log)
+	if after < oldest {
+		start = 0
+	} else if d := after - oldest + 1; d < uint64(len(i.log)) {
+		// after >= oldest >= 1, so neither subtraction nor the +1 can wrap;
+		// clamping before the int conversion keeps huge after values (e.g. a
+		// forged Last-Event-ID) from producing a negative slice index.
+		start = int(d)
 	}
 	if start < len(i.log) {
 		n := len(i.log) - start

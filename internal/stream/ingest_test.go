@@ -349,6 +349,89 @@ func TestIngestorAlertLog(t *testing.T) {
 	}
 }
 
+// TestIngestorAlertsSinceHugeAfter is a regression test: cursors far past
+// the newest sequence (e.g. a forged ?after= or Last-Event-ID of MaxInt64
+// and beyond) used to wrap negative in the slice-offset conversion and
+// panic; they must return an empty batch.
+func TestIngestorAlertsSinceHugeAfter(t *testing.T) {
+	ing, err := NewIngestor(ingestorConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	alerts := make([]Alert, 3)
+	for j := range alerts {
+		alerts[j] = Alert{Customer: retail.CustomerID(j + 1), GridIndex: j}
+	}
+	ing.publish(alerts) // seqs 1..3
+
+	for _, after := range []uint64{3, 4, math.MaxInt64, math.MaxInt64 + 1, math.MaxUint64} {
+		if batch, _, _ := ing.AlertsSince(after, 10); len(batch) != 0 {
+			t.Errorf("after=%d: got %d alerts, want 0", after, len(batch))
+		}
+	}
+	if batch, _, _ := ing.AlertsSince(2, 10); len(batch) != 1 || batch[0].Seq != 3 {
+		t.Errorf("after=2: got %v, want exactly seq 3", batch)
+	}
+}
+
+// TestIngestorOffsetTimestampsMatchSequential spells every receipt
+// timestamp in a non-UTC fixed zone, with evening instants so spellings
+// like 2012-07-01T01:30:00+05:30 (June 30 in UTC) land on the far side of
+// a month boundary, and pins the pipeline output byte-identical to the
+// sequential replay. Regression test: the drainer's month indexing used
+// the spelling's own zone, so such a receipt advanced the watermark a
+// month early, force-closed a window that still had valid receipts in
+// flight, and broke the determinism contract.
+func TestIngestorOffsetTimestampsMatchSequential(t *testing.T) {
+	zone := time.FixedZone("UTC+5:30", 5*3600+1800)
+	feed := randomFeed(t, 7, 12, 700)
+	crossings := 0
+	for idx := range feed {
+		// 07:00 → 20:00 UTC, spelled 01:30 next day in the +05:30 zone.
+		feed[idx].t = feed[idx].t.Add(13 * time.Hour).In(zone)
+		if feed[idx].t.Month() != feed[idx].t.UTC().Month() {
+			crossings++
+		}
+	}
+	if crossings == 0 {
+		t.Fatal("no spelling crosses a month boundary; feed proves nothing")
+	}
+	wantAlerts, wantSnap := replayIngestReference(t, ingestorConfig(t, 1).Monitor, feed)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference produced no alerts; feed too tame to prove anything")
+	}
+	for _, shards := range []int{1, 4} {
+		state := filepath.Join(t.TempDir(), "mon.smn")
+		cfg := ingestorConfig(t, shards)
+		cfg.StatePath = state
+		ing, err := NewIngestor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enqueueAll(t, ing, feed, 13)
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := drainLog(t, ing)
+		if !alertsEqual(wantAlerts, got) {
+			t.Errorf("shards=%d: offset-spelled feed diverges from sequential replay (%d vs %d alerts)",
+				shards, len(got), len(wantAlerts))
+		}
+		gotSnap, err := os.ReadFile(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantSnap, gotSnap) {
+			t.Errorf("shards=%d: persisted snapshot differs from sequential replay", shards)
+		}
+		if m := ing.Metrics(); m.IngestErrors != 0 {
+			t.Errorf("shards=%d: %d ingest errors", shards, m.IngestErrors)
+		}
+	}
+}
+
 // TestIngestorLifecycle pins the closed-state errors and pause misuse.
 func TestIngestorLifecycle(t *testing.T) {
 	ing, err := NewIngestor(ingestorConfig(t, 1))
