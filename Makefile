@@ -25,9 +25,9 @@ BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 COVER_PROFILE ?= cover.out
 COVER_FLOOR ?= 80
 
-.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest ci
+.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest loadtest-evict fault-log clean ci
 
-ci: verify lint race cover bench-smoke loadtest ## everything .github/workflows/ci.yml runs
+ci: verify lint race cover bench-smoke loadtest loadtest-evict fault-log ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -79,6 +79,21 @@ bench-json: ## machine-readable benchmark results -> $(BENCHJSON_OUT)
 
 loadtest: ## attritiond smoke load test: in-process daemon, concurrent replay, exact verification vs a sequential Monitor
 	$(GO) run ./cmd/loadgen -customers 120 -months 16 -conns 4 -batch 150 -queries 300
+
+loadtest-evict: ## loadtest with a retention horizon + TTL sweeps: -churn silences customers so evictions actually fire, and the eviction counters must match the sequential replay exactly
+	$(GO) run ./cmd/loadgen -customers 120 -months 24 -conns 4 -batch 150 -queries 300 \
+		-retention 2 -ttl-interval 5ms -churn 0.3
+
+fault-log: ## verbose fault-injection + crash-recovery test log -> faultlog.txt (CI artifact); still exits non-zero on failure
+	@$(GO) test -v -count=1 \
+		-run 'Crash|Fault|Injector|TornTail|Corrupt|Truncat|StaleTmp|Shrunk' \
+		./internal/faultfs/ ./internal/store/ ./internal/stream/ > faultlog.txt; rc=$$?; \
+	echo "wrote faultlog.txt"; exit $$rc
+
+clean: ## drop generated/untracked artifacts (coverage, smoke benches, lint + fault logs) and the Go build cache for this module
+	$(GO) clean ./...
+	rm -f $(COVER_PROFILE) BENCH_SMOKE.json bench-raw.out bench-diff.txt detlint.json faultlog.txt
+	rm -f BENCH_PR*.json.tmp BENCH_SMOKE.json.tmp
 
 bench-diff: ## diff smoke results (regenerated when absent) against $(BENCH_BASELINE); writes bench-diff.txt, exits non-zero on regression
 	@test -f BENCH_SMOKE.json || $(MAKE) bench-smoke

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+// cmdCompact rewrites a binary snapshot's segment chain — the file shape
+// that incremental appends (gen -extend, WriteSnapshotDelta) grow one
+// segment at a time — back into a single segment, optionally evicting
+// receipts older than a cutoff. The output is byte-identical to writing
+// the surviving receipts from scratch, and the rewrite is crash-safe: a
+// kill at any point leaves either the old chain or the new file.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	var (
+		data   = fs.String("data", "", "binary snapshot path to compact in place (required)")
+		before = fs.String("evict-before", "", "drop receipts before this date (YYYY-MM-DD); empty keeps all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("compact: -data is required")
+	}
+	var cutoff time.Time
+	if *before != "" {
+		t, err := time.Parse("2006-01-02", *before)
+		if err != nil {
+			return fmt.Errorf("compact: bad -evict-before %q: %w", *before, err)
+		}
+		cutoff = t.UTC()
+	}
+	stats, err := stability.CompactSnapshotFile(*data, cutoff)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d segments -> 1, %d -> %d bytes\n",
+		*data, stats.SegmentsBefore, stats.BytesBefore, stats.BytesAfter)
+	if stats.ReceiptsBefore != stats.ReceiptsAfter {
+		fmt.Printf("evicted %d of %d receipts (%d of %d customers dropped entirely)\n",
+			stats.ReceiptsBefore-stats.ReceiptsAfter, stats.ReceiptsBefore,
+			stats.CustomersBefore-stats.CustomersAfter, stats.CustomersBefore)
+	}
+	return nil
+}

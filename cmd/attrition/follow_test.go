@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability"
+)
+
+// TestCmdCompact pins the compact subcommand: a snapshot grown by -extend
+// (a multi-segment chain) compacts to exactly the bytes of a from-scratch
+// snapshot of the same receipts, and -evict-before drops the old prefix.
+func TestCmdCompact(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r.stb")
+	common := []string{"-customers", "30", "-seed", "7"}
+	captureStdout(t, func() error {
+		return cmdGen(append([]string{"-out", data, "-months", "12"}, common...))
+	})
+	captureStdout(t, func() error {
+		return cmdGen(append([]string{"-out", data, "-months", "12", "-extend", "4"}, common...))
+	})
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := stability.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error { return cmdCompact([]string{"-data", data}) })
+	if !strings.Contains(out, "2 segments -> 1") {
+		t.Fatalf("unexpected compact output: %s", out)
+	}
+	var want bytes.Buffer
+	if err := stability.WriteSnapshot(&want, full); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got) {
+		t.Fatal("compacted file differs from a from-scratch snapshot")
+	}
+
+	// Evict everything before a mid-stream date; compare against the
+	// library-level eviction of the same store.
+	cut := time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC)
+	captureStdout(t, func() error {
+		return cmdCompact([]string{"-data", data, "-evict-before", "2013-01-01"})
+	})
+	want.Reset()
+	if err := stability.WriteSnapshot(&want, full.EvictBefore(cut)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got) {
+		t.Fatal("evicting compaction differs from EvictBefore + WriteSnapshot")
+	}
+
+	if err := cmdCompact([]string{"-data", data, "-evict-before", "eleventy"}); err == nil {
+		t.Fatal("bad -evict-before date accepted")
+	}
+	if err := cmdCompact([]string{}); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+}
+
+// TestCmdMonitorFollow drives monitor -follow end to end: a follow session
+// that watches the snapshot grow (the file is extended mid-session, while
+// polls race the append) and is stopped by SIGTERM must print exactly the
+// alerts of a one-shot -state replay of the final file, and persist the
+// identical state bytes.
+func TestCmdMonitorFollow(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r.stb")
+	common := []string{"-customers", "40", "-seed", "11"}
+	captureStdout(t, func() error {
+		return cmdGen(append([]string{"-out", data, "-months", "24"}, common...))
+	})
+
+	followState := filepath.Join(dir, "follow.smn")
+	followOut := captureStdout(t, func() error {
+		// The dataset is extended in place while the follower polls, then
+		// the session is signalled to stop. Generous margins: dozens of
+		// 10ms polls fit between the grow and the signal.
+		grow := time.AfterFunc(300*time.Millisecond, func() {
+			err := cmdGen(append([]string{"-out", data, "-months", "24", "-extend", "4"}, common...))
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		defer grow.Stop()
+		stop := time.AfterFunc(1200*time.Millisecond, func() {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		})
+		defer stop.Stop()
+		return cmdMonitor([]string{
+			"-data", data, "-follow", "-poll", "10ms",
+			"-state", followState, "-beta", "0.6", "-shards", "3", "-max-show", "100000",
+		})
+	})
+	if !strings.Contains(followOut, "state saved to") {
+		t.Fatalf("follow session did not persist state:\n%s", followOut)
+	}
+
+	oneState := filepath.Join(dir, "oneshot.smn")
+	oneOut := captureStdout(t, func() error {
+		return cmdMonitor([]string{
+			"-data", data, "-state", oneState, "-beta", "0.6", "-shards", "3", "-max-show", "100000",
+		})
+	})
+
+	got, want := alertLines(followOut), alertLines(oneOut)
+	if len(want) == 0 {
+		t.Fatal("no alerts fired — test dataset too benign to pin anything")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("follow alerts differ from one-shot replay:\nfollow (%d):\n%s\none-shot (%d):\n%s",
+			len(got), strings.Join(got, "\n"), len(want), strings.Join(want, "\n"))
+	}
+	a, err := os.ReadFile(followState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(oneState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("follow state differs from one-shot replay state")
+	}
+}
+
+// TestCmdMonitorFollowNoData: a follow session stopped before the file
+// ever appears exits cleanly without writing state.
+func TestCmdMonitorFollowNoData(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() error {
+		stop := time.AfterFunc(100*time.Millisecond, func() {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		})
+		defer stop.Stop()
+		return cmdMonitor([]string{
+			"-data", filepath.Join(dir, "never.stb"), "-follow", "-poll", "5ms",
+			"-state", filepath.Join(dir, "s.smn"),
+		})
+	})
+	if !strings.Contains(out, "stopped before any data arrived") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s.smn")); err == nil {
+		t.Fatal("state written despite no data")
+	}
+}

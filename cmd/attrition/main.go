@@ -9,6 +9,8 @@
 //	attrition analyze  -data receipts.csv -customer ID [-span 2] [-alpha 2]
 //	attrition explain  -data receipts.csv -customer ID [-span 2] [-alpha 2] [-top 3] [-min-drop 0.05]
 //	attrition evaluate -data receipts.csv -labels labels.csv [-span 2] [-alpha 2] [-month M]
+//	attrition monitor  -data receipts.csv [-state mon.smn] [-follow -poll 2s] [-retention N]
+//	attrition compact  -data receipts.stb [-evict-before YYYY-MM-DD]
 package main
 
 import (
@@ -35,6 +37,8 @@ func main() {
 		err = cmdEvaluate(os.Args[2:])
 	case "monitor":
 		err = cmdMonitor(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "segments":
 		err = cmdSegments(os.Args[2:])
 	case "help", "-h", "-help", "--help":
@@ -60,6 +64,9 @@ subcommands:
   explain   print one customer's stability drops and the blamed products
   evaluate  AUROC of defection detection against labels, per window
   monitor   replay a dataset as a live feed and print attrition alerts
+            (-follow tails a growing snapshot file until SIGTERM)
+  compact   rewrite a snapshot's appended segment chain as one segment,
+            optionally evicting receipts older than a cutoff
   segments  rank gateway segments (whose loss explains defection) population-wide
 
 run 'attrition <subcommand> -h' for flags.

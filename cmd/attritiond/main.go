@@ -73,6 +73,8 @@ func parseFlags(args []string) (config, error) {
 		state        = fs.String("state", "", "SMN1 snapshot path: restore on start, save periodically and on shutdown")
 		saveInterval = fs.Duration("save-interval", time.Minute, "background snapshot period (0 disables; needs -state)")
 		flushTick    = fs.Duration("flush-interval", 2*time.Second, "alert delivery liveness barrier period (0 disables)")
+		retention    = fs.Int("retention", 0, "retention horizon in windows: customers silent that long are scored through the horizon and evicted; 0 keeps everyone forever")
+		ttlInterval  = fs.Duration("ttl-interval", time.Minute, "idle-customer eviction sweep period (0 disables; needs -retention)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -93,11 +95,12 @@ func parseFlags(args []string) (config, error) {
 		addr: *addr,
 		serve: stability.ServerConfig{
 			Monitor: stability.MonitorConfig{
-				Grid:          grid,
-				Model:         stability.Options{Alpha: *alpha},
-				Beta:          *beta,
-				TopJ:          *topJ,
-				WarmupWindows: *warmup,
+				Grid:             grid,
+				Model:            stability.Options{Alpha: *alpha},
+				Beta:             *beta,
+				TopJ:             *topJ,
+				WarmupWindows:    *warmup,
+				RetentionWindows: *retention,
 			},
 			Shards:        *shards,
 			QueueBatches:  *queue,
@@ -107,6 +110,7 @@ func parseFlags(args []string) (config, error) {
 			StatePath:     *state,
 			SaveInterval:  *saveInterval,
 			FlushInterval: *flushTick,
+			TTLInterval:   *ttlInterval,
 		},
 	}, nil
 }

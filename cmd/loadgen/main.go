@@ -28,6 +28,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/gautrais/stability"
@@ -60,6 +61,9 @@ type options struct {
 	topJ      int
 	warmup    int
 	shards    int
+	retention int
+	ttl       time.Duration
+	churn     float64
 	verify    bool
 }
 
@@ -79,6 +83,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.topJ, "top", 3, "blamed products per alert (must match the daemon)")
 	fs.IntVar(&o.warmup, "warmup", 4, "warm-up windows (must match the daemon)")
 	fs.IntVar(&o.shards, "shards", 0, "shards for the in-process daemon; 0 = GOMAXPROCS")
+	fs.IntVar(&o.retention, "retention", 0, "retention horizon in windows (must match the daemon); 0 keeps everyone forever")
+	fs.DurationVar(&o.ttl, "ttl-interval", 0, "idle-customer eviction sweep period for the in-process daemon; 0 disables")
+	fs.Float64Var(&o.churn, "churn", 0, "fraction of customers silenced halfway through the feed (gives -retention something to evict; 0 disables)")
 	fs.BoolVar(&o.verify, "verify", true, "verify daemon answers against a sequential replay")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -168,6 +175,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.churn > 0 {
+		before := len(feed)
+		feed = applyChurn(feed, grid, o.churn, o.months)
+		fmt.Fprintf(out, "churn: silenced ~%.0f%% of customers after month %d (%d receipts dropped)\n",
+			o.churn*100, o.months/2, before-len(feed))
+	}
 	fmt.Fprintf(out, "dataset: %d customers, %d receipts, %d months (seed %d)\n",
 		ds.Store.NumCustomers(), len(feed), o.months, o.seed)
 
@@ -176,13 +189,15 @@ func run(args []string, out io.Writer) error {
 	if base == "" {
 		s, err := stability.NewServer(stability.ServerConfig{
 			Monitor: stability.MonitorConfig{
-				Grid:          grid,
-				Model:         stability.Options{Alpha: o.alpha},
-				Beta:          o.beta,
-				TopJ:          o.topJ,
-				WarmupWindows: o.warmup,
+				Grid:             grid,
+				Model:            stability.Options{Alpha: o.alpha},
+				Beta:             o.beta,
+				TopJ:             o.topJ,
+				WarmupWindows:    o.warmup,
+				RetentionWindows: o.retention,
 			},
-			Shards: o.shards,
+			Shards:      o.shards,
+			TTLInterval: o.ttl,
 		})
 		if err != nil {
 			return err
@@ -196,13 +211,13 @@ func run(args []string, out io.Writer) error {
 	}
 	base = strings.TrimSuffix(base, "/")
 
-	ingestHist, elapsed, err := replay(base, feed, grid, o)
+	ingestHist, elapsed, retries, err := replay(base, feed, grid, o)
 	if err != nil {
 		return err
 	}
 	rate := float64(len(feed)) / elapsed.Seconds()
-	fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec\n",
-		len(feed), elapsed.Round(time.Millisecond), o.conns, rate)
+	fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec (%d retries after 429)\n",
+		len(feed), elapsed.Round(time.Millisecond), o.conns, rate, retries)
 	fmt.Fprintf(out, "ingest latency per POST (%d receipts each): %s\n", o.batch, ingestHist)
 
 	if err := awaitDrain(base, uint64(len(feed))); err != nil {
@@ -228,6 +243,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// applyChurn silences a deterministic fraction of customers (by id
+// residue) after the feed's halfway month. The synthetic defectors drop
+// product segments but keep shopping, so without churn no customer ever
+// goes fully silent and a retention horizon has nothing to evict.
+func applyChurn(feed []receipt, grid stability.Grid, frac float64, months int) []receipt {
+	cutMonth := months / 2
+	silenced := uint64(frac * 100)
+	out := feed[:0]
+	for _, rc := range feed {
+		if rc.Customer%100 < silenced && grid.MonthIndex(rc.Time) > cutMonth {
+			continue
+		}
+		out = append(out, rc)
+	}
+	return out
 }
 
 // sortedFeed flattens the dataset into one time-sorted receipt slice and
@@ -260,7 +292,7 @@ func sortedFeed(ds *stability.SampleDataset, span int) ([]receipt, stability.Gri
 // partitioned by customer across o.conns workers (preserving per-customer
 // order within the month) and the month boundary is a barrier, so the
 // daemon's watermark can never race ahead of a slow connection.
-func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist, time.Duration, error) {
+func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist, time.Duration, uint64, error) {
 	var months [][]receipt
 	for _, rc := range feed {
 		m := grid.MonthIndex(rc.Time)
@@ -270,6 +302,7 @@ func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist,
 		months[m] = append(months[m], rc)
 	}
 	agg := &hist{}
+	var retries atomic.Uint64
 	start := now()
 	for m, month := range months {
 		if len(month) == 0 {
@@ -288,61 +321,117 @@ func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist,
 				if hi > len(part) {
 					hi = len(part)
 				}
-				if err := postBatch(base, part[lo:hi], h); err != nil {
+				if err := postBatch(base, part[lo:hi], h, &retries); err != nil {
 					return nil, fmt.Errorf("month %d conn %d: %w", m, w, err)
 				}
 			}
 			return h, nil
 		})
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		for _, h := range results {
 			agg.merge(h)
 		}
 	}
-	return agg, now().Sub(start), nil
+	return agg, now().Sub(start), retries.Load(), nil
 }
 
-func postBatch(base string, batch []receipt, h *hist) error {
+// 429 handling: a rejecting daemon (-policy reject) answers queue-full with
+// Retry-After, and loadgen is exactly the kind of client that must honour
+// it. The backoff is deterministic — the server's hint, doubled per
+// consecutive rejection of the same batch, capped — so a load test is
+// reproducible run to run.
+const (
+	// maxRetryWait caps one backoff sleep no matter what the server hints.
+	maxRetryWait = 2 * time.Second
+	// max429Retries bounds consecutive rejections of one batch before the
+	// load test gives up; with the cap above that is at most ~100s stalled.
+	max429Retries = 50
+)
+
+// backoffWait is the deterministic backoff for the attempt-th consecutive
+// 429 (0-based): the server's hint left-shifted per attempt, capped.
+func backoffWait(hint time.Duration, attempt int) time.Duration {
+	if hint <= 0 {
+		hint = 50 * time.Millisecond
+	}
+	for i := 0; i < attempt && hint < maxRetryWait; i++ {
+		hint *= 2
+	}
+	if hint > maxRetryWait {
+		hint = maxRetryWait
+	}
+	return hint
+}
+
+func postBatch(base string, batch []receipt, h *hist, retries *atomic.Uint64) error {
 	body, err := json.Marshal(struct {
 		Receipts []receipt `json:"receipts"`
 	}{batch})
 	if err != nil {
 		return err
 	}
-	t0 := now()
-	resp, err := http.Post(base+"/v1/receipts", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		t0 := now()
+		resp, err := http.Post(base+"/v1/receipts", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		h.observe(now().Sub(t0))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			hint := retryAfterHint(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt >= max429Retries {
+				return fmt.Errorf("POST /v1/receipts: still 429 after %d retries", attempt)
+			}
+			retries.Add(1)
+			time.Sleep(backoffWait(hint, attempt))
+			continue
+		}
+		var ir struct {
+			Accepted int `json:"accepted"`
+			Shed     int `json:"shed"`
+			Stale    int `json:"stale"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("POST /v1/receipts: decode status-%d body: %w", resp.StatusCode, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/receipts: status %d", resp.StatusCode)
+		}
+		if ir.Accepted != len(batch) {
+			return fmt.Errorf("POST /v1/receipts: accepted %d of %d (shed %d, stale %d)",
+				ir.Accepted, len(batch), ir.Shed, ir.Stale)
+		}
+		return nil
 	}
-	h.observe(now().Sub(t0))
-	defer resp.Body.Close()
-	var ir struct {
-		Accepted int `json:"accepted"`
-		Shed     int `json:"shed"`
-		Stale    int `json:"stale"`
+}
+
+// retryAfterHint reads the server's Retry-After header (whole seconds,
+// the form attritiond sends); 0 means no usable hint.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		var secs int
+		if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-		return fmt.Errorf("POST /v1/receipts: decode status-%d body: %w", resp.StatusCode, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /v1/receipts: status %d", resp.StatusCode)
-	}
-	if ir.Accepted != len(batch) {
-		return fmt.Errorf("POST /v1/receipts: accepted %d of %d (shed %d, stale %d)",
-			ir.Accepted, len(batch), ir.Shed, ir.Stale)
-	}
-	return nil
+	return 0
 }
 
 // metricsSnapshot is the subset of GET /metrics loadgen reads.
 type metricsSnapshot struct {
-	ReceiptsIngested uint64 `json:"receipts_ingested"`
-	ReceiptsShed     uint64 `json:"receipts_shed"`
-	ReceiptsRejected uint64 `json:"receipts_rejected"`
-	ReceiptsStale    uint64 `json:"receipts_stale"`
-	Watermark        int    `json:"watermark"`
+	ReceiptsIngested  uint64 `json:"receipts_ingested"`
+	ReceiptsShed      uint64 `json:"receipts_shed"`
+	ReceiptsRejected  uint64 `json:"receipts_rejected"`
+	ReceiptsStale     uint64 `json:"receipts_stale"`
+	Watermark         int    `json:"watermark"`
+	CustomersEvicted  uint64 `json:"customers_evicted"`
+	CustomersRetained int    `json:"customers_retained"`
 }
 
 func getJSON(base, path string, out any) error {
@@ -422,11 +511,12 @@ type wireAlert struct {
 // deterministic, so every comparison is exact.
 func verify(base string, feed []receipt, grid stability.Grid, ids []stability.CustomerID, o options, out io.Writer) error {
 	mon, err := stability.NewMonitor(stability.MonitorConfig{
-		Grid:          grid,
-		Model:         stability.Options{Alpha: o.alpha},
-		Beta:          o.beta,
-		TopJ:          o.topJ,
-		WarmupWindows: o.warmup,
+		Grid:             grid,
+		Model:            stability.Options{Alpha: o.alpha},
+		Beta:             o.beta,
+		TopJ:             o.topJ,
+		WarmupWindows:    o.warmup,
+		RetentionWindows: o.retention,
 	})
 	if err != nil {
 		return err
@@ -485,6 +575,17 @@ func verify(base string, feed []receipt, grid stability.Grid, ids []stability.Cu
 	if m.Watermark != lastClosedK+1 {
 		return fmt.Errorf("watermark %d, want %d", m.Watermark, lastClosedK+1)
 	}
+	// With a retention horizon the daemon evicts idle customers at close
+	// barriers, deterministically — the sequential replay must agree on
+	// both counts exactly.
+	if m.CustomersEvicted != mon.Evicted() || m.CustomersRetained != mon.Customers() {
+		return fmt.Errorf("eviction: daemon evicted=%d retained=%d, replay %d/%d",
+			m.CustomersEvicted, m.CustomersRetained, mon.Evicted(), mon.Customers())
+	}
+	if o.retention > 0 {
+		fmt.Fprintf(out, "eviction: %d customers evicted, %d retained, exact match\n",
+			m.CustomersEvicted, m.CustomersRetained)
+	}
 	var h struct {
 		Status    string `json:"status"`
 		Customers int    `json:"customers"`
@@ -492,8 +593,8 @@ func verify(base string, feed []receipt, grid stability.Grid, ids []stability.Cu
 	if err := getJSON(base, "/healthz", &h); err != nil {
 		return err
 	}
-	if h.Status != "ok" || h.Customers != len(ids) {
-		return fmt.Errorf("healthz: status=%q customers=%d, want ok/%d", h.Status, h.Customers, len(ids))
+	if h.Status != "ok" || h.Customers != mon.Customers() {
+		return fmt.Errorf("healthz: status=%q customers=%d, want ok/%d", h.Status, h.Customers, mon.Customers())
 	}
 
 	got, err := fetchAlerts(base)

@@ -38,6 +38,50 @@ func TestLoadgenSelfServe(t *testing.T) {
 	}
 }
 
+// TestLoadgenSelfServeRetention runs the pipeline with a retention horizon
+// and an eviction sweep enabled: verification must still be exact, and the
+// eviction counters must match the sequential replay.
+func TestLoadgenSelfServeRetention(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-customers", "40", "-months", "24", "-conns", "3", "-batch", "75",
+		"-queries", "60", "-shards", "4", "-retention", "2", "-ttl-interval", "5ms",
+		"-churn", "0.3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen with retention failed: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "eviction:") || !strings.Contains(s, "verification: daemon matches sequential replay") {
+		t.Errorf("output missing eviction verification:\n%s", s)
+	}
+	if strings.Contains(s, "eviction: 0 customers evicted") {
+		t.Error("retention horizon evicted nobody; the eviction verification is vacuous")
+	}
+}
+
+// TestBackoffWait pins the deterministic 429 backoff schedule.
+func TestBackoffWait(t *testing.T) {
+	cases := []struct {
+		hint    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{0, 0, 50 * time.Millisecond},            // no hint: fixed default
+		{0, 2, 200 * time.Millisecond},           // default doubles per attempt
+		{time.Second, 0, time.Second},            // server hint honoured
+		{time.Second, 1, maxRetryWait},           // doubling is capped
+		{time.Second, 10, maxRetryWait},          // stays capped
+		{10 * time.Second, 0, maxRetryWait},      // oversized hint capped
+		{-time.Second, 0, 50 * time.Millisecond}, // nonsense hint: default
+	}
+	for _, tc := range cases {
+		if got := backoffWait(tc.hint, tc.attempt); got != tc.want {
+			t.Errorf("backoffWait(%v, %d) = %v, want %v", tc.hint, tc.attempt, got, tc.want)
+		}
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	if _, err := parseFlags([]string{"-conns", "0"}); err == nil {
 		t.Error("accepted -conns 0")

@@ -3,6 +3,7 @@ package stability
 import (
 	"io"
 	"strings"
+	"time"
 
 	"github.com/gautrais/stability/internal/eval"
 	"github.com/gautrais/stability/internal/store"
@@ -72,6 +73,31 @@ func WriteReceiptsJSONLDelta(w io.Writer, s, prev *Store) error { return s.Write
 // binary snapshot segment, for appending to an existing snapshot file —
 // the existing bytes are never rewritten. s must extend prev.
 func WriteSnapshotDelta(w io.Writer, s, prev *Store) error { return s.WriteBinaryDelta(w, prev) }
+
+// CompactStats reports what one CompactSnapshotFile call did.
+type CompactStats = store.CompactStats
+
+// CompactSnapshotFile rewrites the snapshot segment chain at path as one
+// segment, evicting receipts before cutoff first (zero cutoff keeps all).
+// The result is byte-identical to a from-scratch WriteSnapshot of the
+// surviving receipts, and the rewrite is crash-safe (temp + fsync +
+// rename): a crash leaves either the old chain or the new file, never a
+// partial one.
+func CompactSnapshotFile(path string, cutoff time.Time) (CompactStats, error) {
+	return store.CompactFile(nil, path, cutoff)
+}
+
+// SnapshotFollower tails a growing snapshot segment chain by polling,
+// tolerating torn (mid-append) tails. See store.Follower.
+type SnapshotFollower = store.Follower
+
+// NewSnapshotFollower returns a follower positioned at the start of path.
+// The file need not exist yet; polls report nothing until it does.
+func NewSnapshotFollower(path string) *SnapshotFollower { return store.NewFollower(nil, path) }
+
+// ErrSnapshotShrank is returned by SnapshotFollower.Poll when the followed
+// file got smaller (compacted or replaced); the follower must resync.
+var ErrSnapshotShrank = store.ErrFileShrank
 
 // ReceiptFormat bundles one receipt codec's operations, keyed both by
 // format name (datagen's -formats list) and by path suffix (attrition's

@@ -88,6 +88,7 @@ var r1Scope = map[string]bool{
 	"internal/experiments": true,
 	"internal/report":      true,
 	"internal/stats":       true,
+	"internal/faultfs":     true,
 }
 
 func inR1Scope(rel string) bool {

@@ -109,26 +109,43 @@ func writeBinarySegment(w io.Writer, histories []retail.History) error {
 // grown by appending WriteBinaryDelta segments: every concatenated STB1
 // segment is merged into one store. At least one segment is required.
 func ReadBinary(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
+	s, _, err := readBinaryAll(bufio.NewReader(r))
+	return s, err
+}
+
+// readBinaryAll decodes every concatenated STB1 segment, returning the
+// merged store and the segment count (what compaction collapses to one).
+func readBinaryAll(br *bufio.Reader) (*Store, int, error) {
 	b := NewBuilder()
 	if err := readBinarySegment(br, b, true); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	segments := 1
 	for {
 		if _, err := br.Peek(1); err == io.EOF {
 			break
 		}
 		if err := readBinarySegment(br, b, false); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		segments++
 	}
-	return b.Build(), nil
+	return b.Build(), segments, nil
+}
+
+// segmentReader is what readBinarySegment needs from its input: both
+// ReadBinary's bufio.Reader over a whole file and the follower's
+// bytes.Reader over a polled tail satisfy it (the latter exposes the
+// consumed length, which is how the follower tracks segment boundaries).
+type segmentReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 // readBinarySegment decodes one STB1 segment into the builder. first
 // distinguishes the error message for a file that isn't a snapshot at all
 // from one with a corrupt appended segment.
-func readBinarySegment(br *bufio.Reader, b *Builder, first bool) error {
+func readBinarySegment(br segmentReader, b *Builder, first bool) error {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return fmt.Errorf("store: read magic: %w", err)

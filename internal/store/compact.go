@@ -1,0 +1,226 @@
+package store
+
+// Bounded-resource operations on persisted snapshots: windowed receipt
+// eviction, STB1 segment-chain compaction, and a polling follower that
+// tails a growing snapshot file. These are the store half of the
+// always-on story; the monitor half (retention horizon, idle-customer
+// eviction) lives in internal/stream.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"sort"
+	"time"
+
+	"github.com/gautrais/stability/internal/faultfs"
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// EvictBefore returns a store without the receipts timestamped before
+// cutoff; customers left with no receipts are dropped entirely. Surviving
+// receipt slices alias s (the store is immutable, so sharing is safe).
+// WriteBinary of the result is byte-identical to a from-scratch build of
+// the surviving receipts: eviction only removes chronological prefixes,
+// so order and encoding are unchanged.
+func (s *Store) EvictBefore(cutoff time.Time) *Store {
+	histories := make([]retail.History, 0, len(s.histories))
+	for _, h := range s.histories {
+		rs := h.Receipts
+		lo := sort.Search(len(rs), func(i int) bool { return !rs[i].Time.Before(cutoff) })
+		if lo == len(rs) {
+			continue
+		}
+		histories = append(histories, retail.History{Customer: h.Customer, Receipts: rs[lo:]})
+	}
+	return assemble(histories)
+}
+
+// CompactStats reports what one CompactFile call did.
+type CompactStats struct {
+	SegmentsBefore  int   // STB1 segments in the chain before (after: always 1)
+	BytesBefore     int64 // file size before
+	BytesAfter      int64 // file size after
+	CustomersBefore int
+	CustomersAfter  int // smaller only when a cutoff evicted whole customers
+	ReceiptsBefore  int
+	ReceiptsAfter   int
+}
+
+// CompactFile rewrites the STB1 segment chain at path as a single segment,
+// evicting receipts before cutoff first (a zero cutoff keeps everything).
+// The output is byte-identical to WriteBinary of the surviving receipts.
+//
+// The rewrite is crash-safe: the new bytes go to path+".tmp", are fsync'd,
+// and renamed over path. A crash at any point leaves either the old chain
+// or the new single segment on disk — never a mix, never a partial file at
+// path. A leftover .tmp from a crashed run is overwritten by the next one.
+func CompactFile(fsys faultfs.FS, path string, cutoff time.Time) (CompactStats, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	s, segments, err := readBinaryAll(bufio.NewReader(f))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("store: compact %s: %w", path, err)
+	}
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	stats := CompactStats{
+		SegmentsBefore:  segments,
+		BytesBefore:     info.Size(),
+		CustomersBefore: s.NumCustomers(),
+		ReceiptsBefore:  s.NumReceipts(),
+	}
+	if !cutoff.IsZero() {
+		s = s.EvictBefore(cutoff)
+	}
+	stats.CustomersAfter = s.NumCustomers()
+	stats.ReceiptsAfter = s.NumReceipts()
+
+	tmp := path + ".tmp"
+	tf, err := fsys.Create(tmp)
+	if err != nil {
+		return stats, fmt.Errorf("store: compact %s: %w", path, err)
+	}
+	if err := s.WriteBinary(tf); err != nil {
+		tf.Close()
+		fsys.Remove(tmp)
+		return stats, fmt.Errorf("store: compact %s: %w", path, err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		fsys.Remove(tmp)
+		return stats, fmt.Errorf("store: compact %s: sync: %w", path, err)
+	}
+	if err := tf.Close(); err != nil {
+		fsys.Remove(tmp)
+		return stats, fmt.Errorf("store: compact %s: close: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return stats, fmt.Errorf("store: compact %s: rename: %w", path, err)
+	}
+	info, err = fsys.Stat(path)
+	if err != nil {
+		return stats, err
+	}
+	stats.BytesAfter = info.Size()
+	return stats, nil
+}
+
+// ErrFileShrank is returned by Follower.Poll when the followed file got
+// smaller: it was compacted or replaced out from under the follower, so
+// its byte offset no longer means anything. The caller must resynchronize
+// (typically: rebuild from the whole file) rather than keep polling.
+var ErrFileShrank = errors.New("store: followed file shrank (compacted or replaced)")
+
+// Follower tails a growing STB1 segment chain by polling — stat for a size
+// change, then decode the bytes past the last complete segment boundary.
+// No inotify: polling is portable and the snapshot cadence is seconds, not
+// microseconds.
+//
+// A torn tail (the writer caught mid-append, or a writer that crashed
+// mid-append) decodes as a premature EOF and is retried from the same
+// boundary on the next poll; varints and fixed-width fields can only
+// shrink under truncation, never decode to different valid values, so a
+// partial segment is always detected. Only a malformed segment — bad
+// magic, corrupt counts — is a hard error. A crashed writer's permanently
+// torn tail is indistinguishable from an in-progress append, so the
+// follower retries it forever; if the writer later appends a fresh segment
+// after the torn bytes, decoding fails loudly instead of skipping data.
+type Follower struct {
+	fsys     faultfs.FS
+	path     string
+	offset   int64 // bytes consumed; always a complete-segment boundary
+	segments int   // complete segments consumed
+}
+
+// NewFollower returns a follower positioned at the start of path. The file
+// need not exist yet: polls report nothing until it appears.
+func NewFollower(fsys faultfs.FS, path string) *Follower {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	return &Follower{fsys: fsys, path: path}
+}
+
+// Offset reports the byte offset of the last complete segment boundary.
+func (f *Follower) Offset() int64 { return f.offset }
+
+// Segments reports how many complete segments have been consumed.
+func (f *Follower) Segments() int { return f.segments }
+
+// Poll decodes any segments appended since the last call and returns a
+// store holding just those receipts, or (nil, nil) when no complete new
+// segment has landed. Errors other than ErrFileShrank are transient
+// (stat/open/read) or permanent corruption; both leave the follower at its
+// last good boundary.
+func (f *Follower) Poll() (*Store, error) {
+	info, err := f.fsys.Stat(f.path)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	switch size := info.Size(); {
+	case size == f.offset:
+		return nil, nil
+	case size < f.offset:
+		return nil, fmt.Errorf("%w: %s is %d bytes, follower at %d", ErrFileShrank, f.path, size, f.offset)
+	}
+	file, err := f.fsys.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	if _, err := file.Seek(f.offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(file)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode segment by segment, each into a fresh builder, so a torn
+	// trailing segment never contaminates the complete ones before it.
+	agg := NewBuilder()
+	br := bytes.NewReader(data)
+	base := f.offset
+	newSegs := 0
+	for br.Len() > 0 {
+		segStart := int64(len(data)) - int64(br.Len())
+		seg := NewBuilder()
+		if err := readBinarySegment(br, seg, f.segments+newSegs == 0); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn tail: retry from this boundary next poll
+			}
+			if newSegs > 0 {
+				// Deliver the complete segments before the corruption; the
+				// offset now sits at the bad boundary, so the next poll
+				// reports the hard error without losing these receipts.
+				break
+			}
+			return nil, fmt.Errorf("store: follow %s at byte %d: %w", f.path, base+segStart, err)
+		}
+		agg.Merge(seg)
+		f.offset = base + int64(len(data)) - int64(br.Len())
+		f.segments++
+		newSegs++
+	}
+	if newSegs == 0 {
+		return nil, nil
+	}
+	return agg.Build(), nil
+}

@@ -1,0 +1,425 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	iofs "io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gautrais/stability/internal/faultfs"
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// seededStore builds a deterministic store big enough to span several
+// delta segments: every customer receives receipts, unlike randomStore.
+func seededStore(seed int64, customers, receiptsPer, maxDay int) *Store {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for c := 0; c < customers; c++ {
+		id := retail.CustomerID(c*31 + 1)
+		for i := 0; i < receiptsPer; i++ {
+			items := make([]retail.ItemID, r.Intn(4)+1)
+			for j := range items {
+				items[j] = retail.ItemID(r.Intn(50) + 1)
+			}
+			ts := day(r.Intn(maxDay)).Add(time.Duration(r.Intn(86400)) * time.Second)
+			if err := b.Add(id, ts, items, float64(r.Intn(10000))/100); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// prefixBefore extracts the sub-store of receipts strictly before cutoff.
+// Each per-customer slice is a chronological prefix, so the result
+// satisfies DeltaSince's extension contract against the full store.
+func prefixBefore(t *testing.T, s *Store, cutoff time.Time) *Store {
+	t.Helper()
+	b := NewBuilder()
+	s.Each(func(h retail.History) bool {
+		for _, r := range h.Receipts {
+			if !r.Time.Before(cutoff) {
+				break
+			}
+			must(t, b.AddReceipt(h.Customer, r))
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// binaryBytes renders a store as a single STB1 segment.
+func binaryBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	must(t, s.WriteBinary(&buf))
+	return buf.Bytes()
+}
+
+// deltaBytes renders the receipts s holds beyond prev as one segment.
+func deltaBytes(t *testing.T, s, prev *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	must(t, s.WriteBinaryDelta(&buf, prev))
+	return buf.Bytes()
+}
+
+// writeChain persists full as a 3-segment chain (base + two deltas) and
+// returns the path.
+func writeChain(t *testing.T, full *Store) string {
+	t.Helper()
+	s1 := prefixBefore(t, full, day(150))
+	s2 := prefixBefore(t, full, day(300))
+	path := filepath.Join(t.TempDir(), "chain.stb")
+	var buf bytes.Buffer
+	buf.Write(binaryBytes(t, s1))
+	buf.Write(deltaBytes(t, s2, s1))
+	buf.Write(deltaBytes(t, full, s2))
+	must(t, os.WriteFile(path, buf.Bytes(), 0o644))
+	return path
+}
+
+func TestEvictBeforeMatchesFromScratch(t *testing.T) {
+	prop := func(seed int64, cutDay uint16) bool {
+		orig := randomStore(seed)
+		cutoff := day(int(cutDay) % 450)
+		got := orig.EvictBefore(cutoff)
+		// From-scratch reference: rebuild keeping only surviving receipts.
+		b := NewBuilder()
+		orig.Each(func(h retail.History) bool {
+			for _, r := range h.Receipts {
+				if !r.Time.Before(cutoff) {
+					if err := b.AddReceipt(h.Customer, r); err != nil {
+						panic(err)
+					}
+				}
+			}
+			return true
+		})
+		want := b.Build()
+		if !storesEqual(want, got) {
+			return false
+		}
+		var wb, gb bytes.Buffer
+		if want.WriteBinary(&wb) != nil || got.WriteBinary(&gb) != nil {
+			return false
+		}
+		return bytes.Equal(wb.Bytes(), gb.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictBeforeBoundaries(t *testing.T) {
+	s := seededStore(11, 6, 8, 400)
+	if got := s.EvictBefore(day(0)); !bytes.Equal(binaryBytes(t, got), binaryBytes(t, s)) {
+		t.Fatal("cutoff before all receipts changed the store")
+	}
+	empty := s.EvictBefore(day(1000))
+	if empty.NumCustomers() != 0 || empty.NumReceipts() != 0 {
+		t.Fatalf("cutoff past all receipts left %d customers, %d receipts",
+			empty.NumCustomers(), empty.NumReceipts())
+	}
+}
+
+// TestCompactFileByteIdentical: compacting a 3-segment chain must produce
+// exactly the bytes of a from-scratch WriteBinary, and be idempotent.
+func TestCompactFileByteIdentical(t *testing.T) {
+	full := seededStore(21, 8, 10, 400)
+	path := writeChain(t, full)
+	before, err := os.ReadFile(path)
+	must(t, err)
+
+	stats, err := CompactFile(faultfs.OS{}, path, time.Time{})
+	must(t, err)
+	got, err := os.ReadFile(path)
+	must(t, err)
+	want := binaryBytes(t, full)
+	if !bytes.Equal(want, got) {
+		t.Fatal("compacted file differs from from-scratch WriteBinary")
+	}
+	if stats.SegmentsBefore != 3 {
+		t.Fatalf("SegmentsBefore = %d, want 3", stats.SegmentsBefore)
+	}
+	if stats.BytesBefore != int64(len(before)) || stats.BytesAfter != int64(len(want)) {
+		t.Fatalf("byte stats %d->%d, want %d->%d",
+			stats.BytesBefore, stats.BytesAfter, len(before), len(want))
+	}
+	if stats.ReceiptsBefore != full.NumReceipts() || stats.ReceiptsAfter != full.NumReceipts() {
+		t.Fatalf("receipt stats %d->%d, want %d->%d",
+			stats.ReceiptsBefore, stats.ReceiptsAfter, full.NumReceipts(), full.NumReceipts())
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("temp file left behind: stat err = %v", err)
+	}
+
+	again, err := CompactFile(faultfs.OS{}, path, time.Time{})
+	must(t, err)
+	if again.SegmentsBefore != 1 {
+		t.Fatalf("second compaction saw %d segments, want 1", again.SegmentsBefore)
+	}
+	rebytes, err := os.ReadFile(path)
+	must(t, err)
+	if !bytes.Equal(want, rebytes) {
+		t.Fatal("compaction is not idempotent")
+	}
+}
+
+// TestCompactFileWithCutoff: compaction with a cutoff equals WriteBinary
+// of EvictBefore on the merged store.
+func TestCompactFileWithCutoff(t *testing.T) {
+	full := seededStore(22, 8, 10, 400)
+	path := writeChain(t, full)
+	cutoff := day(200)
+
+	stats, err := CompactFile(faultfs.OS{}, path, cutoff)
+	must(t, err)
+	got, err := os.ReadFile(path)
+	must(t, err)
+	survivors := full.EvictBefore(cutoff)
+	if !bytes.Equal(binaryBytes(t, survivors), got) {
+		t.Fatal("cutoff compaction differs from EvictBefore + WriteBinary")
+	}
+	if stats.ReceiptsAfter != survivors.NumReceipts() || stats.CustomersAfter != survivors.NumCustomers() {
+		t.Fatalf("stats after = %d customers / %d receipts, want %d / %d",
+			stats.CustomersAfter, stats.ReceiptsAfter, survivors.NumCustomers(), survivors.NumReceipts())
+	}
+	if stats.ReceiptsAfter >= stats.ReceiptsBefore {
+		t.Fatal("cutoff at day 200 evicted nothing; test feed is too narrow")
+	}
+}
+
+// TestCompactFileCrash drives the kill-mid-compaction crash points: a
+// fault anywhere in the rewrite must leave the original chain byte-intact,
+// and a clean rerun must converge to the from-scratch bytes.
+func TestCompactFileCrash(t *testing.T) {
+	full := seededStore(23, 8, 10, 400)
+	cases := []struct {
+		name        string
+		fp          faultfs.Failpoint
+		tmpSurvives bool
+	}{
+		{"crash-mid-write", faultfs.Failpoint{Op: faultfs.OpWrite, PathSuffix: ".tmp", Crash: true, CrashAtByte: 32}, false},
+		{"write-error", faultfs.Failpoint{Op: faultfs.OpWrite, PathSuffix: ".tmp"}, false},
+		{"sync-error", faultfs.Failpoint{Op: faultfs.OpSync, PathSuffix: ".tmp"}, false},
+		{"create-error", faultfs.Failpoint{Op: faultfs.OpCreate, PathSuffix: ".tmp"}, false},
+		{"rename-error", faultfs.Failpoint{Op: faultfs.OpRename, PathSuffix: ".tmp"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeChain(t, full)
+			before, err := os.ReadFile(path)
+			must(t, err)
+
+			in := faultfs.NewInjector(faultfs.OS{})
+			in.Arm(tc.fp)
+			if _, err := CompactFile(in, path, time.Time{}); err == nil {
+				t.Fatal("compaction with an injected fault reported success")
+			}
+			if in.Fired() == 0 {
+				t.Fatal("failpoint never fired")
+			}
+			after, err := os.ReadFile(path)
+			must(t, err)
+			if !bytes.Equal(before, after) {
+				t.Fatal("failed compaction touched the original file")
+			}
+			if !tc.tmpSurvives {
+				if _, err := os.Stat(path + ".tmp"); !errors.Is(err, iofs.ErrNotExist) {
+					t.Fatalf("stray temp file after failed compaction: stat err = %v", err)
+				}
+			}
+
+			// Recovery: a clean rerun overwrites any stale .tmp remnant and
+			// lands exactly on the from-scratch bytes.
+			if _, err := CompactFile(faultfs.OS{}, path, time.Time{}); err != nil {
+				t.Fatalf("recovery compaction failed: %v", err)
+			}
+			got, err := os.ReadFile(path)
+			must(t, err)
+			if !bytes.Equal(binaryBytes(t, full), got) {
+				t.Fatal("recovered file differs from from-scratch WriteBinary")
+			}
+		})
+	}
+}
+
+// TestCompactFileStaleTmpRemnant: a garbage .tmp left by a real crash must
+// not poison the next compaction.
+func TestCompactFileStaleTmpRemnant(t *testing.T) {
+	full := seededStore(24, 6, 8, 400)
+	path := writeChain(t, full)
+	must(t, os.WriteFile(path+".tmp", []byte("torn garbage from a dead process"), 0o644))
+	if _, err := CompactFile(faultfs.OS{}, path, time.Time{}); err != nil {
+		t.Fatalf("compaction over a stale tmp failed: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	must(t, err)
+	if !bytes.Equal(binaryBytes(t, full), got) {
+		t.Fatal("compacted bytes differ with a stale tmp present")
+	}
+}
+
+// TestFollowerTailAndCatchup: the follower sees the base segment, reports
+// nothing while idle, and picks up each appended delta exactly once.
+func TestFollowerTailAndCatchup(t *testing.T) {
+	full := seededStore(31, 6, 9, 400)
+	s1 := prefixBefore(t, full, day(150))
+	s2 := prefixBefore(t, full, day(300))
+	path := filepath.Join(t.TempDir(), "tail.stb")
+
+	f := NewFollower(nil, path)
+	if got, err := f.Poll(); err != nil || got != nil {
+		t.Fatalf("poll before the file exists: store=%v err=%v", got, err)
+	}
+
+	base := binaryBytes(t, s1)
+	must(t, os.WriteFile(path, base, 0o644))
+	got, err := f.Poll()
+	must(t, err)
+	if got == nil || !storesEqual(s1, got) {
+		t.Fatal("first poll did not return the base segment's receipts")
+	}
+	if f.Offset() != int64(len(base)) || f.Segments() != 1 {
+		t.Fatalf("after base: offset=%d segments=%d, want %d/1", f.Offset(), f.Segments(), len(base))
+	}
+	if got, err := f.Poll(); err != nil || got != nil {
+		t.Fatalf("idle poll: store=%v err=%v", got, err)
+	}
+
+	// Two deltas appended between polls arrive merged in one poll.
+	d1 := deltaBytes(t, s2, s1)
+	d2 := deltaBytes(t, full, s2)
+	appendFile(t, path, append(append([]byte(nil), d1...), d2...))
+	got, err = f.Poll()
+	must(t, err)
+	tail := NewBuilder()
+	full.Each(func(h retail.History) bool {
+		pre, _ := s1.History(h.Customer)
+		for _, r := range h.Receipts[len(pre.Receipts):] {
+			must(t, tail.AddReceipt(h.Customer, r))
+		}
+		return true
+	})
+	if got == nil || !storesEqual(tail.Build(), got) {
+		t.Fatal("catch-up poll did not return exactly the appended receipts")
+	}
+	if f.Segments() != 3 || f.Offset() != int64(len(base)+len(d1)+len(d2)) {
+		t.Fatalf("after catch-up: offset=%d segments=%d", f.Offset(), f.Segments())
+	}
+}
+
+func appendFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	must(t, err)
+	_, err = f.Write(b)
+	must(t, err)
+	must(t, f.Close())
+}
+
+// TestFollowerTornTailEveryByte truncates an appended segment at every
+// byte boundary: each prefix must read as a torn tail (base delivered,
+// no error, offset pinned at the boundary), and completing the segment
+// must deliver exactly its receipts.
+func TestFollowerTornTailEveryByte(t *testing.T) {
+	full := seededStore(32, 4, 6, 400)
+	s1 := prefixBefore(t, full, day(200))
+	base := binaryBytes(t, s1)
+	delta := deltaBytes(t, full, s1)
+	if len(delta) < 16 {
+		t.Fatalf("delta segment implausibly small (%d bytes); feed too narrow", len(delta))
+	}
+	dir := t.TempDir()
+	for n := 0; n < len(delta); n++ {
+		path := filepath.Join(dir, "torn.stb")
+		must(t, os.WriteFile(path, append(append([]byte(nil), base...), delta[:n]...), 0o644))
+		f := NewFollower(faultfs.OS{}, path)
+		got, err := f.Poll()
+		if err != nil {
+			t.Fatalf("truncation at %d/%d: poll error %v", n, len(delta), err)
+		}
+		if got == nil || !storesEqual(s1, got) {
+			t.Fatalf("truncation at %d: base segment not delivered", n)
+		}
+		if f.Offset() != int64(len(base)) || f.Segments() != 1 {
+			t.Fatalf("truncation at %d: offset=%d segments=%d, want %d/1",
+				n, f.Offset(), f.Segments(), len(base))
+		}
+		// Re-poll with the tail still torn: quiet retry, no movement.
+		if got, err := f.Poll(); err != nil || got != nil {
+			t.Fatalf("truncation at %d: torn re-poll store=%v err=%v", n, got, err)
+		}
+		// The writer finishes the append; the segment arrives whole.
+		appendFile(t, path, delta[n:])
+		got, err = f.Poll()
+		if err != nil {
+			t.Fatalf("truncation at %d: completed poll error %v", n, err)
+		}
+		if got == nil || got.NumReceipts() != full.NumReceipts()-s1.NumReceipts() {
+			t.Fatalf("truncation at %d: completed segment not delivered", n)
+		}
+		if f.Offset() != int64(len(base)+len(delta)) {
+			t.Fatalf("truncation at %d: final offset %d", n, f.Offset())
+		}
+	}
+}
+
+// TestFollowerCorruptTrailingSegment: a malformed appended segment is a
+// hard error — after the good segments in the same poll are delivered.
+func TestFollowerCorruptTrailingSegment(t *testing.T) {
+	full := seededStore(33, 4, 6, 400)
+	s1 := prefixBefore(t, full, day(200))
+	base := binaryBytes(t, s1)
+	delta := deltaBytes(t, full, s1)
+	bad := append([]byte(nil), delta...)
+	bad[0] ^= 0x5a // break the segment magic
+
+	path := filepath.Join(t.TempDir(), "corrupt.stb")
+	must(t, os.WriteFile(path, append(append([]byte(nil), base...), bad...), 0o644))
+	f := NewFollower(faultfs.OS{}, path)
+	got, err := f.Poll()
+	must(t, err)
+	if got == nil || !storesEqual(s1, got) {
+		t.Fatal("good segment before the corruption was not delivered")
+	}
+	if _, err := f.Poll(); err == nil {
+		t.Fatal("corrupt trailing segment did not surface a hard error")
+	}
+	if _, err := f.Poll(); err == nil {
+		t.Fatal("corrupt trailing segment error is not sticky across polls")
+	}
+	if f.Offset() != int64(len(base)) {
+		t.Fatalf("offset moved past corruption: %d", f.Offset())
+	}
+
+	// A file that was never a snapshot fails on the very first poll.
+	junk := filepath.Join(t.TempDir(), "junk.stb")
+	must(t, os.WriteFile(junk, []byte("not a snapshot at all, just text"), 0o644))
+	if _, err := NewFollower(faultfs.OS{}, junk).Poll(); err == nil {
+		t.Fatal("non-snapshot file accepted by follower")
+	}
+}
+
+// TestFollowerShrunkFile: compaction under a live follower must be loud.
+func TestFollowerShrunkFile(t *testing.T) {
+	full := seededStore(34, 6, 9, 400)
+	path := writeChain(t, full)
+	f := NewFollower(faultfs.OS{}, path)
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactFile(faultfs.OS{}, path, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Poll(); !errors.Is(err, ErrFileShrank) {
+		t.Fatalf("poll after compaction: err = %v, want ErrFileShrank", err)
+	}
+}

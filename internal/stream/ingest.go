@@ -24,12 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"math"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/gautrais/stability/internal/faultfs"
 	"github.com/gautrais/stability/internal/retail"
 )
 
@@ -136,6 +137,19 @@ type IngestorConfig struct {
 	// out-of-order feeds they only affect when alerts become visible,
 	// never which alerts exist.
 	FlushInterval time.Duration
+	// TTLInterval is the period of idle-customer eviction sweeps; it only
+	// matters when Monitor.RetentionWindows > 0. Close barriers already
+	// evict inline as the feed advances, so the sweep is memory-reclaim
+	// timing for the cases barriers can't reach: a restore of a snapshot
+	// taken under a longer (or no) horizon, and a feed gone quiet. The
+	// eviction cutoff is always the already-closed watermark, so which
+	// customers exist at any barrier never depends on sweep timing.
+	// 0 disables the ticker.
+	TTLInterval time.Duration
+	// FS, when non-nil, routes state-file I/O (restore, background and
+	// final saves) through the given filesystem — the fault-injection seam
+	// for crash-recovery tests. nil means the real filesystem.
+	FS faultfs.FS
 }
 
 func (c IngestorConfig) withDefaults() IngestorConfig {
@@ -144,6 +158,9 @@ func (c IngestorConfig) withDefaults() IngestorConfig {
 	}
 	if c.AlertBuffer <= 0 {
 		c.AlertBuffer = 65536
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS{}
 	}
 	return c
 }
@@ -158,7 +175,7 @@ func (c IngestorConfig) Validate() error {
 	default:
 		return fmt.Errorf("stream: unknown overflow policy %d", int(c.Policy))
 	}
-	if c.SaveInterval < 0 || c.FlushInterval < 0 {
+	if c.SaveInterval < 0 || c.FlushInterval < 0 || c.TTLInterval < 0 {
 		return errors.New("stream: negative ticker interval")
 	}
 	return nil
@@ -191,6 +208,12 @@ type IngestorMetrics struct {
 	// Saves and SaveErrors count background + final snapshot attempts.
 	Saves      uint64 `json:"saves"`
 	SaveErrors uint64 `json:"save_errors"`
+	// CustomersEvicted counts customers dropped at the retention horizon
+	// (0 forever when no horizon is configured).
+	CustomersEvicted uint64 `json:"customers_evicted"`
+	// CustomersRetained is the number of customers currently tracked — the
+	// gauge that shows the memory bound holding.
+	CustomersRetained int `json:"customers_retained"`
 }
 
 // Ingestor is the serving-path feed: a bounded batch queue with an
@@ -214,6 +237,7 @@ type Ingestor struct {
 	drainDone chan struct{}
 	flushTick *time.Ticker
 	saveTick  *time.Ticker
+	ttlTick   *time.Ticker
 
 	// Drainer-owned watermark state: maxMonth is the largest receipt month
 	// seen, lastClosedK the highest barrier-closed window.
@@ -275,9 +299,13 @@ func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
 		if k, ok := mon.Watermark(); ok {
 			i.lastClosedK = k - 1
 		}
+		// The snapshot may have been taken under a longer (or no) horizon:
+		// sweep once before the drainer starts, so restored-but-expired
+		// customers are reclaimed without waiting for feed traffic.
+		i.evictSweep()
 	}
 	i.watermark.Store(int64(i.lastClosedK + 1))
-	var flushC, saveC <-chan time.Time
+	var flushC, saveC, ttlC <-chan time.Time
 	if cfg.FlushInterval > 0 {
 		i.flushTick = time.NewTicker(cfg.FlushInterval)
 		flushC = i.flushTick.C
@@ -286,7 +314,11 @@ func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
 		i.saveTick = time.NewTicker(cfg.SaveInterval)
 		saveC = i.saveTick.C
 	}
-	go i.drain(flushC, saveC)
+	if cfg.TTLInterval > 0 && cfg.Monitor.RetentionWindows > 0 {
+		i.ttlTick = time.NewTicker(cfg.TTLInterval)
+		ttlC = i.ttlTick.C
+	}
+	go i.drain(flushC, saveC, ttlC)
 	return i, nil
 }
 
@@ -294,7 +326,7 @@ func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
 // file exists, else starts fresh.
 func openIngestorMonitor(cfg IngestorConfig) (mon *ShardedMonitor, restored bool, err error) {
 	if cfg.StatePath != "" {
-		f, err := os.Open(cfg.StatePath)
+		f, err := cfg.FS.Open(cfg.StatePath)
 		switch {
 		case err == nil:
 			defer f.Close()
@@ -303,7 +335,7 @@ func openIngestorMonitor(cfg IngestorConfig) (mon *ShardedMonitor, restored bool
 				return nil, false, fmt.Errorf("stream: restore %s: %w", cfg.StatePath, err)
 			}
 			return mon, true, nil
-		case !os.IsNotExist(err):
+		case !errors.Is(err, iofs.ErrNotExist):
 			return nil, false, err
 		}
 	}
@@ -350,7 +382,7 @@ func (i *Ingestor) Enqueue(batch []ReceiptEvent) (bool, error) {
 // fires watermark barriers as receipt months advance, and services pause
 // requests and tickers. nil ticker channels block forever, so disabled
 // tickers cost nothing.
-func (i *Ingestor) drain(flushC, saveC <-chan time.Time) {
+func (i *Ingestor) drain(flushC, saveC, ttlC <-chan time.Time) {
 	defer close(i.drainDone)
 	for {
 		select {
@@ -360,6 +392,8 @@ func (i *Ingestor) drain(flushC, saveC <-chan time.Time) {
 			i.flushBarrier()
 		case <-saveC:
 			i.saveState()
+		case <-ttlC:
+			i.evictSweep()
 		case batch := <-i.queue:
 			i.process(batch)
 		case <-i.stop:
@@ -428,6 +462,21 @@ func (i *Ingestor) closeBarrier(k int) {
 	}
 	i.lastClosedK = k
 	i.watermark.Store(int64(k + 1))
+	i.publish(alerts)
+}
+
+// evictSweep force-evicts customers idle past the retention horizon as of
+// the already-closed watermark — the TTL job. Close barriers evict inline,
+// so the sweep is pure memory reclamation with a deterministic cutoff:
+// which customers exist at any barrier never depends on sweep timing.
+func (i *Ingestor) evictSweep() {
+	if i.cfg.Monitor.RetentionWindows <= 0 {
+		return
+	}
+	alerts, _, err := i.mon.EvictIdle(i.lastClosedK)
+	if err != nil {
+		i.ingestErrs.Add(1)
+	}
 	i.publish(alerts)
 }
 
@@ -540,17 +589,19 @@ func (i *Ingestor) Watermark() int { return int(i.watermark.Load()) }
 // Metrics returns a snapshot of the ingestion counters.
 func (i *Ingestor) Metrics() IngestorMetrics {
 	return IngestorMetrics{
-		ReceiptsIngested: i.receipts.Load(),
-		BatchesIngested:  i.batches.Load(),
-		ReceiptsShed:     i.shed.Load(),
-		ReceiptsRejected: i.rejected.Load(),
-		IngestErrors:     i.ingestErrs.Load(),
-		AlertsEmitted:    i.alertsEmitted(),
-		QueueDepth:       len(i.queue),
-		QueueCapacity:    cap(i.queue),
-		Watermark:        int(i.watermark.Load()),
-		Saves:            i.saves.Load(),
-		SaveErrors:       i.saveErrs.Load(),
+		ReceiptsIngested:  i.receipts.Load(),
+		BatchesIngested:   i.batches.Load(),
+		ReceiptsShed:      i.shed.Load(),
+		ReceiptsRejected:  i.rejected.Load(),
+		IngestErrors:      i.ingestErrs.Load(),
+		AlertsEmitted:     i.alertsEmitted(),
+		QueueDepth:        len(i.queue),
+		QueueCapacity:     cap(i.queue),
+		Watermark:         int(i.watermark.Load()),
+		Saves:             i.saves.Load(),
+		SaveErrors:        i.saveErrs.Load(),
+		CustomersEvicted:  i.mon.Evicted(),
+		CustomersRetained: i.mon.Customers(),
 	}
 }
 
@@ -579,20 +630,25 @@ func (i *Ingestor) saveState() {
 
 func (i *Ingestor) writeStateFile() error {
 	tmp := i.cfg.StatePath + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := i.cfg.FS.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := i.mon.WriteSnapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		i.cfg.FS.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		i.cfg.FS.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		i.cfg.FS.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, i.cfg.StatePath)
+	return i.cfg.FS.Rename(tmp, i.cfg.StatePath)
 }
 
 // WriteSnapshot streams the monitor's SMN1 state, usable before and after
@@ -617,6 +673,9 @@ func (i *Ingestor) Close() error {
 	}
 	if i.saveTick != nil {
 		i.saveTick.Stop()
+	}
+	if i.ttlTick != nil {
+		i.ttlTick.Stop()
 	}
 	i.Resume()
 	close(i.stop)

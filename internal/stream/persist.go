@@ -23,7 +23,9 @@ import (
 //	  uvarint customer id
 //	  varint  openK
 //	  varint  lastScoredK
-//	  byte    flags (bit0 lastDefined, bit1 scored)
+//	  byte    flags (bit0 lastDefined, bit1 scored, bit2 lastActiveK present)
+//	  varint  lastActiveK (only when flags bit2 is set; pre-retention
+//	          snapshots lack it and restore with lastActiveK = openK)
 //	  float64 lastStability
 //	  uvarint pending item count, then uvarint item deltas
 //	  tracker snapshot (embedded, self-delimiting via its own counts)
@@ -93,7 +95,7 @@ func (sw *snapshotWriter) writeState(id retail.CustomerID, st *custState) error 
 	if err := sw.putI(int64(st.lastScoredK)); err != nil {
 		return err
 	}
-	flags := byte(0)
+	flags := byte(4) // bit2: lastActiveK always written since the retention horizon landed
 	if st.lastDefined {
 		flags |= 1
 	}
@@ -101,6 +103,9 @@ func (sw *snapshotWriter) writeState(id retail.CustomerID, st *custState) error 
 		flags |= 2
 	}
 	if err := sw.bw.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := sw.putI(int64(st.lastActiveK)); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint64(sw.buf[:8], math.Float64bits(st.lastStability))
@@ -269,6 +274,16 @@ func readMonitorStates(r io.Reader, cfg Config) (map[retail.CustomerID]*custStat
 		if err != nil {
 			return nil, fmt.Errorf("stream: read flags: %w", err)
 		}
+		// Pre-retention snapshots lack lastActiveK; openK is the
+		// conservative restore (the customer gets a full horizon of grace
+		// past their open window before eviction, never a premature drop).
+		lastActiveK := openK
+		if flags&4 != 0 {
+			lastActiveK, err = binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("stream: read lastActiveK: %w", err)
+			}
+		}
 		if _, err := io.ReadFull(br, f8[:]); err != nil {
 			return nil, fmt.Errorf("stream: read lastStability: %w", err)
 		}
@@ -309,6 +324,7 @@ func readMonitorStates(r io.Reader, cfg Config) (map[retail.CustomerID]*custStat
 			lastDefined:   flags&1 != 0,
 			lastScoredK:   int(lastScoredK),
 			scored:        flags&2 != 0,
+			lastActiveK:   int(lastActiveK),
 		}
 	}
 	return states, nil

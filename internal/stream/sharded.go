@@ -257,6 +257,47 @@ func (s *ShardedMonitor) CloseThrough(k int) ([]Alert, error) {
 	})
 }
 
+// EvictIdle drains every shard and applies Monitor.EvictIdle(k) on each,
+// returning the merged alerts in canonical order plus the number of
+// customers evicted across shards. A CloseThrough barrier already evicts
+// inline; this is the explicit sweep the ingestion TTL job drives.
+func (s *ShardedMonitor) EvictIdle(k int) ([]Alert, int, error) {
+	if s.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	var n atomic.Int64
+	alerts, err := s.barrier(func(sh *shard) []Alert {
+		a, evicted := sh.mon.EvictIdle(k)
+		n.Add(int64(evicted))
+		return append(drainFn(sh), a...)
+	})
+	return alerts, int(n.Load()), err
+}
+
+// Evicted returns the cumulative number of customers dropped at the
+// retention horizon across all shards, like Monitor.Evicted.
+func (s *ShardedMonitor) Evicted() uint64 {
+	if s.closed.Load() {
+		var total uint64
+		for _, sh := range s.shards {
+			total += sh.mon.Evicted()
+		}
+		return total
+	}
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		sh := sh
+		wg.Add(1)
+		sh.ch <- shardMsg{ctl: func() {
+			total.Add(sh.mon.Evicted())
+			wg.Done()
+		}}
+	}
+	wg.Wait()
+	return total.Load()
+}
+
 // Close drains every shard, returns any remaining buffered alerts and
 // pending error, and stops the shard goroutines. Stop all producers first;
 // Ingest/Flush/CloseThrough after Close return ErrClosed, while read-only

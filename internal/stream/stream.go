@@ -49,6 +49,14 @@ type Config struct {
 	// significance profile and alert noisily (cold start); 3–4 windows of
 	// warm-up removes most of that noise. 0 disables warm-up.
 	WarmupWindows int
+	// RetentionWindows bounds memory over unbounded time: a customer last
+	// active in window s is scored through window s+RetentionWindows — the
+	// silent windows that drive the stability decay toward an alert — and
+	// then dropped. Inside that horizon alerts and stabilities are
+	// bit-identical to a monitor retaining everything (property-tested);
+	// a dropped customer who returns starts a fresh relationship, exactly
+	// as a new customer id would. 0 retains every customer forever.
+	RetentionWindows int
 }
 
 // Validate reports configuration errors.
@@ -64,6 +72,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupWindows < 0 {
 		return fmt.Errorf("stream: WarmupWindows must be >= 0, got %d", c.WarmupWindows)
+	}
+	if c.RetentionWindows < 0 {
+		return fmt.Errorf("stream: RetentionWindows must be >= 0, got %d", c.RetentionWindows)
 	}
 	if c.Grid.Span().Months < 1 {
 		return errors.New("stream: zero-value grid")
@@ -111,6 +122,9 @@ type custState struct {
 	lastDefined   bool
 	lastScoredK   int
 	scored        bool
+	// lastActiveK is the window of the customer's newest receipt; the
+	// retention horizon measures silence from here.
+	lastActiveK int
 }
 
 // Monitor ingests receipts and emits alerts. Not safe for concurrent use;
@@ -129,6 +143,8 @@ type Monitor struct {
 	// scoredHook, when set, receives every closed window (used by tests
 	// and by callers that want full traces).
 	scoredHook func(Scored)
+	// evicted counts customers dropped at the retention horizon.
+	evicted uint64
 }
 
 // New validates cfg and returns an empty monitor.
@@ -160,7 +176,7 @@ func (m *Monitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket)
 		if err != nil {
 			return nil, err
 		}
-		st = &custState{tracker: tr, openK: k, lastScoredK: k - 1}
+		st = &custState{tracker: tr, openK: k, lastScoredK: k - 1, lastActiveK: k}
 		m.states[id] = st
 		m.newIDs = append(m.newIDs, id)
 	}
@@ -168,17 +184,50 @@ func (m *Monitor) Ingest(id retail.CustomerID, t time.Time, items retail.Basket)
 		return nil, fmt.Errorf("%w: customer %d window %d (open is %d)", ErrStale, id, k, st.openK)
 	}
 	var alerts []Alert
-	if k > st.openK {
+	if limit, bounded := m.horizonLimit(st); bounded && k > limit {
+		// The customer returns after their retention horizon: score the old
+		// relationship through the horizon (exactly what eviction would have
+		// done) and start a fresh one — a returning churned customer is a
+		// new relationship, bit-identical to a barrier having evicted them.
+		alerts = m.closeThrough(id, st, k-1) // clamps at limit
+		tr, err := core.NewTracker(m.cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		m.evicted++
+		// Reuse the pointer: the id stays valid in the sorted index.
+		*st = custState{tracker: tr, openK: k, lastScoredK: k - 1, lastActiveK: k}
+	} else if k > st.openK {
 		alerts = m.closeThrough(id, st, k-1)
+	}
+	if k > st.lastActiveK {
+		st.lastActiveK = k
 	}
 	st.scratch = retail.UnionInto(st.scratch, st.pending, items)
 	st.pending, st.scratch = st.scratch, st.pending
 	return alerts, nil
 }
 
+// horizonLimit returns the last window index the customer may still score:
+// with a retention horizon of H windows and last activity in window s, the
+// customer scores windows through s+H and nothing after. bounded is false
+// when RetentionWindows is 0 (retain forever).
+func (m *Monitor) horizonLimit(st *custState) (limit int, bounded bool) {
+	if m.cfg.RetentionWindows <= 0 {
+		return 0, false
+	}
+	return st.lastActiveK + m.cfg.RetentionWindows, true
+}
+
 // closeThrough scores the open window and any empty windows up to and
-// including k, leaving a fresh open window at k+1.
+// including k, leaving a fresh open window at k+1. With a retention horizon
+// configured, k is clamped to the customer's horizon: windows past it are
+// never scored, no matter how late the closing barrier arrives, so the
+// scored-window set is independent of barrier timing.
 func (m *Monitor) closeThrough(id retail.CustomerID, st *custState, k int) []Alert {
+	if limit, bounded := m.horizonLimit(st); bounded && k > limit {
+		k = limit
+	}
 	var alerts []Alert
 	for st.openK <= k {
 		res := st.tracker.Observe(st.pending)
@@ -265,17 +314,81 @@ func (m *Monitor) addRestored(id retail.CustomerID, st *custState) {
 // index k (inclusive), scoring them (empty where no purchases arrived) and
 // returning any alerts, ordered by customer id. Use at end-of-feed, or
 // periodically with the feed's watermark so silent customers — the
-// defecting ones — still get scored.
+// defecting ones — still get scored. With a retention horizon configured,
+// customers whose horizon ends at or before k are scored through it and
+// evicted in the same pass.
 func (m *Monitor) CloseThrough(k int) []Alert {
 	m.mergeIDs()
 	var alerts []Alert
+	evicted := false
 	for _, id := range m.ids {
 		st := m.states[id]
+		if limit, bounded := m.horizonLimit(st); bounded && limit <= k {
+			if st.openK <= limit {
+				alerts = append(alerts, m.closeThrough(id, st, limit)...)
+			}
+			delete(m.states, id)
+			m.evicted++
+			evicted = true
+			continue
+		}
 		if st.openK <= k {
 			alerts = append(alerts, m.closeThrough(id, st, k)...)
 		}
 	}
+	if evicted {
+		m.compactIDs()
+	}
 	return alerts
+}
+
+// EvictIdle drops every customer whose retention horizon ends at or before
+// grid index k: their remaining windows inside the horizon are scored
+// (empty, possibly alerting) and the state is freed. CloseThrough applies
+// the same rule inline, so under a steadily advancing feed a sweep finds
+// nothing; EvictIdle exists for explicit sweeps — the ingestion TTL job,
+// and restores of a snapshot taken under a longer (or no) horizon. It
+// returns the alerts raised and the number of customers evicted, and is a
+// no-op when RetentionWindows is 0.
+func (m *Monitor) EvictIdle(k int) ([]Alert, int) {
+	if m.cfg.RetentionWindows <= 0 {
+		return nil, 0
+	}
+	m.mergeIDs()
+	var alerts []Alert
+	n := 0
+	for _, id := range m.ids {
+		st := m.states[id]
+		if limit := st.lastActiveK + m.cfg.RetentionWindows; limit <= k {
+			if st.openK <= limit {
+				alerts = append(alerts, m.closeThrough(id, st, limit)...)
+			}
+			delete(m.states, id)
+			m.evicted++
+			n++
+		}
+	}
+	if n > 0 {
+		m.compactIDs()
+	}
+	return alerts, n
+}
+
+// Evicted returns the cumulative number of customers dropped at the
+// retention horizon (including horizon-crossing returns, which end the old
+// relationship). Restored monitors start the count at zero.
+func (m *Monitor) Evicted() uint64 { return m.evicted }
+
+// compactIDs filters evicted customers out of the sorted index in place.
+func (m *Monitor) compactIDs() {
+	w := 0
+	for _, id := range m.ids {
+		if _, ok := m.states[id]; ok {
+			m.ids[w] = id
+			w++
+		}
+	}
+	m.ids = m.ids[:w]
 }
 
 // Watermark returns the lowest open (not yet scored) window index across
