@@ -25,9 +25,9 @@ BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 COVER_PROFILE ?= cover.out
 COVER_FLOOR ?= 80
 
-.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest loadtest-evict fault-log clean ci
+.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest loadtest-evict loadtest-follow fault-log clean ci
 
-ci: verify lint race cover bench-smoke loadtest loadtest-evict fault-log ## everything .github/workflows/ci.yml runs
+ci: verify lint race cover bench-smoke loadtest loadtest-evict loadtest-follow fault-log ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -84,10 +84,13 @@ loadtest-evict: ## loadtest with a retention horizon + TTL sweeps: -churn silenc
 	$(GO) run ./cmd/loadgen -customers 120 -months 24 -conns 4 -batch 150 -queries 300 \
 		-retention 2 -ttl-interval 5ms -churn 0.3
 
+loadtest-follow: ## loadtest in follow mode: loadgen appends STB1 segments, the daemon tails them, the chain is compacted mid-tail (live resync), and verification stays exact
+	$(GO) run ./cmd/loadgen -customers 120 -months 16 -batch 150 -queries 300 -follow
+
 fault-log: ## verbose fault-injection + crash-recovery test log -> faultlog.txt (CI artifact); still exits non-zero on failure
 	@$(GO) test -v -count=1 \
-		-run 'Crash|Fault|Injector|TornTail|Corrupt|Truncat|StaleTmp|Shrunk' \
-		./internal/faultfs/ ./internal/store/ ./internal/stream/ > faultlog.txt; rc=$$?; \
+		-run 'Crash|Fault|Injector|TornTail|Corrupt|Truncat|StaleTmp|Shrunk|Resync|Panic|Degrad' \
+		./internal/faultfs/ ./internal/store/ ./internal/stream/ ./internal/serve/ > faultlog.txt; rc=$$?; \
 	echo "wrote faultlog.txt"; exit $$rc
 
 clean: ## drop generated/untracked artifacts (coverage, smoke benches, lint + fault logs) and the Go build cache for this module

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestParseFlagsMaintenance pins the plumbing of the self-healing and
+// HTTP-edge flags into the server and http.Server configuration.
+func TestParseFlagsMaintenance(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-follow", "/tmp/feed.stb", "-follow-poll", "50ms",
+		"-read-timeout", "30s", "-read-header-timeout", "1s",
+		"-idle-timeout", "45s", "-write-deadline", "20s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.serve.FollowPath != "/tmp/feed.stb" || cfg.serve.FollowInterval != 50*time.Millisecond {
+		t.Errorf("follow plumbing: %+v", cfg.serve)
+	}
+	if cfg.readTimeout != 30*time.Second || cfg.readHeaderTimeout != time.Second ||
+		cfg.idleTimeout != 45*time.Second || cfg.serve.WriteDeadline != 20*time.Second {
+		t.Errorf("timeout plumbing: %+v", cfg)
+	}
+
+	cfg, err = parseFlags([]string{"-journal", "/tmp/j.stbj", "-compact-interval", "2m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.serve.JournalPath != "/tmp/j.stbj" || cfg.serve.CompactInterval != 2*time.Minute {
+		t.Errorf("journal plumbing: %+v", cfg.serve)
+	}
+}
+
+// TestDaemonStalledClientDoesNotWedge connects a client that never
+// finishes its request headers: -read-header-timeout must close that
+// connection while the daemon keeps serving everyone else. This is the
+// regression test for the original zero-timeout http.Server, where one
+// stalled socket held its connection goroutine forever.
+func TestDaemonStalledClientDoesNotWedge(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-origin", "2012-05",
+		"-read-header-timeout", "200ms", "-read-timeout", "1s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stderr.Close()
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(cfg, ln, stderr) }()
+	base := "http://" + ln.Addr().String()
+
+	// The stalled client: request line sent, headers never terminated.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stalled\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// While that socket idles, the daemon must answer others.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz during stall: status %d body %+v", resp.StatusCode, h)
+	}
+
+	// The read-header timeout reaps the stalled connection: the server
+	// closes it, so the client's read unblocks with EOF (or a 408) well
+	// before this deadline.
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("stalled connection not closed by the server: %v", err)
+	}
+
+	// And the daemon is still fully alive afterwards.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after reap: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntilSignal: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

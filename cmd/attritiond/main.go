@@ -10,7 +10,8 @@
 //	POST /v1/receipts                     batched ingestion (bounded queue)
 //	GET  /v1/customers/{id}/stability     last scored stability
 //	GET  /v1/alerts                       long-poll or SSE alert stream
-//	GET  /healthz                         liveness
+//	GET  /healthz                         liveness (degraded detail rides along)
+//	GET  /readyz                          readiness (503 when degraded)
 //	GET  /metrics                         counters + per-endpoint latency
 //
 // The ingestion queue is bounded; -policy picks what happens when it
@@ -20,6 +21,12 @@
 // atomically on SIGINT/SIGTERM after draining the queue — windows past
 // the watermark stay open, so a restart resumes losslessly and the alert
 // stream across restarts is byte-identical to an uninterrupted run.
+//
+// With -follow, the daemon tails a growing STB1 snapshot as its ingest
+// source instead of HTTP (surviving compaction of the tailed file by
+// resyncing), and with -journal it keeps its own crash-safe STB1 receipt
+// journal, self-compacted every -compact-interval. See the README runbook
+// and DESIGN.md "Self-healing maintenance".
 //
 // Scored output is wall-clock free: alerts and snapshots are a pure
 // function of the accepted receipt sequence, so the daemon's results are
@@ -52,6 +59,12 @@ func main() {
 type config struct {
 	addr  string
 	serve stability.ServerConfig
+	// http.Server bounds. WriteTimeout is deliberately absent: a global
+	// write timeout would kill long-lived SSE streams, so response writes
+	// are bounded per request (serve.Config.WriteDeadline) instead.
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	idleTimeout       time.Duration
 }
 
 // parseFlags builds the server configuration from the command line.
@@ -75,6 +88,16 @@ func parseFlags(args []string) (config, error) {
 		flushTick    = fs.Duration("flush-interval", 2*time.Second, "alert delivery liveness barrier period (0 disables)")
 		retention    = fs.Int("retention", 0, "retention horizon in windows: customers silent that long are scored through the horizon and evicted; 0 keeps everyone forever")
 		ttlInterval  = fs.Duration("ttl-interval", time.Minute, "idle-customer eviction sweep period (0 disables; needs -retention)")
+
+		follow          = fs.String("follow", "", "STB1 snapshot to tail as the ingest source instead of HTTP (POST /v1/receipts answers 409)")
+		followPoll      = fs.Duration("follow-poll", 500*time.Millisecond, "follow-mode poll period (needs -follow)")
+		journal         = fs.String("journal", "", "STB1 receipt journal path: accepted receipts are appended one segment per close barrier (exclusive with -follow)")
+		compactInterval = fs.Duration("compact-interval", 0, "scheduled journal self-compaction period (0 disables; needs -journal)")
+
+		readTimeout       = fs.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full-request read bound (0 disables)")
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: slow-client header bound (0 disables)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: keep-alive connection bound (0 disables)")
+		writeDeadline     = fs.Duration("write-deadline", time.Minute, "per-request response write deadline, rolled forward on streaming paths (the global WriteTimeout stays 0 so SSE survives)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -102,16 +125,24 @@ func parseFlags(args []string) (config, error) {
 				WarmupWindows:    *warmup,
 				RetentionWindows: *retention,
 			},
-			Shards:        *shards,
-			QueueBatches:  *queue,
-			Policy:        pol,
-			MaxBatch:      *maxBatch,
-			AlertBuffer:   *alertBuffer,
-			StatePath:     *state,
-			SaveInterval:  *saveInterval,
-			FlushInterval: *flushTick,
-			TTLInterval:   *ttlInterval,
+			Shards:          *shards,
+			QueueBatches:    *queue,
+			Policy:          pol,
+			MaxBatch:        *maxBatch,
+			AlertBuffer:     *alertBuffer,
+			StatePath:       *state,
+			SaveInterval:    *saveInterval,
+			FlushInterval:   *flushTick,
+			TTLInterval:     *ttlInterval,
+			FollowPath:      *follow,
+			FollowInterval:  *followPoll,
+			JournalPath:     *journal,
+			CompactInterval: *compactInterval,
+			WriteDeadline:   *writeDeadline,
 		},
+		readTimeout:       *readTimeout,
+		readHeaderTimeout: *readHeaderTimeout,
+		idleTimeout:       *idleTimeout,
 	}, nil
 }
 
@@ -137,7 +168,15 @@ func serveUntilSignal(cfg config, ln net.Listener, stderr *os.File) error {
 		ln.Close()
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+		// WriteTimeout stays 0: serve arms per-request write deadlines and
+		// rolls them forward on the streaming paths, which bounds stalled
+		// clients without cutting healthy SSE streams off mid-flight.
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

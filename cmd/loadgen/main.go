@@ -15,6 +15,14 @@
 // racing months ahead would turn slower connections' receipts stale. The
 // replayed feed is deterministic in -seed, so the verification step is
 // exact, not statistical: any mismatch exits non-zero.
+//
+// With -follow, the in-process daemon ingests by tailing an STB1 snapshot
+// chain instead of HTTP: loadgen plays the external snapshot writer,
+// appending one segment per -batch receipts from a single writer (POST
+// /v1/receipts answers 409 in this mode). Halfway through, the chain is
+// compacted in place (-follow-compact), driving the daemon's follower
+// through its resync protocol mid-load; verification afterwards is the
+// same exact comparison against the sequential replay.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -65,6 +74,10 @@ type options struct {
 	ttl       time.Duration
 	churn     float64
 	verify    bool
+
+	follow        bool
+	followPoll    time.Duration
+	followCompact bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -87,11 +100,23 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.ttl, "ttl-interval", 0, "idle-customer eviction sweep period for the in-process daemon; 0 disables")
 	fs.Float64Var(&o.churn, "churn", 0, "fraction of customers silenced halfway through the feed (gives -retention something to evict; 0 disables)")
 	fs.BoolVar(&o.verify, "verify", true, "verify daemon answers against a sequential replay")
+	fs.BoolVar(&o.follow, "follow", false, "drive the in-process daemon by tailing an STB1 chain instead of POSTing (needs empty -addr)")
+	fs.DurationVar(&o.followPoll, "follow-poll", 2*time.Millisecond, "follow-mode poll period of the in-process daemon")
+	fs.BoolVar(&o.followCompact, "follow-compact", true, "compact the tailed chain halfway through a -follow run, forcing a live resync")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if o.conns < 1 || o.batch < 1 {
 		return o, fmt.Errorf("need -conns >= 1 and -batch >= 1")
+	}
+	if o.follow && o.addr != "" {
+		return o, fmt.Errorf("-follow drives an in-process daemon; drop -addr")
+	}
+	if o.follow && o.followCompact && o.retention > 0 {
+		// A resync rebuilds the monitor and carries evictions forward as a
+		// base count, so the eviction comparison against one sequential
+		// replay is no longer exact. Keep the modes separate.
+		return o, fmt.Errorf("-follow-compact needs -retention 0 (use -follow-compact=false with a retention horizon)")
 	}
 	return o, nil
 }
@@ -184,6 +209,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "dataset: %d customers, %d receipts, %d months (seed %d)\n",
 		ds.Store.NumCustomers(), len(feed), o.months, o.seed)
 
+	var followPath string
+	if o.follow {
+		dir, err := os.MkdirTemp("", "loadgen-follow")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		followPath = filepath.Join(dir, "feed.stb")
+	}
+
 	base := o.addr
 	var srv *stability.Server
 	if base == "" {
@@ -196,8 +231,10 @@ func run(args []string, out io.Writer) error {
 				WarmupWindows:    o.warmup,
 				RetentionWindows: o.retention,
 			},
-			Shards:      o.shards,
-			TTLInterval: o.ttl,
+			Shards:         o.shards,
+			TTLInterval:    o.ttl,
+			FollowPath:     followPath,
+			FollowInterval: o.followPoll,
 		})
 		if err != nil {
 			return err
@@ -211,17 +248,42 @@ func run(args []string, out io.Writer) error {
 	}
 	base = strings.TrimSuffix(base, "/")
 
-	ingestHist, elapsed, retries, err := replay(base, feed, grid, o)
-	if err != nil {
+	// How many receipts the daemon must count as ingested: a mid-run
+	// compaction makes the follower replay the whole chain (cut receipts at
+	// that point) through a fresh monitor, so they are counted twice.
+	wantIngested := uint64(len(feed))
+	if o.follow {
+		cut, elapsed, err := followReplay(base, followPath, feed, o, out)
+		if err != nil {
+			return err
+		}
+		wantIngested += uint64(cut)
+		rate := float64(len(feed)) / elapsed.Seconds()
+		fmt.Fprintf(out, "follow: %d receipts appended in %v = %.0f receipts/sec through the tailed chain\n",
+			len(feed), elapsed.Round(time.Millisecond), rate)
+	} else {
+		ingestHist, elapsed, retries, err := replay(base, feed, grid, o)
+		if err != nil {
+			return err
+		}
+		rate := float64(len(feed)) / elapsed.Seconds()
+		fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec (%d retries after 429)\n",
+			len(feed), elapsed.Round(time.Millisecond), o.conns, rate, retries)
+		fmt.Fprintf(out, "ingest latency per POST (%d receipts each): %s\n", o.batch, ingestHist)
+	}
+
+	if err := awaitDrain(base, wantIngested); err != nil {
 		return err
 	}
-	rate := float64(len(feed)) / elapsed.Seconds()
-	fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec (%d retries after 429)\n",
-		len(feed), elapsed.Round(time.Millisecond), o.conns, rate, retries)
-	fmt.Fprintf(out, "ingest latency per POST (%d receipts each): %s\n", o.batch, ingestHist)
-
-	if err := awaitDrain(base, uint64(len(feed))); err != nil {
-		return err
+	if o.follow {
+		var m metricsSnapshot
+		if err := getJSON(base, "/metrics", &m); err != nil {
+			return err
+		}
+		if o.followCompact && m.FollowResyncs == 0 {
+			return fmt.Errorf("chain was compacted mid-run but the daemon never resynced")
+		}
+		fmt.Fprintf(out, "follow: %d polls, %d resyncs\n", m.FollowPolls, m.FollowResyncs)
 	}
 
 	ids := ds.Store.Customers()
@@ -232,7 +294,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "query latency (%d GETs): %s\n", queryHist.count, queryHist)
 
 	if o.verify {
-		if err := verify(base, feed, grid, ids, o, out); err != nil {
+		if err := verify(base, feed, grid, ids, o, wantIngested, out); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 		fmt.Fprintln(out, "verification: daemon matches sequential replay")
@@ -337,6 +399,69 @@ func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist,
 	return agg, now().Sub(start), retries.Load(), nil
 }
 
+// followReplay plays the external snapshot writer of a follow-mode
+// deployment: it appends the feed to path as one STB1 segment per -batch
+// receipts from a single writer. With -follow-compact it pauses once past
+// the halfway point, waits for the daemon's follower to catch up, compacts
+// the chain in place — shrinking (or rewriting) the file underneath the
+// follower, which must resync without losing or duplicating output — and
+// keeps appending. Returns how many receipts the daemon had consumed at
+// the compaction point (0 when none happened).
+func followReplay(base, path string, feed []receipt, o options, out io.Writer) (int, time.Duration, error) {
+	appendSegment := func(chunk []receipt) error {
+		b := stability.NewStoreBuilder()
+		for _, rc := range chunk {
+			items := make([]stability.ItemID, len(rc.Items))
+			for i, it := range rc.Items {
+				items[i] = stability.ItemID(it)
+			}
+			if err := b.Add(stability.CustomerID(rc.Customer), rc.Time, items, 0); err != nil {
+				return err
+			}
+		}
+		var buf strings.Builder
+		if err := stability.WriteSnapshot(&buf, b.Build()); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(f, buf.String()); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	cut := 0
+	start := now()
+	for lo := 0; lo < len(feed); lo += o.batch {
+		hi := lo + o.batch
+		if hi > len(feed) {
+			hi = len(feed)
+		}
+		if err := appendSegment(feed[lo:hi]); err != nil {
+			return cut, 0, err
+		}
+		if o.followCompact && cut == 0 && hi >= len(feed)/2 && hi < len(feed) {
+			// Let the follower consume everything written so far, so the
+			// expected post-resync receipt count is exact, then compact.
+			if err := awaitDrain(base, uint64(hi)); err != nil {
+				return cut, 0, err
+			}
+			stats, err := stability.CompactSnapshotFile(path, time.Time{})
+			if err != nil {
+				return cut, 0, err
+			}
+			cut = hi
+			fmt.Fprintf(out, "compaction mid-tail: %d segments -> 1, %d -> %d bytes under a live follower\n",
+				stats.SegmentsBefore, stats.BytesBefore, stats.BytesAfter)
+		}
+	}
+	return cut, now().Sub(start), nil
+}
+
 // 429 handling: a rejecting daemon (-policy reject) answers queue-full with
 // Retry-After, and loadgen is exactly the kind of client that must honour
 // it. The backoff is deterministic — the server's hint, doubled per
@@ -432,6 +557,8 @@ type metricsSnapshot struct {
 	Watermark         int    `json:"watermark"`
 	CustomersEvicted  uint64 `json:"customers_evicted"`
 	CustomersRetained int    `json:"customers_retained"`
+	FollowPolls       uint64 `json:"follow_polls"`
+	FollowResyncs     uint64 `json:"follow_resyncs"`
 }
 
 func getJSON(base, path string, out any) error {
@@ -509,7 +636,7 @@ type wireAlert struct {
 // daemon's watermark rule and cross-checks the daemon's counters, health,
 // alert stream, and every customer's stability answer. The replay is
 // deterministic, so every comparison is exact.
-func verify(base string, feed []receipt, grid stability.Grid, ids []stability.CustomerID, o options, out io.Writer) error {
+func verify(base string, feed []receipt, grid stability.Grid, ids []stability.CustomerID, o options, wantIngested uint64, out io.Writer) error {
 	mon, err := stability.NewMonitor(stability.MonitorConfig{
 		Grid:             grid,
 		Model:            stability.Options{Alpha: o.alpha},
@@ -568,9 +695,9 @@ func verify(base string, feed []receipt, grid stability.Grid, ids []stability.Cu
 	if err := getJSON(base, "/metrics", &m); err != nil {
 		return err
 	}
-	if m.ReceiptsIngested != uint64(len(feed)) || m.ReceiptsShed != 0 || m.ReceiptsRejected != 0 || m.ReceiptsStale != 0 {
+	if m.ReceiptsIngested != wantIngested || m.ReceiptsShed != 0 || m.ReceiptsRejected != 0 || m.ReceiptsStale != 0 {
 		return fmt.Errorf("metrics: ingested=%d shed=%d rejected=%d stale=%d, want %d/0/0/0",
-			m.ReceiptsIngested, m.ReceiptsShed, m.ReceiptsRejected, m.ReceiptsStale, len(feed))
+			m.ReceiptsIngested, m.ReceiptsShed, m.ReceiptsRejected, m.ReceiptsStale, wantIngested)
 	}
 	if m.Watermark != lastClosedK+1 {
 		return fmt.Errorf("watermark %d, want %d", m.Watermark, lastClosedK+1)

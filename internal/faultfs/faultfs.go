@@ -40,6 +40,10 @@ type FS interface {
 	Remove(name string) error
 	// Stat reports file metadata (the follower polls size this way).
 	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts name to size — the torn-tail repair path (a crashed
+	// segment append leaves a partial segment that must be cut back to the
+	// last complete-segment boundary before the chain can grow again).
+	Truncate(name string, size int64) error
 }
 
 // File is the subset of *os.File the persistence paths use.
@@ -75,19 +79,23 @@ func (OS) Remove(name string) error { return os.Remove(name) }
 // Stat implements FS.
 func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
 
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
 // Op names one interceptable filesystem operation.
 type Op string
 
 // The interceptable operations. OpWrite and OpSync fire per call on files
 // whose open matched the failpoint's suffix.
 const (
-	OpCreate Op = "create"
-	OpOpen   Op = "open"
-	OpRename Op = "rename"
-	OpRemove Op = "remove"
-	OpStat   Op = "stat"
-	OpWrite  Op = "write"
-	OpSync   Op = "sync"
+	OpCreate   Op = "create"
+	OpOpen     Op = "open"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpStat     Op = "stat"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure.
@@ -279,6 +287,14 @@ func (in *Injector) Stat(name string) (fs.FileInfo, error) {
 		return nil, injectedErr(OpStat, name)
 	}
 	return in.inner.Stat(name)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	if _, fire := in.match(OpTruncate, name); fire {
+		return injectedErr(OpTruncate, name)
+	}
+	return in.inner.Truncate(name, size)
 }
 
 // faultFile interposes the injector on a file's write path. written

@@ -1,0 +1,289 @@
+// Edge-hardening tests: handler panic recovery, liveness-vs-readiness
+// under a degraded maintenance loop, follow-mode ingestion over HTTP, and
+// SSE streams outliving the per-request write deadline. These are the
+// serving-layer half of the self-healing story; the pipeline half lives in
+// internal/stream's recovery suite.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/faultfs"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/store"
+)
+
+// waitServe polls cond for up to 20s (maintenance loops run on the
+// drainer's tickers, so state changes land asynchronously).
+func waitServe(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for tries := 0; tries < 20000; tries++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// appendReceiptSegment appends one STB1 segment holding batch to path, as
+// an external snapshot writer growing the followed chain would.
+func appendReceiptSegment(t *testing.T, path string, batch []ReceiptIn) {
+	t.Helper()
+	b := store.NewBuilder()
+	for _, rc := range batch {
+		items := make([]retail.ItemID, len(rc.Items))
+		for j, it := range rc.Items {
+			items[j] = retail.ItemID(it)
+		}
+		if err := b.Add(retail.CustomerID(rc.Customer), rc.Time, items, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.Build().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerPanicRecovery pins the panic wrapper: a panicking handler
+// answers 500, bumps panics_recovered, and the daemon keeps serving — both
+// for a panic before any write and for one after headers went out.
+func TestServerPanicRecovery(t *testing.T) {
+	s, ts := testServer(t, nil)
+	s.route("GET /panic-test", "metrics", func(http.ResponseWriter, *http.Request) int {
+		panic("boom")
+	})
+	s.route("GET /panic-late", "metrics", func(w http.ResponseWriter, _ *http.Request) int {
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte("partial")); err != nil {
+			t.Errorf("partial write: %v", err)
+		}
+		panic("boom after headers")
+	})
+
+	var e ErrorResponse
+	if code := getJSON(t, ts.URL, "/panic-test", &e); code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", code)
+	}
+	if e.Error != "internal error" {
+		t.Fatalf("panicking handler: error %q", e.Error)
+	}
+
+	// Panic after the handler already wrote: the 500 cannot reach the wire,
+	// but the connection must complete instead of being torn down.
+	resp, err := http.Get(ts.URL + "/panic-late")
+	if err != nil {
+		t.Fatalf("panic-late request died: %v", err)
+	}
+	resp.Body.Close()
+
+	var m MetricsResponse
+	if code := getJSON(t, ts.URL, "/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics after panics: status %d", code)
+	}
+	if m.PanicsRecovered != 2 {
+		t.Fatalf("PanicsRecovered = %d, want 2", m.PanicsRecovered)
+	}
+
+	// The daemon is still fully serving.
+	var h HealthResponse
+	if code := getJSON(t, ts.URL, "/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz after panics: status %d body %+v", code, h)
+	}
+	g := testGrid(t)
+	if code := postReceipts(t, ts.URL, []ReceiptIn{
+		{Customer: 7, Time: g.Origin().Add(time.Hour), Items: []uint32{1, 2}},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("ingest after panics: status %d", code)
+	}
+}
+
+// TestServerReadyzDegradedFault drives the periodic saver into persistent
+// failure through a faultfs failpoint and pins the probe split: /readyz
+// flips to 503 "degraded" with reasons while /healthz stays 200 "ok" (the
+// process is live; restarting it would only lose queued receipts). Healing
+// the filesystem flips readiness back without a restart.
+func TestServerReadyzDegradedFault(t *testing.T) {
+	in := faultfs.NewInjector(faultfs.OS{})
+	in.Arm(faultfs.Failpoint{Op: faultfs.OpCreate, PathSuffix: ".tmp", Persistent: true})
+	s, ts := testServer(t, func(c *Config) {
+		c.StatePath = filepath.Join(t.TempDir(), "mon.smn")
+		c.SaveInterval = time.Millisecond
+		c.FS = in
+	})
+	g := testGrid(t)
+	if code := postReceipts(t, ts.URL, []ReceiptIn{
+		{Customer: 3, Time: g.Origin().Add(time.Hour), Items: []uint32{1}},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("POST: status %d", code)
+	}
+
+	var ready HealthResponse
+	waitServe(t, "readyz to report degraded", func() bool {
+		return getJSON(t, ts.URL, "/readyz", &ready) == http.StatusServiceUnavailable &&
+			ready.Status == "degraded"
+	})
+	if !ready.Degraded || len(ready.Reasons) == 0 {
+		t.Fatalf("degraded readyz body lacks detail: %+v", ready)
+	}
+	if !strings.Contains(strings.Join(ready.Reasons, "; "), "saver") {
+		t.Fatalf("degraded_reasons does not name the saver: %v", ready.Reasons)
+	}
+
+	// Liveness is unaffected: 200 "ok", with the degraded detail riding
+	// along for operators.
+	var live HealthResponse
+	if code := getJSON(t, ts.URL, "/healthz", &live); code != http.StatusOK || live.Status != "ok" {
+		t.Fatalf("healthz while degraded: status %d body %+v", code, live)
+	}
+	if !live.Degraded || len(live.Reasons) == 0 {
+		t.Fatalf("healthz while degraded lacks detail: %+v", live)
+	}
+	var m MetricsResponse
+	getJSON(t, ts.URL, "/metrics", &m)
+	if !m.Degraded || m.StateSaveFailures == 0 {
+		t.Fatalf("metrics while degraded: degraded=%v save_failures=%d", m.Degraded, m.StateSaveFailures)
+	}
+
+	// Heal the filesystem: the next successful save cycle clears the streak
+	// and readiness recovers — no restart involved.
+	in.Reset()
+	waitServe(t, "readyz to heal", func() bool {
+		var h HealthResponse
+		return getJSON(t, ts.URL, "/readyz", &h) == http.StatusOK && h.Status == "ready" && !h.Degraded
+	})
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after heal: %v", err)
+	}
+}
+
+// TestServerFollowModeDifferential runs the daemon in follow mode against
+// a snapshot chain written segment by segment and pins the HTTP-visible
+// output: POST /v1/receipts answers 409, and the delivered alert bytes
+// equal the sequential reference replay of the same receipts.
+func TestServerFollowModeDifferential(t *testing.T) {
+	feed := testFeed(t, 31, 10, 400)
+	want, _ := referenceReplay(t, testMonitorConfig(t), feed)
+
+	stb := filepath.Join(t.TempDir(), "feed.stb")
+	s, ts := testServer(t, func(c *Config) {
+		c.Shards = 4
+		c.FollowPath = stb
+		c.FollowInterval = time.Millisecond
+	})
+
+	var e ErrorResponse
+	if code := postReceipts(t, ts.URL, feed[:1], &e); code != http.StatusConflict {
+		t.Fatalf("POST in follow mode: status %d, want 409", code)
+	}
+	if !strings.Contains(e.Error, "file-driven") {
+		t.Fatalf("409 body does not explain follow mode: %q", e.Error)
+	}
+
+	appendReceiptSegment(t, stb, feed[:150])
+	appendReceiptSegment(t, stb, feed[150:])
+	waitServe(t, "follower to drain the chain", func() bool {
+		return s.Ingestor().Metrics().ReceiptsIngested == uint64(len(feed))
+	})
+	waitWatermark(t, s, want[len(want)-1].GridIndex+1)
+
+	got := fetchAlerts(t, ts.URL)
+	var wantWire bytes.Buffer
+	if err := EncodeAlerts(&wantWire, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeWire(t, got), wantWire.Bytes()) {
+		t.Fatalf("follow-mode alert bytes diverge from the sequential replay (%d vs %d alerts)",
+			len(got), len(want))
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts.URL, "/metrics", &m)
+	if m.FollowPolls == 0 {
+		t.Fatal("follow_polls never counted")
+	}
+}
+
+// TestServerSSEOutlivesWriteDeadline streams SSE through a real TCP server
+// with a write deadline several times shorter than the stream's life. The
+// rolling per-request deadline must keep a live client connected (20
+// heartbeats at 40ms span ~800ms against a 150ms deadline) and still
+// deliver alerts published long after the first deadline would have hit.
+func TestServerSSEOutlivesWriteDeadline(t *testing.T) {
+	feed := testFeed(t, 11, 12, 400)
+	s, ts := testServer(t, func(c *Config) {
+		c.WriteDeadline = 150 * time.Millisecond
+		c.SSEHeartbeat = 40 * time.Millisecond
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/alerts?stream=sse", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Heartbeats arrive one per 40ms, so reading 20 of them proves the
+	// connection survived well past five 150ms deadlines.
+	br := bufio.NewReader(resp.Body)
+	heartbeats := 0
+	for heartbeats < 20 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream died after %d heartbeats: %v", heartbeats, err)
+		}
+		if strings.HasPrefix(line, ": keep-alive") {
+			heartbeats++
+		}
+	}
+
+	// Now publish alerts and confirm the same stream still delivers them.
+	if ok, err := s.Ingestor().Enqueue(toEvents(feed)); !ok || err != nil {
+		t.Fatalf("enqueue: ok=%v err=%v", ok, err)
+	}
+	waitServe(t, "feed to drain", func() bool {
+		return s.Ingestor().Metrics().ReceiptsIngested == uint64(len(feed))
+	})
+	if emitted := s.Ingestor().Metrics().AlertsEmitted; emitted == 0 {
+		t.Fatal("feed emitted no alerts before the final barrier")
+	}
+	sawAlert := false
+	for tries := 0; tries < 2000 && !sawAlert; tries++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream died while waiting for an alert: %v", err)
+		}
+		sawAlert = strings.HasPrefix(line, "event: alert")
+	}
+	if !sawAlert {
+		t.Fatal("no alert event arrived on the long-lived stream")
+	}
+}

@@ -10,7 +10,7 @@ import (
 // wall-clock-derived value in the system and never feeds a score.
 type EndpointMetrics struct {
 	// Endpoint names the route ("ingest", "stability", "alerts",
-	// "healthz", "metrics").
+	// "healthz", "readyz", "metrics").
 	Endpoint string `json:"endpoint"`
 	// Count is the number of completed requests.
 	Count uint64 `json:"count"`
@@ -54,11 +54,12 @@ func (c *endpointCounters) snapshot(name string) EndpointMetrics {
 }
 
 // endpointNames fixes the /metrics endpoint order (sorted by name).
-var endpointNames = []string{"alerts", "healthz", "ingest", "metrics", "stability"}
+var endpointNames = []string{"alerts", "healthz", "ingest", "metrics", "readyz", "stability"}
 
 // serveMetrics aggregates the serving layer's counters.
 type serveMetrics struct {
 	stale     atomic.Uint64
+	panics    atomic.Uint64
 	endpoints map[string]*endpointCounters
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gautrais/stability/internal/faultfs"
 	"github.com/gautrais/stability/internal/retail"
 	"github.com/gautrais/stability/internal/stream"
 )
@@ -61,6 +62,28 @@ type Config struct {
 	LongPollMax time.Duration
 	// SSEHeartbeat is the SSE keep-alive comment period; <= 0 means 15s.
 	SSEHeartbeat time.Duration
+	// WriteDeadline bounds each response write; <= 0 means 1m. It replaces
+	// a global http.Server WriteTimeout (which would kill SSE streams):
+	// every handler arms a per-request deadline, and the streaming paths
+	// roll it forward on every write, so only a stalled client trips it.
+	WriteDeadline time.Duration
+	// FollowPath switches ingestion to follow mode: the pipeline tails
+	// this STB1 file via store.Follower instead of accepting POST
+	// /v1/receipts (which answers 409 while following).
+	FollowPath string
+	// FollowInterval is the follow-mode poll period; <= 0 means 500ms.
+	FollowInterval time.Duration
+	// JournalPath enables the daemon-owned STB1 receipt journal: accepted
+	// receipts are appended one segment per close barrier. Mutually
+	// exclusive with FollowPath (a followed file is already the journal).
+	JournalPath string
+	// CompactInterval is the scheduled self-compaction period for
+	// JournalPath; 0 disables the scheduled tick (Ingestor.Compact still
+	// works on demand).
+	CompactInterval time.Duration
+	// FS is the filesystem under persistence, journal, and follower;
+	// nil means the real one. Tests inject faults through it.
+	FS faultfs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEHeartbeat <= 0 {
 		c.SSEHeartbeat = 15 * time.Second
+	}
+	if c.WriteDeadline <= 0 {
+		c.WriteDeadline = time.Minute
 	}
 	return c
 }
@@ -96,15 +122,20 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ing, err := stream.NewIngestor(stream.IngestorConfig{
-		Monitor:       cfg.Monitor,
-		Shards:        cfg.Shards,
-		QueueBatches:  cfg.QueueBatches,
-		Policy:        cfg.Policy,
-		AlertBuffer:   cfg.AlertBuffer,
-		StatePath:     cfg.StatePath,
-		SaveInterval:  cfg.SaveInterval,
-		FlushInterval: cfg.FlushInterval,
-		TTLInterval:   cfg.TTLInterval,
+		Monitor:         cfg.Monitor,
+		Shards:          cfg.Shards,
+		QueueBatches:    cfg.QueueBatches,
+		Policy:          cfg.Policy,
+		AlertBuffer:     cfg.AlertBuffer,
+		StatePath:       cfg.StatePath,
+		SaveInterval:    cfg.SaveInterval,
+		FlushInterval:   cfg.FlushInterval,
+		TTLInterval:     cfg.TTLInterval,
+		FollowPath:      cfg.FollowPath,
+		FollowInterval:  cfg.FollowInterval,
+		JournalPath:     cfg.JournalPath,
+		CompactInterval: cfg.CompactInterval,
+		FS:              cfg.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -120,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/customers/{id}/stability", "stability", s.handleStability)
 	s.route("GET /v1/alerts", "alerts", s.handleAlerts)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	return s, nil
 }
@@ -143,14 +175,38 @@ func (s *Server) Close() error {
 	return err
 }
 
-// route mounts a handler wrapped with latency recording.
+// route mounts a handler wrapped with latency recording, a rolling
+// per-request write deadline, and panic recovery: a panicking handler
+// answers 500 and bumps panics_recovered instead of killing the
+// connection goroutine's response (http.ErrAbortHandler, the sanctioned
+// abort, is re-raised for net/http to handle).
 func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.Request) int) {
 	counters := s.metrics.endpoints[name]
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := now()
-		status := h(w, r)
-		counters.record(now().Sub(start), status)
+		s.extendWriteDeadline(w)
+		status := 0
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.metrics.panics.Add(1)
+				// Best effort: when the handler already wrote headers this
+				// cannot reach the wire, but the connection stays serving.
+				status = writeError(w, http.StatusInternalServerError, "internal error")
+			}
+			counters.record(now().Sub(start), status)
+		}()
+		status = h(w, r)
 	})
+}
+
+// extendWriteDeadline (re)arms the per-request write deadline. Errors are
+// ignored: test recorders don't support deadlines, and a connection
+// already past its deadline fails at the next write regardless.
+func (s *Server) extendWriteDeadline(w http.ResponseWriter) {
+	_ = http.NewResponseController(w).SetWriteDeadline(now().Add(s.cfg.WriteDeadline))
 }
 
 // writeJSON emits a JSON response and returns the status for latency
@@ -169,6 +225,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) i
 // handleIngest implements POST /v1/receipts: decode, drop stale receipts,
 // and enqueue the rest under the configured backpressure policy.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
+	if s.cfg.FollowPath != "" {
+		return writeError(w, http.StatusConflict, "ingestion is file-driven (-follow %s); POST /v1/receipts is disabled", s.cfg.FollowPath)
+	}
 	select {
 	case <-s.closing:
 		return writeError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -289,6 +348,9 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) int {
 		case <-r.Context().Done():
 		case <-s.closing:
 		}
+		// The wait may have consumed most of the request's deadline; the
+		// response write gets a fresh one.
+		s.extendWriteDeadline(w)
 	}
 	resp := AlertsResponse{Alerts: make([]AlertOut, 0, len(batch)), Next: after, Oldest: oldest}
 	for _, a := range batch {
@@ -325,6 +387,10 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, after uint64)
 	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
 	defer heartbeat.Stop()
 	for {
+		// Roll the write deadline forward each round: the select below
+		// wakes at least every heartbeat, so a live client keeps the
+		// stream open indefinitely while a stalled one trips the deadline.
+		s.extendWriteDeadline(w)
 		batch, _, changed := s.ing.AlertsSince(after, 0)
 		for _, a := range batch {
 			payload, err := json.Marshal(toAlertOut(a))
@@ -352,10 +418,48 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, after uint64)
 	}
 }
 
-// handleHealthz implements GET /healthz.
+// handleHealthz implements GET /healthz — the liveness probe. It answers
+// 200 "ok" as long as the process serves requests, even when a
+// maintenance loop is degraded (restarting a live daemon loses queued
+// receipts and helps nothing); the degraded detail rides along for
+// operators. Only shutdown flips it to 503 "closing".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
-	resp := HealthResponse{Status: "ok", Customers: s.ing.Customers(), Watermark: s.ing.Watermark()}
+	health := s.ing.Health()
+	resp := HealthResponse{
+		Status:    "ok",
+		Customers: s.ing.Customers(),
+		Watermark: s.ing.Watermark(),
+		Degraded:  health.Degraded,
+		Reasons:   health.Reasons,
+	}
 	status := http.StatusOK
+	select {
+	case <-s.closing:
+		resp.Status = "closing"
+		status = http.StatusServiceUnavailable
+	default:
+	}
+	return writeJSON(w, status, resp)
+}
+
+// handleReadyz implements GET /readyz — the readiness probe. Degraded
+// maintenance (saver failing, compactor backing off, follower stalled)
+// means the daemon should stop receiving new traffic but keep running, so
+// degraded and closing both answer 503 here while /healthz stays 200.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
+	health := s.ing.Health()
+	resp := HealthResponse{
+		Status:    "ready",
+		Customers: s.ing.Customers(),
+		Watermark: s.ing.Watermark(),
+		Degraded:  health.Degraded,
+		Reasons:   health.Reasons,
+	}
+	status := http.StatusOK
+	if health.Degraded {
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
 	select {
 	case <-s.closing:
 		resp.Status = "closing"
@@ -371,6 +475,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, MetricsResponse{
 		IngestorMetrics: s.ing.Metrics(),
 		ReceiptsStale:   s.metrics.stale.Load(),
+		PanicsRecovered: s.metrics.panics.Load(),
 		Endpoints:       s.metrics.snapshot(),
 	})
 }

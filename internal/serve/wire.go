@@ -100,14 +100,22 @@ type AlertsResponse struct {
 	Oldest uint64 `json:"oldest"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz (liveness) and GET /readyz
+// (readiness).
 type HealthResponse struct {
-	// Status is "ok" while serving, "closing" during shutdown.
+	// Status is "ok" while serving and "closing" during shutdown on
+	// /healthz; /readyz reports "ready", "degraded", or "closing".
 	Status string `json:"status"`
 	// Customers is the number of tracked customers.
 	Customers int `json:"customers"`
 	// Watermark is the lowest window index not yet closed.
 	Watermark int `json:"watermark"`
+	// Degraded reports a persistently failing maintenance loop (saver,
+	// compactor, or follower); Reasons names the failing loops. Liveness
+	// stays "ok" while degraded — readiness answers 503.
+	Degraded bool `json:"degraded,omitempty"`
+	// Reasons lists one entry per failing maintenance loop.
+	Reasons []string `json:"degraded_reasons,omitempty"`
 }
 
 // MetricsResponse answers GET /metrics: the ingestion counters plus
@@ -117,6 +125,8 @@ type MetricsResponse struct {
 	// ReceiptsStale counts receipts refused at the HTTP layer because
 	// their window was already closed.
 	ReceiptsStale uint64 `json:"receipts_stale"`
+	// PanicsRecovered counts handler panics converted to 500 responses.
+	PanicsRecovered uint64 `json:"panics_recovered"`
 	// Endpoints reports per-endpoint call counts and latency, sorted by
 	// endpoint name.
 	Endpoints []EndpointMetrics `json:"endpoints"`

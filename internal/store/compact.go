@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"io"
 	iofs "io/fs"
 	"sort"
@@ -144,6 +146,14 @@ type Follower struct {
 	path     string
 	offset   int64 // bytes consumed; always a complete-segment boundary
 	segments int   // complete segments consumed
+	// sum is the running FNV-64a of every consumed byte. An append-only
+	// writer never changes bytes before offset, so when the boundary stops
+	// decoding the prefix hash discriminates: unchanged prefix = the
+	// writer appended garbage (hard error), changed prefix = the file was
+	// rewritten underneath us (ErrFileShrank) — which a compaction that
+	// regrows past our offset before the next poll would otherwise
+	// masquerade as corruption.
+	sum hash.Hash64
 }
 
 // NewFollower returns a follower positioned at the start of path. The file
@@ -152,7 +162,7 @@ func NewFollower(fsys faultfs.FS, path string) *Follower {
 	if fsys == nil {
 		fsys = faultfs.OS{}
 	}
-	return &Follower{fsys: fsys, path: path}
+	return &Follower{fsys: fsys, path: path, sum: fnv.New64a()}
 }
 
 // Offset reports the byte offset of the last complete segment boundary.
@@ -212,10 +222,15 @@ func (f *Follower) Poll() (*Store, error) {
 				// reports the hard error without losing these receipts.
 				break
 			}
+			if rewritten, rerr := f.prefixChanged(); rerr == nil && rewritten {
+				return nil, fmt.Errorf("%w: %s rewritten under follower at byte %d", ErrFileShrank, f.path, base+segStart)
+			}
 			return nil, fmt.Errorf("store: follow %s at byte %d: %w", f.path, base+segStart, err)
 		}
 		agg.Merge(seg)
-		f.offset = base + int64(len(data)) - int64(br.Len())
+		consumed := int64(len(data)) - int64(br.Len())
+		f.sum.Write(data[segStart:consumed])
+		f.offset = base + consumed
 		f.segments++
 		newSegs++
 	}
@@ -223,4 +238,25 @@ func (f *Follower) Poll() (*Store, error) {
 		return nil, nil
 	}
 	return agg.Build(), nil
+}
+
+// prefixChanged re-reads the consumed prefix and reports whether its bytes
+// differ from what the follower already decoded — the discriminator
+// between an appended bad segment (prefix intact: corruption) and a file
+// rewritten underneath the follower after it regrew past the old offset
+// (prefix changed: resync like ErrFileShrank).
+func (f *Follower) prefixChanged() (bool, error) {
+	file, err := f.fsys.Open(f.path)
+	if err != nil {
+		return false, err
+	}
+	defer file.Close()
+	h := fnv.New64a()
+	n, err := io.CopyN(h, file, f.offset)
+	if err != nil || n < f.offset {
+		// The file shrank again between reads; either way the prefix the
+		// follower consumed is gone.
+		return true, nil
+	}
+	return h.Sum64() != f.sum.Sum64(), nil
 }

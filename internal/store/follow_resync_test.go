@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// appendBytes appends raw segment bytes to path, as an external writer
+// growing a snapshot chain would.
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	must(t, err)
+	_, err = f.Write(b)
+	must(t, err)
+	must(t, f.Close())
+}
+
+// collectPolls drains every complete segment the follower currently sees
+// into the builder.
+func collectPolls(t *testing.T, f *Follower, into *Builder) {
+	t.Helper()
+	for {
+		st, err := f.Poll()
+		must(t, err)
+		if st == nil || st.NumReceipts() == 0 {
+			return
+		}
+		st.Each(func(h retail.History) bool {
+			for _, r := range h.Receipts {
+				must(t, into.AddReceipt(h.Customer, r))
+			}
+			return true
+		})
+	}
+}
+
+// TestFollowerResyncAfterCompactionLosesNothing is the
+// compaction-under-follower protocol as a property: a follower tails a
+// growing chain, the chain is compacted mid-tail (shrinking the file
+// underneath it), the file keeps growing, and the follower recovers by
+// rebuilding from byte zero — the resynced view must equal the full store
+// byte for byte, receipts from before, across, and after the compaction
+// all included.
+func TestFollowerResyncAfterCompactionLosesNothing(t *testing.T) {
+	prop := func(seed int64, cut uint8) bool {
+		full := seededStore(seed, 6, 9, 400)
+		cuts := []time.Time{day(100), day(200), day(300)}
+		k := int(cut)%2 + 2 // segments visible before compaction: 2 or 3
+		prefixes := make([]*Store, len(cuts))
+		for i, c := range cuts {
+			prefixes[i] = prefixBefore(t, full, c)
+		}
+		dir := t.TempDir()
+		path := dir + "/tail.stb"
+		appendBytes(t, path, binaryBytes(t, prefixes[0]))
+		for i := 1; i < k; i++ {
+			appendBytes(t, path, deltaBytes(t, prefixes[i], prefixes[i-1]))
+		}
+
+		// Mid-tail: the follower has consumed the whole chain so far.
+		fol := NewFollower(nil, path)
+		pre := NewBuilder()
+		collectPolls(t, fol, pre)
+		if !storesEqual(prefixes[k-1], pre.Build()) {
+			t.Fatal("pre-compaction tail does not match the written prefix")
+		}
+
+		// An external operator compacts the chain, then keeps appending.
+		if _, err := CompactFile(nil, path, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		appendBytes(t, path, deltaBytes(t, full, prefixes[k-1]))
+
+		// The shrink must surface as ErrFileShrank (the multi-segment chain
+		// merges strictly smaller), and recovery is a rebuild from zero.
+		if _, err := fol.Poll(); !errors.Is(err, ErrFileShrank) {
+			t.Fatalf("poll after compaction: err = %v, want ErrFileShrank", err)
+		}
+		fol = NewFollower(nil, path)
+		post := NewBuilder()
+		collectPolls(t, fol, post)
+		got := post.Build()
+		if !storesEqual(full, got) {
+			return false
+		}
+		return bytes.Equal(binaryBytes(t, full), binaryBytes(t, got))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"github.com/gautrais/stability/internal/faultfs"
 	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/store"
 )
 
 // OverflowPolicy selects what Ingestor.Enqueue does when the bounded
@@ -85,6 +86,12 @@ var ErrQueueFull = errors.New("stream: ingestion queue full")
 
 // ErrIngestorClosed is returned by operations on an Ingestor after Close.
 var ErrIngestorClosed = errors.New("stream: ingestor is closed")
+
+// ErrFollowing is returned by Enqueue when the ingestor is in follow mode:
+// a follow-mode pipeline is fed exclusively by tailing the snapshot file,
+// so accepting side-channel batches would break the byte-equality with a
+// replay of that file.
+var ErrFollowing = errors.New("stream: ingestor is file-driven (follow mode)")
 
 // ReceiptEvent is one receipt offered to an Ingestor.
 type ReceiptEvent struct {
@@ -146,9 +153,36 @@ type IngestorConfig struct {
 	// customers exist at any barrier never depends on sweep timing.
 	// 0 disables the ticker.
 	TTLInterval time.Duration
+	// FollowPath, when non-empty, switches the ingestor to file-driven
+	// ingestion: instead of accepting Enqueue batches (Enqueue returns
+	// ErrFollowing), the drainer tails the STB1 segment chain at FollowPath
+	// through a store.Follower, polling every FollowInterval. Torn tails
+	// are retried; a shrunken file (compacted or replaced underneath the
+	// follower) triggers an automatic resync: the monitor is rebuilt from
+	// the whole file and alerts for windows already published are
+	// suppressed, so the delivered alert sequence and SMN1 state stay
+	// byte-identical to a sequential Monitor replay of the file.
+	FollowPath string
+	// FollowInterval is the follow-mode poll period; <= 0 means 500ms.
+	// Ignored when FollowPath is "". Poll timing never affects which
+	// alerts exist — only when they become visible.
+	FollowInterval time.Duration
+	// JournalPath, when non-empty, appends every accepted receipt as STB1
+	// delta segments to the given file — a replayable record of exactly
+	// what the monitor scored. The journal grows one segment per close
+	// barrier (plus one per periodic save and on Close); CompactInterval
+	// maintenance ticks rewrite the chain to a single segment crash-safely.
+	// Mutually exclusive with FollowPath (the followed file already is the
+	// journal).
+	JournalPath string
+	// CompactInterval is the period of journal self-compaction maintenance
+	// ticks; 0 disables them (Compact can still be called explicitly).
+	// Requires JournalPath.
+	CompactInterval time.Duration
 	// FS, when non-nil, routes state-file I/O (restore, background and
-	// final saves) through the given filesystem — the fault-injection seam
-	// for crash-recovery tests. nil means the real filesystem.
+	// final saves, the journal, the followed file) through the given
+	// filesystem — the fault-injection seam for crash-recovery tests. nil
+	// means the real filesystem.
 	FS faultfs.FS
 }
 
@@ -158,6 +192,9 @@ func (c IngestorConfig) withDefaults() IngestorConfig {
 	}
 	if c.AlertBuffer <= 0 {
 		c.AlertBuffer = 65536
+	}
+	if c.FollowPath != "" && c.FollowInterval <= 0 {
+		c.FollowInterval = 500 * time.Millisecond
 	}
 	if c.FS == nil {
 		c.FS = faultfs.OS{}
@@ -175,8 +212,14 @@ func (c IngestorConfig) Validate() error {
 	default:
 		return fmt.Errorf("stream: unknown overflow policy %d", int(c.Policy))
 	}
-	if c.SaveInterval < 0 || c.FlushInterval < 0 || c.TTLInterval < 0 {
+	if c.SaveInterval < 0 || c.FlushInterval < 0 || c.TTLInterval < 0 || c.FollowInterval < 0 || c.CompactInterval < 0 {
 		return errors.New("stream: negative ticker interval")
+	}
+	if c.FollowPath != "" && c.JournalPath != "" {
+		return errors.New("stream: follow and journal are mutually exclusive (the followed file already is the receipt journal)")
+	}
+	if c.CompactInterval > 0 && c.JournalPath == "" {
+		return errors.New("stream: compact interval requires a journal path")
 	}
 	return nil
 }
@@ -206,14 +249,42 @@ type IngestorMetrics struct {
 	// earlier windows are stale.
 	Watermark int `json:"watermark"`
 	// Saves and SaveErrors count background + final snapshot attempts.
+	// Every attempt increments Saves; every failed attempt (including
+	// in-cycle retries) increments SaveErrors.
 	Saves      uint64 `json:"saves"`
 	SaveErrors uint64 `json:"save_errors"`
+	// SaveRetries counts in-cycle retries of failed snapshot writes.
+	SaveRetries uint64 `json:"save_retries"`
+	// StateSaveFailures counts save cycles that exhausted every retry —
+	// the operator-facing "the snapshot on disk is going stale" signal.
+	// Consecutive failures put the saver in backoff and, past the degraded
+	// threshold, flip Health().Degraded.
+	StateSaveFailures uint64 `json:"state_save_failures"`
+	// Compactions and CompactionFailures count journal self-compaction
+	// cycles (zero forever when no JournalPath/CompactInterval is set).
+	Compactions        uint64 `json:"compactions"`
+	CompactionFailures uint64 `json:"compaction_failures"`
+	// JournalErrors counts failed journal segment appends; failed appends
+	// are retried at the next flush point, so the journal heals itself
+	// unless the disk fault persists.
+	JournalErrors uint64 `json:"journal_errors"`
+	// JournalSegments is the journal's STB1 segment count (1 right after a
+	// compaction; 0 when journaling is off or the journal is empty).
+	JournalSegments int `json:"journal_segments"`
+	// FollowPolls/FollowErrors/FollowResyncs count follow-mode tail polls,
+	// failed polls, and full resyncs after the followed file shrank.
+	FollowPolls   uint64 `json:"follow_polls"`
+	FollowErrors  uint64 `json:"follow_errors"`
+	FollowResyncs uint64 `json:"follow_resyncs"`
 	// CustomersEvicted counts customers dropped at the retention horizon
 	// (0 forever when no horizon is configured).
 	CustomersEvicted uint64 `json:"customers_evicted"`
 	// CustomersRetained is the number of customers currently tracked — the
 	// gauge that shows the memory bound holding.
 	CustomersRetained int `json:"customers_retained"`
+	// Degraded mirrors Health().Degraded: a maintenance loop (saver,
+	// compactor, follower) has failed degradedThreshold times in a row.
+	Degraded bool `json:"degraded"`
 }
 
 // Ingestor is the serving-path feed: a bounded batch queue with an
@@ -227,32 +298,77 @@ type IngestorMetrics struct {
 // before Close, exactly as for ShardedMonitor.
 type Ingestor struct {
 	cfg  IngestorConfig
-	mon  *ShardedMonitor
 	grid gridInfo
+
+	// monMu guards mon and evictedBase against the follower-resync swap:
+	// the drainer replaces a resyncing monitor under the write lock while
+	// concurrent readers (Stability, Customers, Metrics, WriteSnapshot)
+	// hold the read lock for the duration of their call, so no reader can
+	// touch a monitor whose shard goroutines have been stopped. Outside
+	// follow mode the lock is never contended.
+	monMu sync.RWMutex
+	mon   *ShardedMonitor
+	// evictedBase carries eviction counts across resync monitor swaps.
+	evictedBase uint64
 
 	queue chan []ReceiptEvent
 	stop  chan struct{}
 	// pauseReq hands the drainer a resume channel to park on; see Pause.
-	pauseReq  chan chan struct{}
-	drainDone chan struct{}
-	flushTick *time.Ticker
-	saveTick  *time.Ticker
-	ttlTick   *time.Ticker
+	pauseReq    chan chan struct{}
+	drainDone   chan struct{}
+	flushTick   *time.Ticker
+	saveTick    *time.Ticker
+	ttlTick     *time.Ticker
+	compactTick *time.Ticker
+	followTick  *time.Ticker
 
 	// Drainer-owned watermark state: maxMonth is the largest receipt month
 	// seen, lastClosedK the highest barrier-closed window.
 	maxMonth    int
 	lastClosedK int
+	// suppressK drops alerts for windows at or below it from the delivery
+	// log: after a follow-mode resync (or restart) the replay re-raises
+	// alerts the previous incarnation already delivered. math.MinInt/2
+	// disables suppression.
+	suppressK int
 
-	receipts   atomic.Uint64
-	batches    atomic.Uint64
-	shed       atomic.Uint64
-	rejected   atomic.Uint64
-	ingestErrs atomic.Uint64
-	saves      atomic.Uint64
-	saveErrs   atomic.Uint64
-	watermark  atomic.Int64
-	closed     atomic.Bool
+	// Drainer-owned maintenance state: tick-counted backoff (never
+	// wall-clock — backoff depth is a pure function of the failure
+	// sequence), the follower, and the journal append buffer.
+	saveBo     backoff
+	compactBo  backoff
+	follower   *store.Follower
+	journalBuf *store.Builder
+	// journalPending counts receipts buffered in journalBuf since the last
+	// successful append.
+	journalPending int
+	// journalTrunc, when >= 0, is the size the journal must be cut back to
+	// before the next append: a failed append may have left a torn segment.
+	journalTrunc int64
+
+	receipts     atomic.Uint64
+	batches      atomic.Uint64
+	shed         atomic.Uint64
+	rejected     atomic.Uint64
+	ingestErrs   atomic.Uint64
+	saves        atomic.Uint64
+	saveErrs     atomic.Uint64
+	saveRetries  atomic.Uint64
+	saveFailures atomic.Uint64
+	compactions  atomic.Uint64
+	compactFails atomic.Uint64
+	journalErrs  atomic.Uint64
+	journalSegs  atomic.Int64
+	followPolls  atomic.Uint64
+	followErrs   atomic.Uint64
+	followResync atomic.Uint64
+	// Consecutive-failure gauges behind Health(): reset to zero on the
+	// first success of the corresponding loop.
+	saveFailStreak    atomic.Int64
+	compactFailStreak atomic.Int64
+	followFailStreak  atomic.Int64
+	watermark         atomic.Int64
+	closed            atomic.Bool
 
 	// pmu guards the pause/resume handshake.
 	pmu    sync.Mutex
@@ -283,29 +399,51 @@ func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
 		return nil, err
 	}
 	i := &Ingestor{
-		cfg:         cfg,
-		mon:         mon,
-		grid:        gridInfo{origin: cfg.Monitor.Grid.Origin(), span: cfg.Monitor.Grid.Span().Months},
-		queue:       make(chan []ReceiptEvent, cfg.QueueBatches),
-		stop:        make(chan struct{}),
-		pauseReq:    make(chan chan struct{}),
-		drainDone:   make(chan struct{}),
-		maxMonth:    math.MinInt / 2,
-		lastClosedK: -1,
-		nextSeq:     1,
-		changed:     make(chan struct{}),
+		cfg:          cfg,
+		mon:          mon,
+		grid:         gridInfo{origin: cfg.Monitor.Grid.Origin(), span: cfg.Monitor.Grid.Span().Months},
+		queue:        make(chan []ReceiptEvent, cfg.QueueBatches),
+		stop:         make(chan struct{}),
+		pauseReq:     make(chan chan struct{}),
+		drainDone:    make(chan struct{}),
+		maxMonth:     math.MinInt / 2,
+		lastClosedK:  -1,
+		suppressK:    math.MinInt / 2,
+		journalTrunc: -1,
+		nextSeq:      1,
+		changed:      make(chan struct{}),
 	}
 	if restored {
 		if k, ok := mon.Watermark(); ok {
 			i.lastClosedK = k - 1
 		}
-		// The snapshot may have been taken under a longer (or no) horizon:
-		// sweep once before the drainer starts, so restored-but-expired
-		// customers are reclaimed without waiting for feed traffic.
-		i.evictSweep()
+		if cfg.FollowPath == "" {
+			// The snapshot may have been taken under a longer (or no)
+			// horizon: sweep once before the drainer starts, so
+			// restored-but-expired customers are reclaimed without waiting
+			// for feed traffic.
+			i.evictSweep()
+		} else if err := i.restartFollowReplay(); err != nil {
+			mon.Close()
+			return nil, err
+		}
 	}
-	i.watermark.Store(int64(i.lastClosedK + 1))
-	var flushC, saveC, ttlC <-chan time.Time
+	if cfg.FollowPath != "" {
+		i.follower = store.NewFollower(cfg.FS, cfg.FollowPath)
+	}
+	if cfg.JournalPath != "" {
+		i.journalBuf = store.NewBuilder()
+		if err := i.openJournal(); err != nil {
+			i.mon.Close()
+			return nil, err
+		}
+	}
+	wm := i.lastClosedK
+	if i.suppressK > wm {
+		wm = i.suppressK
+	}
+	i.watermark.Store(int64(wm + 1))
+	var flushC, saveC, ttlC, compactC, followC <-chan time.Time
 	if cfg.FlushInterval > 0 {
 		i.flushTick = time.NewTicker(cfg.FlushInterval)
 		flushC = i.flushTick.C
@@ -318,7 +456,15 @@ func NewIngestor(cfg IngestorConfig) (*Ingestor, error) {
 		i.ttlTick = time.NewTicker(cfg.TTLInterval)
 		ttlC = i.ttlTick.C
 	}
-	go i.drain(flushC, saveC, ttlC)
+	if cfg.CompactInterval > 0 && cfg.JournalPath != "" {
+		i.compactTick = time.NewTicker(cfg.CompactInterval)
+		compactC = i.compactTick.C
+	}
+	if cfg.FollowPath != "" {
+		i.followTick = time.NewTicker(cfg.FollowInterval)
+		followC = i.followTick.C
+	}
+	go i.drain(flushC, saveC, ttlC, compactC, followC)
 	return i, nil
 }
 
@@ -352,6 +498,9 @@ func (i *Ingestor) Enqueue(batch []ReceiptEvent) (bool, error) {
 	if len(batch) == 0 {
 		return true, nil
 	}
+	if i.cfg.FollowPath != "" {
+		return false, ErrFollowing
+	}
 	if i.closed.Load() {
 		return false, ErrIngestorClosed
 	}
@@ -382,7 +531,7 @@ func (i *Ingestor) Enqueue(batch []ReceiptEvent) (bool, error) {
 // fires watermark barriers as receipt months advance, and services pause
 // requests and tickers. nil ticker channels block forever, so disabled
 // tickers cost nothing.
-func (i *Ingestor) drain(flushC, saveC, ttlC <-chan time.Time) {
+func (i *Ingestor) drain(flushC, saveC, ttlC, compactC, followC <-chan time.Time) {
 	defer close(i.drainDone)
 	for {
 		select {
@@ -391,9 +540,13 @@ func (i *Ingestor) drain(flushC, saveC, ttlC <-chan time.Time) {
 		case <-flushC:
 			i.flushBarrier()
 		case <-saveC:
-			i.saveState()
+			i.saveCycle()
 		case <-ttlC:
 			i.evictSweep()
+		case <-compactC:
+			i.compactCycle()
+		case <-followC:
+			i.followPoll()
 		case batch := <-i.queue:
 			i.process(batch)
 		case <-i.stop:
@@ -432,6 +585,7 @@ func (i *Ingestor) process(batch []ReceiptEvent) {
 			i.ingestErrs.Add(1)
 			return
 		}
+		i.journalAdd(ev)
 		i.receipts.Add(1)
 	}
 	i.batches.Add(1)
@@ -455,14 +609,23 @@ func (i *Ingestor) windowOfMonth(m int) int {
 }
 
 // closeBarrier force-closes windows through k and publishes the alerts.
+// The published watermark only moves forward: during a follow-mode resync
+// replay lastClosedK rewinds internally, but windows the previous monitor
+// incarnation closed stay closed as far as consumers are concerned.
 func (i *Ingestor) closeBarrier(k int) {
 	alerts, err := i.mon.CloseThrough(k)
 	if err != nil {
 		i.ingestErrs.Add(1)
 	}
 	i.lastClosedK = k
-	i.watermark.Store(int64(k + 1))
+	if wm := int64(k + 1); wm > i.watermark.Load() {
+		i.watermark.Store(wm)
+	}
 	i.publish(alerts)
+	// A close barrier is a deterministic position in the receipt sequence —
+	// the right moment to persist the journal segment covering everything
+	// up to it.
+	i.journalFlush()
 }
 
 // evictSweep force-evicts customers idle past the retention horizon as of
@@ -491,8 +654,20 @@ func (i *Ingestor) flushBarrier() {
 }
 
 // publish appends alerts to the sequence-numbered log, trims it to the
-// configured buffer, and wakes waiting consumers.
+// configured buffer, and wakes waiting consumers. Alerts for windows at or
+// below suppressK are dropped: a follow-mode resync replay re-raises
+// alerts the previous monitor incarnation already delivered, and delivering
+// them twice would break the byte-equality with an uninterrupted run.
 func (i *Ingestor) publish(alerts []Alert) {
+	if i.suppressK > math.MinInt/2 && len(alerts) > 0 {
+		kept := alerts[:0]
+		for _, a := range alerts {
+			if a.GridIndex > i.suppressK {
+				kept = append(kept, a)
+			}
+		}
+		alerts = kept
+	}
 	if len(alerts) == 0 {
 		return
 	}
@@ -576,11 +751,17 @@ func (i *Ingestor) Resume() {
 // with the owning shard (it reflects every receipt already handed to the
 // monitor, not receipts still queued).
 func (i *Ingestor) Stability(id retail.CustomerID) (value float64, gridIndex int, ok bool) {
+	i.monMu.RLock()
+	defer i.monMu.RUnlock()
 	return i.mon.Stability(id)
 }
 
 // Customers returns the number of customers tracked across all shards.
-func (i *Ingestor) Customers() int { return i.mon.Customers() }
+func (i *Ingestor) Customers() int {
+	i.monMu.RLock()
+	defer i.monMu.RUnlock()
+	return i.mon.Customers()
+}
 
 // Watermark returns the lowest window index not yet closed by a barrier;
 // receipts for earlier windows are stale and should be refused upstream.
@@ -588,20 +769,34 @@ func (i *Ingestor) Watermark() int { return int(i.watermark.Load()) }
 
 // Metrics returns a snapshot of the ingestion counters.
 func (i *Ingestor) Metrics() IngestorMetrics {
+	i.monMu.RLock()
+	evicted := i.evictedBase + i.mon.Evicted()
+	retained := i.mon.Customers()
+	i.monMu.RUnlock()
 	return IngestorMetrics{
-		ReceiptsIngested:  i.receipts.Load(),
-		BatchesIngested:   i.batches.Load(),
-		ReceiptsShed:      i.shed.Load(),
-		ReceiptsRejected:  i.rejected.Load(),
-		IngestErrors:      i.ingestErrs.Load(),
-		AlertsEmitted:     i.alertsEmitted(),
-		QueueDepth:        len(i.queue),
-		QueueCapacity:     cap(i.queue),
-		Watermark:         int(i.watermark.Load()),
-		Saves:             i.saves.Load(),
-		SaveErrors:        i.saveErrs.Load(),
-		CustomersEvicted:  i.mon.Evicted(),
-		CustomersRetained: i.mon.Customers(),
+		ReceiptsIngested:   i.receipts.Load(),
+		BatchesIngested:    i.batches.Load(),
+		ReceiptsShed:       i.shed.Load(),
+		ReceiptsRejected:   i.rejected.Load(),
+		IngestErrors:       i.ingestErrs.Load(),
+		AlertsEmitted:      i.alertsEmitted(),
+		QueueDepth:         len(i.queue),
+		QueueCapacity:      cap(i.queue),
+		Watermark:          int(i.watermark.Load()),
+		Saves:              i.saves.Load(),
+		SaveErrors:         i.saveErrs.Load(),
+		SaveRetries:        i.saveRetries.Load(),
+		StateSaveFailures:  i.saveFailures.Load(),
+		Compactions:        i.compactions.Load(),
+		CompactionFailures: i.compactFails.Load(),
+		JournalErrors:      i.journalErrs.Load(),
+		JournalSegments:    int(i.journalSegs.Load()),
+		FollowPolls:        i.followPolls.Load(),
+		FollowErrors:       i.followErrs.Load(),
+		FollowResyncs:      i.followResync.Load(),
+		CustomersEvicted:   evicted,
+		CustomersRetained:  retained,
+		Degraded:           i.Health().Degraded,
 	}
 }
 
@@ -611,21 +806,25 @@ func (i *Ingestor) alertsEmitted() uint64 {
 	return i.nextSeq - 1
 }
 
-// saveState snapshots the monitor to cfg.StatePath atomically (tmp +
-// rename), flushing shard-buffered alerts to the log first so a crash
-// after the save loses only alerts never delivered to any consumer.
-// Called from the drainer and from Close.
-func (i *Ingestor) saveState() {
+// saveAttempt makes one snapshot attempt: flush shard-buffered alerts to
+// the log (so a crash after the save loses only alerts never delivered to
+// any consumer), pending journal receipts to disk, then write the SMN1
+// state atomically (tmp + rename). Called from the drainer's retrying
+// saveCycle and from Close.
+func (i *Ingestor) saveAttempt() bool {
 	if i.cfg.StatePath == "" {
-		return
+		return true
 	}
 	if !i.mon.closed.Load() {
 		i.flushBarrier()
 	}
+	i.journalFlush()
 	i.saves.Add(1)
 	if err := i.writeStateFile(); err != nil {
 		i.saveErrs.Add(1)
+		return false
 	}
+	return true
 }
 
 func (i *Ingestor) writeStateFile() error {
@@ -668,14 +867,10 @@ func (i *Ingestor) Close() error {
 	if i.closed.Swap(true) {
 		return ErrIngestorClosed
 	}
-	if i.flushTick != nil {
-		i.flushTick.Stop()
-	}
-	if i.saveTick != nil {
-		i.saveTick.Stop()
-	}
-	if i.ttlTick != nil {
-		i.ttlTick.Stop()
+	for _, t := range []*time.Ticker{i.flushTick, i.saveTick, i.ttlTick, i.compactTick, i.followTick} {
+		if t != nil {
+			t.Stop()
+		}
 	}
 	i.Resume()
 	close(i.stop)
@@ -685,6 +880,7 @@ func (i *Ingestor) Close() error {
 		i.ingestErrs.Add(1)
 	}
 	i.publish(alerts)
+	i.journalFlush()
 	if i.cfg.StatePath != "" {
 		i.saves.Add(1)
 		if err := i.writeStateFile(); err != nil {

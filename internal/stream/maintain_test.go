@@ -1,0 +1,517 @@
+package stream
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/gautrais/stability/internal/faultfs"
+	"github.com/gautrais/stability/internal/retail"
+	"github.com/gautrais/stability/internal/store"
+)
+
+// appendFeedSegment appends the feed slice to path as one STB1 segment,
+// the way an external snapshot writer grows a chain.
+func appendFeedSegment(t *testing.T, path string, feed []feedEvent) {
+	t.Helper()
+	if len(feed) == 0 {
+		return
+	}
+	b := store.NewBuilder()
+	for _, ev := range feed {
+		if err := b.Add(ev.id, ev.t, ev.items, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.Build().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires. The waits are
+// liveness only — which receipts the pipeline accepts and what it outputs
+// never depend on poll timing, and the equality assertions prove it.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// followConfig builds a follow-mode ingestor config with fast ticks.
+func followConfig(t *testing.T, shards int, stb, state string) IngestorConfig {
+	t.Helper()
+	cfg := ingestorConfig(t, shards)
+	cfg.FollowPath = stb
+	cfg.FollowInterval = time.Millisecond
+	cfg.StatePath = state
+	return cfg
+}
+
+// TestFollowModeMatchesSequentialReplay is the follow-mode half of the
+// determinism contract: a daemon tailing a growing STB1 file must emit the
+// same alert log and persist the same SMN1 bytes as a sequential Monitor
+// replay of that file, at every shard count, regardless of how the
+// appends interleave with the polls.
+func TestFollowModeMatchesSequentialReplay(t *testing.T) {
+	feed := randomFeed(t, 51, 12, 700)
+	wantAlerts, wantSnap := replayIngestReference(t, ingestorConfig(t, 1).Monitor, feed)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference produced no alerts; feed too tame to prove anything")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		dir := t.TempDir()
+		stb := filepath.Join(dir, "feed.stb")
+		state := filepath.Join(dir, "mon.smn")
+		ing, err := NewIngestor(followConfig(t, shards, stb, state))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ing.Enqueue([]ReceiptEvent{{}}); err != ErrFollowing {
+			t.Fatalf("Enqueue in follow mode: err = %v, want ErrFollowing", err)
+		}
+		for start := 0; start < len(feed); start += 37 {
+			end := start + 37
+			if end > len(feed) {
+				end = len(feed)
+			}
+			appendFeedSegment(t, stb, feed[start:end])
+		}
+		waitFor(t, "follower to consume the feed", func() bool {
+			return ing.Metrics().ReceiptsIngested == uint64(len(feed))
+		})
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := drainLog(t, ing); !alertsEqual(wantAlerts, got) {
+			t.Errorf("shards=%d: follow-mode alert log differs from sequential replay (%d vs %d alerts)",
+				shards, len(got), len(wantAlerts))
+		}
+		snap, err := os.ReadFile(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantSnap, snap) {
+			t.Errorf("shards=%d: follow-mode SMN1 state differs from sequential replay", shards)
+		}
+	}
+}
+
+// TestFollowModeResyncUnderCompaction compacts the tailed file out from
+// under a mid-tail follower, then keeps appending: the daemon must detect
+// the rewrite, resync by replaying the compacted file with already-
+// published windows suppressed, and still end byte-identical to the
+// one-shot replay.
+func TestFollowModeResyncUnderCompaction(t *testing.T) {
+	feed := randomFeed(t, 52, 10, 600)
+	cut := 300
+	wantAlerts, wantSnap := replayIngestReference(t, ingestorConfig(t, 1).Monitor, feed)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference produced no alerts")
+	}
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		stb := filepath.Join(dir, "feed.stb")
+		state := filepath.Join(dir, "mon.smn")
+		// First half as two segments, so compaction genuinely shrinks.
+		appendFeedSegment(t, stb, feed[:cut/2])
+		appendFeedSegment(t, stb, feed[cut/2:cut])
+		ing, err := NewIngestor(followConfig(t, shards, stb, state))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "follower to reach the compaction point", func() bool {
+			return ing.Metrics().ReceiptsIngested == uint64(cut)
+		})
+		if _, err := store.CompactFile(nil, stb, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		appendFeedSegment(t, stb, feed[cut:])
+		// The resync replays the whole compacted file (cut receipts) before
+		// consuming the tail, so the counter lands exactly at cut + len(feed).
+		waitFor(t, "resync replay to finish", func() bool {
+			return ing.Metrics().ReceiptsIngested == uint64(cut+len(feed))
+		})
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := ing.Metrics(); got.FollowResyncs == 0 {
+			t.Errorf("shards=%d: compaction under the follower triggered no resync", shards)
+		}
+		if got := drainLog(t, ing); !alertsEqual(wantAlerts, got) {
+			t.Errorf("shards=%d: alert log across resync differs from sequential replay (%d vs %d alerts)",
+				shards, len(got), len(wantAlerts))
+		}
+		snap, err := os.ReadFile(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantSnap, snap) {
+			t.Errorf("shards=%d: SMN1 state across resync differs from sequential replay", shards)
+		}
+	}
+}
+
+// TestFollowModeRestartMidTail stops a follow-mode daemon mid-tail (clean
+// shutdown with state) and restarts it against the same file: the restart
+// replays the file with the previous run's published windows suppressed,
+// so the concatenated alert logs and the final state bytes must equal an
+// uninterrupted run — which equals the sequential replay.
+func TestFollowModeRestartMidTail(t *testing.T) {
+	feed := randomFeed(t, 53, 10, 600)
+	cut := 330
+	wantAlerts, wantSnap := replayIngestReference(t, ingestorConfig(t, 1).Monitor, feed)
+	if len(wantAlerts) == 0 {
+		t.Fatal("reference produced no alerts")
+	}
+	dir := t.TempDir()
+	stb := filepath.Join(dir, "feed.stb")
+	state := filepath.Join(dir, "mon.smn")
+
+	appendFeedSegment(t, stb, feed[:cut/2])
+	appendFeedSegment(t, stb, feed[cut/2:cut])
+	ing, err := NewIngestor(followConfig(t, 4, stb, state))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first incarnation to consume the partial tail", func() bool {
+		return ing.Metrics().ReceiptsIngested == uint64(cut)
+	})
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	alerts := drainLog(t, ing)
+
+	// Restart: the tail keeps growing while the daemon is down.
+	appendFeedSegment(t, stb, feed[cut:])
+	ing2, err := NewIngestor(followConfig(t, 4, stb, state))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restarted incarnation to replay and catch up", func() bool {
+		return ing2.Metrics().ReceiptsIngested == uint64(len(feed))
+	})
+	if err := ing2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	alerts = append(alerts, drainLog(t, ing2)...)
+	if !alertsEqual(wantAlerts, alerts) {
+		t.Errorf("alert log across restart differs from sequential replay (%d vs %d alerts)",
+			len(alerts), len(wantAlerts))
+	}
+	snap, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantSnap, snap) {
+		t.Error("SMN1 state across restart differs from sequential replay")
+	}
+}
+
+// journalExpected renders the feed as the journal's canonical compacted
+// bytes: every accepted receipt, zero spend, merged and sorted.
+func journalExpected(t *testing.T, feed []feedEvent) []byte {
+	t.Helper()
+	b := store.NewBuilder()
+	for _, ev := range feed {
+		if err := b.Add(ev.id, ev.t, ev.items, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.Build().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// journalStore decodes a journal chain (all segments merged).
+func journalStore(t *testing.T, path string) *store.Store {
+	t.Helper()
+	fol := store.NewFollower(nil, path)
+	agg := store.NewBuilder()
+	st, err := fol.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st != nil && st.NumReceipts() > 0 {
+		st.Each(func(h retail.History) bool {
+			for _, r := range h.Receipts {
+				if err := agg.AddReceipt(h.Customer, r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return true
+		})
+		if st, err = fol.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return agg.Build()
+}
+
+// buildJournalChain runs a journaling ingestor over the feed and returns
+// the resulting multi-segment chain bytes.
+func buildJournalChain(t *testing.T, feed []feedEvent, journal string) []byte {
+	t.Helper()
+	cfg := ingestorConfig(t, 2)
+	cfg.JournalPath = journal
+	ing, err := NewIngestor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueAll(t, ing, feed, 13)
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := ing.Metrics().JournalSegments; segs < 2 {
+		t.Fatalf("journal chain has %d segments, want >= 2 for a real compaction", segs)
+	}
+	chain, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+// TestJournalRecordsAcceptedReceipts: the daemon-owned journal must hold
+// exactly the accepted receipt sequence, and Compact must rewrite the
+// chain to the canonical single-segment bytes while the daemon serves.
+func TestJournalRecordsAcceptedReceipts(t *testing.T) {
+	feed := randomFeed(t, 61, 9, 500)
+	journal := filepath.Join(t.TempDir(), "receipts.stbj")
+	cfg := ingestorConfig(t, 4)
+	cfg.JournalPath = journal
+	ing, err := NewIngestor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueAll(t, ing, feed, 17)
+	waitFor(t, "queue to drain", func() bool {
+		return ing.Metrics().ReceiptsIngested == uint64(len(feed))
+	})
+	if _, err := ing.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := journalExpected(t, feed); !bytes.Equal(want, got) {
+		t.Error("compacted journal differs from canonical bytes of the accepted receipts")
+	}
+	m := ing.Metrics()
+	if m.Compactions != 1 || m.JournalSegments != 1 {
+		t.Errorf("compactions = %d, segments = %d; want 1, 1", m.Compactions, m.JournalSegments)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing after the compaction must not add anything: the journal
+	// already held every accepted receipt.
+	after, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, after) {
+		t.Error("Close after Compact changed the journal")
+	}
+}
+
+// TestJournalCompactionCrashAtEveryByte is the acceptance sweep: with a
+// crash injected at every byte offset of the compaction rewrite, the
+// daemon's Compact must fail loudly leaving the pre-compaction chain
+// untouched, and a retry must land exactly on the compacted bytes — never
+// a torn state.
+func TestJournalCompactionCrashAtEveryByte(t *testing.T) {
+	feed := randomFeed(t, 62, 5, 150)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "receipts.stbj")
+	chain := buildJournalChain(t, feed, journal)
+	want := journalExpected(t, feed)
+
+	for off := 0; off < len(want); off++ {
+		if err := os.WriteFile(journal, chain, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		in := faultfs.NewInjector(faultfs.OS{})
+		in.Arm(faultfs.Failpoint{Op: faultfs.OpWrite, PathSuffix: ".tmp", Crash: true, CrashAtByte: int64(off)})
+		cfg := ingestorConfig(t, 1)
+		cfg.JournalPath = journal
+		cfg.FS = in
+		ing, err := NewIngestor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ing.Compact(); err == nil {
+			t.Fatalf("offset %d: Compact with a crash injected reported success", off)
+		}
+		got, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chain, got) {
+			t.Fatalf("offset %d: failed compaction tore the chain", off)
+		}
+		in.Reset()
+		if _, err := ing.Compact(); err != nil {
+			t.Fatalf("offset %d: recovery compaction failed: %v", off, err)
+		}
+		if got, err = os.ReadFile(journal); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("offset %d: recovered journal differs from canonical bytes", off)
+		}
+		m := ing.Metrics()
+		if m.CompactionFailures != 1 || m.Compactions != 1 {
+			t.Fatalf("offset %d: failures = %d, compactions = %d; want 1, 1", off, m.CompactionFailures, m.Compactions)
+		}
+		if err := ing.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalTornTailTruncatedOnRestart: a crashed append leaves a torn
+// trailing segment; the next start must cut it back to the last complete
+// boundary and keep journaling, while real corruption refuses to start.
+func TestJournalTornTailTruncatedOnRestart(t *testing.T) {
+	feed := randomFeed(t, 63, 6, 300)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "receipts.stbj")
+	chain := buildJournalChain(t, feed, journal)
+
+	// Torn tail: half of another segment's bytes (a valid segment prefix).
+	var extra bytes.Buffer
+	b := store.NewBuilder()
+	for _, ev := range feed[:40] {
+		if err := b.Add(ev.id, ev.t.AddDate(2, 0, 0), ev.items, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Build().WriteBinary(&extra); err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), chain...), extra.Bytes()[:extra.Len()/2]...)
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ingestorConfig(t, 2)
+	cfg.JournalPath = journal
+	ing, err := NewIngestor(cfg)
+	if err != nil {
+		t.Fatalf("restart over a torn journal tail failed: %v", err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chain, got) {
+		t.Error("torn tail was not truncated back to the last complete segment")
+	}
+
+	// Corruption (mangled segment magic — the codec's structural
+	// invariant; payload bytes carry no checksum) must refuse to start.
+	bad := append([]byte(nil), chain...)
+	bad[0] ^= 0x5a
+	if err := os.WriteFile(journal, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIngestor(cfg); err == nil {
+		t.Error("NewIngestor over a corrupt journal started silently")
+	}
+}
+
+// TestJournalAppendFaultKeepsReceipts: a transient write fault on a
+// journal append must not lose receipts — they stay buffered, the torn
+// tail is repaired, and the next barrier lands them.
+func TestJournalAppendFaultKeepsReceipts(t *testing.T) {
+	feed := randomFeed(t, 64, 8, 500)
+	journal := filepath.Join(t.TempDir(), "receipts.stbj")
+	in := faultfs.NewInjector(faultfs.OS{})
+	// Fail the 3rd write to the journal file — mid-chain, after some
+	// segments exist, leaving a torn tail for the repair path.
+	in.Arm(faultfs.Failpoint{Op: faultfs.OpWrite, PathSuffix: ".stbj", CountDown: 2})
+	cfg := ingestorConfig(t, 4)
+	cfg.JournalPath = journal
+	cfg.FS = in
+	ing, err := NewIngestor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueAll(t, ing, feed, 11)
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Fired() == 0 {
+		t.Fatal("failpoint never fired")
+	}
+	if got := ing.Metrics().JournalErrors; got == 0 {
+		t.Fatal("journal append fault not counted")
+	}
+	want := journalExpected(t, feed)
+	var buf bytes.Buffer
+	if err := journalStore(t, journal).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Error("journal after a transient append fault lost or duplicated receipts")
+	}
+}
+
+// TestSaveCycleBackoffAndDegradedFault drives the supervised saver through
+// persistent failure into the degraded health state and back: retries and
+// failures are counted, readiness degrades after the threshold, and a
+// healed disk restores both the saves and the health.
+func TestSaveCycleBackoffAndDegradedFault(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "mon.smn")
+	in := faultfs.NewInjector(faultfs.OS{})
+	in.Arm(faultfs.Failpoint{Op: faultfs.OpCreate, PathSuffix: ".tmp", Persistent: true})
+	cfg := ingestorConfig(t, 2)
+	cfg.StatePath = state
+	cfg.SaveInterval = time.Millisecond
+	cfg.FS = in
+	ing, err := NewIngestor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueAll(t, ing, randomFeed(t, 65, 4, 60), 7)
+	waitFor(t, "saver to degrade", func() bool {
+		m := ing.Metrics()
+		return m.Degraded && m.StateSaveFailures >= degradedThreshold && m.SaveRetries > 0
+	})
+	if h := ing.Health(); !h.Degraded || len(h.Reasons) == 0 {
+		t.Fatalf("degraded health missing reasons: %+v", h)
+	}
+	in.Reset()
+	waitFor(t, "saver to heal", func() bool {
+		return !ing.Metrics().Degraded
+	})
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("healed saver never persisted state: %v", err)
+	}
+}
