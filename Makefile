@@ -9,14 +9,14 @@ GO ?= go
 BENCHTIME ?= 1s
 # Output of bench-json. bench-smoke redirects it to BENCH_SMOKE.json
 # (untracked) so a smoke run can never clobber the checked-in 1s baseline
-# BENCH_PR7.json with single-iteration noise. BENCH_PR3/PR4/PR5.json are
-# kept for the perf trajectory.
-BENCHJSON_OUT ?= BENCH_PR7.json
+# BENCH_PR10.json with single-iteration noise. BENCH_PR3/PR4/PR5/PR7.json
+# are kept for the perf trajectory.
+BENCHJSON_OUT ?= BENCH_PR10.json
 # Baseline bench-diff compares against, and the regression thresholds.
 # Smoke runs are single-iteration, so the defaults are deliberately loose:
 # the diff is a tripwire for order-of-magnitude regressions and alloc-count
 # jumps, not a timing oracle (diff two 1s bench-json runs for that).
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR10.json
 BENCH_DIFF_THRESHOLD ?= 1.0
 BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 
@@ -25,9 +25,15 @@ BENCH_DIFF_ALLOCS_THRESHOLD ?= 0.25
 COVER_PROFILE ?= cover.out
 COVER_FLOOR ?= 80
 
-.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff loadtest loadtest-evict loadtest-follow fault-log clean ci
+# Profile capture knobs: which benchmark `make profile` drives and for how
+# long. The default targets the tracker inner loop — the profile that
+# motivated the SigTable underflow shortcut (see DESIGN.md).
+PROFILE_BENCH ?= BenchmarkTrackerObserve
+PROFILE_TIME ?= 2s
 
-ci: verify lint race cover bench-smoke loadtest loadtest-evict loadtest-follow fault-log ## everything .github/workflows/ci.yml runs
+.PHONY: verify build test lint detlint detlint-json race cover bench bench-smoke bench-json bench-diff profile loadtest loadtest-evict loadtest-follow loadtest-query fault-log clean ci
+
+ci: verify lint race cover bench-smoke loadtest loadtest-evict loadtest-follow loadtest-query fault-log ## everything .github/workflows/ci.yml runs
 
 verify: build test ## tier-1: go build ./... && go test ./...
 
@@ -87,6 +93,14 @@ loadtest-evict: ## loadtest with a retention horizon + TTL sweeps: -churn silenc
 loadtest-follow: ## loadtest in follow mode: loadgen appends STB1 segments, the daemon tails them, the chain is compacted mid-tail (live resync), and verification stays exact
 	$(GO) run ./cmd/loadgen -customers 120 -months 16 -batch 150 -queries 300 -follow
 
+loadtest-query: ## loadtest with batch stability queries interleaved at every month barrier, each answer exact-verified against a shadow sequential replay
+	$(GO) run ./cmd/loadgen -customers 120 -months 16 -conns 4 -batch 150 -queries 300 -query-mix
+
+profile: ## capture cpu.pprof + heap.pprof from $(PROFILE_BENCH); inspect with `go tool pprof cpu.pprof`
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime $(PROFILE_TIME) \
+		-cpuprofile cpu.pprof -memprofile heap.pprof -o profile-bench.test .
+	@echo "wrote cpu.pprof, heap.pprof (binary: profile-bench.test)"
+
 fault-log: ## verbose fault-injection + crash-recovery test log -> faultlog.txt (CI artifact); still exits non-zero on failure
 	@$(GO) test -v -count=1 \
 		-run 'Crash|Fault|Injector|TornTail|Corrupt|Truncat|StaleTmp|Shrunk|Resync|Panic|Degrad' \
@@ -97,6 +111,7 @@ clean: ## drop generated/untracked artifacts (coverage, smoke benches, lint + fa
 	$(GO) clean ./...
 	rm -f $(COVER_PROFILE) BENCH_SMOKE.json bench-raw.out bench-diff.txt detlint.json faultlog.txt
 	rm -f BENCH_PR*.json.tmp BENCH_SMOKE.json.tmp
+	rm -f cpu.pprof heap.pprof profile-bench.test
 
 bench-diff: ## diff smoke results (regenerated when absent) against $(BENCH_BASELINE); writes bench-diff.txt, exits non-zero on regression
 	@test -f BENCH_SMOKE.json || $(MAKE) bench-smoke

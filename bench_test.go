@@ -707,6 +707,57 @@ func BenchmarkMonitorCloseThrough(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorBatchQuery measures the batch stability read path on the
+// sharded monitor: one Stabilities call scoring every tracked customer,
+// with a recycled dst so the steady state allocates nothing per customer.
+// "open" pays the per-shard control fan-out; "closed" is direct reads.
+func BenchmarkMonitorBatchQuery(b *testing.B) {
+	grid, err := window.NewGrid(time.Date(2012, time.May, 1, 0, 0, 0, 0, time.UTC), window.Span{Months: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const customers = 5000
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			cfg := stream.Config{Grid: grid, Model: core.Options{Alpha: 2}, Beta: 0.6, WarmupWindows: 2}
+			m, err := stream.NewSharded(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			basket := retail.NewBasket([]retail.ItemID{1, 2, 3, 4, 5, 6, 7, 8})
+			ids := make([]retail.CustomerID, 0, customers)
+			start, _ := grid.Bounds(0)
+			next, _ := grid.Bounds(1)
+			for c := 1; c <= customers; c++ {
+				id := retail.CustomerID((c*7919)%customers + 1)
+				ids = append(ids, id)
+				for _, ts := range []time.Time{start, next} {
+					if err := m.Ingest(id, ts, basket); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if _, err := m.CloseThrough(1); err != nil {
+				b.Fatal(err)
+			}
+			dst := make([]stream.CustomerStability, 0, customers)
+			run := func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer() // clears extra metrics, so report after it
+				b.ReportMetric(float64(len(ids)), "scores/op")
+				for i := 0; i < b.N; i++ {
+					dst = m.Stabilities(ids, dst)
+				}
+			}
+			b.Run("open", run)
+			if _, err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.Run("closed", run)
+		})
+	}
+}
+
 // BenchmarkRFMExtract measures feature extraction.
 func BenchmarkRFMExtract(b *testing.B) {
 	ds := sharedDataset(b)
@@ -832,6 +883,7 @@ func BenchmarkServeQuery(b *testing.B) {
 	}
 	ids := ds.Store.Customers()
 	b.Run("stability", func(b *testing.B) {
+		b.ReportMetric(1, "scores/op")
 		for i := 0; i < b.N; i++ {
 			target := fmt.Sprintf("/v1/customers/%d/stability", ids[i%len(ids)])
 			w := httptest.NewRecorder()
@@ -841,6 +893,31 @@ func BenchmarkServeQuery(b *testing.B) {
 			}
 		}
 	})
+	// Batch fan-in: one POST scores `size` customers in one lock
+	// acquisition. scores/op lets benchjson derive scores/sec and compare
+	// directly against the single-GET subbench above.
+	for _, size := range []int{16, 128} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for i := 0; i < size; i++ {
+				if err := enc.Encode(serve.BatchStabilityQuery{Customer: uint64(ids[i%len(ids)])}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			body := buf.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer() // clears extra metrics, so report after it
+			b.ReportMetric(float64(size), "scores/op")
+			for i := 0; i < b.N; i++ {
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/stability:batch", bytes.NewReader(body)))
+				if w.Code != 200 {
+					b.Fatal(w.Code)
+				}
+			}
+		})
+	}
 	b.Run("alerts-page", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			w := httptest.NewRecorder()

@@ -9,6 +9,7 @@
 //
 //	POST /v1/receipts                     batched ingestion (bounded queue)
 //	GET  /v1/customers/{id}/stability     last scored stability
+//	POST /v1/stability:batch              batch stability queries (NDJSON)
 //	GET  /v1/alerts                       long-poll or SSE alert stream
 //	GET  /healthz                         liveness (degraded detail rides along)
 //	GET  /readyz                          readiness (503 when degraded)
@@ -28,6 +29,10 @@
 // journal, self-compacted every -compact-interval. See the README runbook
 // and DESIGN.md "Self-healing maintenance".
 //
+// -pprof ADDR starts net/http/pprof on a separate listener (never the
+// public mux) for live CPU/heap capture; see the README profiling
+// runbook.
+//
 // Scored output is wall-clock free: alerts and snapshots are a pure
 // function of the accepted receipt sequence, so the daemon's results are
 // reproducible by replaying the same receipts through `attrition
@@ -40,6 +45,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,8 +63,12 @@ func main() {
 
 // config carries the parsed flag set.
 type config struct {
-	addr  string
-	serve stability.ServerConfig
+	addr string
+	// pprofAddr, when non-empty, binds a second, debug-only listener
+	// serving net/http/pprof. Opt-in and separate from the public address
+	// so profiling endpoints are never exposed where receipts arrive.
+	pprofAddr string
+	serve     stability.ServerConfig
 	// http.Server bounds. WriteTimeout is deliberately absent: a global
 	// write timeout would kill long-lived SSE streams, so response writes
 	// are bounded per request (serve.Config.WriteDeadline) instead.
@@ -72,6 +82,7 @@ func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("attritiond", flag.ContinueOnError)
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
+		pprofAddr    = fs.String("pprof", "", "debug listen address for net/http/pprof (e.g. localhost:6060); empty disables profiling endpoints")
 		origin       = fs.String("origin", "2012-05", "window grid origin month (YYYY-MM); must match the receipt stream's first month")
 		span         = fs.Int("span", 2, "window span in months")
 		alpha        = fs.Float64("alpha", 2, "significance base α")
@@ -115,7 +126,8 @@ func parseFlags(args []string) (config, error) {
 		return config{}, err
 	}
 	return config{
-		addr: *addr,
+		addr:      *addr,
+		pprofAddr: *pprofAddr,
 		serve: stability.ServerConfig{
 			Monitor: stability.MonitorConfig{
 				Grid:             grid,
@@ -159,6 +171,28 @@ func run(args []string, stderr *os.File) error {
 	return serveUntilSignal(cfg, ln, stderr)
 }
 
+// servePprof binds the opt-in debug listener and serves net/http/pprof on
+// it until the listener is closed. The profiler rides its own mux (never
+// the public one) and its own goroutine: purely diagnostic reads of
+// runtime state that cannot reach scored output.
+func servePprof(addr string, stderr *os.File) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stderr, "attritiond: pprof debug listener on %s\n", ln.Addr())
+	//detlint:ignore R3 debug-only pprof accept loop; serves runtime telemetry to operators and never touches the receipt pipeline or scored output
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
 // serveUntilSignal runs the daemon on an existing listener until the
 // process is signalled (or the listener fails), then drains and persists.
 // Split from run so tests can drive a real daemon on a loopback listener.
@@ -167,6 +201,15 @@ func serveUntilSignal(cfg config, ln net.Listener, stderr *os.File) error {
 	if err != nil {
 		ln.Close()
 		return err
+	}
+	if cfg.pprofAddr != "" {
+		dbg, err := servePprof(cfg.pprofAddr, stderr)
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return err
+		}
+		defer dbg.Close()
 	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

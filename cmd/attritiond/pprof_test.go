@@ -1,0 +1,60 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"testing"
+)
+
+// TestServePprof boots the debug listener, fetches the pprof index and a
+// heap profile through it, and checks it closes cleanly. The profiler is
+// opt-in and bound to its own address, so the public API listener is never
+// involved.
+func TestServePprof(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	ln, err := servePprof("127.0.0.1:0", devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s: status %d, %d body bytes", path, resp.StatusCode, len(body))
+		}
+	}
+}
+
+// TestParseFlagsPprof pins the flag's plumbing and its off-by-default.
+func TestParseFlagsPprof(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.pprofAddr != "" {
+		t.Errorf("pprof defaults to %q, want disabled", cfg.pprofAddr)
+	}
+	cfg, err = parseFlags([]string{"-pprof", "localhost:6060"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.pprofAddr != "localhost:6060" {
+		t.Errorf("pprofAddr = %q", cfg.pprofAddr)
+	}
+}

@@ -12,11 +12,13 @@ import (
 )
 
 // runDiff implements `benchjson diff old.json new.json`: it compares two
-// reports produced by the default mode, prints per-benchmark ns/op and
-// allocs/op deltas, and returns 1 when any benchmark regressed beyond the
-// thresholds — so CI can diff bench trajectories mechanically instead of
-// eyeballing raw output. Benchmarks present in only one report are listed
-// but never count as regressions (suites grow and shrink legitimately).
+// reports produced by the default mode, prints per-benchmark ns/op,
+// allocs/op, and throughput (scores/sec or receipts/sec) deltas, and
+// returns 1 when any benchmark regressed beyond the thresholds — slower,
+// more allocations, or lower throughput — so CI can diff bench
+// trajectories mechanically instead of eyeballing raw output. Benchmarks
+// present in only one report are listed but never count as regressions
+// (suites grow and shrink legitimately).
 func runDiff(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -49,8 +51,8 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	}
 	regressions := diffReports(stdout, oldRep, newRep, *threshold, *allocsThreshold)
 	if regressions > 0 {
-		fmt.Fprintf(stdout, "\n%d regression(s) beyond thresholds (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
-			regressions, *threshold*100, *allocsThreshold*100)
+		fmt.Fprintf(stdout, "\n%d regression(s) beyond thresholds (ns/op +%.0f%%, allocs/op +%.0f%%, throughput -%.0f%%)\n",
+			regressions, *threshold*100, *allocsThreshold*100, *threshold*100)
 		return 1
 	}
 	fmt.Fprintln(stdout, "\nno regressions beyond thresholds")
@@ -66,6 +68,11 @@ func loadReport(path string) (Report, error) {
 	var rep Report
 	if err := json.NewDecoder(f).Decode(&rep); err != nil {
 		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	// Older baselines predate the derived throughput fields; fill them in
+	// from the recorded ns/op + per-op metrics so throughput still diffs.
+	for i := range rep.Benchmarks {
+		deriveThroughput(&rep.Benchmarks[i])
 	}
 	return rep, nil
 }
@@ -97,11 +104,12 @@ func diffReports(w io.Writer, oldRep, newRep Report, threshold, allocsThreshold 
 
 	regressions := 0
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\t")
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\told ops/s\tnew ops/s\tdelta\t")
 	for _, name := range names {
 		o, n := oldBy[name], newBy[name]
 		nsCell, nsRegressed := deltaCell(o.NsPerOp, n.NsPerOp, threshold, 0)
 		allocCell, allocRegressed := deltaCell(o.AllocsPerOp, n.AllocsPerOp, allocsThreshold, 0.5)
+		thrCell, thrRegressed := throughputCell(throughput(o), throughput(n), threshold)
 		// A single-iteration run cannot amortize one-time warmup
 		// allocations, so its allocs/op systematically overstates the
 		// steady state (a 0-alloc hot path reports its setup alloc).
@@ -109,12 +117,13 @@ func diffReports(w io.Writer, oldRep, newRep Report, threshold, allocsThreshold 
 		if o.Iterations == 1 || n.Iterations == 1 {
 			allocRegressed = false
 		}
-		if nsRegressed || allocRegressed {
+		if nsRegressed || allocRegressed || thrRegressed {
 			regressions++
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
 			name, fmtMetric(o.NsPerOp), fmtMetric(n.NsPerOp), nsCell,
-			fmtMetric(o.AllocsPerOp), fmtMetric(n.AllocsPerOp), allocCell)
+			fmtMetric(o.AllocsPerOp), fmtMetric(n.AllocsPerOp), allocCell,
+			fmtMetric(throughput(o)), fmtMetric(throughput(n)), thrCell)
 	}
 	tw.Flush()
 	for _, name := range removed {
@@ -150,6 +159,25 @@ func deltaCell(o, n *float64, threshold, slack float64) (cell string, regressed 
 	rel := (*n - *o) / *o
 	regressed = *n > *o*(1+threshold)+slack
 	return fmt.Sprintf("%+.1f%%", rel*100), regressed
+}
+
+// throughput picks a benchmark's headline per-second metric: scores/sec
+// when the bench scores customers, else receipts/sec when it ingests.
+func throughput(b Benchmark) *float64 {
+	if b.ScoresPerSec != nil {
+		return b.ScoresPerSec
+	}
+	return b.ReceiptsPerSec
+}
+
+// throughputCell renders the relative change of a higher-is-better metric
+// and reports whether it dropped beyond threshold.
+func throughputCell(o, n *float64, threshold float64) (cell string, regressed bool) {
+	if o == nil || n == nil || *o <= 0 {
+		return "-", false
+	}
+	rel := (*n - *o) / *o
+	return fmt.Sprintf("%+.1f%%", rel*100), *n < *o*(1-threshold)
 }
 
 func fmtMetric(v *float64) string {

@@ -107,6 +107,45 @@ func TestDiffSingleIterationAllocsAreInformational(t *testing.T) {
 	}
 }
 
+// TestDiffFlagsThroughputRegression pins the higher-is-better gate: a
+// scores/sec drop beyond the threshold fails the diff even when ns/op and
+// allocs look fine, and baselines that predate the derived fields get
+// them re-derived from ns/op + metrics on load.
+func TestDiffFlagsThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Old report as an older benchjson wrote it: scores/op metric only,
+	// no derived field. 128 scores / 100µs = 1.28M scores/sec.
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeQuery/batch-128-4", Iterations: 1000, NsPerOp: f(100_000),
+			Metrics: map[string]float64{"scores/op": 128}},
+	}})
+	// Same ns/op threshold would not fire (+10%), but throughput halves
+	// because the new run scored fewer customers per op.
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeQuery/batch-128-4", Iterations: 1000, NsPerOp: f(110_000),
+			Metrics: map[string]float64{"scores/op": 64}},
+	}})
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout = %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 regression(s)") {
+		t.Errorf("missing regression summary:\n%s", out.String())
+	}
+	// A faster new run (higher scores/sec) must pass and show the gain.
+	fastPath := writeReport(t, dir, "fast.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeQuery/batch-128-4", Iterations: 1000, NsPerOp: f(50_000),
+			Metrics: map[string]float64{"scores/op": 128}},
+	}})
+	out.Reset()
+	if code := runDiff([]string{oldPath, fastPath}, &out, &errOut); code != 0 {
+		t.Fatalf("faster run flagged: exit %d, stdout = %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "+100.0%") {
+		t.Errorf("throughput gain not shown:\n%s", out.String())
+	}
+}
+
 func TestDiffMissingMetricIsNotARegression(t *testing.T) {
 	dir := t.TempDir()
 	// No -benchmem: allocs absent on both sides.

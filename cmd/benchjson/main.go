@@ -15,6 +15,12 @@
 // the Metrics map. Context lines (goos, goarch, pkg, cpu) are captured as
 // they appear. A FAIL anywhere in the stream makes the command exit
 // non-zero so a broken bench can't silently produce a plausible artifact.
+//
+// Throughput is derived, not just recorded: a receipts/op or scores/op
+// metric (or a batch-N bench-name suffix standing in for scores/op)
+// combined with ns/op yields first-class receipts_per_sec /
+// scores_per_sec fields, and the diff subcommand gates on throughput
+// decreases beyond -threshold the same way it gates on ns/op increases.
 package main
 
 import (
@@ -32,13 +38,19 @@ import (
 // recorded in the JSON rather than elided as an empty value — absent means
 // "not measured" (no -benchmem), null never appears.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	MBPerS      *float64           `json:"mb_per_s,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	// ReceiptsPerSec and ScoresPerSec are derived headline throughput:
+	// the per-op quantity (receipts/op, scores/op, or a batch-N name
+	// suffix) divided by seconds per op. Higher is better, and the diff
+	// subcommand treats decreases as regressions.
+	ReceiptsPerSec *float64           `json:"receipts_per_sec,omitempty"`
+	ScoresPerSec   *float64           `json:"scores_per_sec,omitempty"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the whole run.
@@ -98,6 +110,7 @@ func parse(r io.Reader) (Report, bool, error) {
 			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if b, ok := parseBenchLine(line); ok {
+				deriveThroughput(&b)
 				report.Benchmarks = append(report.Benchmarks, b)
 			}
 		case strings.HasPrefix(line, "FAIL"), strings.Contains(line, "--- FAIL"):
@@ -143,4 +156,49 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// deriveThroughput fills the per-second headline fields from ns/op and a
+// per-op quantity. scores/op may come from an explicit b.ReportMetric or,
+// when absent, from a batch-N bench-name suffix (the batch size IS the
+// number of customers scored per op). Idempotent: fields already present
+// (e.g. in a report loaded from disk) are kept as recorded.
+func deriveThroughput(b *Benchmark) {
+	if b.NsPerOp == nil || *b.NsPerOp <= 0 {
+		return
+	}
+	perSec := func(perOp float64) *float64 {
+		v := perOp * 1e9 / *b.NsPerOp
+		return &v
+	}
+	if b.ReceiptsPerSec == nil {
+		if r, ok := b.Metrics["receipts/op"]; ok {
+			b.ReceiptsPerSec = perSec(r)
+		}
+	}
+	if b.ScoresPerSec == nil {
+		if s, ok := b.Metrics["scores/op"]; ok {
+			b.ScoresPerSec = perSec(s)
+		} else if n, ok := batchSuffix(b.Name); ok {
+			b.ScoresPerSec = perSec(n)
+		}
+	}
+}
+
+// batchSuffix extracts N from a final "batch-N" path element, tolerating
+// the "-GOMAXPROCS" suffix go test appends to bench names.
+func batchSuffix(name string) (float64, bool) {
+	seg := name[strings.LastIndex(name, "/")+1:]
+	rest, ok := strings.CutPrefix(seg, "batch-")
+	if !ok {
+		return 0, false
+	}
+	if j := strings.IndexByte(rest, '-'); j >= 0 {
+		rest = rest[:j] // drop the -GOMAXPROCS tail
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return float64(n), true
 }

@@ -60,6 +60,47 @@ func TestParseSample(t *testing.T) {
 	}
 }
 
+// TestDeriveThroughput pins the derived headline fields: receipts/op and
+// scores/op metrics become per-second rates, a batch-N name suffix stands
+// in for scores/op when the metric is absent, and benches with neither
+// stay untouched.
+func TestDeriveThroughput(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkMonitorIngest/single-4  37  31017569 ns/op  27982 receipts/op",
+		"BenchmarkServeQuery/batch-128-4  1053  256000 ns/op  128.0 scores/op  71069 B/op  559 allocs/op",
+		"BenchmarkImplied/batch-50-4  100  1000000 ns/op",
+		"BenchmarkPlain-4  1000  500 ns/op",
+		"BenchmarkNotABatch/batch-x-4  100  1000 ns/op",
+	}, "\n")
+	report, _, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(report.Benchmarks))
+	}
+	ingest := report.Benchmarks[0]
+	if ingest.ReceiptsPerSec == nil || *ingest.ReceiptsPerSec != 27982*1e9/31017569 {
+		t.Fatalf("receipts_per_sec: %+v", ingest.ReceiptsPerSec)
+	}
+	if ingest.ScoresPerSec != nil {
+		t.Fatalf("ingest bench grew scores_per_sec: %v", *ingest.ScoresPerSec)
+	}
+	batch := report.Benchmarks[1]
+	if batch.ScoresPerSec == nil || *batch.ScoresPerSec != 128*1e9/256000 {
+		t.Fatalf("scores_per_sec from metric: %+v", batch.ScoresPerSec)
+	}
+	implied := report.Benchmarks[2]
+	if implied.ScoresPerSec == nil || *implied.ScoresPerSec != 50*1e9/1e6 {
+		t.Fatalf("scores_per_sec from batch-N suffix: %+v", implied.ScoresPerSec)
+	}
+	for _, b := range report.Benchmarks[3:] {
+		if b.ScoresPerSec != nil || b.ReceiptsPerSec != nil {
+			t.Fatalf("%s grew throughput fields: %+v", b.Name, b)
+		}
+	}
+}
+
 func TestMeasuredZeroSurvivesJSON(t *testing.T) {
 	in := "BenchmarkZ-4  100  5 ns/op  0 B/op  0 allocs/op\n"
 	report, _, err := parse(strings.NewReader(in))

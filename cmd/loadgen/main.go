@@ -16,6 +16,13 @@
 // replayed feed is deterministic in -seed, so the verification step is
 // exact, not statistical: any mismatch exits non-zero.
 //
+// With -query-mix, loadgen interleaves POST /v1/stability:batch queries
+// with the ingestion replay: at every month barrier (once the daemon has
+// drained the month) it batch-queries every customer and requires each
+// answer to match a shadow sequential replay exactly — the read path is
+// exercised while the write path is hot, and the comparison stays exact
+// because scoring only happens at deterministic window-close barriers.
+//
 // With -follow, the in-process daemon ingests by tailing an STB1 snapshot
 // chain instead of HTTP: loadgen plays the external snapshot writer,
 // appending one segment per -batch receipts from a single writer (POST
@@ -26,6 +33,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -75,6 +83,8 @@ type options struct {
 	churn     float64
 	verify    bool
 
+	queryMix bool
+
 	follow        bool
 	followPoll    time.Duration
 	followCompact bool
@@ -100,6 +110,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.ttl, "ttl-interval", 0, "idle-customer eviction sweep period for the in-process daemon; 0 disables")
 	fs.Float64Var(&o.churn, "churn", 0, "fraction of customers silenced halfway through the feed (gives -retention something to evict; 0 disables)")
 	fs.BoolVar(&o.verify, "verify", true, "verify daemon answers against a sequential replay")
+	fs.BoolVar(&o.queryMix, "query-mix", false, "interleave POST /v1/stability:batch queries with ingestion at every month barrier, exact-verifying each answer against a shadow sequential replay")
 	fs.BoolVar(&o.follow, "follow", false, "drive the in-process daemon by tailing an STB1 chain instead of POSTing (needs empty -addr)")
 	fs.DurationVar(&o.followPoll, "follow-poll", 2*time.Millisecond, "follow-mode poll period of the in-process daemon")
 	fs.BoolVar(&o.followCompact, "follow-compact", true, "compact the tailed chain halfway through a -follow run, forcing a live resync")
@@ -111,6 +122,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.follow && o.addr != "" {
 		return o, fmt.Errorf("-follow drives an in-process daemon; drop -addr")
+	}
+	if o.queryMix && o.follow {
+		return o, fmt.Errorf("-query-mix interleaves with HTTP ingestion; drop -follow")
 	}
 	if o.follow && o.followCompact && o.retention > 0 {
 		// A resync rebuilds the monitor and carries evictions forward as a
@@ -262,7 +276,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "follow: %d receipts appended in %v = %.0f receipts/sec through the tailed chain\n",
 			len(feed), elapsed.Round(time.Millisecond), rate)
 	} else {
-		ingestHist, elapsed, retries, err := replay(base, feed, grid, o)
+		var mix *queryMixer
+		if o.queryMix {
+			mix, err = newQueryMixer(base, grid, ds.Store.Customers(), o)
+			if err != nil {
+				return err
+			}
+		}
+		ingestHist, elapsed, retries, err := replay(base, feed, grid, o, mix)
 		if err != nil {
 			return err
 		}
@@ -270,6 +291,11 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "ingest: %d receipts in %v over %d conns = %.0f receipts/sec (%d retries after 429)\n",
 			len(feed), elapsed.Round(time.Millisecond), o.conns, rate, retries)
 		fmt.Fprintf(out, "ingest latency per POST (%d receipts each): %s\n", o.batch, ingestHist)
+		if mix != nil {
+			fmt.Fprintf(out, "query-mix: %d batch queries (%d scored answers) interleaved with ingestion, exact match\n",
+				mix.batches, mix.scores)
+			fmt.Fprintf(out, "query-mix batch latency: %s\n", mix.hist)
+		}
 	}
 
 	if err := awaitDrain(base, wantIngested); err != nil {
@@ -353,8 +379,9 @@ func sortedFeed(ds *stability.SampleDataset, span int) ([]receipt, stability.Gri
 // replay posts the feed month by month: each month's receipts are
 // partitioned by customer across o.conns workers (preserving per-customer
 // order within the month) and the month boundary is a barrier, so the
-// daemon's watermark can never race ahead of a slow connection.
-func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist, time.Duration, uint64, error) {
+// daemon's watermark can never race ahead of a slow connection. A non-nil
+// mix issues exact-verified batch stability queries at each barrier.
+func replay(base string, feed []receipt, grid stability.Grid, o options, mix *queryMixer) (*hist, time.Duration, uint64, error) {
 	var months [][]receipt
 	for _, rc := range feed {
 		m := grid.MonthIndex(rc.Time)
@@ -395,8 +422,141 @@ func replay(base string, feed []receipt, grid stability.Grid, o options) (*hist,
 		for _, h := range results {
 			agg.merge(h)
 		}
+		if mix != nil {
+			if err := mix.month(month); err != nil {
+				return nil, 0, 0, fmt.Errorf("query-mix after month %d: %w", m, err)
+			}
+		}
 	}
 	return agg, now().Sub(start), retries.Load(), nil
+}
+
+// queryMixer interleaves batch stability queries with ingestion: at every
+// month barrier it waits for the daemon to drain the month, shadow-replays
+// the same receipts through a local sequential Monitor, then POSTs
+// /v1/stability:batch for every customer and requires each NDJSON row to
+// match the shadow monitor bit for bit. Month barriers are the points
+// where the daemon's state is a deterministic function of the feed (within
+// a month receipts race across connections, but window scoring happens
+// only at close barriers), so the comparison is exact, not statistical.
+type queryMixer struct {
+	base        string
+	grid        stability.Grid
+	mon         *stability.Monitor
+	ids         []stability.CustomerID
+	chunk       int
+	posted      uint64
+	maxMonth    int
+	lastClosedK int
+	batches     int
+	scores      int
+	hist        *hist
+}
+
+func newQueryMixer(base string, grid stability.Grid, ids []stability.CustomerID, o options) (*queryMixer, error) {
+	mon, err := stability.NewMonitor(stability.MonitorConfig{
+		Grid:             grid,
+		Model:            stability.Options{Alpha: o.alpha},
+		Beta:             o.beta,
+		TopJ:             o.topJ,
+		WarmupWindows:    o.warmup,
+		RetentionWindows: o.retention,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &queryMixer{
+		base: base, grid: grid, mon: mon, ids: ids,
+		chunk: o.batch, maxMonth: -1, lastClosedK: -1, hist: &hist{},
+	}, nil
+}
+
+// month absorbs one fully-posted month: shadow-replay, drain, query, compare.
+func (x *queryMixer) month(month []receipt) error {
+	for _, rc := range month {
+		if m := x.grid.MonthIndex(rc.Time); m > x.maxMonth {
+			x.maxMonth = m
+			if closeK := x.grid.Index(x.grid.Origin().AddDate(0, m, 0)) - 1; closeK > x.lastClosedK {
+				x.mon.CloseThrough(closeK)
+				x.lastClosedK = closeK
+			}
+		}
+		items := make([]stability.ItemID, len(rc.Items))
+		for i, it := range rc.Items {
+			items[i] = stability.ItemID(it)
+		}
+		if _, err := x.mon.Ingest(stability.CustomerID(rc.Customer), rc.Time, stability.NewBasket(items)); err != nil {
+			return err
+		}
+	}
+	x.posted += uint64(len(month))
+	if err := awaitDrain(x.base, x.posted); err != nil {
+		return err
+	}
+	for lo := 0; lo < len(x.ids); lo += x.chunk {
+		hi := lo + x.chunk
+		if hi > len(x.ids) {
+			hi = len(x.ids)
+		}
+		if err := x.queryChunk(x.ids[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryChunk posts one NDJSON batch and verifies every row positionally
+// against the shadow monitor. Scored rows must match value and window
+// exactly; unscored customers must come back as error rows and vice versa.
+func (x *queryMixer) queryChunk(ids []stability.CustomerID) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, id := range ids {
+		if err := enc.Encode(struct {
+			Customer uint64 `json:"customer"`
+		}{uint64(id)}); err != nil {
+			return err
+		}
+	}
+	t0 := now()
+	resp, err := http.Post(x.base+"/v1/stability:batch", "application/x-ndjson", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	x.hist.observe(now().Sub(t0))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/stability:batch: status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for _, id := range ids {
+		var row struct {
+			Customer  uint64  `json:"customer"`
+			Stability float64 `json:"stability"`
+			Window    int     `json:"window"`
+			Error     string  `json:"error"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			return fmt.Errorf("batch row for customer %d: %w", id, err)
+		}
+		wantV, wantK, wantOK := x.mon.Stability(id)
+		if row.Error != "" {
+			if wantOK {
+				return fmt.Errorf("customer %d: daemon says unscored, shadow replay says %v@%d", id, wantV, wantK)
+			}
+			continue
+		}
+		if !wantOK {
+			return fmt.Errorf("customer %d: daemon says %v@%d, shadow replay says unscored", id, row.Stability, row.Window)
+		}
+		if row.Customer != uint64(id) || row.Stability != wantV || row.Window != wantK {
+			return fmt.Errorf("customer %d: daemon says customer=%d %v@%d, shadow replay says %v@%d",
+				id, row.Customer, row.Stability, row.Window, wantV, wantK)
+		}
+		x.scores++
+	}
+	x.batches++
+	return nil
 }
 
 // followReplay plays the external snapshot writer of a follow-mode

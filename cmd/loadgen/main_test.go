@@ -60,6 +60,32 @@ func TestLoadgenSelfServeRetention(t *testing.T) {
 	}
 }
 
+// TestLoadgenQueryMix runs the pipeline with batch queries interleaved at
+// every month barrier: each NDJSON answer must match the shadow sequential
+// replay exactly, and the final verification must still pass.
+func TestLoadgenQueryMix(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-customers", "40", "-months", "16", "-conns", "3", "-batch", "75",
+		"-queries", "60", "-shards", "4", "-query-mix",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen -query-mix failed: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"query-mix:", "batch queries", "exact match",
+		"verification: daemon matches sequential replay",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "query-mix: 0 batch queries") || strings.Contains(s, "(0 scored answers)") {
+		t.Errorf("query-mix issued no verified scores; the run is vacuous:\n%s", s)
+	}
+}
+
 // TestBackoffWait pins the deterministic 429 backoff schedule.
 func TestBackoffWait(t *testing.T) {
 	cases := []struct {
@@ -88,6 +114,9 @@ func TestLoadgenFlagValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-nope"}); err == nil {
 		t.Error("accepted unknown flag")
+	}
+	if _, err := parseFlags([]string{"-query-mix", "-follow"}); err == nil {
+		t.Error("accepted -query-mix with -follow")
 	}
 	o, err := parseFlags(nil)
 	if err != nil {

@@ -164,7 +164,11 @@ func equalResults(a, b Result) bool {
 // large repertoires included — and requires every Result to be
 // bit-identical. Midway through each sequence the columnar tracker is
 // snapshotted and restored, and the restored tracker must keep agreeing
-// with the reference, which pins the snapshot round-trip too.
+// with the reference, which pins the snapshot round-trip too. A third
+// tracker rides along on a pre-warmed private SigTable (every memo entry
+// materialized before the first observation) and must also agree bit for
+// bit: the reference evaluates math.Exp on the spot, so this pins that a
+// memo table grown by anyone, to any depth, changes nothing.
 func TestTrackerMatchesNaiveReference(t *testing.T) {
 	cases := []struct {
 		name string
@@ -185,6 +189,12 @@ func TestTrackerMatchesNaiveReference(t *testing.T) {
 						t.Fatal(err)
 					}
 					ref := newRefTracker(tc.opts)
+					warmTab := NewSigTable(tc.opts.Alpha)
+					warmTab.Term(maxSigTerms - 1) // fully grown up front
+					trWarm, err := NewTrackerWithSigTable(tc.opts, warmTab)
+					if err != nil {
+						t.Fatal(err)
+					}
 					universe := 3 + rng.Intn(60)
 					windows := 50
 					restoreAt := 10 + rng.Intn(30)
@@ -206,15 +216,19 @@ func TestTrackerMatchesNaiveReference(t *testing.T) {
 						} else {
 							b = retail.Basket{}
 						}
-						var got, want Result
+						var got, gotWarm, want Result
 						if explain {
-							got, want = tr.Observe(b), ref.observe(b, true)
+							got, gotWarm, want = tr.Observe(b), trWarm.Observe(b), ref.observe(b, true)
 						} else {
-							got, want = tr.ObserveStability(b), ref.observe(b, false)
+							got, gotWarm, want = tr.ObserveStability(b), trWarm.ObserveStability(b), ref.observe(b, false)
 						}
 						if !equalResults(got, want) {
 							t.Fatalf("seed %d explain=%v window %d:\ncolumnar %+v\nreference %+v",
 								seed, explain, k, got, want)
+						}
+						if !equalResults(gotWarm, want) {
+							t.Fatalf("seed %d explain=%v window %d:\nwarm-table %+v\nreference %+v",
+								seed, explain, k, gotWarm, want)
 						}
 						if tr.Seen() != len(ref.counts) || tr.Windows() != int(ref.windows) {
 							t.Fatalf("seed %d window %d: state diverged: seen %d/%d windows %d/%d",

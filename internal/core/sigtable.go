@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// maxSigTerms caps the significance memo table. Entries are 8 bytes, so a
+// fully grown table is 4 KiB; beyond the cap (a count spread of 512 between
+// the most and least frequent item — far past the point where the smaller
+// term has underflowed to zero at any realistic α) terms fall back to a
+// direct math.Exp call with bit-identical results.
+const maxSigTerms = 512
+
+// SigTable memoizes the significance terms α^{−2d} = α^{2(c−maxC)} for
+// count deficits d = maxC−c. The terms depend only on α, so one table can
+// back every tracker and worker sharing the same options instead of each
+// tracker growing a private 4 KiB memo.
+//
+// The table is grow-only and every published snapshot is immutable: readers
+// load the current snapshot with one atomic pointer read and index it
+// without locks, while growth copies into a fresh slice under a mutex and
+// publishes it atomically. Entries are appended with exactly the math.Exp
+// expression the pre-memo scan used — exp(−2d·ln α) with the exponent
+// formed in int32 — so sums over memoized terms are bit-identical to an
+// unmemoized tracker no matter which goroutine grew the table or in what
+// order (TestSharedSigTableMatchesPrivate pins this).
+type SigTable struct {
+	logA float64
+	// zeroFrom is the smallest deficit whose term exp(−2d·ln α) evaluates
+	// to exactly +0 (sigZeroNever when no reachable deficit does). The
+	// expression is monotone non-increasing in d and math.Exp underflows to
+	// +0, so every deficit at or past the boundary can return literal 0
+	// without calling math.Exp — bit-identical, and the dominant cost in
+	// steady-state scoring of long-lapsed items (profile: math.Exp past the
+	// memo cap was ~49% of BenchmarkTrackerObserve before this shortcut).
+	zeroFrom int32
+	terms    atomic.Pointer[[]float64]
+	mu       sync.Mutex // serializes growth; readers never take it
+}
+
+// NewSigTable returns a fresh private table for significance base α.
+// Callers normally want SharedSigTable instead; private tables exist so
+// differential tests can compare shared and unshared trackers.
+func NewSigTable(alpha float64) *SigTable {
+	logA := math.Log(alpha)
+	t := &SigTable{logA: logA, zeroFrom: zeroDeficit(logA)}
+	empty := make([]float64, 0)
+	t.terms.Store(&empty)
+	return t
+}
+
+// sigZeroNever marks a table whose terms never underflow to zero within
+// the searched deficit range (α ≤ 1, or α so close to 1 that the decay is
+// negligible); such tables always evaluate past-cap terms directly.
+const sigZeroNever = math.MaxInt32
+
+// zeroDeficit finds the smallest deficit d for which the exact runtime
+// expression math.Exp(float64(-2*d)*logA) is +0, by binary search over
+// that same expression. The argument float64(−2d)·ln α is strictly
+// decreasing in d and math.Exp is faithfully rounded, so once it returns
+// +0 it returns +0 for every larger deficit — returning literal 0 at or
+// past the boundary is bit-identical to calling math.Exp (the concurrent
+// SigTable test crosses the boundary and pins this against direct
+// evaluation). The search stays below 2³⁰ so −2d never wraps int32.
+func zeroDeficit(logA float64) int32 {
+	if !(logA > 0) {
+		return sigZeroNever // α ≤ 1 (or NaN): terms do not decay to zero
+	}
+	lo, hi := int32(0), int32(1)<<30 // term(0)=1≠0; probe the far end
+	if math.Exp(float64(-2*hi)*logA) != 0 {
+		return sigZeroNever
+	}
+	for hi-lo > 1 { // invariant: term(lo) ≠ 0, term(hi) == 0
+		mid := lo + (hi-lo)/2
+		if math.Exp(float64(-2*mid)*logA) == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// sigRegistry holds the process-wide tables, one per α. Lookup is by exact
+// key (never a range — map iteration order must not matter anywhere near
+// scoring), and the map only grows: a table, once published for an α, is
+// the table for that α for the life of the process.
+var sigRegistry = struct {
+	mu      sync.Mutex
+	byAlpha map[float64]*SigTable
+}{byAlpha: make(map[float64]*SigTable)}
+
+// SharedSigTable returns the process-wide significance table for α,
+// creating it on first use. Every tracker built with the same α shares one
+// grow-only memo, so a fleet of workers warms a single 4 KiB table instead
+// of one per tracker.
+func SharedSigTable(alpha float64) *SigTable {
+	sigRegistry.mu.Lock()
+	t := sigRegistry.byAlpha[alpha]
+	if t == nil {
+		t = NewSigTable(alpha)
+		sigRegistry.byAlpha[alpha] = t
+	}
+	sigRegistry.mu.Unlock()
+	return t
+}
+
+// Term returns α^{−2d} for the count deficit d ≥ 0, growing the memo when
+// d is past the current snapshot (capped at maxSigTerms; beyond the cap the
+// value is computed directly, bit-identically).
+func (t *SigTable) Term(d int32) float64 {
+	terms := *t.terms.Load()
+	if int(d) < len(terms) {
+		return terms[d]
+	}
+	return t.grow(d)
+}
+
+// snapshot returns the current immutable term slice. Trackers cache it so
+// the per-item hot path is one bounds check and a load with no atomics.
+func (t *SigTable) snapshot() []float64 { return *t.terms.Load() }
+
+// grow extends the memo through deficit d and returns the term. Past the
+// cap it falls back to direct evaluation without touching the table.
+func (t *SigTable) grow(d int32) float64 {
+	if d >= maxSigTerms {
+		if d >= t.zeroFrom {
+			return 0 // past the underflow boundary: exp would return +0
+		}
+		return math.Exp(float64(-2*d) * t.logA)
+	}
+	t.mu.Lock()
+	terms := *t.terms.Load()
+	if int(d) < len(terms) { // another goroutine grew past d first
+		t.mu.Unlock()
+		return terms[d]
+	}
+	grown := make([]float64, d+1)
+	copy(grown, terms)
+	for k := int32(len(terms)); k <= d; k++ {
+		grown[k] = math.Exp(float64(-2*k) * t.logA)
+	}
+	t.terms.Store(&grown)
+	t.mu.Unlock()
+	return grown[d]
+}

@@ -8,13 +8,6 @@ import (
 	"github.com/gautrais/stability/internal/retail"
 )
 
-// maxMemoTerms caps the per-tracker significance memo table. Entries are 8
-// bytes, so a fully grown table is 4 KiB; beyond the cap (a count spread of
-// 512 between the most and least frequent item — far past the point where
-// the smaller term has underflowed to zero at any realistic α) terms fall
-// back to a direct math.Exp call with bit-identical results.
-const maxMemoTerms = 512
-
 // Tracker computes the stability series of one customer incrementally: feed
 // windows in chronological order with Observe and read each window's
 // stability, blame list, and bookkeeping from the returned Result.
@@ -26,8 +19,9 @@ const maxMemoTerms = 512
 // single cache-friendly scan, and each window folds in with one sorted
 // merge of repertoire × basket. Memory is O(distinct items), time per
 // window is O(distinct items + |uk|). The significance terms α^{2(c−maxC)}
-// depend only on the count deficit maxC−c, so they are memoized in `terms`
-// rather than recomputed with math.Exp per item per window.
+// depend only on the count deficit maxC−c and on α, so they come from a
+// process-wide SigTable shared by every tracker with the same α rather
+// than being recomputed with math.Exp per item per window.
 //
 // Trackers are not safe for concurrent use; analyses shard one tracker per
 // customer (or reuse one tracker per worker via Reset).
@@ -36,11 +30,11 @@ type Tracker struct {
 	logA   float64
 	items  []retail.ItemID // ascending item id: the canonical iteration order
 	counts []int32         // counts[i] = c of items[i]; counts only grow
-	// terms[d] = exp(−2d·ln α) = α^{2(c−maxC)} for d = maxC−c. Entries are
-	// computed with exactly the math.Exp expression the scan would use, so
-	// memoized and direct sums are bit-identical. Grown lazily to the
-	// largest observed deficit (capped at maxMemoTerms) and kept across
-	// Reset — the table depends only on α.
+	// sig is the grow-only memo of α^{−2d} terms, shared across trackers
+	// with the same α. terms caches its latest immutable snapshot so the
+	// per-item hot path is one bounds check and a load with no atomics;
+	// misses refresh the cache through the table. Both survive Reset.
+	sig      *SigTable
 	terms    []float64
 	maxCount int32 // running max of counts; counts only grow, so never recomputed
 	windows  int32 // W: counted prior windows
@@ -89,15 +83,36 @@ type Result struct {
 	Counted bool
 }
 
-// NewTracker validates opts and returns an empty tracker.
+// NewTracker validates opts and returns an empty tracker backed by the
+// process-wide shared significance table for opts.Alpha.
 func NewTracker(opts Options) (*Tracker, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	return newTracker(opts, SharedSigTable(opts.Alpha)), nil
+}
+
+// NewTrackerWithSigTable is NewTracker on a caller-supplied significance
+// table (normally a private NewSigTable). Results are bit-identical to a
+// shared-table tracker — the differential tests pin it — so this exists for
+// those tests and for callers that want memo isolation, not for speed.
+func NewTrackerWithSigTable(opts Options, sig *SigTable) (*Tracker, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if sig == nil {
+		sig = SharedSigTable(opts.Alpha)
+	}
+	return newTracker(opts, sig), nil
+}
+
+func newTracker(opts Options, sig *SigTable) *Tracker {
 	return &Tracker{
-		opts: opts,
-		logA: math.Log(opts.Alpha),
-	}, nil
+		opts:  opts,
+		logA:  math.Log(opts.Alpha),
+		sig:   sig,
+		terms: sig.snapshot(),
+	}
 }
 
 // Options returns the tracker's configuration.
@@ -110,7 +125,8 @@ func (t *Tracker) Seen() int { return len(t.items) }
 func (t *Tracker) Windows() int { return int(t.windows) }
 
 // term returns α^{2(c−maxC)} for the count deficit d = maxC−c ≥ 0. The
-// common case is one bounds check and a load; termSlow grows the memo.
+// common case is one bounds check and a load from the cached snapshot;
+// termSlow grows the shared table.
 func (t *Tracker) term(d int32) float64 {
 	if int(d) < len(t.terms) {
 		return t.terms[d]
@@ -118,20 +134,20 @@ func (t *Tracker) term(d int32) float64 {
 	return t.termSlow(d)
 }
 
-// termSlow extends the memo table through deficit d (capped) and returns
-// the term, falling back to a direct evaluation past the cap. The appended
-// entries use the exact expression the pre-memo scan used —
-// exp(2(c−maxC)·ln α) with the exponent formed in int32 — so every sum
-// stays bit-identical to an unmemoized tracker.
+// termSlow resolves a deficit past the cached snapshot. Deficits at or
+// past the table's underflow boundary return 0 immediately — bit-identical
+// to the math.Exp the table would run, and the steady-state case for items
+// lapsed longer than the memo cap (the profile-guided win: this branch
+// replaced the math.Exp calls that dominated BenchmarkTrackerObserve).
+// Otherwise the shared table grows (or computes directly past its cap) and
+// the cache is refreshed so subsequent windows stay on the fast path.
 func (t *Tracker) termSlow(d int32) float64 {
-	if d >= maxMemoTerms {
-		return math.Exp(float64(-2*d) * t.logA)
+	if d >= t.sig.zeroFrom {
+		return 0
 	}
-	for int32(len(t.terms)) <= d {
-		k := int32(len(t.terms))
-		t.terms = append(t.terms, math.Exp(float64(-2*k)*t.logA))
-	}
-	return t.terms[d]
+	v := t.sig.Term(d)
+	t.terms = t.sig.snapshot()
+	return v
 }
 
 // Observe feeds the next window's item set uk (must be a normalized basket)

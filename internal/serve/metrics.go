@@ -9,8 +9,8 @@ import (
 // latency, in microseconds. Latency is operator telemetry: it is the one
 // wall-clock-derived value in the system and never feeds a score.
 type EndpointMetrics struct {
-	// Endpoint names the route ("ingest", "stability", "alerts",
-	// "healthz", "readyz", "metrics").
+	// Endpoint names the route ("ingest", "stability", "stability_batch",
+	// "alerts", "healthz", "readyz", "metrics").
 	Endpoint string `json:"endpoint"`
 	// Count is the number of completed requests.
 	Count uint64 `json:"count"`
@@ -54,7 +54,7 @@ func (c *endpointCounters) snapshot(name string) EndpointMetrics {
 }
 
 // endpointNames fixes the /metrics endpoint order (sorted by name).
-var endpointNames = []string{"alerts", "healthz", "ingest", "metrics", "readyz", "stability"}
+var endpointNames = []string{"alerts", "healthz", "ingest", "metrics", "readyz", "stability", "stability_batch"}
 
 // serveMetrics aggregates the serving layer's counters.
 type serveMetrics struct {

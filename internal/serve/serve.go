@@ -149,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.route("POST /v1/receipts", "ingest", s.handleIngest)
 	s.route("GET /v1/customers/{id}/stability", "stability", s.handleStability)
+	s.route("POST /v1/stability:batch", "stability_batch", s.handleStabilityBatch)
 	s.route("GET /v1/alerts", "alerts", s.handleAlerts)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /readyz", "readyz", s.handleReadyz)
@@ -300,6 +301,51 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) int {
 		Start:     start,
 		End:       end,
 	})
+}
+
+// handleStabilityBatch implements POST /v1/stability:batch: NDJSON queries
+// in, NDJSON answers out, one line per query in request order. All queries
+// are resolved through a single Ingestor.Stabilities call — one monitor
+// synchronization for the whole fan-in instead of one per customer — and
+// each response line is byte-identical to what the corresponding single
+// GET /v1/customers/{id}/stability would return (a StabilityResponse for a
+// scored customer, the same not-found ErrorResponse body for an unknown
+// one; the differential tests pin this at shards {1,2,4,8}). Batches over
+// Config.MaxBatch answer 413 before any lookup runs.
+func (s *Server) handleStabilityBatch(w http.ResponseWriter, r *http.Request) int {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ids, err := decodeBatchQueries(r.Body, s.cfg.MaxBatch)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) || errors.Is(err, ErrBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return writeError(w, status, "%v", err)
+	}
+	rows := s.ing.Stabilities(ids, nil)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, row := range rows {
+		if !row.OK {
+			if enc.Encode(ErrorResponse{Error: fmt.Sprintf("customer %d unknown or not yet scored", row.Customer)}) != nil {
+				return http.StatusOK
+			}
+			continue
+		}
+		start, end := s.cfg.Monitor.Grid.Bounds(row.GridIndex)
+		if enc.Encode(StabilityResponse{
+			Customer:  uint64(row.Customer),
+			Stability: row.Value,
+			Window:    row.GridIndex,
+			Start:     start,
+			End:       end,
+		}) != nil {
+			return http.StatusOK
+		}
+	}
+	return http.StatusOK
 }
 
 // maxAlertsPerPoll caps ?max= on GET /v1/alerts; larger (or zero) values

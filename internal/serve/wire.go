@@ -62,6 +62,13 @@ type StabilityResponse struct {
 	End    time.Time `json:"end"`
 }
 
+// BatchStabilityQuery is one line of a POST /v1/stability:batch request
+// body (NDJSON: one query object per line).
+type BatchStabilityQuery struct {
+	// Customer is the queried customer's id.
+	Customer uint64 `json:"customer"`
+}
+
 // AlertOut is one alert on the wire, stamped with its delivery sequence.
 type AlertOut struct {
 	// Seq is the alert's position in the delivery log; pass the largest
@@ -178,6 +185,28 @@ func decodeIngest(r io.Reader, maxBatch int) (*IngestRequest, error) {
 		return nil, fmt.Errorf("%w: %d receipts > %d", ErrBatchTooLarge, len(req.Receipts), maxBatch)
 	}
 	return &req, nil
+}
+
+// decodeBatchQueries parses a POST /v1/stability:batch body: a stream of
+// JSON query objects (one per line by convention, though the decoder
+// accepts any whitespace separation). The whole batch is decoded and
+// validated before any response byte is written, so a malformed line is a
+// clean 400 and an oversized batch a clean 413, never a torn 200.
+func decodeBatchQueries(r io.Reader, maxBatch int) ([]retail.CustomerID, error) {
+	dec := json.NewDecoder(r)
+	var ids []retail.CustomerID
+	for {
+		var q BatchStabilityQuery
+		if err := dec.Decode(&q); err == io.EOF {
+			return ids, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("invalid query on line %d: %w", len(ids)+1, err)
+		}
+		if maxBatch > 0 && len(ids) >= maxBatch {
+			return nil, fmt.Errorf("%w: > %d queries", ErrBatchTooLarge, maxBatch)
+		}
+		ids = append(ids, retail.CustomerID(q.Customer))
+	}
 }
 
 // toEvents converts wire receipts to stream events, normalizing baskets.

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gautrais/stability/internal/retail"
+)
+
+// queryIDs builds the batch query set for a feed: every customer that
+// appears, plus interleaved never-seen ids, in a fixed mixed order.
+func queryIDs(feed []feedEvent) []retail.CustomerID {
+	var ids []retail.CustomerID
+	seen := map[retail.CustomerID]bool{}
+	for _, ev := range feed {
+		if !seen[ev.id] {
+			seen[ev.id] = true
+			ids = append(ids, ev.id, ev.id+1) // +1 is (almost surely) unknown
+		}
+	}
+	return ids
+}
+
+// TestStabilitiesMatchesSingles pins the batch query contract at every
+// shard count, on both the open (shard-fanned control message) and closed
+// (direct read) paths: row i of Stabilities(ids, dst) must equal what the
+// single Stability(ids[i]) call returns, and both must equal the
+// sequential Monitor's answers for the same replay.
+func TestStabilitiesMatchesSingles(t *testing.T) {
+	feed := randomFeed(t, 7, 40, 900)
+	lastK := 6
+	_, ref := replaySingle(t, testConfig(t, 0.7), feed, lastK)
+	ids := queryIDs(feed)
+	want := ref.Stabilities(ids, nil)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, s := replaySharded(t, testConfig(t, 0.7), shards, feed, lastK)
+			check := func(phase string) {
+				got := s.Stabilities(ids, nil)
+				if len(got) != len(ids) {
+					t.Fatalf("%s: %d rows for %d ids", phase, len(got), len(ids))
+				}
+				anyOK := false
+				for i, row := range got {
+					v, k, ok := s.Stability(ids[i])
+					if row.Customer != ids[i] || row.Value != v || row.GridIndex != k || row.OK != ok {
+						t.Fatalf("%s row %d: batch %+v, single (%v,%d,%v)", phase, i, row, v, k, ok)
+					}
+					if row != want[i] {
+						t.Fatalf("%s row %d: sharded %+v, sequential %+v", phase, i, row, want[i])
+					}
+					anyOK = anyOK || row.OK
+				}
+				if !anyOK {
+					t.Fatalf("%s: no scored customer; differential is vacuous", phase)
+				}
+			}
+			check("open")
+			if _, err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check("closed")
+		})
+	}
+}
+
+// TestStabilitiesReusesDst pins the dst-recycling contract: a dst with
+// enough capacity is truncated and refilled in place, a short one is
+// replaced.
+func TestStabilitiesReusesDst(t *testing.T) {
+	feed := randomFeed(t, 9, 10, 200)
+	_, m := replaySingle(t, testConfig(t, 0.7), feed, 4)
+	ids := queryIDs(feed)
+
+	dst := make([]CustomerStability, 0, len(ids)+16)
+	out := m.Stabilities(ids, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Error("capacious dst was not reused")
+	}
+	short := make([]CustomerStability, 0, 1)
+	out2 := m.Stabilities(ids, short)
+	if len(out2) != len(ids) {
+		t.Fatalf("short dst: %d rows, want %d", len(out2), len(ids))
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("row %d differs across dst strategies: %+v vs %+v", i, out[i], out2[i])
+		}
+	}
+}

@@ -756,6 +756,17 @@ func (i *Ingestor) Stability(id retail.CustomerID) (value float64, gridIndex int
 	return i.mon.Stability(id)
 }
 
+// Stabilities answers a batch of stability queries under one monitor-lock
+// acquisition, fanning per-shard inside the monitor — where N Stability
+// calls pay N lock round trips, a batch pays one. Row i is exactly what
+// Stability(ids[i]) would return; dst is reused as in
+// ShardedMonitor.Stabilities.
+func (i *Ingestor) Stabilities(ids []retail.CustomerID, dst []CustomerStability) []CustomerStability {
+	i.monMu.RLock()
+	defer i.monMu.RUnlock()
+	return i.mon.Stabilities(ids, dst)
+}
+
 // Customers returns the number of customers tracked across all shards.
 func (i *Ingestor) Customers() int {
 	i.monMu.RLock()

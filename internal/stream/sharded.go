@@ -331,6 +331,58 @@ func (s *ShardedMonitor) Stability(id retail.CustomerID) (value float64, gridInd
 	return value, gridIndex, ok
 }
 
+// Stabilities answers a batch of stability queries in request order,
+// filling dst (truncated and reused when capacity suffices) with one row
+// per id — row i is exactly what Stability(ids[i]) would return, and the
+// differential serve tests pin that equivalence byte-for-byte at shards
+// {1,2,4,8}.
+//
+// Where Stability pays one control-message round trip per customer, a
+// batch pays one per *shard*: every shard goroutine receives the whole id
+// slice once and fills the disjoint subset of rows it owns (ids hash to
+// exactly one shard, so the writes cannot overlap and need no locks). Per
+// customer the work is one hash and one map lookup — no allocation, no
+// synchronization — which is what makes population-wide score sweeps a
+// fast path rather than N round trips.
+func (s *ShardedMonitor) Stabilities(ids []retail.CustomerID, dst []CustomerStability) []CustomerStability {
+	if cap(dst) >= len(ids) {
+		dst = dst[:len(ids)]
+	} else {
+		dst = make([]CustomerStability, len(ids))
+	}
+	n := len(s.shards)
+	if s.closed.Load() {
+		for i, id := range ids {
+			sh := s.shards[shardIndex(id, n)]
+			v, k, ok := sh.mon.Stability(id)
+			dst[i] = CustomerStability{Customer: id, Value: v, GridIndex: k, OK: ok}
+		}
+		return dst
+	}
+	// The closures capture a never-reassigned copy of the slice header so
+	// the dst parameter itself stays off the heap: reassigning a captured
+	// variable would force it heap-allocated at function entry, charging
+	// the allocation-free closed path too.
+	out := dst
+	var wg sync.WaitGroup
+	for si, sh := range s.shards {
+		si, sh := si, sh
+		wg.Add(1)
+		sh.ch <- shardMsg{ctl: func() {
+			for i, id := range ids {
+				if shardIndex(id, n) != si {
+					continue
+				}
+				v, k, ok := sh.mon.Stability(id)
+				out[i] = CustomerStability{Customer: id, Value: v, GridIndex: k, OK: ok}
+			}
+			wg.Done()
+		}}
+	}
+	wg.Wait()
+	return dst
+}
+
 // Customers returns the number of customers tracked across all shards.
 func (s *ShardedMonitor) Customers() int {
 	counts := make([]int, len(s.shards))

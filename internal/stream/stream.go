@@ -414,3 +414,30 @@ func (m *Monitor) Stability(id retail.CustomerID) (value float64, gridIndex int,
 	}
 	return st.lastStability, st.lastScoredK, true
 }
+
+// CustomerStability is one row of a batch stability query: the answer
+// Stability would give for Customer, with OK false when the customer is
+// unknown or not yet scored (Value and GridIndex are then zero).
+type CustomerStability struct {
+	Customer  retail.CustomerID
+	Value     float64
+	GridIndex int
+	OK        bool
+}
+
+// Stabilities answers a batch of stability queries in request order,
+// appending one row per id into dst (which is truncated and reused when
+// its capacity suffices — a caller-recycled dst makes the steady state
+// allocation-free). Row i is exactly what Stability(ids[i]) would return.
+func (m *Monitor) Stabilities(ids []retail.CustomerID, dst []CustomerStability) []CustomerStability {
+	if cap(dst) >= len(ids) {
+		dst = dst[:len(ids)]
+	} else {
+		dst = make([]CustomerStability, len(ids))
+	}
+	for i, id := range ids {
+		v, k, ok := m.Stability(id)
+		dst[i] = CustomerStability{Customer: id, Value: v, GridIndex: k, OK: ok}
+	}
+	return dst
+}

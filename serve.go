@@ -35,6 +35,11 @@ type (
 	ReceiptEvent = stream.ReceiptEvent
 	// SeqAlert is an Alert stamped with its delivery-log sequence.
 	SeqAlert = stream.SeqAlert
+	// CustomerStability is one row of a batch stability query
+	// (Monitor/ShardedMonitor/Ingestor Stabilities): what the single
+	// Stability call would return for Customer, with OK false when the
+	// customer is unknown or not yet scored.
+	CustomerStability = stream.CustomerStability
 )
 
 // Ingestion queue overflow policies.
